@@ -1,0 +1,102 @@
+// Command mirrun assembles, disassembles and executes MIR programs — the
+// miniature binaries the OCTOPOCS reproduction analyzes.
+//
+// Usage:
+//
+//	mirrun -run prog.mir -input poc.bin     assemble and execute
+//	mirrun -run prog.mir -trace             print the call trace
+//	mirrun -dump 8 -side t                  disassemble a corpus binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/corpus"
+	"octopocs/internal/isa"
+	"octopocs/internal/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mirrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mirrun", flag.ContinueOnError)
+	var (
+		runPath  = fs.String("run", "", "assemble and execute this .mir file")
+		input    = fs.String("input", "", "input file fed to the program")
+		trace    = fs.Bool("trace", false, "print call/return trace during execution")
+		maxSteps = fs.Int64("max-steps", 0, "instruction budget (0 = default)")
+		dumpIdx  = fs.Int("dump", 0, "disassemble a corpus pair's binary (Table II row)")
+		side     = fs.String("side", "s", "which binary to dump: s or t")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *dumpIdx != 0:
+		spec := corpus.ByIdx(*dumpIdx)
+		if spec == nil {
+			return fmt.Errorf("no corpus pair %d", *dumpIdx)
+		}
+		prog := spec.Pair.S
+		if *side == "t" {
+			prog = spec.Pair.T
+		}
+		fmt.Print(asm.Format(prog))
+		return nil
+
+	case *runPath != "":
+		src, err := os.ReadFile(*runPath)
+		if err != nil {
+			return err
+		}
+		prog, err := asm.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		var data []byte
+		if *input != "" {
+			if data, err = os.ReadFile(*input); err != nil {
+				return err
+			}
+		}
+		cfg := vm.Config{Input: data, MaxSteps: *maxSteps}
+		if *trace {
+			depth := 0
+			cfg.Hooks = &vm.Hooks{
+				OnCall: func(_ isa.Loc, callee string, args []uint64, _, _ uint64, _ isa.Reg) {
+					fmt.Printf("%*scall %s%v\n", depth*2, "", callee, args)
+					depth++
+				},
+				OnRet: func(fn string, val uint64, _, _ uint64, _ isa.Reg) {
+					depth--
+					fmt.Printf("%*sret  %s = %d\n", depth*2, "", fn, val)
+				},
+			}
+		}
+		out := vm.New(prog, cfg).Run()
+		fmt.Println(out)
+		if out.Crash != nil {
+			fmt.Println("backtrace:")
+			for _, e := range out.Crash.Backtrace {
+				fmt.Printf("  %s (called from %s)\n", e.Func, e.CallSite)
+			}
+		}
+		if len(out.Output) > 0 {
+			fmt.Printf("output: % x\n", out.Output)
+		}
+		return nil
+
+	default:
+		fs.Usage()
+		return fmt.Errorf("pass -run or -dump")
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no arguments should error")
+	}
+	if err := run([]string{"-dump", "42"}); err == nil {
+		t.Error("bad dump index should error")
+	}
+	if err := run([]string{"-run", "/nonexistent.mir"}); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestDumpCorpusBinary(t *testing.T) {
+	if err := run([]string{"-dump", "9", "-side", "t"}); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+}
+
+func TestAssembleAndExecute(t *testing.T) {
+	dir := t.TempDir()
+	src := `
+program demo
+entry main
+
+func main/0 {
+entry:
+  r0 = sys open()
+  r1 = sys alloc(r2)
+  r2 = const 4
+  r1 = sys alloc(r2)
+  r3 = sys read(r0, r1, r2)
+  r4 = load1 r1+0
+  ret r4
+}
+`
+	path := filepath.Join(dir, "demo.mir")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	input := filepath.Join(dir, "in.bin")
+	if err := os.WriteFile(input, []byte{0x2A}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", path, "-input", input, "-trace"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

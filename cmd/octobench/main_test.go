@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no arguments should error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunSurvey(t *testing.T) {
+	if err := run([]string{"-survey"}); err != nil {
+		t.Fatalf("run(-survey) = %v", err)
+	}
+}
+
+func TestRunTableIII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full ablation")
+	}
+	if err := run([]string{"-table", "3"}); err != nil {
+		t.Fatalf("run(-table 3) = %v", err)
+	}
+}

@@ -1,0 +1,171 @@
+// Command octopocs verifies propagated vulnerabilities over the built-in
+// Table II corpus.
+//
+// Usage:
+//
+//	octopocs -all                 verify every corpus pair
+//	octopocs -pair 8              verify one Table II row
+//	octopocs -pair 9 -poc out.bin write the reformed PoC to a file
+//	octopocs -pair 3 -context-free  ablation: disable context-aware taint
+//	octopocs -pair 8 -static-cfg    ablation: static CFG only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/trace"
+	"octopocs/internal/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "octopocs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("octopocs", flag.ContinueOnError)
+	var (
+		all         = fs.Bool("all", false, "verify every corpus pair")
+		pairIdx     = fs.Int("pair", 0, "verify one Table II row (1-15)")
+		pocOut      = fs.String("poc", "", "write the reformed PoC to this file")
+		contextFree = fs.Bool("context-free", false, "disable context-aware taint analysis")
+		staticCFG   = fs.Bool("static-cfg", false, "disable dynamic CFG discovery")
+		verbose     = fs.Bool("v", false, "print crash primitives and crash details")
+		prioritize  = fs.Bool("prioritize", false, "verify all pairs and print a patch-priority list (§ VII practical usage)")
+		explain     = fs.Bool("explain", false, "with -pair: show the S-on-poc and T-on-poc' traces and the preserved ℓ path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *pairIdx == 0 && !*prioritize {
+		fs.Usage()
+		return fmt.Errorf("pass -all, -pair N, or -prioritize")
+	}
+	if *prioritize {
+		return runPrioritize(core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG})
+	}
+
+	cfg := core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG}
+	pipeline := core.New(cfg)
+
+	var specs []*corpus.PairSpec
+	if *all {
+		specs = corpus.All()
+	} else {
+		spec := corpus.ByIdx(*pairIdx)
+		if spec == nil {
+			return fmt.Errorf("no corpus pair with index %d (valid: 1-15)", *pairIdx)
+		}
+		specs = []*corpus.PairSpec{spec}
+	}
+
+	for _, spec := range specs {
+		rep, err := pipeline.Verify(spec.Pair)
+		if err != nil {
+			return fmt.Errorf("pair %d: %w", spec.Idx, err)
+		}
+		printReport(spec, rep, *verbose)
+		if *explain {
+			explainPair(spec, rep)
+		}
+		if *pocOut != "" && rep.PoCGenerated() {
+			if err := os.WriteFile(*pocOut, rep.PoCPrime, 0o644); err != nil {
+				return fmt.Errorf("write poc': %w", err)
+			}
+			fmt.Printf("  reformed PoC written to %s (%d bytes)\n", *pocOut, len(rep.PoCPrime))
+		}
+	}
+	return nil
+}
+
+// explainPair renders the Figure-1 picture for one verified pair: the two
+// traces reach the shared code through different guiding inputs and then
+// follow the same ℓ path to the crash.
+func explainPair(spec *corpus.PairSpec, rep *core.Report) {
+	fmt.Printf("\n--- S (%s) on the original poc ---\n", spec.SName)
+	sTrace := trace.Record(spec.Pair.S, vm.Config{Input: spec.Pair.PoC, MaxSteps: spec.Pair.MaxSteps})
+	fmt.Print(sTrace)
+	if !rep.PoCGenerated() {
+		fmt.Println("\nno poc' was generated; nothing to compare")
+		return
+	}
+	fmt.Printf("\n--- T (%s) on the reformed poc' ---\n", spec.TName)
+	tTrace := trace.Record(spec.Pair.T, vm.Config{Input: rep.PoCPrime, MaxSteps: spec.Pair.MaxSteps})
+	fmt.Print(tTrace)
+	same, diff := trace.SamePath(sTrace, tTrace, spec.Pair.Lib)
+	if same {
+		fmt.Printf("\nℓ path preserved (%v): the reform changed only the way in\n",
+			sTrace.LibPath(spec.Pair.Lib))
+	} else {
+		fmt.Printf("\nℓ paths differ: %s\n", diff)
+	}
+}
+
+// runPrioritize implements the paper's practical-usage workflow (§ VII):
+// verify every detected clone and order the patching work by urgency —
+// triggered clones first, unverifiable ones next (they need manual review),
+// proven-dead clones last.
+func runPrioritize(cfg core.Config) error {
+	pipeline := core.New(cfg)
+	type entry struct {
+		spec *corpus.PairSpec
+		rep  *core.Report
+	}
+	var urgent, review, deferred []entry
+	for _, spec := range corpus.All() {
+		rep, err := pipeline.Verify(spec.Pair)
+		if err != nil {
+			return fmt.Errorf("pair %d: %w", spec.Idx, err)
+		}
+		e := entry{spec, rep}
+		switch rep.Verdict {
+		case core.VerdictTriggered:
+			urgent = append(urgent, e)
+		case core.VerdictFailure:
+			review = append(review, e)
+		default:
+			deferred = append(deferred, e)
+		}
+	}
+	print := func(title string, entries []entry, note string) {
+		fmt.Printf("%s (%d) — %s\n", title, len(entries), note)
+		for _, e := range entries {
+			fmt.Printf("  [%2d] %-42s %s (%s)\n", e.spec.Idx, e.spec.Label(), e.spec.CVE, e.rep.Type)
+		}
+		fmt.Println()
+	}
+	print("PATCH NOW", urgent, "the reformed PoC triggers the propagated vulnerability")
+	print("MANUAL REVIEW", review, "no sound verdict; analyze by hand")
+	print("DEFERRABLE", deferred, "proven not triggerable; patch during routine maintenance")
+	return nil
+}
+
+func printReport(spec *corpus.PairSpec, rep *core.Report, verbose bool) {
+	fmt.Printf("[%2d] %-40s %-16s %-9s", spec.Idx, spec.Label(), rep.Verdict, rep.Type)
+	if rep.Reason != "" {
+		fmt.Printf("  (%s)", rep.Reason)
+	}
+	fmt.Println()
+	if !verbose {
+		return
+	}
+	fmt.Printf("     vulnerability: %s (%s), ep: %s\n", spec.CVE, spec.CWE, rep.Ep)
+	if rep.SCrash != nil {
+		fmt.Printf("     S crash: %s\n", rep.SCrash)
+	}
+	for _, b := range rep.Bunches {
+		fmt.Printf("     bunch %d @%d: % x (ep args %v)\n", b.Seq, b.Start, b.Bytes, b.Args)
+	}
+	if rep.PoCGenerated() {
+		fmt.Printf("     poc' (%d bytes): % x\n", len(rep.PoCPrime), rep.PoCPrime)
+	}
+	if rep.TCrash != nil {
+		fmt.Printf("     T crash: %s\n", rep.TCrash)
+	}
+}

@@ -1,0 +1,76 @@
+package octopocs_test
+
+import (
+	"fmt"
+
+	"octopocs"
+	"octopocs/internal/isa"
+)
+
+// Example verifies a propagated vulnerability end to end: a length-checked
+// reader shared between two tools, reachable only through different file
+// headers.
+func Example() {
+	addReader := func(b *octopocs.ProgramBuilder) {
+		g := b.Function("read_record", 1)
+		fd := g.Param(0)
+		buf := g.Sys(isa.SysAlloc, g.Const(8))
+		lb := g.Sys(isa.SysAlloc, g.Const(1))
+		g.Sys(isa.SysRead, fd, lb, g.Const(1))
+		g.Sys(isa.SysRead, fd, buf, g.Load(1, lb, 0)) // no bound check
+		g.RetI(0)
+	}
+	build := func(name string, magic byte) *octopocs.Program {
+		b := octopocs.BuildProgram(name)
+		addReader(b)
+		f := b.Function("main", 0)
+		fd := f.Sys(isa.SysOpen)
+		mb := f.Sys(isa.SysAlloc, f.Const(1))
+		f.Sys(isa.SysRead, fd, mb, f.Const(1))
+		f.If(f.NeI(f.Load(1, mb, 0), int64(magic)), func() { f.Exit(1) })
+		f.Call("read_record", fd)
+		f.Exit(0)
+		b.Entry("main")
+		return b.MustBuild()
+	}
+
+	pair := &octopocs.Pair{
+		Name: "original->clone",
+		S:    build("original", 'A'),
+		T:    build("clone", 'Z'),
+		PoC:  append([]byte{'A', 30}, make([]byte, 30)...),
+		Lib:  map[string]bool{"read_record": true},
+	}
+	report, err := octopocs.New(octopocs.Config{}).Verify(pair)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("verdict:", report.Verdict)
+	fmt.Println("class:", report.Type)
+	fmt.Println("reformed header:", string(report.PoCPrime[0]))
+	// Output:
+	// verdict: triggered
+	// class: Type-II
+	// reformed header: Z
+}
+
+// ExampleRun executes a corpus binary concretely on its PoC.
+func ExampleRun() {
+	spec := octopocs.CorpusPair(7) // ghostscript -> opj_dump
+	out := octopocs.Run(spec.Pair.S, octopocs.RunConfig{Input: spec.Pair.PoC})
+	fmt.Println("crashed:", out.Crashed())
+	fmt.Println("where:", out.Crash.Loc.Func)
+	// Output:
+	// crashed: true
+	// where: j2k_decode
+}
+
+// ExampleCorpusPairs lists the Table II rows.
+func ExampleCorpusPairs() {
+	fmt.Println("pairs:", len(octopocs.CorpusPairs()))
+	fmt.Println("row 9:", octopocs.CorpusPair(9).Label())
+	// Output:
+	// pairs: 15
+	// row 9: gif2png->gif2png (artificial)
+}

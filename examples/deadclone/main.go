@@ -1,0 +1,45 @@
+// Deadclone reproduces the paper's non-triggered case (§ II-C, Table II
+// Idx-10): tiffsplit's _TIFFVGetField overflow (CVE-2016-10095) was cloned
+// into opj_compress, but the clone is only ever called with seven
+// hard-coded tag values — never the 0x13D tag that reaches the overflow.
+// OCTOPOCS proves the clone is not triggerable instead of generating a PoC.
+//
+//	go run ./examples/deadclone
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"octopocs"
+)
+
+func main() {
+	spec := octopocs.CorpusPair(10)
+	fmt.Printf("pair: %s -> %s (%s, %s)\n", spec.SName, spec.TName, spec.CVE, spec.CWE)
+
+	pair := spec.Pair
+	fmt.Printf("\nS on poc: %v\n", octopocs.Run(pair.S, octopocs.RunConfig{Input: pair.PoC}))
+	fmt.Println("the PoC drives tag 0x13D into the shared reader and overflows its buffer")
+
+	report, err := octopocs.New(octopocs.Config{}).Verify(pair)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nverdict: %v (%v)\n", report.Verdict, report.Type)
+	fmt.Printf("reason:  %s\n", report.Reason)
+	fmt.Printf("poc' generated: %v\n", report.PoCGenerated())
+
+	fmt.Println("\nwhat happened:")
+	fmt.Printf("  - P1 recorded the ep context of S: each entry's (tag) argument\n")
+	for _, b := range report.Bunches {
+		if len(b.Args) > 1 {
+			fmt.Printf("      entry %d: tag %#x\n", b.Seq, b.Args[1])
+		}
+	}
+	fmt.Printf("  - in T, %s is reused with hard-coded tags (0x100, 0x101, ...)\n", report.Ep)
+	fmt.Println("  - the combining phase found the contexts irreconcilable:")
+	fmt.Println("    the tag that causes the overflow cannot be delivered in T")
+	fmt.Println("\nconclusion: patching this clone can be deprioritized — it is dead code")
+}

@@ -1,0 +1,52 @@
+// Formatbridge walks through the paper's motivating mutool case (§ II-C,
+// Table II Idx-8): a null-dereference found in OpenJPEG's raw-codestream
+// decoder propagated into MuPDF, which only accepts PDF input and reaches
+// the decoder through a stream-filter dispatch table. The original
+// raw-codestream PoC cannot verify MuPDF; the reformed PoC wraps the crash
+// primitive in the PDF container.
+//
+//	go run ./examples/formatbridge
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"octopocs"
+)
+
+func main() {
+	spec := octopocs.CorpusPair(8)
+	fmt.Printf("pair: %s %s -> %s %s (%s)\n",
+		spec.SName, spec.SVersion, spec.TName, spec.TVersion, spec.CVE)
+
+	pair := spec.Pair
+	fmt.Printf("\noriginal PoC, a raw JPEG2000 codestream (%d bytes): %# x\n",
+		len(pair.PoC), pair.PoC)
+
+	fmt.Printf("S (%s) on poc:  %v\n", spec.SName,
+		octopocs.Run(pair.S, octopocs.RunConfig{Input: pair.PoC}))
+	fmt.Printf("T (%s) on poc:  %v   <- MuPDF rejects non-PDF input\n", spec.TName,
+		octopocs.Run(pair.T, octopocs.RunConfig{Input: pair.PoC}))
+
+	report, err := octopocs.New(octopocs.Config{}).Verify(pair)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nverdict: %v (%v)\n", report.Verdict, report.Type)
+	fmt.Printf("ep (first shared function on the crash path): %s\n", report.Ep)
+	for _, b := range report.Bunches {
+		fmt.Printf("crash primitive %d (from poc offset %d): %# x\n", b.Seq, b.Start, b.Bytes)
+	}
+
+	poc := report.PoCPrime
+	fmt.Printf("\nreformed poc' (%d bytes, minimized):\n", len(poc))
+	fmt.Printf("  header     : %q          <- PDF magic, generated as guiding input\n", poc[:4])
+	fmt.Printf("  options    : %# x  <- option flags walked by the directed executor\n", poc[4:20])
+	fmt.Printf("  dispatch   : %q %d        <- object tag + the JPX filter slot\n", poc[20:21], poc[21])
+	fmt.Printf("  primitive  : %# x  <- the codestream, placed at the file position indicator\n", poc[22:])
+
+	fmt.Printf("\nT on poc': %v\n",
+		octopocs.Run(pair.T, octopocs.RunConfig{Input: report.PoCPrime}))
+	fmt.Println("the propagated vulnerability is verified: MuPDF needs the patch first")
+}

@@ -1,0 +1,75 @@
+// Fuzzoff reruns the Table V comparison on the artificial gif2png pair:
+// AFLFast (coverage-guided), AFLGo (directed greybox), and OCTOPOCS all try
+// to verify the propagated heap overflow, and the run prints who managed
+// within the budget and how fast.
+//
+//	go run ./examples/fuzzoff
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"octopocs"
+	"octopocs/internal/core"
+	"octopocs/internal/fuzz"
+)
+
+func main() {
+	spec := octopocs.CorpusPair(9)
+	pair := spec.Pair
+	fmt.Printf("pair: %s -> %s (%s)\n", spec.SName, spec.TName, spec.CVE)
+	fmt.Println("the clone added a strict version check: the original PoC no longer works")
+
+	pipeline := core.New(core.Config{})
+	ep, err := pipeline.FindEp(pair)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	target := &fuzz.Target{Prog: pair.T, Lib: pair.Lib, MaxSteps: 200_000}
+	budget := int64(400_000)
+	cfg := fuzz.Config{Seeds: [][]byte{pair.PoC}, MaxExecs: budget, Seed: 3}
+
+	fmt.Printf("\nfuzzing budget: %d executions\n\n", budget)
+
+	start := time.Now()
+	ff := fuzz.RunAFLFast(target, cfg)
+	report("AFLFast", ff.Found, time.Since(start), ff.Execs, nil)
+
+	start = time.Now()
+	fg, gerr := fuzz.RunAFLGo(target, ep, cfg)
+	if gerr != nil {
+		report("AFLGo", false, time.Since(start), 0, gerr)
+	} else {
+		report("AFLGo", fg.Found, time.Since(start), fg.Execs, nil)
+	}
+
+	start = time.Now()
+	rep, err := pipeline.Verify(pair)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("OCTOPOCS", rep.Verdict == octopocs.VerdictTriggered, time.Since(start), 0, nil)
+
+	fmt.Println("\nOCTOPOCS reuses the crash primitive from the original PoC and only")
+	fmt.Println("generates the guiding bytes, so it does not have to rediscover the")
+	fmt.Println("deep input structure mutation by mutation.")
+}
+
+func report(tool string, found bool, elapsed time.Duration, execs int64, err error) {
+	switch {
+	case err != nil && errors.Is(err, fuzz.ErrNoDistance):
+		fmt.Printf("%-9s tool error: %v\n", tool, err)
+	case err != nil:
+		fmt.Printf("%-9s error: %v\n", tool, err)
+	case !found:
+		fmt.Printf("%-9s N/A (budget exhausted after %d execs, %v)\n", tool, execs, elapsed.Round(time.Millisecond))
+	case execs > 0:
+		fmt.Printf("%-9s verified in %v (%d execs)\n", tool, elapsed.Round(time.Millisecond), execs)
+	default:
+		fmt.Printf("%-9s verified in %v\n", tool, elapsed.Round(time.Millisecond))
+	}
+}

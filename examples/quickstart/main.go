@@ -1,0 +1,105 @@
+// Quickstart: build a vulnerable original S and a format-changed clone T
+// with the public program builder, then let OCTOPOCS reform S's PoC into
+// one that triggers the propagated vulnerability in T.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"octopocs"
+	"octopocs/internal/isa"
+)
+
+// addDecoder emits the shared vulnerable library ℓ: a record decoder that
+// copies a length-prefixed payload into a fixed 8-byte buffer.
+func addDecoder(b *octopocs.ProgramBuilder) {
+	g := b.Function("decode_record", 1) // (fd)
+	fd := g.Param(0)
+	buf := g.Sys(isa.SysAlloc, g.Const(8))
+	lenBuf := g.Sys(isa.SysAlloc, g.Const(1))
+	g.Sys(isa.SysRead, fd, lenBuf, g.Const(1))
+	n := g.Load(1, lenBuf, 0)
+	g.Sys(isa.SysRead, fd, buf, n) // overflow for n > 8
+	g.Ret(n)
+}
+
+// buildS: the original tool reads an "RCRD" file and decodes one record.
+func buildS() *octopocs.Program {
+	b := octopocs.BuildProgram("recordtool-1.0")
+	addDecoder(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	readMagic(f, fd, "RCRD")
+	f.Call("decode_record", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b.MustBuild()
+}
+
+// buildT: the clone wraps the same decoder in a different container: a
+// "PKG0" archive whose records need a one-byte kind tag of 0x52.
+func buildT() *octopocs.Program {
+	b := octopocs.BuildProgram("packagetool-2.3")
+	addDecoder(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	readMagic(f, fd, "PKG0")
+	kindBuf := f.Sys(isa.SysAlloc, f.Const(1))
+	f.Sys(isa.SysRead, fd, kindBuf, f.Const(1))
+	kind := f.Load(1, kindBuf, 0)
+	f.If(f.NeI(kind, 0x52), func() { f.Exit(1) })
+	f.Call("decode_record", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b.MustBuild()
+}
+
+func readMagic(f *octopocs.FunctionBuilder, fd isa.Reg, magic string) {
+	buf := f.Sys(isa.SysAlloc, f.Const(int64(len(magic))))
+	f.Sys(isa.SysRead, fd, buf, f.Const(int64(len(magic))))
+	for i := 0; i < len(magic); i++ {
+		f.If(f.NeI(f.Load(1, buf, int64(i)), int64(magic[i])), func() { f.Exit(1) })
+	}
+}
+
+func main() {
+	progS, progT := buildS(), buildT()
+
+	// The disclosed PoC: an RCRD file whose record length 32 bursts the
+	// decoder's 8-byte buffer.
+	poc := append([]byte("RCRD"), 32)
+	for i := 0; i < 32; i++ {
+		poc = append(poc, byte('A'+i%26))
+	}
+	fmt.Printf("original poc (%d bytes): %q...\n", len(poc), poc[:10])
+
+	out := octopocs.Run(progS, octopocs.RunConfig{Input: poc})
+	fmt.Printf("S on poc:  %v\n", out)
+	out = octopocs.Run(progT, octopocs.RunConfig{Input: poc})
+	fmt.Printf("T on poc:  %v   <- the original PoC cannot verify T\n", out)
+
+	pipeline := octopocs.New(octopocs.Config{})
+	report, err := pipeline.Verify(&octopocs.Pair{
+		Name: "recordtool->packagetool",
+		S:    progS,
+		T:    progT,
+		PoC:  poc,
+		Lib:  map[string]bool{"decode_record": true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nverdict: %v (%v)\n", report.Verdict, report.Type)
+	fmt.Printf("entry point ep: %s\n", report.Ep)
+	for _, b := range report.Bunches {
+		fmt.Printf("crash primitive %d: % x\n", b.Seq, b.Bytes)
+	}
+	fmt.Printf("reformed poc' (%d bytes): % x\n", len(report.PoCPrime), report.PoCPrime[:16])
+
+	out = octopocs.Run(progT, octopocs.RunConfig{Input: report.PoCPrime})
+	fmt.Printf("T on poc': %v   <- propagated vulnerability verified\n", out)
+}

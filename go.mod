@@ -1,0 +1,3 @@
+module octopocs
+
+go 1.22

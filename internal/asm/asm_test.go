@@ -1,0 +1,313 @@
+package asm_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/isa"
+	"octopocs/internal/vm"
+)
+
+func TestBuilderProducesValidPrograms(t *testing.T) {
+	b := asm.NewBuilder("demo")
+	helper := b.Function("helper", 2)
+	helper.Ret(helper.Add(helper.Param(0), helper.Param(1)))
+
+	f := b.Function("main", 0)
+	x := f.VarI(0)
+	f.IfElse(f.EqI(x, 0),
+		func() { f.Assign(x, f.Const(1)) },
+		func() { f.Assign(x, f.Const(2)) })
+	f.While(func() isa.Reg { return f.LtI(x, 5) }, func() {
+		f.Assign(x, f.Call("helper", x, f.Const(2)))
+	})
+	f.Ret(x)
+	b.Entry("main")
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build() = %v", err)
+	}
+	out := vm.New(prog, vm.Config{}).Run()
+	if out.Status != vm.StatusExit || out.ExitCode != 5 {
+		t.Fatalf("outcome = %v, want exit(5)", out)
+	}
+}
+
+func TestBuilderStickyErrors(t *testing.T) {
+	t.Run("falls off end", func(t *testing.T) {
+		b := asm.NewBuilder("bad")
+		f := b.Function("main", 0)
+		f.Const(1) // no terminator
+		b.Entry("main")
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "falls off") {
+			t.Errorf("Build() = %v, want falls-off-the-end error", err)
+		}
+	})
+	t.Run("bad param index", func(t *testing.T) {
+		b := asm.NewBuilder("bad")
+		f := b.Function("main", 1)
+		f.Ret(f.Param(3))
+		b.Entry("main")
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "parameter") {
+			t.Errorf("Build() = %v, want parameter error", err)
+		}
+	})
+	t.Run("register exhaustion", func(t *testing.T) {
+		b := asm.NewBuilder("bad")
+		f := b.Function("main", 0)
+		for i := 0; i < isa.NumRegs+1; i++ {
+			f.Const(int64(i))
+		}
+		f.RetI(0)
+		b.Entry("main")
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "registers") {
+			t.Errorf("Build() = %v, want register exhaustion error", err)
+		}
+	})
+}
+
+func TestBuilderSealsUnreachableJoin(t *testing.T) {
+	b := asm.NewBuilder("seal")
+	f := b.Function("main", 0)
+	f.IfElse(f.Const(1),
+		func() { f.RetI(1) },
+		func() { f.RetI(2) })
+	// join block is unreachable and left empty; Build must seal it.
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build() = %v", err)
+	}
+	out := vm.New(prog, vm.Config{}).Run()
+	if out.Status != vm.StatusExit || out.ExitCode != 1 {
+		t.Fatalf("outcome = %v, want exit(1)", out)
+	}
+}
+
+func TestDeadCodeAfterTerminator(t *testing.T) {
+	b := asm.NewBuilder("dead")
+	f := b.Function("main", 0)
+	f.RetI(7)
+	f.Const(1) // dead, must go to a fresh sealed block
+	f.RetI(8)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build() = %v", err)
+	}
+	out := vm.New(prog, vm.Config{}).Run()
+	if out.ExitCode != 7 {
+		t.Fatalf("outcome = %v, want exit(7)", out)
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid program")
+		}
+	}()
+	b := asm.NewBuilder("bad")
+	b.Entry("missing")
+	b.MustBuild()
+}
+
+func TestParseFormatFixed(t *testing.T) {
+	src := `
+program demo
+entry main
+functable f, -, g
+
+func f/1 {
+e:
+  r1 = add r0, 1
+  ret r1
+}
+
+func g/1 {
+e:
+  r1 = const -2
+  r2 = mul r0, r1
+  ret r2
+}
+
+func main/0 {
+entry:
+  r0 = const 1
+  r1 = calli r0(r0)   ; comment here
+  br r1, yes, no
+yes:
+  r2 = sys exit(r1)
+no:
+  trap 3
+}
+`
+	prog, err := asm.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse() = %v", err)
+	}
+	if prog.Name != "demo" || prog.Entry != "main" {
+		t.Errorf("got name=%q entry=%q", prog.Name, prog.Entry)
+	}
+	if len(prog.FuncTable) != 3 || prog.FuncTable[1] != "" {
+		t.Errorf("functable = %v, want [f,'',g]", prog.FuncTable)
+	}
+	// Round-trip.
+	again, err := asm.Parse(asm.Format(prog))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if asm.Format(again) != asm.Format(prog) {
+		t.Error("Format not stable across Parse(Format(p))")
+	}
+	// Execute: functable[1] is empty, calli r0 with r0==1 → bad call.
+	out := vm.New(prog, vm.Config{}).Run()
+	if out.Status != vm.StatusCrash || out.Crash.Kind != vm.CrashBadCall {
+		t.Fatalf("outcome = %v, want bad-indirect-call", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"no program header", "entry main\n", "expected 'program"},
+		{"garbage top level", "program p\nwhatever\n", "unexpected line"},
+		{"func without brace", "program p\nfunc f/0\ne:\n ret r0\n}\n", "'{'"},
+		{"func without slash", "program p\nfunc f {\ne:\n ret r0\n}\n", "nparams"},
+		{"bad param count", "program p\nfunc f/x {\ne:\n ret r0\n}\n", "parameter count"},
+		{"inst before label", "program p\nfunc f/0 {\n ret r0\n}\n", "before any block"},
+		{"eof in func", "program p\nfunc f/0 {\ne:\n ret r0\n", "EOF"},
+		{"unknown op", "program p\nfunc f/0 {\ne:\n r1 = frob r0\n ret r0\n}\n", "unknown operation"},
+		{"unknown stmt", "program p\nfunc f/0 {\ne:\n frob r0\n}\n", "unknown statement"},
+		{"bad register", "program p\nfunc f/0 {\ne:\n ret r9999\n}\n", "bad register"},
+		{"bad immediate", "program p\nfunc f/0 {\ne:\n r1 = const zz\n ret r0\n}\n", "bad immediate"},
+		{"bad width", "program p\nfunc f/0 {\ne:\n r1 = load3 r0+0\n ret r0\n}\n", "width"},
+		{"bad syscall", "program p\nfunc f/0 {\ne:\n r1 = sys nope()\n ret r0\n}\n", "unknown syscall"},
+		{"br arity", "program p\nfunc f/0 {\ne:\n br r0, x\n}\n", "3 operands"},
+		{"store arity", "program p\nfunc f/0 {\ne:\n store1 r0+0\n}\n", "store needs"},
+		{"call syntax", "program p\nentry f\nfunc f/0 {\ne:\n r1 = call g\n ret r0\n}\n", "call syntax"},
+		{"validation failure surfaces", "program p\nentry f\nfunc f/0 {\ne:\n r1 = const 0\n}\n", "terminator"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := asm.Parse(tt.src)
+			if err == nil {
+				t.Fatal("Parse() = nil error, want failure")
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("Parse() error = %q, want substring %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := asm.Parse("program p\nfunc f/0 {\ne:\n r1 = frob r0\n ret r0\n}\n")
+	var pe *asm.ParseError
+	if ok := errorsAs(err, &pe); !ok {
+		t.Fatalf("error %T, want *ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("error line = %d, want 4", pe.Line)
+	}
+}
+
+// errorsAs avoids importing errors for one call.
+func errorsAs(err error, target **asm.ParseError) bool {
+	for err != nil {
+		if pe, ok := err.(*asm.ParseError); ok {
+			*target = pe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// randomProgram generates a structurally valid random program for the
+// round-trip property test.
+func randomProgram(rng *rand.Rand) *isa.Program {
+	b := asm.NewBuilder("rnd")
+	nFuncs := 1 + rng.Intn(3)
+	names := make([]string, nFuncs)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	for _, name := range names {
+		nparams := rng.Intn(3)
+		f := b.Function(name, nparams)
+		vals := []isa.Reg{f.Const(int64(rng.Uint64()))}
+		for j := 0; j < nparams; j++ {
+			vals = append(vals, f.Param(j))
+		}
+		pick := func() isa.Reg { return vals[rng.Intn(len(vals))] }
+		nops := rng.Intn(12)
+		for j := 0; j < nops; j++ {
+			switch rng.Intn(6) {
+			case 0:
+				vals = append(vals, f.Bin(isa.BinOp(1+rng.Intn(10)), pick(), pick()))
+			case 1:
+				vals = append(vals, f.BinI(isa.BinOp(1+rng.Intn(10)), pick(), int64(rng.Int31())))
+			case 2:
+				vals = append(vals, f.Cmp(isa.CmpOp(1+rng.Intn(8)), pick(), pick()))
+			case 3:
+				vals = append(vals, f.CmpI(isa.CmpOp(1+rng.Intn(8)), pick(), int64(rng.Int31())))
+			case 4:
+				f.If(pick(), func() { vals = append(vals, f.Const(int64(rng.Intn(100)))) })
+			case 5:
+				vals = append(vals, f.Const(int64(rng.Intn(1000))))
+			}
+		}
+		f.Ret(pick())
+	}
+	b.Entry(names[len(names)-1])
+	return b.MustBuild()
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		text := asm.Format(p)
+		q, err := asm.Parse(text)
+		if err != nil {
+			t.Logf("Parse failed on:\n%s\nerr: %v", text, err)
+			return false
+		}
+		return asm.Format(q) == text
+	}
+	if err := quick.Check(fn, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundTripPreservesSemantics checks random programs compute the same
+// result before and after a Format/Parse cycle.
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProgram(rng)
+		q, err := asm.Parse(asm.Format(p))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := vm.Config{MaxSteps: 10_000}
+		o1 := vm.New(p, cfg).Run()
+		o2 := vm.New(q, cfg).Run()
+		if o1.Status != o2.Status || o1.ExitCode != o2.ExitCode {
+			t.Fatalf("seed %d: outcomes differ: %v vs %v", seed, o1, o2)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package asm provides two ways to construct MIR programs: a fluent builder
+// with structured control flow (If/While/etc.), used by the synthetic corpus,
+// and a textual assembler/disassembler used by the mirrun tool and tests.
+package asm
+
+import (
+	"fmt"
+
+	"octopocs/internal/isa"
+)
+
+// Builder accumulates a program. Errors are sticky: the first construction
+// error is remembered and returned by Build, so call sites stay clean.
+type Builder struct {
+	prog *isa.Program
+	fns  []*Fn
+	err  error
+}
+
+// NewBuilder returns a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{prog: &isa.Program{Name: name}}
+}
+
+// Entry sets the program's entry function name.
+func (b *Builder) Entry(name string) { b.prog.Entry = name }
+
+// FuncTable sets the indirect-call table. Empty strings model slots whose
+// target cannot be resolved statically.
+func (b *Builder) FuncTable(names ...string) { b.prog.FuncTable = names }
+
+// setErr records the first error.
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build seals every function, validates the program, and returns it.
+func (b *Builder) Build() (*isa.Program, error) {
+	for _, fn := range b.fns {
+		fn.finish()
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return b.prog, nil
+}
+
+// MustBuild is Build for statically-known-good programs, such as the corpus
+// binaries constructed in this repository; it panics on error.
+func (b *Builder) MustBuild() *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("asm: MustBuild %s: %v", b.prog.Name, err))
+	}
+	return p
+}
+
+// Function starts a new function and returns its builder. Code is emitted
+// into the function's current block; structured-control-flow helpers manage
+// block creation and joining.
+func (b *Builder) Function(name string, nparams int) *Fn {
+	f := &isa.Function{Name: name, NParams: nparams}
+	b.prog.Funcs = append(b.prog.Funcs, f)
+	fn := &Fn{b: b, f: f, nextReg: nparams}
+	fn.cur = fn.newBlock("entry")
+	b.fns = append(b.fns, fn)
+	return fn
+}
+
+// Fn builds one function. Registers are bump-allocated: every value-producing
+// helper returns a fresh register, and Var reserves a mutable one.
+type Fn struct {
+	b          *Builder
+	f          *isa.Function
+	cur        *isa.Block
+	terminated bool
+	finished   bool
+	nextReg    int
+	nextBlk    int
+}
+
+func (f *Fn) newBlock(hint string) *isa.Block {
+	name := fmt.Sprintf("%s.%d", hint, f.nextBlk)
+	f.nextBlk++
+	blk := &isa.Block{Name: name}
+	f.f.Blocks = append(f.f.Blocks, blk)
+	return blk
+}
+
+func (f *Fn) alloc() isa.Reg {
+	if f.nextReg >= isa.NumRegs {
+		f.b.setErr(fmt.Errorf("asm: function %s: out of registers", f.f.Name))
+		return 0
+	}
+	r := isa.Reg(f.nextReg)
+	f.nextReg++
+	return r
+}
+
+func (f *Fn) emit(in isa.Inst) {
+	if f.terminated {
+		// Code after a terminator in the same structured scope is
+		// unreachable; emit it into a fresh dead block so the program
+		// remains well formed.
+		f.cur = f.newBlock("dead")
+		f.terminated = false
+	}
+	f.cur.Insts = append(f.cur.Insts, in)
+	if in.IsTerminator() {
+		f.terminated = true
+	}
+}
+
+// switchTo makes blk the current emission target.
+func (f *Fn) switchTo(blk *isa.Block) {
+	f.cur = blk
+	f.terminated = false
+}
+
+// finish seals the function: it flags control falling off the end and
+// terminates any builder-created block left empty (an unreachable join, e.g.
+// when both arms of an IfElse return) with an unreachable trap so validation
+// passes. Build calls it for every function.
+func (f *Fn) finish() {
+	if f.finished {
+		return
+	}
+	f.finished = true
+	if !f.terminated && len(f.cur.Insts) > 0 {
+		f.b.setErr(fmt.Errorf("asm: function %s: control falls off the end", f.f.Name))
+	}
+	for _, blk := range f.f.Blocks {
+		if len(blk.Insts) == 0 {
+			blk.Insts = append(blk.Insts, isa.Inst{Op: isa.OpTrap, Imm: TrapUnreachable})
+		}
+	}
+}
+
+// TrapUnreachable is the trap code used to seal builder-generated
+// unreachable blocks.
+const TrapUnreachable = 0xFE
+
+// Param returns the register holding the i-th parameter.
+func (f *Fn) Param(i int) isa.Reg {
+	if i < 0 || i >= f.f.NParams {
+		f.b.setErr(fmt.Errorf("asm: function %s: parameter %d out of range", f.f.Name, i))
+		return 0
+	}
+	return isa.Reg(i)
+}
+
+// Const materializes a constant into a fresh register.
+func (f *Fn) Const(v int64) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpConst, Dst: dst, Imm: v})
+	return dst
+}
+
+// Var reserves a mutable register initialized from init. Reassign it with
+// Assign.
+func (f *Fn) Var(init isa.Reg) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpMov, Dst: dst, A: init})
+	return dst
+}
+
+// VarI reserves a mutable register initialized to the constant v.
+func (f *Fn) VarI(v int64) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpConst, Dst: dst, Imm: v})
+	return dst
+}
+
+// Assign emits dst = src.
+func (f *Fn) Assign(dst, src isa.Reg) {
+	f.emit(isa.Inst{Op: isa.OpMov, Dst: dst, A: src})
+}
+
+// AssignI emits dst = v.
+func (f *Fn) AssignI(dst isa.Reg, v int64) {
+	f.emit(isa.Inst{Op: isa.OpConst, Dst: dst, Imm: v})
+}
+
+// Bin emits dst = a <op> b into a fresh register.
+func (f *Fn) Bin(op isa.BinOp, a, b isa.Reg) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpBin, Dst: dst, Bin: op, A: a, B: b})
+	return dst
+}
+
+// BinI emits dst = a <op> imm into a fresh register.
+func (f *Fn) BinI(op isa.BinOp, a isa.Reg, imm int64) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpBinImm, Dst: dst, Bin: op, A: a, Imm: imm})
+	return dst
+}
+
+// Arithmetic convenience wrappers.
+
+// Add emits a+b.
+func (f *Fn) Add(a, b isa.Reg) isa.Reg { return f.Bin(isa.Add, a, b) }
+
+// AddI emits a+imm.
+func (f *Fn) AddI(a isa.Reg, imm int64) isa.Reg { return f.BinI(isa.Add, a, imm) }
+
+// Sub emits a-b.
+func (f *Fn) Sub(a, b isa.Reg) isa.Reg { return f.Bin(isa.Sub, a, b) }
+
+// SubI emits a-imm.
+func (f *Fn) SubI(a isa.Reg, imm int64) isa.Reg { return f.BinI(isa.Sub, a, imm) }
+
+// Mul emits a*b.
+func (f *Fn) Mul(a, b isa.Reg) isa.Reg { return f.Bin(isa.Mul, a, b) }
+
+// MulI emits a*imm.
+func (f *Fn) MulI(a isa.Reg, imm int64) isa.Reg { return f.BinI(isa.Mul, a, imm) }
+
+// AndI emits a&imm.
+func (f *Fn) AndI(a isa.Reg, imm int64) isa.Reg { return f.BinI(isa.And, a, imm) }
+
+// OrI emits a|imm.
+func (f *Fn) OrI(a isa.Reg, imm int64) isa.Reg { return f.BinI(isa.Or, a, imm) }
+
+// ShlI emits a<<imm.
+func (f *Fn) ShlI(a isa.Reg, imm int64) isa.Reg { return f.BinI(isa.Shl, a, imm) }
+
+// ShrI emits a>>imm.
+func (f *Fn) ShrI(a isa.Reg, imm int64) isa.Reg { return f.BinI(isa.Shr, a, imm) }
+
+// Cmp emits dst = (a <op> b) into a fresh register.
+func (f *Fn) Cmp(op isa.CmpOp, a, b isa.Reg) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpCmp, Dst: dst, Cmp: op, A: a, B: b})
+	return dst
+}
+
+// CmpI emits dst = (a <op> imm) into a fresh register.
+func (f *Fn) CmpI(op isa.CmpOp, a isa.Reg, imm int64) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpCmpImm, Dst: dst, Cmp: op, A: a, Imm: imm})
+	return dst
+}
+
+// EqI emits a == imm.
+func (f *Fn) EqI(a isa.Reg, imm int64) isa.Reg { return f.CmpI(isa.Eq, a, imm) }
+
+// NeI emits a != imm.
+func (f *Fn) NeI(a isa.Reg, imm int64) isa.Reg { return f.CmpI(isa.Ne, a, imm) }
+
+// LtI emits a < imm (unsigned).
+func (f *Fn) LtI(a isa.Reg, imm int64) isa.Reg { return f.CmpI(isa.Lt, a, imm) }
+
+// GtI emits a > imm (unsigned).
+func (f *Fn) GtI(a isa.Reg, imm int64) isa.Reg { return f.CmpI(isa.Gt, a, imm) }
+
+// GeI emits a >= imm (unsigned).
+func (f *Fn) GeI(a isa.Reg, imm int64) isa.Reg { return f.CmpI(isa.Ge, a, imm) }
+
+// Load emits dst = mem[addr+off] of the given width.
+func (f *Fn) Load(size uint8, addr isa.Reg, off int64) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpLoad, Dst: dst, Size: size, A: addr, Imm: off})
+	return dst
+}
+
+// Store emits mem[addr+off] = val of the given width.
+func (f *Fn) Store(size uint8, addr isa.Reg, off int64, val isa.Reg) {
+	f.emit(isa.Inst{Op: isa.OpStore, Size: size, A: addr, Imm: off, B: val})
+}
+
+// Call emits a direct call.
+func (f *Fn) Call(callee string, args ...isa.Reg) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpCall, Dst: dst, Callee: callee, Args: args})
+	return dst
+}
+
+// CallInd emits an indirect call through the program function table.
+func (f *Fn) CallInd(idx isa.Reg, args ...isa.Reg) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpCallInd, Dst: dst, A: idx, Args: args})
+	return dst
+}
+
+// Sys emits a syscall.
+func (f *Fn) Sys(s isa.Sys, args ...isa.Reg) isa.Reg {
+	dst := f.alloc()
+	f.emit(isa.Inst{Op: isa.OpSyscall, Dst: dst, Sys: s, Args: args})
+	return dst
+}
+
+// Ret emits a return of v.
+func (f *Fn) Ret(v isa.Reg) { f.emit(isa.Inst{Op: isa.OpRet, A: v}) }
+
+// RetI returns the constant v.
+func (f *Fn) RetI(v int64) { f.Ret(f.Const(v)) }
+
+// Trap emits an explicit abort with the given code.
+func (f *Fn) Trap(code int64) { f.emit(isa.Inst{Op: isa.OpTrap, Imm: code}) }
+
+// Exit emits sys exit(code).
+func (f *Fn) Exit(code int64) { f.Sys(isa.SysExit, f.Const(code)) }
+
+// If emits: if cond != 0 { then }.
+func (f *Fn) If(cond isa.Reg, then func()) {
+	f.IfElse(cond, then, nil)
+}
+
+// IfElse emits a two-armed conditional. Either arm may end in its own
+// terminator (Ret/Exit/Trap); the join block is then sealed automatically.
+func (f *Fn) IfElse(cond isa.Reg, then, els func()) {
+	thenBlk := f.newBlock("then")
+	joinBlk := f.newBlock("join")
+	elseBlk := joinBlk
+	if els != nil {
+		elseBlk = f.newBlock("else")
+	}
+	f.emit(isa.Inst{Op: isa.OpBr, A: cond, Then: thenBlk.Name, Else: elseBlk.Name})
+
+	f.switchTo(thenBlk)
+	then()
+	if !f.terminated {
+		f.emit(isa.Inst{Op: isa.OpJmp, Then: joinBlk.Name})
+	}
+	if els != nil {
+		f.switchTo(elseBlk)
+		els()
+		if !f.terminated {
+			f.emit(isa.Inst{Op: isa.OpJmp, Then: joinBlk.Name})
+		}
+	}
+	f.switchTo(joinBlk)
+}
+
+// While emits: for cond() != 0 { body() }. The condition callback runs at the
+// loop head and must return the register holding the condition.
+func (f *Fn) While(cond func() isa.Reg, body func()) {
+	headBlk := f.newBlock("while.head")
+	bodyBlk := f.newBlock("while.body")
+	exitBlk := f.newBlock("while.exit")
+
+	f.emit(isa.Inst{Op: isa.OpJmp, Then: headBlk.Name})
+	f.switchTo(headBlk)
+	c := cond()
+	f.emit(isa.Inst{Op: isa.OpBr, A: c, Then: bodyBlk.Name, Else: exitBlk.Name})
+
+	f.switchTo(bodyBlk)
+	body()
+	if !f.terminated {
+		f.emit(isa.Inst{Op: isa.OpJmp, Then: headBlk.Name})
+	}
+	f.switchTo(exitBlk)
+}
+
+// Forever emits an unconditional loop; body must eventually terminate the
+// block itself (or the VM instruction budget classifies the run as a hang,
+// which is exactly how the CWE-835 corpus cases crash).
+func (f *Fn) Forever(body func()) {
+	headBlk := f.newBlock("loop.head")
+	exitBlk := f.newBlock("loop.exit")
+
+	f.emit(isa.Inst{Op: isa.OpJmp, Then: headBlk.Name})
+	f.switchTo(headBlk)
+	body()
+	if !f.terminated {
+		f.emit(isa.Inst{Op: isa.OpJmp, Then: headBlk.Name})
+	}
+	f.switchTo(exitBlk)
+}

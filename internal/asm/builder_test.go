@@ -1,0 +1,99 @@
+package asm_test
+
+import (
+	"testing"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/isa"
+	"octopocs/internal/vm"
+)
+
+// evalMain builds main with the body and returns its exit code.
+func evalMain(t *testing.T, body func(f *asm.Fn)) uint64 {
+	t.Helper()
+	b := asm.NewBuilder("t")
+	f := b.Function("main", 0)
+	body(f)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := vm.New(prog, vm.Config{MaxSteps: 100_000}).Run()
+	if out.Status != vm.StatusExit {
+		t.Fatalf("outcome = %v, want exit", out)
+	}
+	return out.ExitCode
+}
+
+// TestBuilderArithmeticHelpers drives every convenience wrapper through the
+// VM and checks its semantics.
+func TestBuilderArithmeticHelpers(t *testing.T) {
+	tests := []struct {
+		name string
+		body func(f *asm.Fn) isa.Reg
+		want uint64
+	}{
+		{"AddI", func(f *asm.Fn) isa.Reg { return f.AddI(f.Const(40), 2) }, 42},
+		{"Sub", func(f *asm.Fn) isa.Reg { return f.Sub(f.Const(50), f.Const(8)) }, 42},
+		{"SubI", func(f *asm.Fn) isa.Reg { return f.SubI(f.Const(45), 3) }, 42},
+		{"Mul", func(f *asm.Fn) isa.Reg { return f.Mul(f.Const(6), f.Const(7)) }, 42},
+		{"MulI", func(f *asm.Fn) isa.Reg { return f.MulI(f.Const(21), 2) }, 42},
+		{"AndI", func(f *asm.Fn) isa.Reg { return f.AndI(f.Const(0xFF), 0x2A) }, 42},
+		{"OrI", func(f *asm.Fn) isa.Reg { return f.OrI(f.Const(0x20), 0x0A) }, 42},
+		{"ShlI", func(f *asm.Fn) isa.Reg { return f.ShlI(f.Const(21), 1) }, 42},
+		{"ShrI", func(f *asm.Fn) isa.Reg { return f.ShrI(f.Const(84), 1) }, 42},
+		{"NeI true", func(f *asm.Fn) isa.Reg { return f.NeI(f.Const(1), 2) }, 1},
+		{"GtI false", func(f *asm.Fn) isa.Reg { return f.GtI(f.Const(1), 2) }, 0},
+		{"GeI equal", func(f *asm.Fn) isa.Reg { return f.GeI(f.Const(2), 2) }, 1},
+		{"LtI true", func(f *asm.Fn) isa.Reg { return f.LtI(f.Const(1), 2) }, 1},
+		{"EqI true", func(f *asm.Fn) isa.Reg { return f.EqI(f.Const(5), 5) }, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := evalMain(t, func(f *asm.Fn) { f.Ret(tt.body(f)) })
+			if got != tt.want {
+				t.Errorf("= %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBuilderMemoryAndVars(t *testing.T) {
+	got := evalMain(t, func(f *asm.Fn) {
+		buf := f.Sys(isa.SysAlloc, f.Const(8))
+		v := f.Var(f.Const(7))
+		f.AssignI(v, 40)
+		f.Store(4, buf, 0, v)
+		loaded := f.Load(4, buf, 0)
+		f.Ret(f.AddI(loaded, 2))
+	})
+	if got != 42 {
+		t.Errorf("= %d, want 42", got)
+	}
+}
+
+func TestBuilderForeverWithExit(t *testing.T) {
+	got := evalMain(t, func(f *asm.Fn) {
+		i := f.VarI(0)
+		f.Forever(func() {
+			f.Assign(i, f.AddI(i, 1))
+			f.If(f.GeI(i, 5), func() { f.Ret(i) })
+		})
+		f.RetI(0)
+	})
+	if got != 5 {
+		t.Errorf("= %d, want 5", got)
+	}
+}
+
+func TestBuilderTrap(t *testing.T) {
+	b := asm.NewBuilder("t")
+	f := b.Function("main", 0)
+	f.Trap(9)
+	b.Entry("main")
+	out := vm.New(b.MustBuild(), vm.Config{}).Run()
+	if out.Status != vm.StatusCrash || out.Crash.Code != 9 {
+		t.Fatalf("outcome = %v, want trap 9", out)
+	}
+}

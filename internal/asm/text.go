@@ -1,0 +1,421 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"octopocs/internal/isa"
+)
+
+// Format renders a program in the textual assembly syntax understood by
+// Parse. The output round-trips: Parse(Format(p)) yields an equivalent
+// program.
+func Format(p *isa.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program %s\n", p.Name)
+	fmt.Fprintf(&sb, "entry %s\n", p.Entry)
+	if len(p.FuncTable) > 0 {
+		slots := make([]string, len(p.FuncTable))
+		for i, name := range p.FuncTable {
+			if name == "" {
+				slots[i] = "-"
+			} else {
+				slots[i] = name
+			}
+		}
+		fmt.Fprintf(&sb, "functable %s\n", strings.Join(slots, ", "))
+	}
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&sb, "\nfunc %s/%d {\n", f.Name, f.NParams)
+		for _, b := range f.Blocks {
+			fmt.Fprintf(&sb, "%s:\n", b.Name)
+			for _, in := range b.Insts {
+				fmt.Fprintf(&sb, "  %s\n", in)
+			}
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+// parser holds the line-oriented parse state.
+type parser struct {
+	lines []string
+	pos   int
+}
+
+// ParseError reports a syntax error with its 1-based line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next non-blank, non-comment line, trimmed, or "" at EOF.
+func (p *parser) next() string {
+	for p.pos < len(p.lines) {
+		line := p.lines[p.pos]
+		p.pos++
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line
+		}
+	}
+	return ""
+}
+
+// Parse reads a program in the textual assembly syntax. The result is
+// validated before being returned.
+func Parse(src string) (*isa.Program, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	prog := &isa.Program{}
+
+	line := p.next()
+	name, ok := strings.CutPrefix(line, "program ")
+	if !ok {
+		return nil, p.errf("expected 'program <name>', got %q", line)
+	}
+	prog.Name = strings.TrimSpace(name)
+
+	for {
+		line = p.next()
+		if line == "" {
+			break
+		}
+		switch {
+		case strings.HasPrefix(line, "entry "):
+			prog.Entry = strings.TrimSpace(strings.TrimPrefix(line, "entry "))
+		case strings.HasPrefix(line, "functable "):
+			for _, slot := range strings.Split(strings.TrimPrefix(line, "functable "), ",") {
+				slot = strings.TrimSpace(slot)
+				if slot == "-" {
+					slot = ""
+				}
+				prog.FuncTable = append(prog.FuncTable, slot)
+			}
+		case strings.HasPrefix(line, "func "):
+			f, err := p.parseFunc(line)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			return nil, p.errf("unexpected line %q", line)
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return prog, nil
+}
+
+func (p *parser) parseFunc(header string) (*isa.Function, error) {
+	// func <name>/<nparams> {
+	rest := strings.TrimSpace(strings.TrimPrefix(header, "func "))
+	rest, ok := strings.CutSuffix(rest, "{")
+	if !ok {
+		return nil, p.errf("function header must end in '{': %q", header)
+	}
+	rest = strings.TrimSpace(rest)
+	slash := strings.LastIndex(rest, "/")
+	if slash < 0 {
+		return nil, p.errf("function header needs <name>/<nparams>: %q", header)
+	}
+	nparams, err := strconv.Atoi(rest[slash+1:])
+	if err != nil {
+		return nil, p.errf("bad parameter count in %q: %v", header, err)
+	}
+	f := &isa.Function{Name: rest[:slash], NParams: nparams}
+
+	var cur *isa.Block
+	for {
+		line := p.next()
+		switch {
+		case line == "":
+			return nil, p.errf("unexpected EOF inside function %s", f.Name)
+		case line == "}":
+			return f, nil
+		case strings.HasSuffix(line, ":"):
+			cur = &isa.Block{Name: strings.TrimSuffix(line, ":")}
+			f.Blocks = append(f.Blocks, cur)
+		default:
+			if cur == nil {
+				return nil, p.errf("instruction before any block label: %q", line)
+			}
+			in, err := p.parseInst(line)
+			if err != nil {
+				return nil, err
+			}
+			cur.Insts = append(cur.Insts, in)
+		}
+	}
+}
+
+var binOps = map[string]isa.BinOp{
+	"add": isa.Add, "sub": isa.Sub, "mul": isa.Mul, "div": isa.Div,
+	"mod": isa.Mod, "and": isa.And, "or": isa.Or, "xor": isa.Xor,
+	"shl": isa.Shl, "shr": isa.Shr,
+}
+
+var cmpOps = map[string]isa.CmpOp{
+	"eq": isa.Eq, "ne": isa.Ne, "lt": isa.Lt, "le": isa.Le,
+	"gt": isa.Gt, "ge": isa.Ge, "slt": isa.SLt, "sle": isa.SLe,
+}
+
+var sysNames = map[string]isa.Sys{
+	"open": isa.SysOpen, "read": isa.SysRead, "seek": isa.SysSeek,
+	"tell": isa.SysTell, "size": isa.SysSize, "mmap": isa.SysMMap,
+	"alloc": isa.SysAlloc, "free": isa.SysFree, "write": isa.SysWrite,
+	"exit": isa.SysExit, "argread": isa.SysArgRead, "arglen": isa.SysArgLen,
+}
+
+func (p *parser) parseInst(line string) (isa.Inst, error) {
+	if dst, rhs, ok := strings.Cut(line, " = "); ok {
+		d, err := p.parseReg(strings.TrimSpace(dst))
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		in, err := p.parseRHS(strings.TrimSpace(rhs))
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		in.Dst = d
+		return in, nil
+	}
+	return p.parseStmt(line)
+}
+
+// parseRHS parses the right-hand side of "rN = ...".
+func (p *parser) parseRHS(rhs string) (isa.Inst, error) {
+	op, rest, _ := strings.Cut(rhs, " ")
+	rest = strings.TrimSpace(rest)
+	switch {
+	case op == "const":
+		imm, err := p.parseImm(rest)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpConst, Imm: imm}, nil
+	case op == "mov":
+		a, err := p.parseReg(rest)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpMov, A: a}, nil
+	case op == "call":
+		callee, args, err := p.parseCallExpr(rest)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpCall, Callee: callee, Args: args}, nil
+	case op == "calli":
+		target, args, err := p.parseCallExpr(rest)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		idx, err := p.parseReg(target)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpCallInd, A: idx, Args: args}, nil
+	case op == "sys":
+		name, args, err := p.parseCallExpr(rest)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		sys, ok := sysNames[name]
+		if !ok {
+			return isa.Inst{}, p.errf("unknown syscall %q", name)
+		}
+		return isa.Inst{Op: isa.OpSyscall, Sys: sys, Args: args}, nil
+	case strings.HasPrefix(op, "load"):
+		size, err := p.parseSize(strings.TrimPrefix(op, "load"))
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		addr, off, err := p.parseAddr(rest)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpLoad, Size: size, A: addr, Imm: off}, nil
+	}
+	if bop, ok := binOps[op]; ok {
+		a, b, imm, isImm, err := p.parseTwoOperands(rest)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if isImm {
+			return isa.Inst{Op: isa.OpBinImm, Bin: bop, A: a, Imm: imm}, nil
+		}
+		return isa.Inst{Op: isa.OpBin, Bin: bop, A: a, B: b}, nil
+	}
+	if cop, ok := cmpOps[op]; ok {
+		a, b, imm, isImm, err := p.parseTwoOperands(rest)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		if isImm {
+			return isa.Inst{Op: isa.OpCmpImm, Cmp: cop, A: a, Imm: imm}, nil
+		}
+		return isa.Inst{Op: isa.OpCmp, Cmp: cop, A: a, B: b}, nil
+	}
+	return isa.Inst{}, p.errf("unknown operation %q", op)
+}
+
+// parseStmt parses instructions with no destination register.
+func (p *parser) parseStmt(line string) (isa.Inst, error) {
+	op, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch {
+	case op == "jmp":
+		return isa.Inst{Op: isa.OpJmp, Then: rest}, nil
+	case op == "br":
+		parts := splitOperands(rest)
+		if len(parts) != 3 {
+			return isa.Inst{}, p.errf("br needs 3 operands: %q", line)
+		}
+		a, err := p.parseReg(parts[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpBr, A: a, Then: parts[1], Else: parts[2]}, nil
+	case op == "ret":
+		a, err := p.parseReg(rest)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpRet, A: a}, nil
+	case op == "trap":
+		imm, err := p.parseImm(rest)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpTrap, Imm: imm}, nil
+	case strings.HasPrefix(op, "store"):
+		size, err := p.parseSize(strings.TrimPrefix(op, "store"))
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		parts := splitOperands(rest)
+		if len(parts) != 2 {
+			return isa.Inst{}, p.errf("store needs 'addr+off, reg': %q", line)
+		}
+		addr, off, err := p.parseAddr(parts[0])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		val, err := p.parseReg(parts[1])
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		return isa.Inst{Op: isa.OpStore, Size: size, A: addr, Imm: off, B: val}, nil
+	}
+	return isa.Inst{}, p.errf("unknown statement %q", line)
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseTwoOperands parses "rA, rB" or "rA, imm" and reports which form it
+// found.
+func (p *parser) parseTwoOperands(s string) (a, b isa.Reg, imm int64, isImm bool, err error) {
+	parts := splitOperands(s)
+	if len(parts) != 2 {
+		return 0, 0, 0, false, p.errf("expected two operands, got %q", s)
+	}
+	a, err = p.parseReg(parts[0])
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	if strings.HasPrefix(parts[1], "r") {
+		b, err = p.parseReg(parts[1])
+		return a, b, 0, false, err
+	}
+	imm, err = p.parseImm(parts[1])
+	return a, 0, imm, true, err
+}
+
+func (p *parser) parseReg(s string) (isa.Reg, error) {
+	num, ok := strings.CutPrefix(s, "r")
+	if !ok {
+		return 0, p.errf("expected register, got %q", s)
+	}
+	n, err := strconv.Atoi(num)
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, p.errf("bad register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func (p *parser) parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, p.errf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func (p *parser) parseSize(s string) (uint8, error) {
+	switch s {
+	case "1", "2", "4", "8":
+		return uint8(s[0] - '0'), nil
+	}
+	return 0, p.errf("bad access width %q", s)
+}
+
+// parseAddr parses "rN+off" (off may be negative, written rN+-4).
+func (p *parser) parseAddr(s string) (isa.Reg, int64, error) {
+	reg, off, ok := strings.Cut(s, "+")
+	if !ok {
+		r, err := p.parseReg(s)
+		return r, 0, err
+	}
+	r, err := p.parseReg(strings.TrimSpace(reg))
+	if err != nil {
+		return 0, 0, err
+	}
+	imm, err := p.parseImm(strings.TrimSpace(off))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, imm, nil
+}
+
+// parseCallExpr parses "name(args...)" and returns the name and argument
+// registers.
+func (p *parser) parseCallExpr(s string) (string, []isa.Reg, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, p.errf("expected call syntax name(args): %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	var args []isa.Reg
+	for _, part := range splitOperands(s[open+1 : len(s)-1]) {
+		r, err := p.parseReg(part)
+		if err != nil {
+			return "", nil, err
+		}
+		args = append(args, r)
+	}
+	return name, args, nil
+}

@@ -1,0 +1,358 @@
+// Package cfg builds control-flow and call graphs for MIR programs and
+// derives the artifacts OCTOPOCS needs from them: interprocedural
+// reachability of the shared-code entry point ep, and per-block distance
+// maps used by backward path finding (paper § III-B) and by the AFLGo-style
+// directed fuzzer baseline.
+//
+// Like the paper's discussion of static versus dynamic CFGs (§ IV-B), the
+// package distinguishes statically resolved edges from edges observed only
+// at run time: direct calls are static, while indirect-call targets are
+// invisible to static analysis ("a static CFG ... cannot contain the
+// indirect call edge that appears only when a program is running").
+// ObserveCall/RefineDynamic add run-time-discovered indirect edges the way
+// angr's dynamic CFG does; an indirect site always remains marked
+// Unresolved because no trace set proves completeness.
+package cfg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"octopocs/internal/isa"
+	"octopocs/internal/vm"
+)
+
+// ErrUnresolved reports that the target may only be reachable through
+// indirect-call slots whose targets could not be resolved; this is the
+// analog of the angr CFG-recovery failure on Idx-15 in the paper.
+var ErrUnresolved = errors.New("cfg: target reachable only through unresolved indirect calls")
+
+// CallSite is one call instruction.
+type CallSite struct {
+	Loc isa.Loc
+	// Targets holds the known callees: the single static callee for a
+	// direct call, or the dynamically observed targets for an indirect
+	// call (empty until a trace resolves some).
+	Targets []string
+	// Indirect reports whether this is an OpCallInd site.
+	Indirect bool
+	// Unresolved reports that Targets may be incomplete: true for every
+	// indirect site, since observed traces never prove completeness.
+	Unresolved bool
+}
+
+// Graph is the combined control-flow graph and callgraph of one program.
+type Graph struct {
+	Prog *isa.Program
+	// succs[fn][b] lists successor block indices of block b in fn.
+	succs map[string][][]int
+	// sites[fn] lists the call sites appearing in fn.
+	sites map[string][]*CallSite
+	// observed[site loc string] dedupes dynamic edges.
+	observed map[string]map[string]bool
+}
+
+// Build constructs the static graph.
+func Build(prog *isa.Program) *Graph {
+	g := &Graph{
+		Prog:     prog,
+		succs:    make(map[string][][]int, len(prog.Funcs)),
+		sites:    make(map[string][]*CallSite, len(prog.Funcs)),
+		observed: make(map[string]map[string]bool),
+	}
+	for _, f := range prog.Funcs {
+		succ := make([][]int, len(f.Blocks))
+		for bi, b := range f.Blocks {
+			term := b.Terminator()
+			switch term.Op {
+			case isa.OpJmp:
+				succ[bi] = []int{term.ThenIdx}
+			case isa.OpBr:
+				succ[bi] = []int{term.ThenIdx, term.ElseIdx}
+			}
+			for ii := range b.Insts {
+				in := &b.Insts[ii]
+				loc := isa.Loc{Func: f.Name, Block: bi, Inst: ii}
+				switch in.Op {
+				case isa.OpCall:
+					g.sites[f.Name] = append(g.sites[f.Name], &CallSite{
+						Loc:     loc,
+						Targets: []string{in.Callee},
+					})
+				case isa.OpCallInd:
+					g.sites[f.Name] = append(g.sites[f.Name], &CallSite{
+						Loc:        loc,
+						Indirect:   true,
+						Unresolved: true,
+					})
+				}
+			}
+		}
+		g.succs[f.Name] = succ
+	}
+	return g
+}
+
+// Succs returns the successor block indices of block b in fn.
+func (g *Graph) Succs(fn string, b int) []int { return g.succs[fn][b] }
+
+// Sites returns the call sites in fn.
+func (g *Graph) Sites(fn string) []*CallSite { return g.sites[fn] }
+
+// HasUnresolved reports whether any call site in the program has
+// potentially missing targets.
+func (g *Graph) HasUnresolved() bool {
+	for _, sites := range g.sites {
+		for _, s := range sites {
+			if s.Unresolved {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// siteAt returns the call site at loc, or nil.
+func (g *Graph) siteAt(loc isa.Loc) *CallSite {
+	for _, s := range g.sites[loc.Func] {
+		if s.Loc == loc {
+			return s
+		}
+	}
+	return nil
+}
+
+// ObserveCall records a dynamically observed call edge (an indirect call
+// resolving to callee at run time). Unknown sites and duplicate edges are
+// ignored.
+func (g *Graph) ObserveCall(site isa.Loc, callee string) {
+	s := g.siteAt(site)
+	if s == nil {
+		return
+	}
+	key := site.String()
+	if g.observed[key] == nil {
+		g.observed[key] = make(map[string]bool)
+	}
+	if g.observed[key][callee] {
+		return
+	}
+	g.observed[key][callee] = true
+	for _, t := range s.Targets {
+		if t == callee {
+			return
+		}
+	}
+	s.Targets = append(s.Targets, callee)
+}
+
+// RefineDynamic is the concrete-trace flavor of dynamic CFG refinement,
+// complementing the symbolic discovery in package symex (which the pipeline
+// uses, so that a seed's incidental coverage cannot bless reachability the
+// directed executor could not actually navigate).
+//
+// RefineDynamic executes the program concretely on each seed input and adds
+// every observed indirect-call edge to the graph. This is the dynamic-CFG
+// construction of § IV-B: edges that "appear only in execution time".
+func (g *Graph) RefineDynamic(seeds [][]byte, maxSteps int64) {
+	for _, seed := range seeds {
+		var pending isa.Loc
+		var pendingValid bool
+		hooks := &vm.Hooks{
+			OnInst: func(loc isa.Loc, _ uint64, in *isa.Inst) {
+				if in.Op == isa.OpCallInd {
+					pending, pendingValid = loc, true
+				}
+			},
+			OnCall: func(_ isa.Loc, callee string, _ []uint64, _, _ uint64, _ isa.Reg) {
+				if pendingValid {
+					g.ObserveCall(pending, callee)
+					pendingValid = false
+				}
+			},
+		}
+		m := vm.New(g.Prog, vm.Config{Input: seed, MaxSteps: maxSteps, Hooks: hooks})
+		m.Run()
+	}
+}
+
+// FuncDist returns, for every function, the minimum number of call edges to
+// reach target (target itself maps to 0). Functions absent from the map
+// cannot reach target.
+func (g *Graph) FuncDist(target string) map[string]int {
+	// Reverse-callgraph BFS from target.
+	callers := make(map[string][]string)
+	for fn, sites := range g.sites {
+		for _, s := range sites {
+			for _, t := range s.Targets {
+				callers[t] = append(callers[t], fn)
+			}
+		}
+	}
+	dist := map[string]int{target: 0}
+	queue := []string{target}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, caller := range callers[cur] {
+			if _, seen := dist[caller]; !seen {
+				dist[caller] = dist[cur] + 1
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return dist
+}
+
+// Reachable reports whether target is reachable from the program entry
+// following call edges.
+func (g *Graph) Reachable(target string) bool {
+	_, ok := g.FuncDist(target)[g.Prog.Entry]
+	return ok
+}
+
+// CheckResolvable inspects whether the reachability verdict for target can
+// be trusted. If target is unreachable in the current graph but the program
+// contains unresolved indirect sites, the CFG is inconclusive and
+// ErrUnresolved is returned (the Idx-15 failure mode).
+func (g *Graph) CheckResolvable(target string) error {
+	if g.Reachable(target) {
+		return nil
+	}
+	if g.HasUnresolved() {
+		return fmt.Errorf("%w (target %s)", ErrUnresolved, target)
+	}
+	return nil
+}
+
+// unreachableDist marks blocks from which the objective cannot be reached.
+const unreachableDist = int64(1) << 60
+
+// callLevelWeight is the distance cost of descending one call level,
+// dominating any intra-function path length so the directed executor
+// prefers staying on course across functions.
+const callLevelWeight = int64(10_000)
+
+// Distances holds backward-path-finding results for one target function
+// (the paper's ep). All distances are measured from the *start* of a block.
+type Distances struct {
+	Target string
+	// funcDist is the callgraph distance of each function to Target.
+	funcDist map[string]int
+	// toEp[fn][b]: cost from block b of fn to a call that descends toward
+	// Target, following only intra-function edges of fn.
+	toEp map[string][]int64
+	// toRet[fn][b]: cost from block b to a return from fn.
+	toRet map[string][]int64
+}
+
+// DistancesTo runs backward path finding toward the target function and
+// returns the distance maps used to direct symbolic execution.
+func (g *Graph) DistancesTo(target string) *Distances {
+	d := &Distances{
+		Target:   target,
+		funcDist: g.FuncDist(target),
+		toEp:     make(map[string][]int64, len(g.Prog.Funcs)),
+		toRet:    make(map[string][]int64, len(g.Prog.Funcs)),
+	}
+	for _, f := range g.Prog.Funcs {
+		d.toEp[f.Name] = g.blockDists(f, g.epSeeds(f, d.funcDist))
+		d.toRet[f.Name] = g.blockDists(f, retSeeds(f))
+	}
+	return d
+}
+
+// epSeeds returns per-block seed costs for the distance-to-ep-call
+// computation: blocks containing a call site that descends toward the
+// target get the weighted callee distance, others start unreachable.
+func (g *Graph) epSeeds(f *isa.Function, funcDist map[string]int) []int64 {
+	seeds := make([]int64, len(f.Blocks))
+	for i := range seeds {
+		seeds[i] = unreachableDist
+	}
+	for _, s := range g.sites[f.Name] {
+		for _, t := range s.Targets {
+			fd, ok := funcDist[t]
+			if !ok {
+				continue
+			}
+			if w := callLevelWeight * int64(fd); w < seeds[s.Loc.Block] {
+				seeds[s.Loc.Block] = w
+			}
+		}
+	}
+	return seeds
+}
+
+// retSeeds seeds blocks ending in Ret (or process exit) with zero.
+func retSeeds(f *isa.Function) []int64 {
+	seeds := make([]int64, len(f.Blocks))
+	for i, b := range f.Blocks {
+		seeds[i] = unreachableDist
+		term := b.Terminator()
+		if term.Op == isa.OpRet || (term.Op == isa.OpSyscall && term.Sys == isa.SysExit) {
+			seeds[i] = 0
+		}
+	}
+	return seeds
+}
+
+// blockDists computes, for every block, the minimum cost to reach a seeded
+// block following forward edges, where traversing an edge costs 1 and a
+// seeded block contributes its seed cost. Implemented as a Bellman-Ford
+// fixpoint; functions are small.
+func (g *Graph) blockDists(f *isa.Function, seeds []int64) []int64 {
+	n := len(f.Blocks)
+	dist := make([]int64, n)
+	copy(dist, seeds)
+	succ := g.succs[f.Name]
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < n; b++ {
+			for _, s := range succ[b] {
+				if dist[s] == unreachableDist {
+					continue
+				}
+				if cand := dist[s] + 1; cand < dist[b] {
+					dist[b] = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// CanReach reports whether fn can reach the target through its callees.
+func (d *Distances) CanReach(fn string) bool {
+	_, ok := d.funcDist[fn]
+	return ok
+}
+
+// FuncDist returns fn's callgraph distance to the target and whether fn can
+// reach it.
+func (d *Distances) FuncDist(fn string) (int, bool) {
+	v, ok := d.funcDist[fn]
+	return v, ok
+}
+
+// ToEp returns the cost from the start of block b in fn to a call site that
+// descends toward the target; ok is false when no such path exists.
+func (d *Distances) ToEp(fn string, b int) (int64, bool) {
+	v := d.toEp[fn][b]
+	return v, v < unreachableDist
+}
+
+// ToRet returns the cost from the start of block b in fn to a return.
+func (d *Distances) ToRet(fn string, b int) (int64, bool) {
+	v := d.toRet[fn][b]
+	return v, v < unreachableDist
+}
+
+// FuncsSorted lists function names in deterministic order; used by reports.
+func (g *Graph) FuncsSorted() []string {
+	names := g.Prog.FuncNames()
+	sort.Strings(names)
+	return names
+}

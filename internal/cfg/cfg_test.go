@@ -1,0 +1,277 @@
+package cfg_test
+
+import (
+	"errors"
+	"testing"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/cfg"
+	"octopocs/internal/isa"
+)
+
+// chainProg builds: main -> mid -> ep, with a side function never calling ep.
+func chainProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := asm.NewBuilder("chain")
+
+	ep := b.Function("ep", 1)
+	ep.Ret(ep.Param(0))
+
+	mid := b.Function("mid", 1)
+	mid.IfElse(mid.GtI(mid.Param(0), 10),
+		func() { mid.Ret(mid.Call("ep", mid.Param(0))) },
+		func() { mid.RetI(0) })
+
+	side := b.Function("side", 0)
+	side.RetI(1)
+
+	f := b.Function("main", 0)
+	f.Call("side")
+	f.Ret(f.Call("mid", f.Const(20)))
+	b.Entry("main")
+
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestFuncDist(t *testing.T) {
+	g := cfg.Build(chainProg(t))
+	dist := g.FuncDist("ep")
+	want := map[string]int{"ep": 0, "mid": 1, "main": 2}
+	for fn, wd := range want {
+		if got, ok := dist[fn]; !ok || got != wd {
+			t.Errorf("FuncDist[%s] = %d (ok=%v), want %d", fn, got, ok, wd)
+		}
+	}
+	if _, ok := dist["side"]; ok {
+		t.Error("side should not reach ep")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := cfg.Build(chainProg(t))
+	if !g.Reachable("ep") {
+		t.Error("Reachable(ep) = false, want true")
+	}
+	if g.Reachable("nosuch") {
+		t.Error("Reachable(nosuch) = true, want false")
+	}
+	if !g.Reachable("side") {
+		t.Error("Reachable(side) = false, want true")
+	}
+}
+
+func TestDistancesDirectBranches(t *testing.T) {
+	// main: if c { call ep } else { ret } — the then-block must be
+	// strictly closer to ep than the else-block.
+	b := asm.NewBuilder("p")
+	ep := b.Function("ep", 0)
+	ep.RetI(0)
+	f := b.Function("main", 1)
+	f.IfElse(f.Param(0),
+		func() { f.Call("ep") },
+		func() { f.RetI(0) })
+	f.RetI(0)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Build(prog)
+	d := g.DistancesTo("ep")
+
+	mainFn := prog.Func("main")
+	thenIdx := mainFn.BlockIndex("then.1")
+	joinIdx := mainFn.BlockIndex("join.2")
+	if thenIdx < 0 || joinIdx < 0 {
+		t.Fatalf("builder block names changed: %v", prog.Func("main").Blocks)
+	}
+	dThen, okThen := d.ToEp("main", thenIdx)
+	if !okThen || dThen != 0 {
+		t.Errorf("ToEp(then) = %d (ok=%v), want 0", dThen, okThen)
+	}
+	if _, ok := d.ToEp("ep", 0); ok {
+		// ep itself contains no call toward ep.
+		t.Error("ToEp inside ep should be unreachable (no self-call)")
+	}
+	dEntry, ok := d.ToEp("main", 0)
+	if !ok || dEntry != 1 {
+		t.Errorf("ToEp(entry) = %d (ok=%v), want 1", dEntry, ok)
+	}
+}
+
+func TestDistancesToRet(t *testing.T) {
+	g := cfg.Build(chainProg(t))
+	d := g.DistancesTo("ep")
+	// side's entry block returns immediately.
+	if dist, ok := d.ToRet("side", 0); !ok || dist != 0 {
+		t.Errorf("ToRet(side, 0) = %d (ok=%v), want 0", dist, ok)
+	}
+	if !d.CanReach("mid") || d.CanReach("side") {
+		t.Errorf("CanReach: mid=%v side=%v, want true/false", d.CanReach("mid"), d.CanReach("side"))
+	}
+	if fd, ok := d.FuncDist("main"); !ok || fd != 2 {
+		t.Errorf("FuncDist(main) = %d (ok=%v), want 2", fd, ok)
+	}
+}
+
+func TestInterproceduralWeighting(t *testing.T) {
+	// Two ways from main: call mid (which calls ep, depth 2) or call ep
+	// directly (depth 1). The direct block must score lower.
+	b := asm.NewBuilder("p")
+	ep := b.Function("ep", 0)
+	ep.RetI(0)
+	mid := b.Function("mid", 0)
+	mid.Ret(mid.Call("ep"))
+	f := b.Function("main", 1)
+	f.IfElse(f.Param(0),
+		func() { f.Call("ep") },  // then: depth 1
+		func() { f.Call("mid") }) // else: depth 2
+	f.RetI(0)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Build(prog)
+	d := g.DistancesTo("ep")
+	mainFn := prog.Func("main")
+	dThen, _ := d.ToEp("main", mainFn.BlockIndex("then.1"))
+	dElse, _ := d.ToEp("main", mainFn.BlockIndex("else.3"))
+	if dThen >= dElse {
+		t.Errorf("direct call dist %d should be < via-mid dist %d", dThen, dElse)
+	}
+}
+
+func indirectProg(t *testing.T, table ...string) *isa.Program {
+	t.Helper()
+	b := asm.NewBuilder("ind")
+	ep := b.Function("ep", 0)
+	ep.RetI(0)
+	other := b.Function("other", 0)
+	other.RetI(0)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	buf := f.Sys(isa.SysAlloc, f.Const(8))
+	f.Sys(isa.SysRead, fd, buf, f.Const(1))
+	idx := f.Load(1, buf, 0)
+	f.CallInd(idx)
+	f.RetI(0)
+	b.Entry("main")
+	b.FuncTable(table...)
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestIndirectTargetsInvisibleStatically(t *testing.T) {
+	// Even a fully populated function table is a run-time structure: the
+	// static CFG must not see its targets, only flag the site unresolved.
+	g := cfg.Build(indirectProg(t, "other", "ep"))
+	if g.Reachable("ep") {
+		t.Error("ep statically reachable through an indirect call, want false")
+	}
+	if !g.HasUnresolved() {
+		t.Error("HasUnresolved() = false, want true")
+	}
+	err := g.CheckResolvable("ep")
+	if !errors.Is(err, cfg.ErrUnresolved) {
+		t.Errorf("CheckResolvable = %v, want ErrUnresolved", err)
+	}
+}
+
+func TestDynamicRefinement(t *testing.T) {
+	// Table slot 1 is ep but slot content unknown statically (empty), so
+	// only a dynamic trace can discover the edge.
+	prog := indirectProg(t, "", "ep")
+	g := cfg.Build(prog)
+	if g.Reachable("ep") {
+		t.Fatal("precondition: ep must be statically unreachable")
+	}
+	// Seed input selecting table index 1 resolves the edge.
+	g.RefineDynamic([][]byte{{1}}, 100_000)
+	if !g.Reachable("ep") {
+		t.Error("ep unreachable after dynamic refinement with resolving seed")
+	}
+	if err := g.CheckResolvable("ep"); err != nil {
+		t.Errorf("CheckResolvable after refinement = %v, want nil", err)
+	}
+}
+
+func TestDynamicRefinementWithoutResolvingSeed(t *testing.T) {
+	prog := indirectProg(t, "", "ep")
+	g := cfg.Build(prog)
+	// Seed selects the empty slot 0: the run crashes (bad call) and no
+	// edge is learned.
+	g.RefineDynamic([][]byte{{0}}, 100_000)
+	if g.Reachable("ep") {
+		t.Error("ep became reachable from a non-resolving seed")
+	}
+	if err := g.CheckResolvable("ep"); !errors.Is(err, cfg.ErrUnresolved) {
+		t.Errorf("CheckResolvable = %v, want ErrUnresolved", err)
+	}
+}
+
+func TestObserveCallIgnoresUnknownSite(t *testing.T) {
+	g := cfg.Build(chainProg(t))
+	g.ObserveCall(isa.Loc{Func: "nosuch", Block: 0, Inst: 0}, "ep")
+	// Must not panic and must not change reachability facts.
+	if g.Reachable("nosuch") {
+		t.Error("unknown site observation changed the graph")
+	}
+}
+
+func TestObserveCallDedupes(t *testing.T) {
+	prog := indirectProg(t, "", "ep")
+	g := cfg.Build(prog)
+	var site isa.Loc
+	for _, s := range g.Sites("main") {
+		if s.Indirect {
+			site = s.Loc
+		}
+	}
+	g.ObserveCall(site, "ep")
+	g.ObserveCall(site, "ep")
+	n := 0
+	for _, s := range g.Sites("main") {
+		for _, tgt := range s.Targets {
+			if tgt == "ep" {
+				n++
+			}
+		}
+	}
+	if n != 1 {
+		t.Errorf("target ep recorded %d times, want 1", n)
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	g := cfg.Build(chainProg(t))
+	// mid's entry block branches: two successors.
+	if got := len(g.Succs("mid", 0)); got != 2 {
+		t.Errorf("mid entry has %d successors, want 2", got)
+	}
+	// ep's entry block returns: no successors.
+	if got := len(g.Succs("ep", 0)); got != 0 {
+		t.Errorf("ep entry has %d successors, want 0", got)
+	}
+}
+
+func TestFuncsSorted(t *testing.T) {
+	g := cfg.Build(chainProg(t))
+	names := g.FuncsSorted()
+	want := []string{"ep", "main", "mid", "side"}
+	if len(names) != len(want) {
+		t.Fatalf("FuncsSorted() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("FuncsSorted() = %v, want %v", names, want)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"octopocs/internal/taint"
+	"octopocs/internal/vm"
+)
+
+func TestEpFromBacktrace(t *testing.T) {
+	lib := map[string]bool{"dec": true, "dec_inner": true}
+	tests := []struct {
+		name   string
+		bt     []vm.StackEntry
+		want   string
+		wantOK bool
+	}{
+		{
+			name:   "bottom-most lib frame wins",
+			bt:     []vm.StackEntry{{Func: "main"}, {Func: "dec"}, {Func: "dec_inner"}},
+			want:   "dec",
+			wantOK: true,
+		},
+		{
+			name:   "no lib frame",
+			bt:     []vm.StackEntry{{Func: "main"}, {Func: "other"}},
+			wantOK: false,
+		},
+		{
+			name:   "lib entry is innermost",
+			bt:     []vm.StackEntry{{Func: "main"}, {Func: "helper"}, {Func: "dec_inner"}},
+			want:   "dec_inner",
+			wantOK: true,
+		},
+		{
+			name:   "empty backtrace",
+			wantOK: false,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := epFromBacktrace(tt.bt, lib)
+			if ok != tt.wantOK || got != tt.want {
+				t.Errorf("epFromBacktrace = %q,%v want %q,%v", got, ok, tt.want, tt.wantOK)
+			}
+		})
+	}
+}
+
+func TestMaterializeBunches(t *testing.T) {
+	poc := []byte{10, 11, 12, 13, 14, 15}
+
+	t.Run("contiguous span with gaps", func(t *testing.T) {
+		res := &taint.Result{Bunches: []taint.Bunch{
+			{Seq: 1, Offsets: []uint32{1, 3}, Args: []uint64{7}},
+		}}
+		bb, err := materializeBunches(poc, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bb) != 1 || bb[0].Start != 1 {
+			t.Fatalf("bunches = %+v", bb)
+		}
+		// Offsets 1..3 inclusive, gap byte 2 travels with the span.
+		if want := []byte{11, 12, 13}; string(bb[0].Bytes) != string(want) {
+			t.Errorf("bytes = %v, want %v", bb[0].Bytes, want)
+		}
+		if len(bb[0].Args) != 1 || bb[0].Args[0] != 7 {
+			t.Errorf("args = %v, want [7]", bb[0].Args)
+		}
+	})
+
+	t.Run("empty bunch keeps its slot", func(t *testing.T) {
+		res := &taint.Result{Bunches: []taint.Bunch{
+			{Seq: 1},
+			{Seq: 2, Offsets: []uint32{0}},
+		}}
+		bb, err := materializeBunches(poc, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bb) != 2 || bb[0].Bytes != nil || len(bb[1].Bytes) != 1 {
+			t.Fatalf("bunches = %+v", bb)
+		}
+	})
+
+	t.Run("offset beyond poc errors", func(t *testing.T) {
+		res := &taint.Result{Bunches: []taint.Bunch{
+			{Seq: 1, Offsets: []uint32{99}},
+		}}
+		if _, err := materializeBunches(poc, res); err == nil {
+			t.Fatal("want error for out-of-range offset")
+		}
+	})
+}
+
+func TestVerdictAndTypeStrings(t *testing.T) {
+	if VerdictTriggered.String() != "triggered" ||
+		VerdictNotTriggerable.String() != "not-triggerable" ||
+		VerdictFailure.String() != "failure" {
+		t.Error("verdict strings wrong")
+	}
+	if TypeI.String() != "Type-I" || TypeFailure.String() != "Failure" {
+		t.Error("type strings wrong")
+	}
+	if !strings.Contains(Verdict(99).String(), "99") {
+		t.Error("unknown verdict should render numerically")
+	}
+	if !strings.Contains(ResultType(99).String(), "99") {
+		t.Error("unknown type should render numerically")
+	}
+}
+
+func TestReportAccessors(t *testing.T) {
+	r := &Report{Pair: "x", Verdict: VerdictTriggered, Type: TypeII, Ep: "f"}
+	if r.PoCGenerated() {
+		t.Error("empty PoCPrime reported as generated")
+	}
+	r.PoCPrime = []byte{1}
+	if !r.PoCGenerated() || !r.Verified() {
+		t.Error("accessors wrong on triggered report")
+	}
+	r2 := &Report{Verdict: VerdictFailure}
+	if r2.Verified() {
+		t.Error("failure report counted as verified")
+	}
+	if s := r.String(); !strings.Contains(s, "Type-II") || !strings.Contains(s, "triggered") {
+		t.Errorf("Report.String() = %q", s)
+	}
+}

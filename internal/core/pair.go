@@ -1,0 +1,85 @@
+// Package core implements the OCTOPOCS pipeline: given original software S,
+// propagated software T, the original PoC, and the shared function set ℓ,
+// it extracts crash primitives (P1), generates guiding inputs (P2), combines
+// them into a reformed PoC (P3), and verifies the propagated vulnerability
+// (P4), producing the verdict taxonomy of the paper's Table II.
+package core
+
+import (
+	"fmt"
+
+	"octopocs/internal/isa"
+	"octopocs/internal/taint"
+	"octopocs/internal/vm"
+)
+
+// Pair is one verification task: the paper's (S, T, poc, ℓ) quadruple. The
+// existing vulnerable-clone detection step (VUDDY in the paper) is assumed
+// to have produced it.
+type Pair struct {
+	// Name identifies the pair in reports, e.g. "tiffsplit->opj_compress".
+	Name string
+	// S is the original vulnerable binary, T the propagated one.
+	S *isa.Program
+	T *isa.Program
+	// PoC is the malformed input file that triggers the vulnerability
+	// in S.
+	PoC []byte
+	// Lib is ℓ, the set of function names shared by S and T.
+	Lib map[string]bool
+	// CtxArgs lists the ep parameter indices that carry semantic context
+	// (tags, modes, lengths) and must match between S and T. Resource
+	// handles such as file descriptors or buffer addresses, whose values
+	// legitimately differ between binaries, are excluded.
+	CtxArgs []int
+	// InputSize is the symbolic size of poc'; when zero it defaults to
+	// len(PoC) plus slack for a longer guiding prefix.
+	InputSize int
+	// MaxSteps overrides the per-run instruction budget (0 = default).
+	// Pairs whose S-crash is a hang (CWE-835) keep this small so the
+	// hang detection stays fast.
+	MaxSteps int64
+}
+
+// epFromBacktrace returns the paper's ep: the bottom-most call-stack entry
+// that belongs to ℓ, i.e. the first ℓ function called while triggering the
+// vulnerability.
+func epFromBacktrace(bt []vm.StackEntry, lib map[string]bool) (string, bool) {
+	for _, e := range bt {
+		if lib[e.Func] {
+			return e.Func, true
+		}
+	}
+	return "", false
+}
+
+// BunchBytes is a crash primitive materialized as bytes: the contiguous PoC
+// slice spanning the offsets used during one ℓ entry, plus the recorded ep
+// argument vector.
+type BunchBytes struct {
+	Seq   int
+	Start uint32
+	Bytes []byte
+	Args  []uint64
+}
+
+// materializeBunches converts taint offsets into byte slices of the PoC.
+// Each bunch becomes the contiguous span from its smallest to largest used
+// offset: streaming parsers consume their input sequentially, so gap bytes
+// inside the span travel with the primitive.
+func materializeBunches(poc []byte, res *taint.Result) ([]BunchBytes, error) {
+	out := make([]BunchBytes, 0, len(res.Bunches))
+	for _, b := range res.Bunches {
+		bb := BunchBytes{Seq: b.Seq, Args: b.Args}
+		if len(b.Offsets) > 0 {
+			lo, hi := b.Offsets[0], b.Offsets[len(b.Offsets)-1]
+			if int(hi) >= len(poc) {
+				return nil, fmt.Errorf("bunch %d offset %d beyond poc size %d", b.Seq, hi, len(poc))
+			}
+			bb.Start = lo
+			bb.Bytes = append([]byte(nil), poc[lo:hi+1]...)
+		}
+		out = append(out, bb)
+	}
+	return out, nil
+}

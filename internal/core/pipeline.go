@@ -1,0 +1,333 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"octopocs/internal/cfg"
+	"octopocs/internal/expr"
+	"octopocs/internal/isa"
+	"octopocs/internal/solver"
+	"octopocs/internal/symex"
+	"octopocs/internal/taint"
+	"octopocs/internal/vm"
+)
+
+// Config tunes the pipeline. The zero value gives the paper's defaults;
+// the ablation switches exist for the Table III/IV experiments.
+type Config struct {
+	// Theta is the loop-iteration bound θ (default 120, § IV-B).
+	Theta int
+	// MaxSteps is the per-run instruction budget.
+	MaxSteps int64
+	// SatBudget is the per-check solver budget.
+	SatBudget int64
+	// ContextFree disables context-aware taint analysis (Table III
+	// baseline).
+	ContextFree bool
+	// StaticCFGOnly disables dynamic CFG refinement (§ IV-B discusses
+	// using the static CFG as a fallback option).
+	StaticCFGOnly bool
+	// PadByte fills unconstrained poc' bytes.
+	PadByte byte
+}
+
+// Pipeline verifies pairs. Create with New.
+type Pipeline struct {
+	cfg    Config
+	debugf func(format string, args ...any)
+}
+
+// New returns a pipeline with the given configuration.
+func New(cfg Config) *Pipeline {
+	return &Pipeline{cfg: cfg}
+}
+
+// SetDebugf installs a diagnostic logger for internal analysis errors that
+// degrade into budget-class verdicts.
+func (p *Pipeline) SetDebugf(f func(format string, args ...any)) { p.debugf = f }
+
+// errParamMismatch aborts P2/P3 when T enters ep with context parameters
+// that differ from the recorded S context (the Idx-10..12 mechanism).
+var errParamMismatch = errors.New("ep context parameter mismatch")
+
+// inputSlack is added to len(poc) for the symbolic poc' size, making room
+// for a longer guiding prefix in T.
+const inputSlack = 64
+
+// FindEp runs the preprocessing step alone: crash S with the PoC and
+// return the entry point of ℓ (the bottom-most ℓ function on the crash
+// backtrace).
+func (p *Pipeline) FindEp(pair *Pair) (string, error) {
+	out := p.runConcrete(pair.S, pair.PoC, pair.MaxSteps)
+	if !out.Crashed() {
+		return "", fmt.Errorf("pair %s: poc does not crash S (%s)", pair.Name, out)
+	}
+	ep, ok := epFromBacktrace(out.Crash.Backtrace, pair.Lib)
+	if !ok {
+		return "", fmt.Errorf("pair %s: no ℓ function on the S crash backtrace", pair.Name)
+	}
+	return ep, nil
+}
+
+// Verify runs the full pipeline on one pair.
+func (p *Pipeline) Verify(pair *Pair) (*Report, error) {
+	rep := &Report{Pair: pair.Name}
+
+	// Preprocessing: crash S with the PoC, find ep on the backtrace.
+	sOut := p.runConcrete(pair.S, pair.PoC, pair.MaxSteps)
+	if !sOut.Crashed() {
+		return nil, fmt.Errorf("pair %s: poc does not crash S (%s)", pair.Name, sOut)
+	}
+	rep.SCrash = sOut.Crash
+	ep, ok := epFromBacktrace(sOut.Crash.Backtrace, pair.Lib)
+	if !ok {
+		return nil, fmt.Errorf("pair %s: no ℓ function on the S crash backtrace", pair.Name)
+	}
+	rep.Ep = ep
+
+	// P1: context-aware taint analysis over the S run.
+	bunches, err := p.extractPrimitives(pair, ep)
+	if err != nil {
+		return nil, fmt.Errorf("pair %s: P1: %w", pair.Name, err)
+	}
+	rep.Bunches = bunches
+
+	// ep must exist in T at all (ℓ is shared, but be defensive).
+	if pair.T.Func(ep) == nil {
+		rep.Verdict, rep.Type, rep.Reason = VerdictNotTriggerable, TypeIII, ReasonEpMissing
+		return rep, nil
+	}
+
+	// Backward path finding over T's CFG. Indirect-call edges are
+	// invisible statically; the dynamic CFG adds edges observed by a
+	// bounded symbolic exploration, matching § IV-B ("a dynamic CFG is
+	// generated with symbolic execution"). Discovery is partial — when
+	// it misses the edge to ep, verification fails (the Idx-15 angr
+	// analog) rather than risking an unsound not-triggerable verdict.
+	graph := cfg.Build(pair.T)
+	if !p.cfg.StaticCFGOnly {
+		for _, e := range symex.Discover(pair.T, symex.NaiveConfig{
+			InputSize: len(pair.PoC) + inputSlack,
+			MaxSteps:  p.maxSteps(pair),
+			SatBudget: p.cfg.SatBudget,
+		}) {
+			graph.ObserveCall(e.Site, e.Callee)
+		}
+	}
+	if !graph.Reachable(ep) {
+		if err := graph.CheckResolvable(ep); err != nil {
+			// The Idx-15 case: the CFG tool cannot rule reachability
+			// out, so no sound verdict exists.
+			rep.Verdict, rep.Type, rep.Reason = VerdictFailure, TypeFailure, ReasonCFGUnresolved
+			return rep, nil
+		}
+		// Case (ii): ep is never called in T.
+		rep.Verdict, rep.Type, rep.Reason = VerdictNotTriggerable, TypeIII, ReasonEpNotCalled
+		return rep, nil
+	}
+
+	// P2 + P3: directed symbolic execution with bunch placement.
+	pocPrime, stats, reason := p.reform(pair, ep, graph, bunches)
+	rep.Stats = stats
+	if reason != ReasonNone {
+		switch reason {
+		case ReasonProgramDead, ReasonLoopDead, ReasonParamMismatch, ReasonUnsat, ReasonEpNotCalled:
+			rep.Verdict, rep.Type, rep.Reason = VerdictNotTriggerable, TypeIII, reason
+		default:
+			rep.Verdict, rep.Type, rep.Reason = VerdictFailure, TypeFailure, reason
+		}
+		return rep, nil
+	}
+	rep.PoCPrime = pocPrime
+
+	// P4: verify the propagated vulnerability with poc'.
+	tOut := p.runConcrete(pair.T, pocPrime, pair.MaxSteps)
+	if !tOut.Crashed() || !tOut.CrashedIn(pair.Lib) {
+		rep.Verdict, rep.Type, rep.Reason = VerdictFailure, TypeFailure, ReasonNoCrash
+		return rep, nil
+	}
+	rep.TCrash = tOut.Crash
+	rep.Verdict = VerdictTriggered
+	// The paper observes that poc' "did not contain unnecessary bytes";
+	// trim trailing padding while the crash is preserved. Every candidate
+	// is re-verified concretely, so minimization cannot invalidate the
+	// verdict.
+	rep.PoCPrime = p.minimize(pair, rep.PoCPrime, tOut.Crash)
+
+	// Type classification: Type-I when the original poc already triggers
+	// T (its guiding input needs no reform).
+	origOut := p.runConcrete(pair.T, pair.PoC, pair.MaxSteps)
+	rep.GuidingSame = origOut.Crashed() && origOut.CrashedIn(pair.Lib)
+	if rep.GuidingSame {
+		rep.Type = TypeI
+	} else {
+		rep.Type = TypeII
+	}
+	return rep, nil
+}
+
+// minimize shortens a verified poc' from the tail while the crash at the
+// same location survives, first by halving and then byte by byte.
+func (p *Pipeline) minimize(pair *Pair, poc []byte, want *vm.Crash) []byte {
+	stillCrashes := func(candidate []byte) bool {
+		out := p.runConcrete(pair.T, candidate, pair.MaxSteps)
+		return out.Crashed() && out.Crash.Loc == want.Loc
+	}
+	best := poc
+	for len(best) > 0 {
+		half := best[:len(best)/2]
+		if !stillCrashes(half) {
+			break
+		}
+		best = half
+	}
+	for len(best) > 0 && stillCrashes(best[:len(best)-1]) {
+		best = best[:len(best)-1]
+	}
+	return best
+}
+
+func (p *Pipeline) maxSteps(pair *Pair) int64 {
+	if pair.MaxSteps > 0 {
+		return pair.MaxSteps
+	}
+	if p.cfg.MaxSteps > 0 {
+		return p.cfg.MaxSteps
+	}
+	return vm.DefaultMaxSteps
+}
+
+func (p *Pipeline) runConcrete(prog *isa.Program, input []byte, maxSteps int64) *vm.Outcome {
+	if maxSteps <= 0 {
+		maxSteps = p.cfg.MaxSteps
+	}
+	m := vm.New(prog, vm.Config{Input: input, MaxSteps: maxSteps})
+	return m.Run()
+}
+
+// extractPrimitives is P1: rerun S under the taint engine and materialize
+// bunches.
+func (p *Pipeline) extractPrimitives(pair *Pair, ep string) ([]BunchBytes, error) {
+	eng := taint.NewEngine(taint.Config{
+		Lib:          pair.Lib,
+		Ep:           ep,
+		ContextAware: !p.cfg.ContextFree,
+	})
+	m := vm.New(pair.S, vm.Config{
+		Input:    pair.PoC,
+		MaxSteps: p.maxSteps(pair),
+		Hooks:    eng.Hooks(),
+	})
+	out := m.Run()
+	if !out.Crashed() {
+		return nil, fmt.Errorf("S did not crash under taint instrumentation (%s)", out)
+	}
+	res := eng.Result()
+	if len(res.Bunches) == 0 {
+		return nil, errors.New("no crash primitives extracted (ep never entered)")
+	}
+	return materializeBunches(pair.PoC, res)
+}
+
+// reform is P2+P3: directed symbolic execution of T toward ep with bunch
+// placement at each entry, then constraint solving into poc'.
+func (p *Pipeline) reform(pair *Pair, ep string, graph *cfg.Graph, bunches []BunchBytes) ([]byte, symex.Stats, Reason) {
+	inputSize := pair.InputSize
+	if inputSize <= 0 {
+		inputSize = len(pair.PoC) + inputSlack
+	}
+	ex := symex.New(pair.T, symex.Config{
+		InputSize: inputSize,
+		MaxSteps:  p.maxSteps(pair),
+		Theta:     p.cfg.Theta,
+		SatBudget: p.cfg.SatBudget,
+		Target:    ep,
+		Distances: graph.DistancesTo(ep),
+	})
+
+	placeSol := solver.Solver{Budget: p.cfg.SatBudget}
+	visitor := func(entry symex.EpEntry, st *symex.State) (symex.Decision, error) {
+		if entry.Seq > len(bunches) {
+			return symex.Stop, nil
+		}
+		b := bunches[entry.Seq-1]
+		// "OCTOPOCS executes ep in T with the same parameters as those
+		// used in S": compare/pin the semantic context arguments.
+		for _, idx := range pair.CtxArgs {
+			if idx >= len(entry.Args) || idx >= len(b.Args) {
+				continue
+			}
+			want := b.Args[idx]
+			if got, ok := entry.Args[idx].IsConst(); ok {
+				if got != want {
+					return symex.Stop, errParamMismatch
+				}
+				continue
+			}
+			st.AddConstraint(expr.Bin(expr.OpEq, entry.Args[idx], expr.Const(want)))
+		}
+		// P3.1: bind the bunch at the current file position indicator.
+		pos := entry.FilePos
+		if int(pos)+len(b.Bytes) > inputSize {
+			return symex.Stop, fmt.Errorf("bunch %d does not fit at position %d (input size %d)", b.Seq, pos, inputSize)
+		}
+		for i, bv := range b.Bytes {
+			st.AddConstraint(expr.Bin(expr.OpEq,
+				expr.Sym(int(pos)+i), expr.Const(uint64(bv))))
+		}
+		// Placement feasibility: a contradiction between the guiding
+		// constraints and the crash primitive makes this path useless;
+		// dying here lets directed execution backtrack to a longer or
+		// different path (the paper's iterate-until-not-loop-dead
+		// policy subsumed by decision reversal).
+		if ok, err := placeSol.Sat(st.Constraints()); err == nil && !ok {
+			return symex.Infeasible, nil
+		}
+		if entry.Seq == len(bunches) {
+			return symex.Stop, nil
+		}
+		return symex.Continue, nil
+	}
+
+	res, err := ex.Run(visitor)
+	if err != nil {
+		if errors.Is(err, errParamMismatch) {
+			return nil, symex.Stats{}, ReasonParamMismatch
+		}
+		if p.debugf != nil {
+			p.debugf("reform %s: %v", pair.Name, err)
+		}
+		return nil, symex.Stats{}, ReasonBudget
+	}
+	if !res.Reached() {
+		switch res.Kind {
+		case symex.KindInfeasible:
+			return nil, res.Stats, ReasonUnsat
+		case symex.KindProgramDead:
+			return nil, res.Stats, ReasonProgramDead
+		case symex.KindLoopDead:
+			return nil, res.Stats, ReasonLoopDead
+		case symex.KindExited, symex.KindCrashed:
+			return nil, res.Stats, ReasonEpNotCalled
+		default:
+			return nil, res.Stats, ReasonBudget
+		}
+	}
+
+	// P3.3: solve everything into concrete bytes.
+	sol := solver.Solver{Budget: p.cfg.SatBudget}
+	model, err := sol.Solve(res.Constraints)
+	if err != nil {
+		if errors.Is(err, solver.ErrUnsat) {
+			return nil, res.Stats, ReasonUnsat
+		}
+		return nil, res.Stats, ReasonBudget
+	}
+	// The reformed PoC keeps its full symbolic length: trailing padding
+	// may still be consumed by ℓ past the final ep entry (the symbolic
+	// run stops there, so nothing constrains those bytes — but a
+	// truncated file would turn an overflowing read into a harmless
+	// short read).
+	return model.Fill(inputSize, p.cfg.PadByte), res.Stats, ReasonNone
+}

@@ -1,0 +1,162 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/isa"
+)
+
+// simplePair builds an S/T pair with a shared overflow reader; mutate
+// customizes T before building.
+func simplePair(t *testing.T, tMagic string) *core.Pair {
+	t.Helper()
+	build := func(name, magic string) *isa.Program {
+		b := asm.NewBuilder(name)
+		g := b.Function("reader", 1)
+		fd := g.Param(0)
+		buf := g.Sys(isa.SysAlloc, g.Const(4))
+		lb := g.Sys(isa.SysAlloc, g.Const(1))
+		g.Sys(isa.SysRead, fd, lb, g.Const(1))
+		g.Sys(isa.SysRead, fd, buf, g.Load(1, lb, 0))
+		g.RetI(0)
+
+		f := b.Function("main", 0)
+		fd2 := f.Sys(isa.SysOpen)
+		mb := f.Sys(isa.SysAlloc, f.Const(2))
+		f.Sys(isa.SysRead, fd2, mb, f.Const(2))
+		for i := 0; i < 2; i++ {
+			f.If(f.NeI(f.Load(1, mb, int64(i)), int64(magic[i])), func() { f.Exit(1) })
+		}
+		f.Call("reader", fd2)
+		f.Exit(0)
+		b.Entry("main")
+		return b.MustBuild()
+	}
+	return &core.Pair{
+		Name: "simple",
+		S:    build("s", "AA"),
+		T:    build("t", tMagic),
+		PoC:  append([]byte("AA"), 12, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12),
+		Lib:  map[string]bool{"reader": true},
+	}
+}
+
+func TestVerifyErrorWhenPoCDoesNotCrashS(t *testing.T) {
+	pair := simplePair(t, "BB")
+	pair.PoC = append([]byte("AA"), 2, 9, 9) // length 2: no overflow
+	_, err := core.New(core.Config{}).Verify(pair)
+	if err == nil || !strings.Contains(err.Error(), "does not crash") {
+		t.Fatalf("Verify = %v, want does-not-crash error", err)
+	}
+}
+
+func TestVerifyErrorWhenCrashOutsideLib(t *testing.T) {
+	pair := simplePair(t, "BB")
+	pair.Lib = map[string]bool{"unrelated": true}
+	_, err := core.New(core.Config{}).Verify(pair)
+	if err == nil || !strings.Contains(err.Error(), "backtrace") {
+		t.Fatalf("Verify = %v, want no-ℓ-on-backtrace error", err)
+	}
+}
+
+func TestVerifySameFormatIsTypeI(t *testing.T) {
+	pair := simplePair(t, "AA") // T accepts the same magic
+	rep, err := core.New(core.Config{}).Verify(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Type != core.TypeI || !rep.GuidingSame {
+		t.Fatalf("report = %v (guidingSame=%v), want Type-I", rep, rep.GuidingSame)
+	}
+}
+
+func TestVerifyEpMissingInT(t *testing.T) {
+	pair := simplePair(t, "BB")
+	// Replace T with a binary that lacks the shared function entirely.
+	b := asm.NewBuilder("t-without-lib")
+	f := b.Function("main", 0)
+	f.Exit(0)
+	b.Entry("main")
+	pair.T = b.MustBuild()
+	rep, err := core.New(core.Config{}).Verify(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != core.VerdictNotTriggerable || rep.Reason != core.ReasonEpMissing {
+		t.Fatalf("report = %v, want not-triggerable/ep-missing", rep)
+	}
+}
+
+func TestVerifyEpNeverCalledInT(t *testing.T) {
+	pair := simplePair(t, "BB")
+	// T contains the shared function but never calls it.
+	b := asm.NewBuilder("t-dead-lib")
+	g := b.Function("reader", 1)
+	g.Ret(g.Param(0))
+	f := b.Function("main", 0)
+	f.Sys(isa.SysOpen)
+	f.Exit(0)
+	b.Entry("main")
+	pair.T = b.MustBuild()
+	rep, err := core.New(core.Config{}).Verify(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != core.VerdictNotTriggerable || rep.Reason != core.ReasonEpNotCalled {
+		t.Fatalf("report = %v, want not-triggerable/ep-not-called", rep)
+	}
+}
+
+func TestStaticCFGOnlyAblation(t *testing.T) {
+	// T dispatches to the shared reader through an indirect call; with
+	// dynamic discovery disabled the verdict must degrade to Failure.
+	pair := simplePair(t, "BB")
+	b := asm.NewBuilder("t-indirect")
+	g := b.Function("reader", 1)
+	fd := g.Param(0)
+	buf := g.Sys(isa.SysAlloc, g.Const(4))
+	lb := g.Sys(isa.SysAlloc, g.Const(1))
+	g.Sys(isa.SysRead, fd, lb, g.Const(1))
+	g.Sys(isa.SysRead, fd, buf, g.Load(1, lb, 0))
+	g.RetI(0)
+	f := b.Function("main", 0)
+	fd2 := f.Sys(isa.SysOpen)
+	kb := f.Sys(isa.SysAlloc, f.Const(1))
+	f.Sys(isa.SysRead, fd2, kb, f.Const(1))
+	f.CallInd(f.Load(1, kb, 0), fd2)
+	f.Exit(0)
+	b.Entry("main")
+	b.FuncTable("reader")
+	pair.T = b.MustBuild()
+
+	repStatic, err := core.New(core.Config{StaticCFGOnly: true}).Verify(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repStatic.Verdict != core.VerdictFailure || repStatic.Reason != core.ReasonCFGUnresolved {
+		t.Fatalf("static-only report = %v, want failure/cfg-unresolved", repStatic)
+	}
+
+	repDyn, err := core.New(core.Config{}).Verify(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repDyn.Verdict != core.VerdictTriggered {
+		t.Fatalf("dynamic report = %v, want triggered", repDyn)
+	}
+}
+
+func TestFindEp(t *testing.T) {
+	pair := simplePair(t, "BB")
+	ep, err := core.New(core.Config{}).FindEp(pair)
+	if err != nil || ep != "reader" {
+		t.Fatalf("FindEp = %q,%v want reader,nil", ep, err)
+	}
+	pair.PoC = []byte("AA")
+	if _, err := core.New(core.Config{}).FindEp(pair); err == nil {
+		t.Fatal("FindEp on non-crashing poc should error")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"octopocs/internal/symex"
+	"octopocs/internal/vm"
+)
+
+// Verdict is the top-level verification outcome.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictTriggered: poc' crashes T inside ℓ — the propagated
+	// vulnerability is real and needs patching first (case i).
+	VerdictTriggered Verdict = iota + 1
+	// VerdictNotTriggerable: OCTOPOCS established that the propagated
+	// code cannot be triggered (cases ii and iii).
+	VerdictNotTriggerable
+	// VerdictFailure: no sound verdict (e.g. unresolvable CFG).
+	VerdictFailure
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictTriggered:
+		return "triggered"
+	case VerdictNotTriggerable:
+		return "not-triggerable"
+	case VerdictFailure:
+		return "failure"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// ResultType is the paper's Table II classification.
+type ResultType int
+
+// Result types.
+const (
+	// TypeI: triggered, and the original poc also works on T.
+	TypeI ResultType = iota + 1
+	// TypeII: triggered, but only the reformed poc' works.
+	TypeII
+	// TypeIII: verified not triggerable.
+	TypeIII
+	// TypeFailure: verification failed.
+	TypeFailure
+)
+
+// String renders the type the way Table II spells it.
+func (t ResultType) String() string {
+	switch t {
+	case TypeI:
+		return "Type-I"
+	case TypeII:
+		return "Type-II"
+	case TypeIII:
+		return "Type-III"
+	case TypeFailure:
+		return "Failure"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Reason codes for non-triggered verdicts.
+type Reason string
+
+// Reasons.
+const (
+	ReasonNone          Reason = ""
+	ReasonEpMissing     Reason = "ep not present in T"
+	ReasonEpNotCalled   Reason = "ep not called in T" // case (ii)
+	ReasonProgramDead   Reason = "program-dead state" // case (iii)
+	ReasonLoopDead      Reason = "loop-dead state within θ"
+	ReasonParamMismatch Reason = "ep called with mismatching context parameters"
+	ReasonUnsat         Reason = "combined constraints unsatisfiable"
+	ReasonCFGUnresolved Reason = "CFG construction failed (unresolved indirect calls)"
+	ReasonNoCrash       Reason = "generated poc' did not crash T"
+	ReasonBudget        Reason = "analysis budget exhausted"
+)
+
+// Report is the full result of verifying one pair.
+type Report struct {
+	Pair    string
+	Verdict Verdict
+	Type    ResultType
+	Reason  Reason
+
+	// Ep is the discovered entry point of ℓ.
+	Ep string
+	// Bunches are the crash primitives extracted in P1.
+	Bunches []BunchBytes
+	// PoCPrime is the reformed PoC; nil when none was generated.
+	PoCPrime []byte
+	// GuidingSame reports whether the original poc also triggers T
+	// (the Type-I condition).
+	GuidingSame bool
+
+	// SCrash is the crash observed in S during preprocessing; TCrash the
+	// one produced by poc' in T (nil unless triggered).
+	SCrash *vm.Crash
+	TCrash *vm.Crash
+
+	// Stats aggregates symbolic-execution effort (P2+P3).
+	Stats symex.Stats
+}
+
+// PoCGenerated reports whether a reformed PoC was produced (the poc' column
+// of Table II).
+func (r *Report) PoCGenerated() bool { return len(r.PoCPrime) > 0 }
+
+// Verified reports whether OCTOPOCS reached a sound verdict (the
+// verification column of Table II).
+func (r *Report) Verified() bool { return r.Verdict != VerdictFailure }
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: %s (%s) reason=%q ep=%s poc'=%v",
+		r.Pair, r.Verdict, r.Type, string(r.Reason), r.Ep, r.PoCGenerated())
+}

@@ -1,0 +1,69 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/vm"
+)
+
+// TestPipelineRobustToMutatedPoCs feeds the pipeline corrupted variants of
+// real PoCs. Any individual verification may legitimately error (the
+// mutant may no longer crash S) or change verdict, but the pipeline must
+// never panic and must keep its invariants: a Triggered verdict implies a
+// generated poc' that concretely crashes T inside ℓ.
+func TestPipelineRobustToMutatedPoCs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pipeline := core.New(core.Config{})
+
+	mutate := func(poc []byte) []byte {
+		out := append([]byte(nil), poc...)
+		switch rng.Intn(4) {
+		case 0: // flip random bytes
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				out[rng.Intn(len(out))] ^= byte(1 << rng.Intn(8))
+			}
+		case 1: // truncate
+			out = out[:rng.Intn(len(out))]
+		case 2: // extend with garbage
+			for k := 0; k < 1+rng.Intn(16); k++ {
+				out = append(out, byte(rng.Intn(256)))
+			}
+		case 3: // random byte overwrite
+			if len(out) > 0 {
+				out[rng.Intn(len(out))] = byte(rng.Intn(256))
+			}
+		}
+		return out
+	}
+
+	trials := 0
+	for _, idx := range []int{4, 7, 9, 10} {
+		for k := 0; k < 6; k++ {
+			spec := corpus.ByIdx(idx)
+			spec.Pair.PoC = mutate(spec.Pair.PoC)
+			rep, err := pipeline.Verify(spec.Pair)
+			trials++
+			if err != nil {
+				continue // e.g. the mutant no longer crashes S — fine
+			}
+			if rep.Verdict == core.VerdictTriggered {
+				out := vm.New(spec.Pair.T, vm.Config{
+					Input:    rep.PoCPrime,
+					MaxSteps: spec.Pair.MaxSteps,
+				}).Run()
+				if !out.Crashed() || !out.CrashedIn(spec.Pair.Lib) {
+					t.Errorf("idx %d mutant %d: triggered verdict but poc' outcome %v", idx, k, out)
+				}
+			}
+			if rep.PoCGenerated() && rep.Verdict == core.VerdictNotTriggerable {
+				t.Errorf("idx %d mutant %d: not-triggerable verdict with a poc'", idx, k)
+			}
+		}
+	}
+	if trials != 24 {
+		t.Fatalf("trials = %d, want 24", trials)
+	}
+}

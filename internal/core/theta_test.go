@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"testing"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+)
+
+// TestThetaLimitation documents the paper's § VII loop-bound limitation:
+// when reaching ep needs more loop iterations than θ allows, verification
+// degrades; with a sufficient θ the same pair verifies. The subject is the
+// corpus iteration pair, whose T demands 20 guided loop iterations before
+// calling the shared decoder.
+func TestThetaLimitation(t *testing.T) {
+	const need = 20
+
+	t.Run("theta too small", func(t *testing.T) {
+		rep, err := core.New(core.Config{Theta: 8}).Verify(corpus.IterationPair(need))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Verdict == core.VerdictTriggered {
+			t.Fatalf("verified despite θ=8 < %d required iterations: %v", need, rep)
+		}
+		t.Logf("degraded as the paper describes: %v", rep)
+	})
+
+	t.Run("theta sufficient", func(t *testing.T) {
+		rep, err := core.New(core.Config{Theta: 64}).Verify(corpus.IterationPair(need))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Verdict != core.VerdictTriggered {
+			t.Fatalf("θ=64 should verify the %d-iteration pair: %v (reason %q)", need, rep, rep.Reason)
+		}
+	})
+}

@@ -1,0 +1,166 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"octopocs/internal/corpus"
+	ff "octopocs/internal/fileformat"
+	"octopocs/internal/vm"
+)
+
+// exec runs the S binary of the given Table II row on input.
+func exec(t *testing.T, idx int, input []byte, maxSteps int64) *vm.Outcome {
+	t.Helper()
+	spec := corpus.ByIdx(idx)
+	if maxSteps == 0 {
+		maxSteps = spec.Pair.MaxSteps
+	}
+	return vm.New(spec.Pair.S, vm.Config{Input: input, MaxSteps: maxSteps}).Run()
+}
+
+// TestGifReadBoundary: exactly 16 codes fill the table; 17 overflow it.
+func TestGifReadBoundary(t *testing.T) {
+	image := func(n int) []byte {
+		codes := make([]uint16, n)
+		doc := &ff.MGIF{Version: 0xFF, Blocks: []ff.GIFBlock{ff.GIFImage{Codes: codes}}, Trailer: true}
+		return doc.Encode()
+	}
+	if out := exec(t, 9, image(16), 0); out.Crashed() {
+		t.Errorf("16 codes crashed: %v", out)
+	}
+	if out := exec(t, 9, image(17), 0); !out.Crashed() {
+		t.Errorf("17 codes did not crash: %v", out)
+	}
+}
+
+// TestAvdecBoundary: eight samples fit the table; nine overflow.
+func TestAvdecBoundary(t *testing.T) {
+	frames := func(n int) []byte {
+		doc := &ff.MAVI{DeclaredSize: 4, Frames: [][]uint32{make([]uint32, n)}}
+		return doc.Encode()
+	}
+	if out := exec(t, 4, frames(8), 0); out.Crashed() {
+		t.Errorf("8 samples crashed: %v", out)
+	}
+	if out := exec(t, 4, frames(9), 0); !out.Crashed() {
+		t.Errorf("9 samples did not crash: %v", out)
+	}
+}
+
+// TestTjdecBoundary: small dimensions decode; 2^32-byte ones truncate the
+// allocation and overflow.
+func TestTjdecBoundary(t *testing.T) {
+	frame := func(w, h uint16, bpp byte) []byte {
+		return (&ff.MTJ0{Width: w, Height: h, BPP: bpp}).Encode()
+	}
+	if out := exec(t, 5, frame(4, 4, 4), 0); out.Crashed() {
+		t.Errorf("benign frame crashed: %v", out)
+	}
+	if out := exec(t, 5, frame(0x8000, 0x8000, 4), 0); !out.Crashed() {
+		t.Errorf("wrapping frame did not crash: %v", out)
+	}
+}
+
+// TestPdfboxBoundary: a 16-byte object fits the reader; 17 bytes overflow.
+func TestPdfboxBoundary(t *testing.T) {
+	doc := func(n int) []byte {
+		return (&ff.PDFObjects{Version: '1', Objects: [][]byte{make([]byte, n)}}).Encode()
+	}
+	if out := exec(t, 6, doc(16), 0); out.Crashed() {
+		t.Errorf("16-byte object crashed: %v", out)
+	}
+	if out := exec(t, 6, doc(17), 0); !out.Crashed() {
+		t.Errorf("17-byte object did not crash: %v", out)
+	}
+}
+
+// TestTiffBoundary: an 8-byte predictor payload fits; ordinary tags are
+// always safe regardless of following bytes.
+func TestTiffBoundary(t *testing.T) {
+	dir := func(entries ...ff.IFDEntry) []byte {
+		return (&ff.MTIF{Entries: entries}).Encode()
+	}
+	benign := dir(
+		ff.IFDEntry{Tag: 0x100, Value: 1},
+		ff.IFDEntry{Tag: ff.PredictorTag, Payload: make([]byte, 8)},
+	)
+	if out := exec(t, 10, benign, 0); out.Crashed() {
+		t.Errorf("8-byte payload crashed: %v", out)
+	}
+	overflow := dir(ff.IFDEntry{Tag: ff.PredictorTag, Payload: make([]byte, 9)})
+	if out := exec(t, 10, overflow, 0); !out.Crashed() {
+		t.Errorf("9-byte payload did not crash: %v", out)
+	}
+}
+
+// TestJ2kBoundary: one component decodes; zero components dereference the
+// null table. Invalid markers are rejected cleanly.
+func TestJ2kBoundary(t *testing.T) {
+	spec := corpus.ByIdx(7) // ghostscript S wraps the codestream in a PDF
+	wrap := func(cs []byte) []byte {
+		return (&ff.PDFStream{
+			Sections: []ff.PDFSection{{Kind: ff.PDFSectionImage, Data: cs}},
+			End:      true,
+		}).Encode()
+	}
+	runS := func(input []byte) *vm.Outcome {
+		return vm.New(spec.Pair.S, vm.Config{Input: input}).Run()
+	}
+	ok := (&ff.J2K{Width: 4, Height: 4, Components: []byte{8}}).Encode()
+	if out := runS(wrap(ok)); out.Crashed() {
+		t.Errorf("one-component stream crashed: %v", out)
+	}
+	bad := (&ff.J2K{Width: 4, Height: 4}).Encode()
+	if out := runS(wrap(bad)); !out.Crashed() {
+		t.Errorf("zero-component stream did not crash: %v", out)
+	}
+	garbage := wrap([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	if out := runS(garbage); out.Crashed() {
+		t.Errorf("invalid markers crashed instead of erroring: %v", out)
+	}
+}
+
+// TestPdfscanBoundary: pages of ordinary segments terminate; the stuck
+// segment spins until the budget classifies a hang.
+func TestPdfscanBoundary(t *testing.T) {
+	doc := func(pages ...ff.PDFPage) []byte {
+		return (&ff.PDFPages{Version: '4', Pages: pages}).Encode()
+	}
+	benign := doc(ff.PDFPage{Segments: []ff.PDFSegment{{Tag: 0x11, Data: []byte{1, 2}}}})
+	if out := exec(t, 3, benign, 0); out.Crashed() {
+		t.Errorf("benign page crashed/hung: %v", out)
+	}
+	stuck := doc(ff.PDFPage{Segments: []ff.PDFSegment{ff.StuckSegment}, Unterminated: true})
+	out := exec(t, 3, stuck, 0)
+	if out.Status != vm.StatusHang {
+		t.Errorf("stuck page outcome = %v, want hang", out)
+	}
+}
+
+// TestJpegcBoundary: ordinary dimensions allocate; absurd ones crash on
+// the refused allocation.
+func TestJpegcBoundary(t *testing.T) {
+	img := func(w, h uint16) []byte {
+		return (&ff.MJPG{Width: w, Height: h, Quality: 1, Pixels: make([]byte, 16)}).Encode()
+	}
+	if out := exec(t, 1, img(64, 64), 0); out.Crashed() {
+		t.Errorf("64x64 crashed: %v", out)
+	}
+	if out := exec(t, 1, img(0xFFFF, 0xFFFF), 0); !out.Crashed() {
+		t.Errorf("overflowing dimensions did not crash: %v", out)
+	}
+}
+
+// TestPdfnumBoundary: counts whose square fits in a byte are safe; count
+// 16 wraps the 8-bit size to zero.
+func TestPdfnumBoundary(t *testing.T) {
+	doc := func(cnt byte) []byte {
+		return append([]byte("MPDF"), 'N', cnt)
+	}
+	if out := exec(t, 15, doc(3), 0); out.Crashed() {
+		t.Errorf("count 3 crashed: %v", out)
+	}
+	if out := exec(t, 15, doc(16), 0); !out.Crashed() {
+		t.Errorf("count 16 did not crash: %v", out)
+	}
+}

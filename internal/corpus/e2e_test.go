@@ -1,0 +1,85 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/vm"
+)
+
+// TestAllPairsDefined checks the corpus covers Table II rows 1-15 exactly.
+func TestAllPairsDefined(t *testing.T) {
+	specs := corpus.All()
+	if len(specs) != 15 {
+		t.Fatalf("corpus has %d pairs, want 15", len(specs))
+	}
+	for i, s := range specs {
+		if s == nil {
+			t.Fatalf("pair %d is nil", i+1)
+		}
+		if s.Idx != i+1 {
+			t.Errorf("pair %d has Idx %d", i+1, s.Idx)
+		}
+		if s.Pair == nil || s.Pair.S == nil || s.Pair.T == nil || len(s.Pair.PoC) == 0 {
+			t.Errorf("pair %d (%s) incomplete", s.Idx, s.Label())
+		}
+	}
+	if corpus.ByIdx(99) != nil {
+		t.Error("ByIdx(99) should be nil")
+	}
+}
+
+// TestPoCsCrashS checks preprocessing ground truth: every PoC crashes its
+// S binary inside ℓ.
+func TestPoCsCrashS(t *testing.T) {
+	for _, s := range corpus.All() {
+		t.Run(s.Label(), func(t *testing.T) {
+			maxSteps := s.Pair.MaxSteps
+			out := vm.New(s.Pair.S, vm.Config{Input: s.Pair.PoC, MaxSteps: maxSteps}).Run()
+			if !out.Crashed() {
+				t.Fatalf("S outcome = %v, want crash", out)
+			}
+			if !out.CrashedIn(s.Pair.Lib) {
+				t.Fatalf("S crashed at %v, want inside ℓ", out.Crash.Loc)
+			}
+		})
+	}
+}
+
+// TestTableIIVerdicts runs the full pipeline over the corpus and asserts
+// the Table II shape: verdict class and poc' generation per row, 14 of 15
+// verified.
+func TestTableIIVerdicts(t *testing.T) {
+	pipeline := core.New(core.Config{})
+	verified := 0
+	for _, s := range corpus.All() {
+		s := s
+		t.Run(s.Label(), func(t *testing.T) {
+			rep, err := pipeline.Verify(s.Pair)
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			t.Logf("%v", rep)
+			if rep.Type != s.ExpectType {
+				t.Errorf("type = %v (reason %q), want %v", rep.Type, rep.Reason, s.ExpectType)
+			}
+			if rep.PoCGenerated() != s.ExpectPoC {
+				t.Errorf("poc' generated = %v, want %v", rep.PoCGenerated(), s.ExpectPoC)
+			}
+			if rep.Verified() {
+				verified++
+			}
+			// Triggered verdicts must come with an actual ℓ crash.
+			if rep.Verdict == core.VerdictTriggered {
+				out := vm.New(s.Pair.T, vm.Config{Input: rep.PoCPrime, MaxSteps: s.Pair.MaxSteps}).Run()
+				if !out.Crashed() || !out.CrashedIn(s.Pair.Lib) {
+					t.Errorf("poc' does not crash T in ℓ: %v", out)
+				}
+			}
+		})
+	}
+	if verified != 14 {
+		t.Errorf("verified %d of 15 pairs, want 14", verified)
+	}
+}

@@ -1,0 +1,63 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/isa"
+)
+
+// IterationPair builds a pair whose T calls the shared decoder only after
+// accumulating at least `need` records in a data-dependent loop, so
+// reaching ℓ requires at least `need` guided loop iterations. It is the
+// corpus form of the paper's § VII loop-bound discussion: verification
+// succeeds only when θ admits that many iterations.
+func IterationPair(need int64) *core.Pair {
+	addDecoder := func(b *asm.Builder) {
+		g := b.Function("decode", 1)
+		fd := g.Param(0)
+		buf := g.Sys(isa.SysAlloc, g.Const(8))
+		lb := g.Sys(isa.SysAlloc, g.Const(1))
+		g.Sys(isa.SysRead, fd, lb, g.Const(1))
+		g.Sys(isa.SysRead, fd, buf, g.Load(1, lb, 0)) // overflow for len > 8
+		g.RetI(0)
+	}
+
+	// The record loop reads one-byte records until the 0xFF terminator
+	// and counts them; the binary demands `minRecords` before decoding.
+	build := func(name string, minRecords int64) *asm.Builder {
+		b := asm.NewBuilder(name)
+		addDecoder(b)
+		f := b.Function("main", 0)
+		fd := f.Sys(isa.SysOpen)
+		count := f.VarI(0)
+		going := f.VarI(1)
+		buf := f.Sys(isa.SysAlloc, f.Const(1))
+		f.While(func() isa.Reg { return going }, func() {
+			n := f.Sys(isa.SysRead, fd, buf, f.Const(1))
+			f.If(f.EqI(n, 0), func() { f.Exit(2) })
+			v := f.Load(1, buf, 0)
+			f.IfElse(f.EqI(v, 0xFF),
+				func() { f.AssignI(going, 0) },
+				func() { f.Assign(count, f.AddI(count, 1)) })
+		})
+		f.If(f.LtI(count, minRecords), func() { f.Exit(1) })
+		f.Call("decode", fd)
+		f.Exit(0)
+		b.Entry("main")
+		return b
+	}
+
+	// S needs a single record; its PoC carries one.
+	poc := []byte{0x01, 0xFF, 32}
+	for i := 0; i < 32; i++ {
+		poc = append(poc, byte(i))
+	}
+	return &core.Pair{
+		Name:      "iteration-pair",
+		S:         build("record-tool", 1).MustBuild(),
+		T:         build("record-clone", need).MustBuild(),
+		PoC:       poc,
+		Lib:       map[string]bool{"decode": true},
+		InputSize: 128,
+	}
+}

@@ -1,0 +1,200 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/isa"
+)
+
+// LatestSpec is a § V-B variant: the same propagated clone verified
+// against the latest version of T at disclosure time, or against the
+// version released after the authors' report.
+type LatestSpec struct {
+	// BaseIdx is the Table II row this variant extends.
+	BaseIdx int
+	// TName/TVersion identify the variant binary.
+	TName    string
+	TVersion string
+	// PostReport marks versions released after the paper's disclosure
+	// (the libgdx and Xpdf fixes; Mozilla answered that a fix was
+	// coming).
+	PostReport bool
+	// NewCVE is the identifier assigned in response to the report
+	// (CVE-2020-35376 for Xpdf).
+	NewCVE string
+	// ExpectTriggered is the verdict the paper reports: still
+	// triggerable at disclosure, fixed after the report.
+	ExpectTriggered bool
+	// Pair is the verification task.
+	Pair *core.Pair
+}
+
+// LatestVersions returns the § V-B variants: the three binaries whose
+// latest versions still carried the propagated vulnerability (libgdx,
+// mozjpeg's tjbench, Xpdf's pdftops), plus the post-report fixed releases
+// of libgdx and Xpdf.
+func LatestVersions() []*LatestSpec {
+	return []*LatestSpec{
+		{
+			BaseIdx: 1, TName: "libgdx", TVersion: "1.9.11 (latest at disclosure)",
+			ExpectTriggered: true,
+			Pair: buildPair("jpeg-compressor->libgdx-latest",
+				jpegcS(), jpegcLibgdxLatestT(), jpegcPoC(), jpegcLib, nil),
+		},
+		{
+			BaseIdx: 1, TName: "libgdx", TVersion: "post-report fix",
+			PostReport: true, ExpectTriggered: false,
+			Pair: buildPair("jpeg-compressor->libgdx-fixed",
+				jpegcS(), jpegcLibgdxFixedT(), jpegcPoC(), jpegcLib, nil),
+		},
+		{
+			BaseIdx: 5, TName: "tjbench (mozjpeg)", TVersion: "master (latest at disclosure)",
+			ExpectTriggered: true,
+			Pair: buildPair("tjbench-libjpeg-turbo->mozjpeg-latest",
+				tjdecS(), tjdecMozjpegLatestT(), tjdecPoC(), tjdecLib, nil),
+		},
+		{
+			BaseIdx: 3, TName: "pdftops (Xpdf)", TVersion: "4.2.0 (latest at disclosure)",
+			ExpectTriggered: true,
+			Pair:            pdfscanPairWithT("pdftops-poppler->pdftops-xpdf-latest", pdfscanXpdfLatestT()),
+		},
+		{
+			BaseIdx: 3, TName: "pdftops (Xpdf)", TVersion: "post-report fix",
+			PostReport: true, NewCVE: "CVE-2020-35376", ExpectTriggered: false,
+			Pair: pdfscanPairWithT("pdftops-poppler->pdftops-xpdf-fixed", pdfscanXpdfFixedT()),
+		},
+	}
+}
+
+func pdfscanPairWithT(name string, t *asm.Builder) *core.Pair {
+	pair := buildPair(name, pdfscanS(), t, pdfscanPoC(), pdfscanLib, nil)
+	pair.MaxSteps = 60_000
+	return pair
+}
+
+// jpegcLibgdxLatestT is libgdx 1.9.11: an added mip-map configuration path,
+// but the decode call and format are unchanged — still vulnerable.
+func jpegcLibgdxLatestT() *asm.Builder {
+	b := asm.NewBuilder("libgdx-1.9.11")
+	addJpegc(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MJPG")
+	w := readU16LE(f, fd)
+	f.If(f.EqI(w, 0), func() { f.Exit(1) })
+	// New in 1.9.11: derive the mip-map level count from the width.
+	mips := f.VarI(0)
+	cur := f.Var(w)
+	f.While(func() isa.Reg { return f.GtI(cur, 1) }, func() {
+		f.Assign(cur, f.ShrI(cur, 1))
+		f.Assign(mips, f.AddI(mips, 1))
+	})
+	f.Sys(isa.SysSeek, fd, f.Const(4))
+	f.Call("jpegc_decode", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// jpegcLibgdxFixedT is the post-report libgdx: the loader validates the
+// dimensions before handing the stream to the decoder.
+func jpegcLibgdxFixedT() *asm.Builder {
+	b := asm.NewBuilder("libgdx-fixed")
+	addJpegc(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MJPG")
+	w := readU16LE(f, fd)
+	h := readU16LE(f, fd)
+	f.If(f.EqI(w, 0), func() { f.Exit(1) })
+	// The fix: reject images larger than the supported texture size.
+	f.If(f.GtI(w, 0x2000), func() { f.Exit(1) })
+	f.If(f.GtI(h, 0x2000), func() { f.Exit(1) })
+	f.Sys(isa.SysSeek, fd, f.Const(4))
+	f.Call("jpegc_decode", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// tjdecMozjpegLatestT is mozjpeg master at disclosure (Jan 2020): the
+// upstream libjpeg-turbo fix from Nov 2018 was never merged, so the
+// decompressor still truncates the size computation.
+func tjdecMozjpegLatestT() *asm.Builder {
+	b := asm.NewBuilder("tjbench-mozjpeg-master")
+	addTjdec(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MTJ0")
+	rc := f.Call("tjdec_decompress", fd)
+	f.If(f.NeI(rc, 0), func() { f.Exit(1) })
+	// Additional benchmark reporting added since the Table II snapshot.
+	reps := f.VarI(0)
+	f.While(func() isa.Reg { return f.LtI(reps, 32) }, func() {
+		f.Assign(reps, f.AddI(reps, 1))
+	})
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// pdfscanXpdfLatestT is Xpdf 4.2.0: still scans pages with the shared
+// scanner, still vulnerable.
+func pdfscanXpdfLatestT() *asm.Builder {
+	b := asm.NewBuilder("pdftops-xpdf-4.2.0")
+	addPdfscan(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	version := readU8(f, fd)
+	f.If(f.LtI(version, '0'), func() { f.Exit(1) })
+	f.If(f.GtI(version, '9'), func() { f.Exit(1) })
+	pdfscanPages(f, fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// pdfscanXpdfFixedT is the post-report Xpdf (the fix that received
+// CVE-2020-35376): before scanning, each page is pre-validated and pages
+// containing a non-advancing segment are rejected.
+func pdfscanXpdfFixedT() *asm.Builder {
+	b := asm.NewBuilder("pdftops-xpdf-fixed")
+	addPdfscan(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	version := readU8(f, fd)
+	f.If(f.LtI(version, '0'), func() { f.Exit(1) })
+	f.If(f.GtI(version, '9'), func() { f.Exit(1) })
+	pages := readU8(f, fd)
+	i := f.VarI(0)
+	f.While(func() isa.Reg { return f.Cmp(isa.Lt, i, pages) }, func() {
+		// The fix: pre-validate the page, rejecting stuck segments.
+		start := f.Sys(isa.SysTell, fd)
+		buf := f.Sys(isa.SysAlloc, f.Const(2))
+		scanning := f.VarI(1)
+		f.While(func() isa.Reg { return scanning }, func() {
+			n := f.Sys(isa.SysRead, fd, buf, f.Const(2))
+			f.IfElse(f.LtI(n, 2), func() {
+				f.AssignI(scanning, 0)
+			}, func() {
+				tag := f.Load(1, buf, 0)
+				length := f.Load(1, buf, 1)
+				stuck := f.Bin(isa.And, f.EqI(tag, 0x7F), f.EqI(length, 0))
+				f.If(stuck, func() { f.Exit(3) }) // reject the document
+				f.IfElse(f.EqI(tag, 0), func() {
+					f.AssignI(scanning, 0)
+				}, func() {
+					skipBytes(f, fd, length)
+				})
+			})
+		})
+		f.Sys(isa.SysSeek, fd, start)
+		f.Call("pdfscan_scan", fd)
+		f.Assign(i, f.AddI(i, 1))
+	})
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}

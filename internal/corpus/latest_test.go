@@ -1,0 +1,49 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+)
+
+// TestLatestVersionFindings reproduces § V-B: the propagated vulnerability
+// is still triggerable in the latest versions of libgdx, mozjpeg's
+// tjbench, and Xpdf's pdftops; the post-report releases of libgdx and Xpdf
+// (the latter assigned CVE-2020-35376) are verified fixed.
+func TestLatestVersionFindings(t *testing.T) {
+	specs := corpus.LatestVersions()
+	if len(specs) != 5 {
+		t.Fatalf("variants = %d, want 5", len(specs))
+	}
+	stillVulnerable, fixed := 0, 0
+	pipeline := core.New(core.Config{})
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.TName+"/"+spec.TVersion, func(t *testing.T) {
+			rep, err := pipeline.Verify(spec.Pair)
+			if err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+			t.Logf("%v", rep)
+			triggered := rep.Verdict == core.VerdictTriggered
+			if triggered != spec.ExpectTriggered {
+				t.Errorf("triggered = %v (reason %q), want %v", triggered, rep.Reason, spec.ExpectTriggered)
+			}
+			if !rep.Verified() {
+				t.Error("latest-version verification must reach a sound verdict")
+			}
+			if triggered {
+				stillVulnerable++
+			} else {
+				fixed++
+			}
+			if spec.PostReport && triggered {
+				t.Error("post-report release still triggerable")
+			}
+		})
+	}
+	if stillVulnerable != 3 || fixed != 2 {
+		t.Errorf("still-vulnerable=%d fixed=%d, want 3 and 2 (paper § V-B)", stillVulnerable, fixed)
+	}
+}

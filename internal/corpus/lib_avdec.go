@@ -1,0 +1,107 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/fileformat"
+	"octopocs/internal/isa"
+)
+
+// addAvdec emits the shared RIFF-style frame decoder of the avconv/ffmpeg
+// pair (the CVE-2018-11102 analog, CWE-119): the sample count is read from
+// the file and used to fill a fixed eight-slot table of 4-byte samples
+// without a bound check.
+func addAvdec(b *asm.Builder) {
+	g := b.Function("avdec_frame", 1) // (fd)
+	fd := g.Param(0)
+	table := g.Sys(isa.SysAlloc, g.Const(32)) // 8 samples
+	cnt := readU8(g, fd)
+	tmp := g.Sys(isa.SysAlloc, g.Const(4))
+	i := g.VarI(0)
+	g.While(func() isa.Reg { return g.Cmp(isa.Lt, i, cnt) }, func() {
+		g.Sys(isa.SysRead, fd, tmp, g.Const(4))
+		v := g.Load(4, tmp, 0)
+		g.Store(4, g.Add(table, g.MulI(i, 4)), 0, v) // overflows at i == 8
+		g.Assign(i, g.AddI(i, 1))
+	})
+	g.Ret(cnt)
+}
+
+var avdecLib = map[string]bool{"avdec_frame": true}
+
+// avdecFrames emits the container frame loop: a u8 frame count, then one
+// avdec_frame call per frame. The decoder is entered once per frame, so
+// crash-primitive extraction must keep per-entry context (Table III).
+func avdecFrames(f *asm.Fn, fd isa.Reg) {
+	frames := readU8(f, fd)
+	i := f.VarI(0)
+	f.While(func() isa.Reg { return f.Cmp(isa.Lt, i, frames) }, func() {
+		f.Call("avdec_frame", fd)
+		f.Assign(i, f.AddI(i, 1))
+	})
+}
+
+// avdecS builds avconv.
+func avdecS() *asm.Builder {
+	b := asm.NewBuilder("avconv-12.3")
+	addAvdec(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MAVI")
+	readU16LE(f, fd) // declared payload size, unchecked
+	avdecFrames(f, fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// avdecT builds ffmpeg: same container, but a zero payload size is
+// rejected.
+func avdecT() *asm.Builder {
+	b := asm.NewBuilder("ffmpeg-1.0")
+	addAvdec(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MAVI")
+	size := readU16LE(f, fd)
+	f.If(f.EqI(size, 0), func() { f.Exit(1) })
+	avdecFrames(f, fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// avdecPoC carries two frames: a well-formed two-sample frame, then a
+// nine-sample frame whose ninth store lands past the table.
+func avdecPoC() []byte {
+	overflowing := make([]uint32, 9) // one past the 8-slot sample table
+	for i := range overflowing {
+		b := uint32(0x10 + 4*i)
+		overflowing[i] = b | (b+1)<<8 | (b+2)<<16 | (b+3)<<24
+	}
+	doc := &fileformat.MAVI{
+		DeclaredSize: 0x40,
+		Frames: [][]uint32{
+			{0xA3A2A1A0, 0xA7A6A5A4},
+			overflowing,
+		},
+	}
+	return doc.Encode()
+}
+
+// avdecFfmpeg is Table II Idx-4: avconv → ffmpeg, CVE-2018-11102.
+func avdecFfmpeg() *PairSpec {
+	return &PairSpec{
+		Idx:        4,
+		SName:      "avconv",
+		SVersion:   "12.3",
+		TName:      "ffmpeg",
+		TVersion:   "1.0",
+		CVE:        "CVE-2018-11102",
+		CWE:        "CWE-119",
+		ExpectType: core.TypeI,
+		ExpectPoC:  true,
+		Pair: buildPair("avconv->ffmpeg",
+			avdecS(), avdecT(), avdecPoC(), avdecLib, nil),
+	}
+}

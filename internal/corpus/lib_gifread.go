@@ -1,0 +1,136 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/fileformat"
+	"octopocs/internal/isa"
+)
+
+// addGifRead emits the shared vulnerable library ℓ of the gif2png pair:
+// the analog of gif2png's ReadImage (CVE-2011-2896). The image block
+// carries a u8 code count followed by count 2-byte codes, which the
+// function copies into a fixed 32-byte table without bounding count — a
+// heap buffer overflow for count > 16.
+func addGifRead(b *asm.Builder) {
+	g := b.Function("gif_read_image", 1) // (fd)
+	fd := g.Param(0)
+	cnt := readU8(g, fd)
+	table := g.Sys(isa.SysAlloc, g.Const(32))
+	tmp := g.Sys(isa.SysAlloc, g.Const(2))
+	i := g.VarI(0)
+	g.While(func() isa.Reg { return g.Cmp(isa.Lt, i, cnt) }, func() {
+		g.Sys(isa.SysRead, fd, tmp, g.Const(2))
+		code := g.Load(2, tmp, 0)
+		g.Store(2, g.Add(table, g.MulI(i, 2)), 0, code) // overflows at i == 16
+		g.Assign(i, g.AddI(i, 1))
+	})
+	g.Ret(cnt)
+}
+
+var gifLib = map[string]bool{"gif_read_image": true}
+
+// gifBlockLoop emits the MGIF block loop: 0x2C starts an image (enters ℓ),
+// 0x21 is a skippable extension, 0x3B is the trailer. With checkpoint set,
+// every image block must be followed by a 0x3A checkpoint byte — the
+// artificial clone's second format change, which shifts every later block
+// relative to the original PoC and so defeats context-free primitive
+// placement (Table III).
+func gifBlockLoop(f *asm.Fn, fd isa.Reg, checkpoint bool) {
+	tagbuf := f.Sys(isa.SysAlloc, f.Const(1))
+	done := f.VarI(0)
+	f.While(func() isa.Reg { return f.EqI(done, 0) }, func() {
+		n := f.Sys(isa.SysRead, fd, tagbuf, f.Const(1))
+		f.If(f.EqI(n, 0), func() { f.Exit(2) })
+		tag := f.Load(1, tagbuf, 0)
+		f.IfElse(f.EqI(tag, 0x2C), func() {
+			f.Call("gif_read_image", fd)
+			if checkpoint {
+				cp := readU8(f, fd)
+				f.If(f.NeI(cp, 0x3A), func() { f.Exit(5) })
+			}
+		}, func() {
+			f.IfElse(f.EqI(tag, 0x3B), func() {
+				f.Exit(0)
+			}, func() {
+				f.IfElse(f.EqI(tag, 0x21), func() {
+					skipBytes(f, fd, readU8(f, fd))
+				}, func() {
+					f.Exit(1)
+				})
+			})
+		})
+	})
+	f.Exit(0)
+}
+
+// gif2pngS builds the original gif2png 2.5.8: it checks the MGIF magic but,
+// as the paper notes, "does not care about invalid version information".
+func gif2pngS() *asm.Builder {
+	b := asm.NewBuilder("gif2png-2.5.8")
+	addGifRead(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MGIF")
+	readU8(f, fd) // version byte, accepted blindly
+	gifBlockLoop(f, fd, false)
+	b.Entry("main")
+	return b
+}
+
+// gif2pngT builds the artificial clone of the paper's Idx-9: identical
+// parsing plus a strict version check (must be '8') and an option-flag
+// preamble, so the original PoC — which carries an invalid version — no
+// longer reaches ℓ and the guiding input must be reformed.
+func gif2pngT() *asm.Builder {
+	b := asm.NewBuilder("gif2png-artificial")
+	addGifRead(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MGIF")
+	version := readU8(f, fd)
+	f.If(f.NeI(version, '8'), func() { f.Exit(1) }) // the inserted strict check
+	flagPreamble(f, fd, 16)
+	gifBlockLoop(f, fd, true)
+	b.Entry("main")
+	return b
+}
+
+// gifPoC is the disclosed PoC: invalid version byte 0xFF, one extension
+// block, then an image block whose code count 17 overflows the 16-entry
+// table.
+func gifPoC() []byte {
+	overflowing := make([]uint16, 17) // one past the 16-entry code table
+	for i := range overflowing {
+		lo := byte('A' + (2*i)%26)
+		hi := byte('A' + (2*i+1)%26)
+		overflowing[i] = uint16(lo) | uint16(hi)<<8
+	}
+	doc := &fileformat.MGIF{
+		Version: 0xFF, // invalid, and gif2png does not care
+		Blocks: []fileformat.GIFBlock{
+			fileformat.GIFExtension{Data: []byte{0xAA, 0xBB}},
+			fileformat.GIFImage{Codes: []uint16{0x3231, 0x3433}},
+			fileformat.GIFImage{Codes: overflowing},
+		},
+	}
+	return doc.Encode()
+}
+
+// gifreadArtifical is Table II Idx-9: gif2png → gif2png (artificial),
+// CVE-2011-2896, Type-II.
+func gifreadArtifical() *PairSpec {
+	return &PairSpec{
+		Idx:        9,
+		SName:      "gif2png",
+		SVersion:   "2.5.8",
+		TName:      "gif2png (artificial)",
+		TVersion:   "N/A",
+		CVE:        "CVE-2011-2896",
+		CWE:        "CWE-119",
+		ExpectType: core.TypeII,
+		ExpectPoC:  true,
+		Pair: buildPair("gif2png->gif2png-artificial",
+			gif2pngS(), gif2pngT(), gifPoC(), gifLib, nil),
+	}
+}

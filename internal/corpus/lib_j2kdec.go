@@ -1,0 +1,253 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/fileformat"
+	"octopocs/internal/isa"
+)
+
+// addJ2kdec emits the shared JPEG2000 codestream decoder of the
+// ghostscript/opj_dump/MuPDF pairs (the ghostscript-BZ697463 analog): a
+// codestream with zero components leaves the component table pointer null,
+// and the first component lookup dereferences it.
+func addJ2kdec(b *asm.Builder) {
+	// j2k_read_siz parses the SIZ segment: marker, fixed length, non-zero
+	// dimensions, and the component count. Returns count+1, or 0 on a
+	// malformed segment. It is part of ℓ — the shared set spans both
+	// functions, as the paper's ℓ is "a set of functions".
+	siz := b.Function("j2k_read_siz", 1) // (fd)
+	sfd := siz.Param(0)
+	hdr := siz.Sys(isa.SysAlloc, siz.Const(8))
+	siz.Sys(isa.SysRead, sfd, hdr, siz.Const(8))
+	siz.If(siz.NeI(siz.Load(1, hdr, 0), 0xFF), func() { siz.RetI(0) })
+	siz.If(siz.NeI(siz.Load(1, hdr, 1), 0x51), func() { siz.RetI(0) }) // SIZ
+	siz.If(siz.NeI(siz.Load(1, hdr, 2), 0x00), func() { siz.RetI(0) })
+	siz.If(siz.NeI(siz.Load(1, hdr, 3), 0x08), func() { siz.RetI(0) }) // Lsiz == 8
+	w := siz.Load(2, hdr, 4)
+	h := siz.Load(2, hdr, 6)
+	siz.If(siz.EqI(w, 0), func() { siz.RetI(0) })
+	siz.If(siz.EqI(h, 0), func() { siz.RetI(0) })
+	cnt := readU8(siz, sfd)
+	siz.Ret(siz.AddI(cnt, 1))
+
+	g := b.Function("j2k_decode", 1) // (fd)
+	fd := g.Param(0)
+	soc := g.Sys(isa.SysAlloc, g.Const(2))
+	g.Sys(isa.SysRead, fd, soc, g.Const(2))
+	g.If(g.NeI(g.Load(1, soc, 0), 0xFF), func() { g.RetI(1) })
+	g.If(g.NeI(g.Load(1, soc, 1), 0x4F), func() { g.RetI(1) }) // SOC
+	rc := g.Call("j2k_read_siz", fd)
+	g.If(g.EqI(rc, 0), func() { g.RetI(1) })
+	cnt2 := g.SubI(rc, 1)
+	comps := g.VarI(0) // component table pointer, null until allocated
+	g.If(g.GtI(cnt2, 0), func() {
+		g.Assign(comps, g.Sys(isa.SysAlloc, g.Mul(cnt2, g.Const(8))))
+		j := g.VarI(0)
+		g.While(func() isa.Reg { return g.Cmp(isa.Lt, j, cnt2) }, func() {
+			depth := readU8(g, fd)
+			g.Store(8, g.Add(comps, g.MulI(j, 8)), 0, depth)
+			g.Assign(j, g.AddI(j, 1))
+		})
+	})
+	// The bug: component 0 is read unconditionally (null deref if cnt==0).
+	first := g.Load(8, comps, 0)
+	g.Ret(first)
+}
+
+// j2kLib is ℓ for the JPEG2000 pairs: the decoder and its SIZ parser were
+// cloned together.
+var j2kLib = map[string]bool{"j2k_decode": true, "j2k_read_siz": true}
+
+// j2kGhostscriptS builds ghostscript 9.26: a PDF-wrapper consumer whose 'I'
+// streams carry embedded JPEG2000 codestreams.
+func j2kGhostscriptS() *asm.Builder {
+	b := asm.NewBuilder("ghostscript-9.26")
+	addJ2kdec(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	tagbuf := f.Sys(isa.SysAlloc, f.Const(1))
+	done := f.VarI(0)
+	f.While(func() isa.Reg { return f.EqI(done, 0) }, func() {
+		n := f.Sys(isa.SysRead, fd, tagbuf, f.Const(1))
+		f.If(f.EqI(n, 0), func() { f.Exit(2) })
+		tag := f.Load(1, tagbuf, 0)
+		f.IfElse(f.EqI(tag, 'I'), func() {
+			f.Call("j2k_decode", fd)
+		}, func() {
+			f.IfElse(f.EqI(tag, 'E'), func() {
+				f.Exit(0)
+			}, func() {
+				f.IfElse(f.EqI(tag, 'S'), func() {
+					skipBytes(f, fd, readU8(f, fd))
+				}, func() {
+					f.Exit(1)
+				})
+			})
+		})
+	})
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// j2kOpjDumpT builds opj_dump 2.1.1: raw codestream input straight into
+// the shared decoder — small and branch-light, which is why the naive
+// symbolic baseline handles this one (Table IV row 1).
+func j2kOpjDumpT() *asm.Builder {
+	b := asm.NewBuilder("opj_dump-2.1.1")
+	addJ2kdec(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	rc := f.Call("j2k_decode", fd)
+	f.If(f.NeI(rc, 0), func() { f.Exit(1) })
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// j2kOpjDumpPatchedT builds opj_dump 2.2.0: before decoding, the driver
+// peeks the component count and rejects the degenerate zero-component
+// stream — the upstream patch.
+func j2kOpjDumpPatchedT() *asm.Builder {
+	b := asm.NewBuilder("opj_dump-2.2.0")
+	addJ2kdec(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	hdr := f.Sys(isa.SysAlloc, f.Const(11))
+	f.Sys(isa.SysRead, fd, hdr, f.Const(11))
+	cnt := f.Load(1, hdr, 10)
+	f.If(f.EqI(cnt, 0), func() { f.Exit(4) }) // the patch
+	f.Sys(isa.SysSeek, fd, f.Const(0))
+	rc := f.Call("j2k_decode", fd)
+	f.If(f.NeI(rc, 0), func() { f.Exit(1) })
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// j2kMupdfT builds MuPDF 1.9 (the mutool case of § II-C): PDF-wrapper
+// input, an option preamble, and stream filters dispatched through a
+// function-pointer table — the indirect call that defeats a static CFG.
+func j2kMupdfT() *asm.Builder {
+	b := asm.NewBuilder("mupdf-1.9")
+	addJ2kdec(b)
+
+	flate := b.Function("flate_decode", 1)
+	skipBytes(flate, flate.Param(0), readU8(flate, flate.Param(0)))
+	flate.RetI(0)
+
+	ascii := b.Function("ascii_decode", 1)
+	readU16LE(ascii, ascii.Param(0))
+	ascii.RetI(0)
+
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	flagPreamble(f, fd, 16)
+	tagbuf := f.Sys(isa.SysAlloc, f.Const(1))
+	done := f.VarI(0)
+	f.While(func() isa.Reg { return f.EqI(done, 0) }, func() {
+		n := f.Sys(isa.SysRead, fd, tagbuf, f.Const(1))
+		f.If(f.EqI(n, 0), func() { f.Exit(2) })
+		tag := f.Load(1, tagbuf, 0)
+		f.IfElse(f.EqI(tag, 'O'), func() {
+			filter := readU8(f, fd)
+			f.If(f.GtI(filter, 2), func() { f.Exit(1) })
+			f.CallInd(filter, fd)
+		}, func() {
+			f.IfElse(f.EqI(tag, 'E'), func() {
+				f.Exit(0)
+			}, func() {
+				f.Exit(1)
+			})
+		})
+	})
+	f.Exit(0)
+	b.Entry("main")
+	b.FuncTable("flate_decode", "ascii_decode", "j2k_decode")
+	return b
+}
+
+// j2kPdfPoC is the PDF-wrapped PoC that crashes ghostscript: realistic
+// metadata sections (hundreds of bytes, as real PDF PoCs carry), then an
+// image stream whose codestream declares zero components. The bulk matters
+// for the Table V comparison: a mutation-based fuzzer must excise the
+// wrapper exactly to hand the raw codestream to opj_dump.
+func j2kPdfPoC() []byte {
+	meta := func(seed byte) []byte {
+		data := make([]byte, 200)
+		for i := range data {
+			data[i] = seed*7 + byte(i)
+		}
+		return data
+	}
+	doc := &fileformat.PDFStream{Sections: []fileformat.PDFSection{
+		{Kind: fileformat.PDFSectionSkip, Data: meta(0)},
+		{Kind: fileformat.PDFSectionSkip, Data: meta(1)},
+		{Kind: fileformat.PDFSectionImage, Data: j2kRawPoC()},
+	}}
+	return doc.Encode()
+}
+
+// j2kRawPoC is the raw codestream PoC that crashes opj_dump: a valid
+// header declaring zero components.
+func j2kRawPoC() []byte {
+	cs := &fileformat.J2K{Width: 0x40, Height: 0x40}
+	return cs.Encode()
+}
+
+// j2kOpjDump is Table II Idx-7: ghostscript → opj_dump 2.1.1 (PDF wrapper
+// to raw codestream), Type-II.
+func j2kOpjDump() *PairSpec {
+	return &PairSpec{
+		Idx:        7,
+		SName:      "ghostscript",
+		SVersion:   "9.26",
+		TName:      "opj_dump",
+		TVersion:   "2.1.1",
+		CVE:        "ghostscript-BZ697463",
+		CWE:        "No-CWE",
+		ExpectType: core.TypeII,
+		ExpectPoC:  true,
+		Pair: buildPair("ghostscript->opj_dump",
+			j2kGhostscriptS(), j2kOpjDumpT(), j2kPdfPoC(), j2kLib, nil),
+	}
+}
+
+// j2kMupdf is Table II Idx-8: opj_dump → MuPDF (raw codestream to PDF
+// wrapper, the mutool motivating example), Type-II.
+func j2kMupdf() *PairSpec {
+	return &PairSpec{
+		Idx:        8,
+		SName:      "opj_dump",
+		SVersion:   "2.1.1",
+		TName:      "MuPDF",
+		TVersion:   "1.9",
+		CVE:        "ghostscript-BZ697463",
+		CWE:        "No-CWE",
+		ExpectType: core.TypeII,
+		ExpectPoC:  true,
+		Pair: buildPair("opj_dump->mupdf",
+			j2kOpjDumpT(), j2kMupdfT(), j2kRawPoC(), j2kLib, nil),
+	}
+}
+
+// j2kOpjDumpPatched is Table II Idx-13: ghostscript → opj_dump 2.2.0
+// (patched clone), Type-III with no poc'.
+func j2kOpjDumpPatched() *PairSpec {
+	return &PairSpec{
+		Idx:        13,
+		SName:      "ghostscript",
+		SVersion:   "9.26",
+		TName:      "opj_dump",
+		TVersion:   "2.2.0",
+		CVE:        "ghostscript-BZ697463",
+		CWE:        "No-CWE",
+		ExpectType: core.TypeIII,
+		ExpectPoC:  false,
+		Pair: buildPair("ghostscript->opj_dump-patched",
+			j2kGhostscriptS(), j2kOpjDumpPatchedT(), j2kPdfPoC(), j2kLib, nil),
+	}
+}

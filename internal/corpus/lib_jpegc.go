@@ -1,0 +1,124 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/fileformat"
+	"octopocs/internal/isa"
+)
+
+// addJpegc emits the shared library of the jpeg-compressor pairs (the
+// CVE-2017-0700 analog): the decoder computes the pixel-buffer size from
+// unvalidated width×height, the allocator refuses the absurd request, and
+// the subsequent header read writes through the null result.
+func addJpegc(b *asm.Builder) {
+	g := b.Function("jpegc_decode", 1) // (fd)
+	fd := g.Param(0)
+	w := readU16LE(g, fd)
+	h := readU16LE(g, fd)
+	readU8(g, fd) // quality byte, unused by the crash path
+	size := g.MulI(g.Mul(w, h), 4)
+	buf := g.Sys(isa.SysAlloc, size) // returns 0 for w*h*4 > max alloc
+	g.Sys(isa.SysRead, fd, buf, g.Const(16))
+	g.Ret(g.Const(0))
+}
+
+var jpegcLib = map[string]bool{"jpegc_decode": true}
+
+// jpegcS builds the original jpeg-compressor tool.
+func jpegcS() *asm.Builder {
+	b := asm.NewBuilder("jpeg-compressor")
+	addJpegc(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MJPG")
+	f.Call("jpegc_decode", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// jpegcLibgdxT builds the libgdx asset loader: same MJPG format, plus a
+// dimension sniff (peek width, reject zero) before handing the stream to
+// the embedded decoder.
+func jpegcLibgdxT() *asm.Builder {
+	b := asm.NewBuilder("libgdx-1.9.10")
+	addJpegc(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MJPG")
+	w := readU16LE(f, fd)
+	f.If(f.EqI(w, 0), func() { f.Exit(1) })
+	f.Sys(isa.SysSeek, fd, f.Const(4)) // decoder re-parses from the header
+	f.Call("jpegc_decode", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// jpegcZxingT builds the zxing scanner: decodes the image, then runs extra
+// (never-reached-by-the-PoC) barcode logic over the result.
+func jpegcZxingT() *asm.Builder {
+	b := asm.NewBuilder("zxing")
+	addJpegc(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MJPG")
+	rc := f.Call("jpegc_decode", fd)
+	f.If(f.NeI(rc, 0), func() { f.Exit(1) })
+	// Barcode pass over a scratch row buffer.
+	row := f.Sys(isa.SysAlloc, f.Const(64))
+	i := f.VarI(0)
+	f.While(func() isa.Reg { return f.LtI(i, 64) }, func() {
+		f.Store(1, f.Add(row, i), 0, f.AndI(i, 0xFF))
+		f.Assign(i, f.AddI(i, 1))
+	})
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// jpegcPoC declares a 65535×65535 image: the size computation overflows
+// any sane allocation and the decoder crashes on the null buffer.
+func jpegcPoC() []byte {
+	pixels := make([]byte, 16)
+	for i := range pixels {
+		pixels[i] = byte(i)
+	}
+	img := &fileformat.MJPG{Width: 0xFFFF, Height: 0xFFFF, Quality: 0x50, Pixels: pixels}
+	return img.Encode()
+}
+
+// jpegcLibgdx is Table II Idx-1: jpeg-compressor → libgdx, CVE-2017-0700.
+func jpegcLibgdx() *PairSpec {
+	return &PairSpec{
+		Idx:        1,
+		SName:      "JPEG-compressor",
+		SVersion:   "N/A",
+		TName:      "libgdx",
+		TVersion:   "1.9.10",
+		CVE:        "CVE-2017-0700",
+		CWE:        "No-CWE",
+		ExpectType: core.TypeI,
+		ExpectPoC:  true,
+		Pair: buildPair("jpeg-compressor->libgdx",
+			jpegcS(), jpegcLibgdxT(), jpegcPoC(), jpegcLib, nil),
+	}
+}
+
+// jpegcZxing is Table II Idx-2: jpeg-compressor → zxing, CVE-2017-0700.
+func jpegcZxing() *PairSpec {
+	return &PairSpec{
+		Idx:        2,
+		SName:      "JPEG-compressor",
+		SVersion:   "N/A",
+		TName:      "zxing",
+		TVersion:   "@0a32109",
+		CVE:        "CVE-2017-0700",
+		CWE:        "No-CWE",
+		ExpectType: core.TypeI,
+		ExpectPoC:  true,
+		Pair: buildPair("jpeg-compressor->zxing",
+			jpegcS(), jpegcZxingT(), jpegcPoC(), jpegcLib, nil),
+	}
+}

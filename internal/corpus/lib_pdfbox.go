@@ -1,0 +1,139 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/fileformat"
+	"octopocs/internal/isa"
+)
+
+// addPdfbox emits the shared object reader of the pdfalto/Xpdf pairs (the
+// CVE-2019-9878 analog, CWE-119): an object is a u8 length followed by
+// that many bytes, read into a fixed 16-byte buffer without a bound check.
+func addPdfbox(b *asm.Builder) {
+	g := b.Function("pdfbox_obj", 1) // (fd)
+	fd := g.Param(0)
+	buf := g.Sys(isa.SysAlloc, g.Const(16))
+	length := readU8(g, fd)
+	g.Sys(isa.SysRead, fd, buf, length) // overflows for length > 16
+	g.Ret(length)
+}
+
+var pdfboxLib = map[string]bool{"pdfbox_obj": true}
+
+// pdfboxS builds pdfalto.
+func pdfboxS() *asm.Builder {
+	b := asm.NewBuilder("pdfalto-0.2")
+	addPdfbox(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	readU8(f, fd) // version
+	objs := readU8(f, fd)
+	i := f.VarI(0)
+	f.While(func() isa.Reg { return f.Cmp(isa.Lt, i, objs) }, func() {
+		f.Call("pdfbox_obj", fd)
+		f.Assign(i, f.AddI(i, 1))
+	})
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// pdfboxT builds Xpdf 4.0.0's pdfinfo: same format, digit version check,
+// object totals reported after parsing.
+func pdfboxT() *asm.Builder {
+	b := asm.NewBuilder("pdfinfo-xpdf-4.0.0")
+	addPdfbox(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	version := readU8(f, fd)
+	f.If(f.LtI(version, '0'), func() { f.Exit(1) })
+	f.If(f.GtI(version, '9'), func() { f.Exit(1) })
+	objs := readU8(f, fd)
+	total := f.VarI(0)
+	i := f.VarI(0)
+	f.While(func() isa.Reg { return f.Cmp(isa.Lt, i, objs) }, func() {
+		n := f.Call("pdfbox_obj", fd)
+		f.Assign(total, f.Add(total, n))
+		f.Assign(i, f.AddI(i, 1))
+	})
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// pdfboxTPatched builds Xpdf 4.1.1's pdftops: the caller now peeks the
+// object length and refuses oversized objects before the shared reader
+// ever runs — the inserted patch of Table II Idx-14.
+func pdfboxTPatched() *asm.Builder {
+	b := asm.NewBuilder("pdftops-xpdf-4.1.1")
+	addPdfbox(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	version := readU8(f, fd)
+	f.If(f.LtI(version, '0'), func() { f.Exit(1) })
+	f.If(f.GtI(version, '9'), func() { f.Exit(1) })
+	objs := readU8(f, fd)
+	i := f.VarI(0)
+	f.While(func() isa.Reg { return f.Cmp(isa.Lt, i, objs) }, func() {
+		// Patch: validate the length before the vulnerable reader.
+		pos := f.Sys(isa.SysTell, fd)
+		length := readU8(f, fd)
+		f.If(f.GtI(length, 16), func() { f.Exit(3) })
+		f.Sys(isa.SysSeek, fd, pos)
+		f.Call("pdfbox_obj", fd)
+		f.Assign(i, f.AddI(i, 1))
+	})
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// pdfboxPoC carries one 32-byte object: double the reader's buffer.
+func pdfboxPoC() []byte {
+	obj := make([]byte, 32)
+	for i := range obj {
+		obj[i] = byte('a' + i%26)
+	}
+	doc := &fileformat.PDFObjects{Version: '1', Objects: [][]byte{obj}}
+	return doc.Encode()
+}
+
+// pdfboxPdfinfo is Table II Idx-6: pdfalto → pdfinfo (Xpdf), CVE-2019-9878.
+func pdfboxPdfinfo() *PairSpec {
+	return &PairSpec{
+		Idx:        6,
+		SName:      "pdfalto",
+		SVersion:   "0.2",
+		TName:      "pdfinfo (Xpdf)",
+		TVersion:   "4.0.0",
+		CVE:        "CVE-2019-9878",
+		CWE:        "CWE-119",
+		ExpectType: core.TypeI,
+		ExpectPoC:  true,
+		Pair: buildPair("pdfalto->pdfinfo-xpdf",
+			pdfboxS(), pdfboxT(), pdfboxPoC(), pdfboxLib, nil),
+	}
+}
+
+// pdfboxXpdfPatched is Table II Idx-14: pdfalto → pdftops (Xpdf 4.1.1),
+// the patched clone; verification succeeds with a not-triggerable verdict
+// and no poc'.
+func pdfboxXpdfPatched() *PairSpec {
+	return &PairSpec{
+		Idx:        14,
+		SName:      "pdfalto",
+		SVersion:   "0.2",
+		TName:      "pdftops (Xpdf)",
+		TVersion:   "4.1.1",
+		CVE:        "CVE-2019-9878",
+		CWE:        "CWE-119",
+		ExpectType: core.TypeIII,
+		ExpectPoC:  false,
+		Pair: buildPair("pdfalto->pdftops-xpdf-patched",
+			pdfboxS(), pdfboxTPatched(), pdfboxPoC(), pdfboxLib, nil),
+	}
+}

@@ -1,0 +1,108 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/isa"
+)
+
+// addPdfnum emits the shared numeric-object parser of the pdf2htmlEX pair
+// (the CVE-2018-21009 analog, CWE-190): the element count is squared in
+// 8-bit arithmetic to size the buffer, so count 16 wraps to a zero-byte
+// allocation while the fill loop writes count bytes.
+func addPdfnum(b *asm.Builder) {
+	g := b.Function("pdfnum_parse", 1) // (fd)
+	fd := g.Param(0)
+	cnt := readU8(g, fd)
+	size := g.BinI(isa.And, g.Mul(cnt, cnt), 0xFF) // the 8-bit truncation bug
+	buf := g.Sys(isa.SysAlloc, size)
+	i := g.VarI(0)
+	g.While(func() isa.Reg { return g.Cmp(isa.Lt, i, cnt) }, func() {
+		g.Store(1, g.Add(buf, i), 0, i) // overflows once i passes size
+		g.Assign(i, g.AddI(i, 1))
+	})
+	g.Ret(cnt)
+}
+
+var pdfnumLib = map[string]bool{"pdfnum_parse": true}
+
+// pdfnumS builds pdf2htmlEX.
+func pdfnumS() *asm.Builder {
+	b := asm.NewBuilder("pdf2htmlEX-0.14.6")
+	addPdfnum(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	tag := readU8(f, fd)
+	f.If(f.NeI(tag, 'N'), func() { f.Exit(1) })
+	f.Call("pdfnum_parse", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// pdfnumPopplerT builds Poppler 0.41.0's pdfinfo: object handlers dispatch
+// through a run-time-constructed translation table indexed by an input
+// byte. Resolving which handler a given input selects requires reasoning
+// through the table load; an executor that concretizes memory addresses
+// discovers only one slot per explored path — the faithful analog of the
+// angr CFG defect behind the paper's Idx-15 failure.
+func pdfnumPopplerT() *asm.Builder {
+	b := asm.NewBuilder("pdfinfo-poppler-0.41.0")
+	addPdfnum(b)
+
+	info := b.Function("info_dict", 1)
+	readU16LE(info, info.Param(0))
+	info.RetI(0)
+
+	date := b.Function("date_parse", 1)
+	readU8(date, date.Param(0))
+	date.RetI(0)
+
+	name := b.Function("name_parse", 1)
+	skipBytes(name, name.Param(0), readU8(name, name.Param(0)))
+	name.RetI(0)
+
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	// Build the handler translation table at run time: slot j selects
+	// functable entry j mod 4 — pdfnum_parse sits behind table[2].
+	table := f.Sys(isa.SysAlloc, f.Const(8))
+	j := f.VarI(0)
+	f.While(func() isa.Reg { return f.LtI(j, 8) }, func() {
+		f.Store(1, f.Add(table, j), 0, f.AndI(j, 3))
+		f.Assign(j, f.AddI(j, 1))
+	})
+	kind := readU8(f, fd)
+	idx := f.Load(1, f.Add(table, f.AndI(kind, 7)), 0)
+	f.CallInd(idx, fd)
+	f.Exit(0)
+	b.Entry("main")
+	b.FuncTable("info_dict", "date_parse", "pdfnum_parse", "name_parse")
+	return b
+}
+
+// pdfnumPoC: a numeric object with 16 elements; 16² wraps to 0 in the
+// 8-bit size computation.
+func pdfnumPoC() []byte {
+	return append([]byte("MPDF"), 'N', 16)
+}
+
+// pdfnumPoppler is Table II Idx-15: pdf2htmlEX → pdfinfo (Poppler), the
+// single Failure row — CFG recovery cannot resolve the dispatch to ℓ.
+func pdfnumPoppler() *PairSpec {
+	return &PairSpec{
+		Idx:        15,
+		SName:      "pdf2htmlEX",
+		SVersion:   "0.14.6",
+		TName:      "pdfinfo (Poppler)",
+		TVersion:   "0.41.0",
+		CVE:        "CVE-2018-21009",
+		CWE:        "CWE-190",
+		ExpectType: core.TypeFailure,
+		ExpectPoC:  false,
+		Pair: buildPair("pdf2htmlEX->pdfinfo-poppler",
+			pdfnumS(), pdfnumPopplerT(), pdfnumPoC(), pdfnumLib, nil),
+	}
+}

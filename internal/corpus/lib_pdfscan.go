@@ -1,0 +1,125 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/fileformat"
+	"octopocs/internal/isa"
+)
+
+// addPdfscan emits the shared stream scanner of the pdftops pairs (the
+// CVE-2017-18267 analog, CWE-835). A segment whose tag is 0x7F with zero
+// length rewinds the position it just consumed, so the scan loop never
+// advances — an infinite loop, observed as a hang.
+func addPdfscan(b *asm.Builder) {
+	g := b.Function("pdfscan_scan", 1) // (fd)
+	fd := g.Param(0)
+	buf := g.Sys(isa.SysAlloc, g.Const(2))
+	done := g.VarI(0)
+	g.While(func() isa.Reg { return g.EqI(done, 0) }, func() {
+		n := g.Sys(isa.SysRead, fd, buf, g.Const(2))
+		g.If(g.LtI(n, 2), func() { g.AssignI(done, 1) })
+		g.If(g.EqI(done, 0), func() {
+			tag := g.Load(1, buf, 0)
+			length := g.Load(1, buf, 1)
+			g.IfElse(g.EqI(tag, 0), func() {
+				g.AssignI(done, 1)
+			}, func() {
+				stuck := g.Bin(isa.And, g.EqI(tag, 0x7F), g.EqI(length, 0))
+				g.IfElse(stuck, func() {
+					// The bug: rewind the two bytes just read.
+					pos := g.Sys(isa.SysTell, fd)
+					g.Sys(isa.SysSeek, fd, g.SubI(pos, 2))
+				}, func() {
+					skipBytes(g, fd, length)
+				})
+			})
+		})
+	})
+	g.Ret(g.Const(0))
+}
+
+var pdfscanLib = map[string]bool{"pdfscan_scan": true}
+
+// pdfscanPages emits the per-page loop: a u8 page count, then one
+// pdfscan_scan call per page, so the scanner is entered once per page.
+func pdfscanPages(f *asm.Fn, fd isa.Reg) {
+	pages := readU8(f, fd)
+	i := f.VarI(0)
+	f.While(func() isa.Reg { return f.Cmp(isa.Lt, i, pages) }, func() {
+		f.Call("pdfscan_scan", fd)
+		f.Assign(i, f.AddI(i, 1))
+	})
+}
+
+// pdfscanS builds poppler's pdftops.
+func pdfscanS() *asm.Builder {
+	b := asm.NewBuilder("pdftops-poppler-0.59")
+	addPdfscan(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	readU8(f, fd) // version, tolerated
+	pdfscanPages(f, fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// pdfscanT builds Xpdf's pdftops: same format, but the version byte must
+// be an ASCII digit.
+func pdfscanT() *asm.Builder {
+	b := asm.NewBuilder("pdftops-xpdf-4.02")
+	addPdfscan(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MPDF")
+	version := readU8(f, fd)
+	f.If(f.LtI(version, '0'), func() { f.Exit(1) })
+	f.If(f.GtI(version, '9'), func() { f.Exit(1) })
+	pdfscanPages(f, fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// pdfscanPoC carries two pages: a well-formed page, then a page with the
+// stuck segment (tag 0x7F, length 0) that hangs the scanner.
+func pdfscanPoC() []byte {
+	doc := &fileformat.PDFPages{
+		Version: '4',
+		Pages: []fileformat.PDFPage{
+			{Segments: []fileformat.PDFSegment{{Tag: 0x11, Data: []byte{0xDD, 0xDE}}}},
+			{
+				Segments: []fileformat.PDFSegment{
+					{Tag: 0x10, Data: []byte{0xEE}},
+					fileformat.StuckSegment,
+				},
+				Unterminated: true, // the scan never escapes the stuck segment
+			},
+		},
+	}
+	return doc.Encode()
+}
+
+// pdfscanXpdf is Table II Idx-3: pdftops (Poppler) → pdftops (Xpdf),
+// CVE-2017-18267.
+func pdfscanXpdf() *PairSpec {
+	pair := buildPair("pdftops-poppler->pdftops-xpdf",
+		pdfscanS(), pdfscanT(), pdfscanPoC(), pdfscanLib, nil)
+	// Hang-class vulnerability: a modest instruction budget keeps the
+	// stuck-loop detection fast in every phase.
+	pair.MaxSteps = 60_000
+	return &PairSpec{
+		Idx:        3,
+		SName:      "pdftops (Poppler)",
+		SVersion:   "0.59",
+		TName:      "pdftops (Xpdf)",
+		TVersion:   "4.02",
+		CVE:        "CVE-2017-18267",
+		CWE:        "CWE-835",
+		ExpectType: core.TypeI,
+		ExpectPoC:  true,
+		Pair:       pair,
+	}
+}

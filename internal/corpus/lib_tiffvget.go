@@ -1,0 +1,125 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/fileformat"
+	"octopocs/internal/isa"
+)
+
+// addTiffVGet emits the shared tag-field reader of the tiffsplit pairs
+// (the CVE-2016-10095 analog, CWE-119): tag 0x13D (PREDICTOR in the real
+// bug) reads a length-prefixed payload into a fixed 8-byte buffer without
+// a bound check; every other known tag reads a fixed-width value safely.
+func addTiffVGet(b *asm.Builder) {
+	g := b.Function("tiff_vgetfield", 2) // (fd, tag)
+	fd, tag := g.Param(0), g.Param(1)
+	g.If(g.EqI(tag, 0x13D), func() {
+		buf := g.Sys(isa.SysAlloc, g.Const(8))
+		n := readU8(g, fd)
+		g.Sys(isa.SysRead, fd, buf, n) // overflows for n > 8
+		g.Ret(n)
+	})
+	g.If(g.LtI(tag, 0x200), func() {
+		g.Ret(readU16LE(g, fd)) // ordinary fixed-width field
+	})
+	g.RetI(0)
+}
+
+var tiffLib = map[string]bool{"tiff_vgetfield": true}
+
+// tiffsplitS builds tiffsplit 4.0.6: it walks the IFD entries of the input
+// and fetches each tag through the shared reader — so the dangerous tag
+// value comes straight from the file.
+func tiffsplitS() *asm.Builder {
+	b := asm.NewBuilder("tiffsplit-4.0.6")
+	addTiffVGet(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MTIF")
+	entries := readU8(f, fd)
+	i := f.VarI(0)
+	f.While(func() isa.Reg { return f.Cmp(isa.Lt, i, entries) }, func() {
+		tag := readU16LE(f, fd)
+		f.Call("tiff_vgetfield", fd, tag)
+		f.Assign(i, f.AddI(i, 1))
+	})
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// hardcodedTagsT builds a T binary that reuses the shared reader in an
+// environment where only a fixed set of tag values can ever be delivered —
+// the exact mechanism of § II-C's non-triggered case.
+func hardcodedTagsT(name, magic string, tags []int64) *asm.Builder {
+	b := asm.NewBuilder(name)
+	addTiffVGet(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, magic)
+	readU8(f, fd) // image descriptor byte
+	total := f.VarI(0)
+	for _, tag := range tags {
+		v := f.Call("tiff_vgetfield", fd, f.Const(tag))
+		f.Assign(total, f.Add(total, v))
+	}
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// tiffPoC: two IFD entries — a benign IMAGEWIDTH, then the predictor tag
+// with a 32-byte payload that bursts the 8-byte buffer.
+func tiffPoC() []byte {
+	payload := make([]byte, 32)
+	for i := range payload {
+		payload[i] = byte(0x80 + i)
+	}
+	dir := &fileformat.MTIF{Entries: []fileformat.IFDEntry{
+		{Tag: 0x100, Value: 0x0400},
+		{Tag: fileformat.PredictorTag, Payload: payload},
+	}}
+	return dir.Encode()
+}
+
+// tiffCtxArgs marks ep argument 1 (the tag) as semantic context; argument
+// 0 is a file descriptor.
+var tiffCtxArgs = []int{1}
+
+func tiffSpec(idx int, tname, tversion string, t *asm.Builder) *PairSpec {
+	return &PairSpec{
+		Idx:        idx,
+		SName:      "tiffsplit",
+		SVersion:   "4.0.6",
+		TName:      tname,
+		TVersion:   tversion,
+		CVE:        "CVE-2016-10095",
+		CWE:        "CWE-119",
+		ExpectType: core.TypeIII,
+		ExpectPoC:  false,
+		Pair: buildPair("tiffsplit->"+tname,
+			tiffsplitS(), t, tiffPoC(), tiffLib, tiffCtxArgs),
+	}
+}
+
+// tiffOpjCompress is Table II Idx-10: tiffsplit → opj_compress 2.3.1.
+func tiffOpjCompress() *PairSpec {
+	t := hardcodedTagsT("opj_compress-2.3.1", "MTIF",
+		[]int64{0x100, 0x101, 0x102, 0x103, 0x106, 0x115, 0x11C})
+	return tiffSpec(10, "opj_compress", "2.3.1", t)
+}
+
+// tiffLibsdl is Table II Idx-11: tiffsplit → libsdl2 2.0.12.
+func tiffLibsdl() *PairSpec {
+	t := hardcodedTagsT("libsdl2-2.0.12", "MTIF",
+		[]int64{0x106, 0x100, 0x101, 0x115})
+	return tiffSpec(11, "libsdl2", "2.0.12", t)
+}
+
+// tiffLibgdiplus is Table II Idx-12: tiffsplit → libgdiplus 6.0.5.
+func tiffLibgdiplus() *PairSpec {
+	t := hardcodedTagsT("libgdiplus-6.0.5", "MGDI",
+		[]int64{0x100, 0x101, 0x11C})
+	return tiffSpec(12, "libgdiplus", "6.0.5", t)
+}

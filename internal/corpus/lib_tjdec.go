@@ -1,0 +1,91 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/fileformat"
+	"octopocs/internal/isa"
+)
+
+// addTjdec emits the shared decompressor of the tjbench pair (the
+// CVE-2018-20330 analog, CWE-190): the pixel-buffer size width*height*bpp
+// is computed in 32 bits, so large dimensions wrap to a tiny allocation
+// while the fill loop runs over the true 64-bit extent.
+func addTjdec(b *asm.Builder) {
+	g := b.Function("tjdec_decompress", 1) // (fd)
+	fd := g.Param(0)
+	w := readU16LE(g, fd)
+	h := readU16LE(g, fd)
+	bpp := readU8(g, fd)
+	need := g.Mul(g.Mul(w, h), bpp)           // true 64-bit size
+	size := g.BinI(isa.And, need, 0xFFFFFFFF) // the 32-bit truncation bug
+	buf := g.Sys(isa.SysAlloc, size)
+	i := g.VarI(0)
+	g.While(func() isa.Reg { return g.Cmp(isa.Lt, i, need) }, func() {
+		g.Store(1, g.Add(buf, i), 0, g.AndI(i, 0xFF)) // overflows once i passes size
+		g.Assign(i, g.AddI(i, 1))
+	})
+	g.Ret(g.Const(0))
+}
+
+var tjdecLib = map[string]bool{"tjdec_decompress": true}
+
+// tjdecS builds libjpeg-turbo's tjbench.
+func tjdecS() *asm.Builder {
+	b := asm.NewBuilder("tjbench-libjpeg-turbo-2.0.1")
+	addTjdec(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MTJ0")
+	f.Call("tjdec_decompress", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// tjdecT builds mozjpeg's tjbench: identical format with a benchmarking
+// wrapper around the shared decompressor.
+func tjdecT() *asm.Builder {
+	b := asm.NewBuilder("tjbench-mozjpeg")
+	addTjdec(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "MTJ0")
+	rc := f.Call("tjdec_decompress", fd)
+	f.If(f.NeI(rc, 0), func() { f.Exit(1) })
+	// Benchmark bookkeeping after the decode.
+	ticks := f.VarI(0)
+	i := f.VarI(0)
+	f.While(func() isa.Reg { return f.LtI(i, 16) }, func() {
+		f.Assign(ticks, f.Add(ticks, i))
+		f.Assign(i, f.AddI(i, 1))
+	})
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// tjdecPoC declares a 32768×32768×4 image: 2^32 bytes exactly, which
+// truncates to a zero-size allocation.
+func tjdecPoC() []byte {
+	frame := &fileformat.MTJ0{Width: 0x8000, Height: 0x8000, BPP: 4}
+	return frame.Encode()
+}
+
+// tjdecMozjpeg is Table II Idx-5: tjbench (libjpeg-turbo) → tjbench
+// (mozjpeg), CVE-2018-20330.
+func tjdecMozjpeg() *PairSpec {
+	return &PairSpec{
+		Idx:        5,
+		SName:      "tjbench (libjpeg-turbo)",
+		SVersion:   "2.0.1",
+		TName:      "tjbench (mozjpeg)",
+		TVersion:   "@0xbbb7550",
+		CVE:        "CVE-2018-20330",
+		CWE:        "CWE-190",
+		ExpectType: core.TypeI,
+		ExpectPoC:  true,
+		Pair: buildPair("tjbench-libjpeg-turbo->tjbench-mozjpeg",
+			tjdecS(), tjdecT(), tjdecPoC(), tjdecLib, nil),
+	}
+}

@@ -1,0 +1,60 @@
+package corpus
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/isa"
+)
+
+// StringPoCPair demonstrates the § VII extension beyond malformed-file
+// PoCs: the attacker input arrives through the argument-string channel
+// (SysArgRead) instead of a file, modeling a malformed-string PoC. The
+// shared key=value parser copies the key into a fixed 8-byte buffer; the
+// two tools differ only in their option prefix, so the original string PoC
+// must be reformed for the clone. The pipeline is unchanged — crash
+// primitives, guiding inputs, and the position indicator all work on the
+// argument cursor.
+func StringPoCPair() *core.Pair {
+	addKV := func(b *asm.Builder) {
+		g := b.Function("kv_parse", 0)
+		buf := g.Sys(isa.SysAlloc, g.Const(8))
+		tmp := g.Sys(isa.SysAlloc, g.Const(1))
+		i := g.VarI(0)
+		going := g.VarI(1)
+		g.While(func() isa.Reg { return going }, func() {
+			n := g.Sys(isa.SysArgRead, tmp, g.Const(1))
+			g.If(g.EqI(n, 0), func() { g.RetI(1) })
+			c := g.Load(1, tmp, 0)
+			g.IfElse(g.EqI(c, '='), func() {
+				g.AssignI(going, 0)
+			}, func() {
+				g.Store(1, g.Add(buf, i), 0, c) // overflows at i == 8
+				g.Assign(i, g.AddI(i, 1))
+			})
+		})
+		g.Ret(i)
+	}
+	expectArg := func(f *asm.Fn, prefix string) {
+		buf := f.Sys(isa.SysAlloc, f.Const(int64(len(prefix))))
+		f.Sys(isa.SysArgRead, buf, f.Const(int64(len(prefix))))
+		for i := 0; i < len(prefix); i++ {
+			f.If(f.NeI(f.Load(1, buf, int64(i)), int64(prefix[i])), func() { f.Exit(1) })
+		}
+	}
+	build := func(name, prefix string) *asm.Builder {
+		b := asm.NewBuilder(name)
+		addKV(b)
+		f := b.Function("main", 0)
+		expectArg(f, prefix)
+		f.Call("kv_parse")
+		f.Exit(0)
+		b.Entry("main")
+		return b
+	}
+
+	// The disclosed PoC: "-D" plus a 12-character key.
+	poc := []byte("-D" + "AAAAAAAAAAAA=" + "v")
+	return buildPair("envtool->configtool",
+		build("envtool", "-D"), build("configtool", "--D"),
+		poc, map[string]bool{"kv_parse": true}, nil)
+}

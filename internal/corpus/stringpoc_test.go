@@ -1,0 +1,43 @@
+package corpus_test
+
+import (
+	"bytes"
+	"testing"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/vm"
+)
+
+// TestStringPoCReform exercises the § VII extension: a malformed-string
+// PoC delivered through the argument channel is reformed for a clone with
+// a different option prefix.
+func TestStringPoCReform(t *testing.T) {
+	pair := corpus.StringPoCPair()
+
+	// Ground truth: the string PoC crashes S inside ℓ and does nothing
+	// to T.
+	sOut := vm.New(pair.S, vm.Config{Input: pair.PoC}).Run()
+	if !sOut.Crashed() || !sOut.CrashedIn(pair.Lib) {
+		t.Fatalf("S outcome = %v, want crash in ℓ", sOut)
+	}
+	tOut := vm.New(pair.T, vm.Config{Input: pair.PoC}).Run()
+	if tOut.Crashed() {
+		t.Fatalf("original string PoC should not crash the clone: %v", tOut)
+	}
+
+	rep, err := core.New(core.Config{}).Verify(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != core.VerdictTriggered || rep.Type != core.TypeII {
+		t.Fatalf("report = %v, want triggered Type-II", rep)
+	}
+	if !bytes.HasPrefix(rep.PoCPrime, []byte("--D")) {
+		t.Errorf("reformed prefix = %q, want --D", rep.PoCPrime[:4])
+	}
+	out := vm.New(pair.T, vm.Config{Input: rep.PoCPrime}).Run()
+	if !out.Crashed() || !out.CrashedIn(pair.Lib) {
+		t.Fatalf("poc' outcome = %v, want crash in ℓ", out)
+	}
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+)
+
+// LatestRow is one § V-B latest-version verification.
+type LatestRow struct {
+	TName      string
+	TVersion   string
+	PostReport bool
+	NewCVE     string
+	Triggered  bool
+	Verified   bool
+	Reason     core.Reason
+	Elapsed    time.Duration
+}
+
+// Latest reruns verification against the latest (at disclosure) and
+// post-report versions of the § V-B binaries.
+func Latest() ([]LatestRow, error) {
+	pipeline := core.New(core.Config{})
+	var rows []LatestRow
+	for _, spec := range corpus.LatestVersions() {
+		start := time.Now()
+		rep, err := pipeline.Verify(spec.Pair)
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", spec.TName, spec.TVersion, err)
+		}
+		rows = append(rows, LatestRow{
+			TName:      spec.TName,
+			TVersion:   spec.TVersion,
+			PostReport: spec.PostReport,
+			NewCVE:     spec.NewCVE,
+			Triggered:  rep.Verdict == core.VerdictTriggered,
+			Verified:   rep.Verified(),
+			Reason:     rep.Reason,
+			Elapsed:    time.Since(start),
+		})
+	}
+	return rows, nil
+}
+
+// FormatLatest renders the latest-version findings.
+func FormatLatest(rows []LatestRow) string {
+	var sb strings.Builder
+	sb.WriteString("§ V-B: propagated vulnerabilities in latest versions\n")
+	fmt.Fprintf(&sb, "%-20s %-32s %-12s %-10s %s\n", "T", "Version", "Triggered", "Time", "Notes")
+	for _, r := range rows {
+		notes := ""
+		if r.NewCVE != "" {
+			notes = "assigned " + r.NewCVE
+		} else if r.PostReport {
+			notes = "fixed after report"
+		}
+		if !r.Triggered && r.Reason != "" {
+			notes += " (" + string(r.Reason) + ")"
+		}
+		fmt.Fprintf(&sb, "%-20s %-32s %-12s %-10v %s\n",
+			r.TName, r.TVersion, mark(r.Triggered), r.Elapsed.Round(time.Millisecond), strings.TrimSpace(notes))
+	}
+	sb.WriteString("(paper: libgdx, mozjpeg tjbench and Xpdf pdftops were still triggerable at disclosure;\n")
+	sb.WriteString(" libgdx and Xpdf shipped fixes after the report, Xpdf's receiving CVE-2020-35376)\n")
+	return sb.String()
+}

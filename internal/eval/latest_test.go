@@ -1,0 +1,41 @@
+package eval_test
+
+import (
+	"strings"
+	"testing"
+
+	"octopocs/internal/eval"
+)
+
+// TestLatestShape asserts the § V-B result: three latest-at-disclosure
+// binaries still triggerable, two post-report releases verified fixed.
+func TestLatestShape(t *testing.T) {
+	rows, err := eval.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	triggered, fixed := 0, 0
+	for _, r := range rows {
+		if !r.Verified {
+			t.Errorf("%s %s: not verified", r.TName, r.TVersion)
+		}
+		if r.Triggered {
+			triggered++
+			if r.PostReport {
+				t.Errorf("%s %s: post-report release still triggerable", r.TName, r.TVersion)
+			}
+		} else {
+			fixed++
+		}
+	}
+	if triggered != 3 || fixed != 2 {
+		t.Errorf("triggered=%d fixed=%d, want 3 and 2", triggered, fixed)
+	}
+	out := eval.FormatLatest(rows)
+	if !strings.Contains(out, "CVE-2020-35376") {
+		t.Errorf("formatted output missing the assigned CVE:\n%s", out)
+	}
+}

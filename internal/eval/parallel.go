@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+)
+
+// TableIIParallel runs the Table II verification with a bounded worker
+// pool. Every pair is an independent task — pipelines share no state — so
+// the rows come back identical to the sequential run, just faster on
+// multicore hosts. workers <= 0 selects GOMAXPROCS.
+func TableIIParallel(workers int) ([]TableIIRow, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	specs := corpus.All()
+	rows := make([]TableIIRow, len(specs))
+	errs := make([]error, len(specs))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pipeline := core.New(core.Config{})
+			for i := range jobs {
+				spec := specs[i]
+				start := time.Now()
+				rep, err := pipeline.Verify(spec.Pair)
+				if err != nil {
+					errs[i] = fmt.Errorf("idx %d (%s): %w", spec.Idx, spec.Label(), err)
+					continue
+				}
+				rows[i] = TableIIRow{
+					Idx:      spec.Idx,
+					Type:     rep.Type,
+					S:        fmt.Sprintf("%s %s", spec.SName, spec.SVersion),
+					T:        fmt.Sprintf("%s %s", spec.TName, spec.TVersion),
+					Vuln:     spec.CVE,
+					CWE:      spec.CWE,
+					PoCMade:  rep.PoCGenerated(),
+					Verified: rep.Verified(),
+					Report:   rep,
+					Elapsed:  time.Since(start),
+				}
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

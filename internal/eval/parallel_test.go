@@ -1,0 +1,45 @@
+package eval_test
+
+import (
+	"testing"
+
+	"octopocs/internal/eval"
+)
+
+// TestParallelMatchesSequential checks the worker-pool run produces the
+// same verdicts as the sequential one: pipelines must be fully independent.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq, err := eval.TableII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := eval.TableIIParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Idx != p.Idx || s.Type != p.Type || s.Verified != p.Verified || s.PoCMade != p.PoCMade {
+			t.Errorf("row %d diverged: seq=%+v par=%+v", i, s, p)
+		}
+	}
+}
+
+func TestParallelSingleWorker(t *testing.T) {
+	rows, err := eval.TableIIParallel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified := 0
+	for _, r := range rows {
+		if r.Verified {
+			verified++
+		}
+	}
+	if verified != 14 {
+		t.Errorf("verified = %d, want 14", verified)
+	}
+}

@@ -1,0 +1,113 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/symex"
+)
+
+// ThetaPoint is one sample of the θ sweep: whether verification of the
+// iteration pair (a clone demanding 20 guided loop iterations before ℓ)
+// succeeds with the given loop bound, and the effort spent.
+type ThetaPoint struct {
+	Theta      int
+	Verified   bool
+	Backtracks int
+	Elapsed    time.Duration
+}
+
+// thetaSweepNeed is the iteration requirement of the sweep subject.
+const thetaSweepNeed = 20
+
+// SweepTheta measures verification of the iteration pair across loop
+// bounds. The series shows the § VII crossover: verification fails while
+// θ < the required iteration count and succeeds above it, with the
+// paper's default θ=120 leaving ample headroom.
+func SweepTheta(thetas []int) ([]ThetaPoint, error) {
+	if len(thetas) == 0 {
+		thetas = []int{4, 8, 16, 24, 32, 64, 120}
+	}
+	out := make([]ThetaPoint, 0, len(thetas))
+	for _, theta := range thetas {
+		pair := corpus.IterationPair(thetaSweepNeed)
+		start := time.Now()
+		rep, err := core.New(core.Config{Theta: theta}).Verify(pair)
+		if err != nil {
+			return nil, fmt.Errorf("θ=%d: %w", theta, err)
+		}
+		out = append(out, ThetaPoint{
+			Theta:      theta,
+			Verified:   rep.Verdict == core.VerdictTriggered,
+			Backtracks: rep.Stats.Backtracks,
+			Elapsed:    time.Since(start),
+		})
+	}
+	return out, nil
+}
+
+// FormatThetaSweep renders the θ series.
+func FormatThetaSweep(points []ThetaPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "θ sweep (loop-iteration bound) on a clone needing %d iterations\n", thetaSweepNeed)
+	fmt.Fprintf(&sb, "%-8s %-10s %-12s %s\n", "theta", "verified", "backtracks", "time")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-8d %-10s %-12d %v\n", p.Theta, mark(p.Verified), p.Backtracks, p.Elapsed.Round(time.Millisecond))
+	}
+	return sb.String()
+}
+
+// MemPoint is one sample of the naive-SE memory sweep: whether undirected
+// exploration reaches ep within the given budget (Table IV's MemError
+// threshold).
+type MemPoint struct {
+	BudgetBytes int64
+	Reached     bool
+	MemError    bool
+	States      int
+}
+
+// SweepNaiveMem locates the memory threshold below which naive symbolic
+// execution fails on the gif2png-artificial binary.
+func SweepNaiveMem(budgets []int64) ([]MemPoint, error) {
+	if len(budgets) == 0 {
+		budgets = []int64{1 << 18, 1 << 20, 1 << 22, 1 << 24, 1 << 26}
+	}
+	spec := corpus.ByIdx(9)
+	pipeline := core.New(core.Config{})
+	ep, err := pipeline.FindEp(spec.Pair)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MemPoint, 0, len(budgets))
+	for _, budget := range budgets {
+		res, nerr := symex.RunNaive(spec.Pair.T, symex.NaiveConfig{
+			Target:    ep,
+			InputSize: len(spec.Pair.PoC) + 64,
+			MemBudget: budget,
+		})
+		p := MemPoint{BudgetBytes: budget, MemError: errors.Is(nerr, symex.ErrMemBudget)}
+		if res != nil {
+			p.Reached = res.Reached()
+			p.States = res.Stats.States
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// FormatMemSweep renders the memory series.
+func FormatMemSweep(points []MemPoint) string {
+	var sb strings.Builder
+	sb.WriteString("naive-SE memory sweep on gif2png (artificial)\n")
+	fmt.Fprintf(&sb, "%-12s %-10s %-10s %s\n", "budget", "reached", "memerror", "states")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%-12s %-10s %-10s %d\n",
+			fmt.Sprintf("%dKiB", p.BudgetBytes/1024), mark(p.Reached), mark(p.MemError), p.States)
+	}
+	return sb.String()
+}

@@ -1,0 +1,52 @@
+package eval_test
+
+import (
+	"strings"
+	"testing"
+
+	"octopocs/internal/eval"
+)
+
+// TestSweepThetaShape: verification of the 20-iteration clone must fail
+// for small loop bounds and succeed at the paper's default θ=120.
+func TestSweepThetaShape(t *testing.T) {
+	points, err := eval.SweepTheta([]int{2, 16, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d, want 3", len(points))
+	}
+	if !points[2].Verified {
+		t.Error("θ=120 (the paper default) must verify the pair")
+	}
+	// Monotone in this range: success never degrades as θ grows.
+	for i := 1; i < len(points); i++ {
+		if points[i-1].Verified && !points[i].Verified {
+			t.Errorf("success degraded from θ=%d to θ=%d", points[i-1].Theta, points[i].Theta)
+		}
+	}
+	out := eval.FormatThetaSweep(points)
+	if !strings.Contains(out, "theta") {
+		t.Errorf("formatted sweep missing header:\n%s", out)
+	}
+}
+
+// TestSweepNaiveMemShape: naive exploration must hit MemError at small
+// budgets; growing the budget only increases explored states.
+func TestSweepNaiveMemShape(t *testing.T) {
+	points, err := eval.SweepNaiveMem([]int64{1 << 18, 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !points[0].MemError {
+		t.Errorf("256KiB budget should exhaust: %+v", points[0])
+	}
+	if points[1].States < points[0].States {
+		t.Errorf("states decreased with a larger budget: %+v", points)
+	}
+	out := eval.FormatMemSweep(points)
+	if !strings.Contains(out, "budget") {
+		t.Errorf("formatted sweep missing header:\n%s", out)
+	}
+}

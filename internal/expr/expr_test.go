@@ -1,0 +1,250 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstFold(t *testing.T) {
+	tests := []struct {
+		name string
+		e    *Expr
+		want uint64
+	}{
+		{"add", Bin(OpAdd, Const(2), Const(3)), 5},
+		{"sub wraps", Bin(OpSub, Const(0), Const(1)), ^uint64(0)},
+		{"mul", Bin(OpMul, Const(6), Const(7)), 42},
+		{"div", Bin(OpDiv, Const(42), Const(5)), 8},
+		{"mod", Bin(OpMod, Const(42), Const(5)), 2},
+		{"and", Bin(OpAnd, Const(0xF0), Const(0x3C)), 0x30},
+		{"shl", Bin(OpShl, Const(1), Const(8)), 256},
+		{"shl overflow", Bin(OpShl, Const(1), Const(70)), 0},
+		{"shr", Bin(OpShr, Const(256), Const(8)), 1},
+		{"eq true", Bin(OpEq, Const(3), Const(3)), 1},
+		{"ne", Bin(OpNe, Const(3), Const(3)), 0},
+		{"lt", Bin(OpLt, Const(2), Const(3)), 1},
+		{"slt", Bin(OpSLt, Const(^uint64(0)), Const(0)), 1},
+		{"sle", Bin(OpSLe, Const(5), Const(5)), 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if v, ok := tt.e.IsConst(); !ok || v != tt.want {
+				t.Errorf("got %v (const=%v), want %d", tt.e, ok, tt.want)
+			}
+		})
+	}
+}
+
+func TestIdentities(t *testing.T) {
+	x := Sym(0)
+	tests := []struct {
+		name string
+		e    *Expr
+		want *Expr
+	}{
+		{"x+0", Bin(OpAdd, x, Const(0)), x},
+		{"0+x", Bin(OpAdd, Const(0), x), x},
+		{"x-0", Bin(OpSub, x, Const(0)), x},
+		{"x*1", Bin(OpMul, x, Const(1)), x},
+		{"x*0", Bin(OpMul, x, Const(0)), Zero},
+		{"x&0", Bin(OpAnd, x, Const(0)), Zero},
+		{"x&~0", Bin(OpAnd, x, Const(^uint64(0))), x},
+		{"x|0", Bin(OpOr, x, Const(0)), x},
+		{"x^0", Bin(OpXor, x, Const(0)), x},
+		{"x^x", Bin(OpXor, x, x), Zero},
+		{"x-x", Bin(OpSub, x, x), Zero},
+		{"x==x", Bin(OpEq, x, x), One},
+		{"x!=x", Bin(OpNe, x, x), Zero},
+		{"x<x", Bin(OpLt, x, x), Zero},
+		{"x<=x", Bin(OpLe, x, x), One},
+		{"x&x", Bin(OpAnd, x, x), x},
+		{"x|x", Bin(OpOr, x, x), x},
+		{"x<<0", Bin(OpShl, x, Const(0)), x},
+		{"x/1", Bin(OpDiv, x, Const(1)), x},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !tt.e.Equal(tt.want) {
+				t.Errorf("got %v, want %v", tt.e, tt.want)
+			}
+		})
+	}
+}
+
+func TestReassociation(t *testing.T) {
+	x := Sym(1)
+	e := Bin(OpAdd, Bin(OpAdd, x, Const(3)), Const(4))
+	want := Bin(OpAdd, x, Const(7))
+	if !e.Equal(want) {
+		t.Errorf("got %v, want %v", e, want)
+	}
+}
+
+func TestByteRangeFolding(t *testing.T) {
+	x := Sym(0)
+	if e := Bin(OpEq, x, Const(300)); !e.Equal(Zero) {
+		t.Errorf("sym == 300 should fold to 0, got %v", e)
+	}
+	if e := Bin(OpNe, x, Const(300)); !e.Equal(One) {
+		t.Errorf("sym != 300 should fold to 1, got %v", e)
+	}
+	if e := Bin(OpLt, x, Const(256)); !e.Equal(One) {
+		t.Errorf("sym < 256 should fold to 1, got %v", e)
+	}
+	if e := Bin(OpLe, x, Const(255)); !e.Equal(One) {
+		t.Errorf("sym <= 255 should fold to 1, got %v", e)
+	}
+	// But within range, no fold.
+	if _, ok := Bin(OpEq, x, Const(200)).IsConst(); ok {
+		t.Error("sym == 200 must stay symbolic")
+	}
+}
+
+func TestNot(t *testing.T) {
+	x, y := Sym(0), Sym(1)
+	tests := []struct {
+		e, want *Expr
+	}{
+		{Not(Bin(OpEq, x, y)), Bin(OpNe, x, y)},
+		{Not(Bin(OpNe, x, y)), Bin(OpEq, x, y)},
+		{Not(Bin(OpLt, x, y)), Bin(OpLe, y, x)},
+		{Not(Bin(OpLe, x, y)), Bin(OpLt, y, x)},
+		{Not(Bin(OpSLt, x, y)), Bin(OpSLe, y, x)},
+		{Not(Const(0)), One},
+		{Not(Const(7)), Zero},
+		{Not(Bin(OpAdd, x, y)), Bin(OpEq, Bin(OpAdd, x, y), Zero)},
+	}
+	for _, tt := range tests {
+		if !tt.e.Equal(tt.want) {
+			t.Errorf("Not: got %v, want %v", tt.e, tt.want)
+		}
+	}
+}
+
+func TestBool(t *testing.T) {
+	x := Sym(0)
+	if e := Bool(Bin(OpEq, x, Const(3))); e.Op != OpEq {
+		t.Errorf("Bool of comparison must be identity, got %v", e)
+	}
+	if e := Bool(x); e.Op != OpNe {
+		t.Errorf("Bool of word must be !=0, got %v", e)
+	}
+	if e := Bool(Const(9)); !e.Equal(One) {
+		t.Errorf("Bool(9) = %v, want 1", e)
+	}
+}
+
+func TestEvalPartial(t *testing.T) {
+	e := Bin(OpAdd, Sym(0), Sym(1))
+	_, ok := e.Eval(func(sym int) (uint64, bool) {
+		if sym == 0 {
+			return 7, true
+		}
+		return 0, false
+	})
+	if ok {
+		t.Error("partial assignment must not evaluate")
+	}
+	v, ok := e.Eval(func(sym int) (uint64, bool) { return uint64(sym + 1), true })
+	if !ok || v != 3 {
+		t.Errorf("Eval = %d,%v want 3,true", v, ok)
+	}
+}
+
+func TestEvalConcreteOutOfRange(t *testing.T) {
+	e := Bin(OpAdd, Sym(0), Sym(99))
+	if v := e.EvalConcrete([]byte{5}); v != 5 {
+		t.Errorf("out-of-range symbol must read 0; got %d", v)
+	}
+}
+
+func TestSyms(t *testing.T) {
+	e := Bin(OpAdd, Bin(OpMul, Sym(3), Sym(1)), Sym(3))
+	got := e.Syms()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Syms() = %v, want [1 3]", got)
+	}
+	// Cached result must be stable.
+	if &e.Syms()[0] != &got[0] {
+		t.Error("Syms() not cached")
+	}
+	if n := Const(5).Syms(); len(n) != 0 {
+		t.Errorf("const Syms() = %v, want empty", n)
+	}
+}
+
+func TestSizeAndString(t *testing.T) {
+	e := Bin(OpAdd, Sym(0), Const(3))
+	if e.Size() != 3 {
+		t.Errorf("Size() = %d, want 3", e.Size())
+	}
+	if s := e.String(); s != "(in[0] + 0x3)" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// randExpr builds a random expression over nsyms symbols with given depth.
+func randExpr(r *rand.Rand, depth, nsyms int) *Expr {
+	if depth == 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return Sym(r.Intn(nsyms))
+		}
+		return Const(uint64(r.Intn(512)))
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpEq, OpNe, OpLt, OpLe, OpSLt, OpSLe}
+	op := ops[r.Intn(len(ops))]
+	return Bin(op, randExpr(r, depth-1, nsyms), randExpr(r, depth-1, nsyms))
+}
+
+// TestSimplifierSoundness: simplified construction must agree with direct
+// unsimplified evaluation for random inputs.
+func TestSimplifierSoundness(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nsyms := 1 + r.Intn(4)
+		// Build the same random structure twice: once through the
+		// simplifying constructors, once as a raw tree.
+		var rawBuild func(depth int) (*Expr, *Expr)
+		rawBuild = func(depth int) (simplified, raw *Expr) {
+			if depth == 0 || r.Intn(4) == 0 {
+				if r.Intn(2) == 0 {
+					s := r.Intn(nsyms)
+					return Sym(s), Sym(s)
+				}
+				c := uint64(r.Intn(512))
+				return Const(c), Const(c)
+			}
+			ops := []Op{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpEq, OpNe, OpLt, OpLe}
+			op := ops[r.Intn(len(ops))]
+			sx, rx := rawBuild(depth - 1)
+			sy, ry := rawBuild(depth - 1)
+			return Bin(op, sx, sy), &Expr{Op: op, X: rx, Y: ry}
+		}
+		simplified, raw := rawBuild(4)
+		input := make([]byte, nsyms)
+		for i := range input {
+			input[i] = byte(r.Intn(256))
+		}
+		return simplified.EvalConcrete(input) == raw.EvalConcrete(input)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNotSoundness: Not(e) must evaluate to the boolean negation of e.
+func TestNotSoundness(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 3, 3)
+		n := Not(e)
+		input := []byte{byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))}
+		ev := e.EvalConcrete(input)
+		nv := n.EvalConcrete(input)
+		return (ev == 0) == (nv == 1) && (nv == 0 || nv == 1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

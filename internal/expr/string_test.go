@@ -1,0 +1,88 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringRendersEveryOperator(t *testing.T) {
+	x, y := Sym(0), Sym(1)
+	tests := []struct {
+		e    *Expr
+		want string
+	}{
+		{Bin(OpAdd, x, y), "(in[0] + in[1])"},
+		{Bin(OpSub, x, y), "(in[0] - in[1])"},
+		{Bin(OpMul, x, y), "(in[0] * in[1])"},
+		{Bin(OpDiv, x, y), "(in[0] / in[1])"},
+		{Bin(OpMod, x, y), "(in[0] % in[1])"},
+		{Bin(OpAnd, x, y), "(in[0] & in[1])"},
+		{Bin(OpOr, x, y), "(in[0] | in[1])"},
+		{Bin(OpXor, x, y), "(in[0] ^ in[1])"},
+		{Bin(OpShl, x, y), "(in[0] << in[1])"},
+		{Bin(OpShr, x, y), "(in[0] >> in[1])"},
+		{Bin(OpEq, x, y), "(in[0] == in[1])"},
+		{Bin(OpNe, x, y), "(in[0] != in[1])"},
+		{Bin(OpLt, x, y), "(in[0] <u in[1])"},
+		{Bin(OpLe, x, y), "(in[0] <=u in[1])"},
+		{Bin(OpSLt, x, y), "(in[0] <s in[1])"},
+		{Bin(OpSLe, x, y), "(in[0] <=s in[1])"},
+		{Const(0x2A), "0x2a"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+// TestMaskRewrites pins the byte-decomposition collapses that keep
+// symbolic-store round trips small.
+func TestMaskRewrites(t *testing.T) {
+	b0, b1 := Sym(0), Sym(1)
+	word := Bin(OpOr, b0, Bin(OpShl, b1, Const(8)))
+
+	// Extracting byte 0 of the 2-byte word collapses to the byte symbol.
+	lo := Bin(OpAnd, word, Const(0xFF))
+	if !lo.Equal(b0) {
+		t.Errorf("low-byte extract = %v, want in[0]", lo)
+	}
+	// Extracting byte 1 collapses through shift distribution.
+	hi := Bin(OpAnd, Bin(OpShr, word, Const(8)), Const(0xFF))
+	if !hi.Equal(b1) {
+		t.Errorf("high-byte extract = %v, want in[1]", hi)
+	}
+	// Reassembling the extracted bytes reproduces the original word.
+	again := Bin(OpOr, lo, Bin(OpShl, hi, Const(8)))
+	if !again.Equal(word) {
+		t.Errorf("reassembly = %v, want %v", again, word)
+	}
+	// Masking with a superset of the possible bits is the identity.
+	if e := Bin(OpAnd, b0, Const(0xFFFF)); !e.Equal(b0) {
+		t.Errorf("superset mask = %v, want in[0]", e)
+	}
+	// Masking with disjoint bits is zero.
+	if e := Bin(OpAnd, Bin(OpShl, b0, Const(8)), Const(0xFF)); !e.Equal(Zero) {
+		t.Errorf("disjoint mask = %v, want 0", e)
+	}
+	// Shifting all possible bits out is zero.
+	if e := Bin(OpShr, b0, Const(8)); !e.Equal(Zero) {
+		t.Errorf("over-shift = %v, want 0", e)
+	}
+	// Shl(Shr(x,8),8) restores values with no low bits.
+	x := Bin(OpShl, b0, Const(8))
+	if e := Bin(OpShl, Bin(OpShr, x, Const(8)), Const(8)); !e.Equal(x) {
+		t.Errorf("shift round trip = %v, want %v", e, x)
+	}
+}
+
+func TestOpStringPlaceholders(t *testing.T) {
+	for op := OpConst; op <= OpSLe; op++ {
+		if s := op.String(); strings.HasPrefix(s, "op(") {
+			t.Errorf("Op(%d) renders as placeholder %q", op, s)
+		}
+	}
+	if s := Op(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown op renders as %q", s)
+	}
+}

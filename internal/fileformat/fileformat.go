@@ -1,0 +1,290 @@
+// Package fileformat defines typed encoders and parsers for the miniature
+// file formats consumed by the corpus binaries: MJPG images, MTJ0 frames,
+// MAVI containers, MTIF image directories, MGIF image files, JPEG2000-style
+// codestreams, and the MPDF dialects. The corpus constructs its PoCs
+// through these types, the fuzzing baselines can derive structured seeds
+// from them, and property tests pin down the encode/parse round-trip.
+//
+// The formats are deliberately small but carry the load-bearing features
+// of their real counterparts: magic numbers, length-prefixed records,
+// sub-containers, dispatchable stream filters, and terminators.
+package fileformat
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated reports input ending inside a structure.
+var ErrTruncated = errors.New("fileformat: truncated input")
+
+// ErrBadMagic reports a wrong magic number.
+var ErrBadMagic = errors.New("fileformat: bad magic")
+
+// reader is a bounds-checked cursor used by the parsers.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.pos }
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if r.remaining() < n {
+		return nil, ErrTruncated
+	}
+	out := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *reader) u8() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16le() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) expect(magic string) error {
+	b, err := r.bytes(len(magic))
+	if err != nil {
+		return err
+	}
+	if string(b) != magic {
+		return fmt.Errorf("%w: got %q, want %q", ErrBadMagic, b, magic)
+	}
+	return nil
+}
+
+// --- MJPG --------------------------------------------------------------------
+
+// MJPGMagic introduces an MJPG image.
+const MJPGMagic = "MJPG"
+
+// MJPG is the jpeg-compressor image: dimensions, quality, and the leading
+// pixel bytes the decoder prefetches.
+type MJPG struct {
+	Width   uint16
+	Height  uint16
+	Quality byte
+	Pixels  []byte
+}
+
+// Encode renders the image file.
+func (m *MJPG) Encode() []byte {
+	out := []byte(MJPGMagic)
+	out = binary.LittleEndian.AppendUint16(out, m.Width)
+	out = binary.LittleEndian.AppendUint16(out, m.Height)
+	out = append(out, m.Quality)
+	return append(out, m.Pixels...)
+}
+
+// ParseMJPG decodes an image file.
+func ParseMJPG(data []byte) (*MJPG, error) {
+	r := &reader{data: data}
+	if err := r.expect(MJPGMagic); err != nil {
+		return nil, err
+	}
+	m := &MJPG{}
+	var err error
+	if m.Width, err = r.u16le(); err != nil {
+		return nil, err
+	}
+	if m.Height, err = r.u16le(); err != nil {
+		return nil, err
+	}
+	if m.Quality, err = r.u8(); err != nil {
+		return nil, err
+	}
+	m.Pixels = append([]byte(nil), r.data[r.pos:]...)
+	return m, nil
+}
+
+// --- MTJ0 --------------------------------------------------------------------
+
+// MTJ0Magic introduces a tjbench frame.
+const MTJ0Magic = "MTJ0"
+
+// MTJ0 is the tjbench frame header whose size computation overflows for
+// large dimensions.
+type MTJ0 struct {
+	Width  uint16
+	Height uint16
+	BPP    byte
+}
+
+// Encode renders the frame file.
+func (m *MTJ0) Encode() []byte {
+	out := []byte(MTJ0Magic)
+	out = binary.LittleEndian.AppendUint16(out, m.Width)
+	out = binary.LittleEndian.AppendUint16(out, m.Height)
+	return append(out, m.BPP)
+}
+
+// ParseMTJ0 decodes a frame file.
+func ParseMTJ0(data []byte) (*MTJ0, error) {
+	r := &reader{data: data}
+	if err := r.expect(MTJ0Magic); err != nil {
+		return nil, err
+	}
+	m := &MTJ0{}
+	var err error
+	if m.Width, err = r.u16le(); err != nil {
+		return nil, err
+	}
+	if m.Height, err = r.u16le(); err != nil {
+		return nil, err
+	}
+	if m.BPP, err = r.u8(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// --- MAVI --------------------------------------------------------------------
+
+// MAVIMagic introduces an MAVI container.
+const MAVIMagic = "MAVI"
+
+// MAVI is the avconv/ffmpeg container: a declared payload size and frames
+// of 32-bit samples.
+type MAVI struct {
+	DeclaredSize uint16
+	Frames       [][]uint32
+}
+
+// Encode renders the container. Each frame is a u8 sample count followed
+// by the samples.
+func (m *MAVI) Encode() []byte {
+	out := []byte(MAVIMagic)
+	out = binary.LittleEndian.AppendUint16(out, m.DeclaredSize)
+	out = append(out, byte(len(m.Frames)))
+	for _, frame := range m.Frames {
+		out = append(out, byte(len(frame)))
+		for _, s := range frame {
+			out = binary.LittleEndian.AppendUint32(out, s)
+		}
+	}
+	return out
+}
+
+// ParseMAVI decodes a container. Frames whose declared sample count
+// exceeds the decoder's 8-slot table are precisely the crashing inputs, so
+// the parser accepts them but reports the overflow.
+func ParseMAVI(data []byte) (*MAVI, bool, error) {
+	r := &reader{data: data}
+	if err := r.expect(MAVIMagic); err != nil {
+		return nil, false, err
+	}
+	m := &MAVI{}
+	var err error
+	if m.DeclaredSize, err = r.u16le(); err != nil {
+		return nil, false, err
+	}
+	nframes, err := r.u8()
+	if err != nil {
+		return nil, false, err
+	}
+	overflow := false
+	for i := 0; i < int(nframes); i++ {
+		cnt, err := r.u8()
+		if err != nil {
+			return nil, false, err
+		}
+		if cnt > 8 {
+			overflow = true
+		}
+		frame := make([]uint32, 0, cnt)
+		for j := 0; j < int(cnt); j++ {
+			b, err := r.bytes(4)
+			if err != nil {
+				return m, overflow, err
+			}
+			frame = append(frame, binary.LittleEndian.Uint32(b))
+		}
+		m.Frames = append(m.Frames, frame)
+	}
+	return m, overflow, nil
+}
+
+// --- MTIF --------------------------------------------------------------------
+
+// MTIFMagic introduces an image file directory.
+const MTIFMagic = "MTIF"
+
+// PredictorTag is the tag whose payload the shared reader copies into a
+// fixed 8-byte buffer (the CVE-2016-10095 analog).
+const PredictorTag = 0x13D
+
+// IFDEntry is one directory entry: ordinary tags carry a 16-bit value,
+// the predictor tag carries a length-prefixed payload.
+type IFDEntry struct {
+	Tag     uint16
+	Value   uint16 // ordinary tags
+	Payload []byte // PredictorTag only
+}
+
+// MTIF is a directory of entries.
+type MTIF struct {
+	Entries []IFDEntry
+}
+
+// Encode renders the directory.
+func (m *MTIF) Encode() []byte {
+	out := []byte(MTIFMagic)
+	out = append(out, byte(len(m.Entries)))
+	for _, e := range m.Entries {
+		out = binary.LittleEndian.AppendUint16(out, e.Tag)
+		if e.Tag == PredictorTag {
+			out = append(out, byte(len(e.Payload)))
+			out = append(out, e.Payload...)
+		} else {
+			out = binary.LittleEndian.AppendUint16(out, e.Value)
+		}
+	}
+	return out
+}
+
+// ParseMTIF decodes a directory.
+func ParseMTIF(data []byte) (*MTIF, error) {
+	r := &reader{data: data}
+	if err := r.expect(MTIFMagic); err != nil {
+		return nil, err
+	}
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	m := &MTIF{}
+	for i := 0; i < int(n); i++ {
+		var e IFDEntry
+		if e.Tag, err = r.u16le(); err != nil {
+			return nil, err
+		}
+		if e.Tag == PredictorTag {
+			plen, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			payload, err := r.bytes(int(plen))
+			if err != nil {
+				return nil, err
+			}
+			e.Payload = append([]byte(nil), payload...)
+		} else if e.Value, err = r.u16le(); err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, e)
+	}
+	return m, nil
+}

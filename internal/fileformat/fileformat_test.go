@@ -1,0 +1,250 @@
+package fileformat_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	ff "octopocs/internal/fileformat"
+)
+
+func TestMJPGRoundTrip(t *testing.T) {
+	check := func(w, h uint16, q byte, npix uint8) bool {
+		in := &ff.MJPG{Width: w, Height: h, Quality: q}
+		if npix > 0 {
+			in.Pixels = make([]byte, npix)
+			for i := range in.Pixels {
+				in.Pixels[i] = byte(i * 7)
+			}
+		}
+		out, err := ff.ParseMJPG(in.Encode())
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMTJ0RoundTrip(t *testing.T) {
+	check := func(w, h uint16, bpp byte) bool {
+		in := &ff.MTJ0{Width: w, Height: h, BPP: bpp}
+		out, err := ff.ParseMTJ0(in.Encode())
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMAVIRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := &ff.MAVI{DeclaredSize: uint16(rng.Intn(1 << 16))}
+		overflow := false
+		for i := 0; i < rng.Intn(4); i++ {
+			n := rng.Intn(12)
+			if n > 8 {
+				overflow = true
+			}
+			frame := make([]uint32, n)
+			for j := range frame {
+				frame[j] = rng.Uint32()
+			}
+			in.Frames = append(in.Frames, frame)
+		}
+		out, gotOverflow, err := ff.ParseMAVI(in.Encode())
+		if err != nil || gotOverflow != overflow {
+			return false
+		}
+		if len(out.Frames) != len(in.Frames) {
+			return false
+		}
+		for i := range in.Frames {
+			if len(in.Frames[i]) != len(out.Frames[i]) {
+				return false
+			}
+			for j := range in.Frames[i] {
+				if in.Frames[i][j] != out.Frames[i][j] {
+					return false
+				}
+			}
+		}
+		return out.DeclaredSize == in.DeclaredSize
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMTIFRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := &ff.MTIF{}
+		for i := 0; i < rng.Intn(5); i++ {
+			if rng.Intn(3) == 0 {
+				payload := make([]byte, rng.Intn(20))
+				rng.Read(payload)
+				if len(payload) == 0 {
+					payload = nil
+				}
+				in.Entries = append(in.Entries, ff.IFDEntry{Tag: ff.PredictorTag, Payload: payload})
+			} else {
+				tag := uint16(rng.Intn(0x200))
+				if tag == ff.PredictorTag {
+					tag++
+				}
+				in.Entries = append(in.Entries, ff.IFDEntry{Tag: tag, Value: uint16(rng.Intn(1 << 16))})
+			}
+		}
+		out, err := ff.ParseMTIF(in.Encode())
+		return err == nil && reflect.DeepEqual(in.Entries, out.Entries)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMGIFRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, dialect := range []struct{ cp, flags bool }{{false, false}, {true, true}} {
+			in := &ff.MGIF{Version: byte(rng.Intn(256)), Trailer: true, Checkpoints: dialect.cp}
+			if dialect.flags {
+				in.OptionFlags = make([]byte, 16)
+				rng.Read(in.OptionFlags)
+			}
+			for i := 0; i < rng.Intn(4); i++ {
+				if rng.Intn(2) == 0 {
+					data := make([]byte, rng.Intn(8))
+					rng.Read(data)
+					if len(data) == 0 {
+						data = nil
+					}
+					in.Blocks = append(in.Blocks, ff.GIFExtension{Data: data})
+				} else {
+					codes := make([]uint16, rng.Intn(6))
+					for j := range codes {
+						codes[j] = uint16(rng.Intn(1 << 16))
+					}
+					if len(codes) == 0 {
+						codes = nil
+					}
+					in.Blocks = append(in.Blocks, ff.GIFImage{Codes: codes})
+				}
+			}
+			out, err := ff.ParseMGIF(in.Encode(), dialect.cp, dialect.flags)
+			if err != nil || !reflect.DeepEqual(in.Blocks, out.Blocks) ||
+				in.Version != out.Version || !out.Trailer ||
+				!bytes.Equal(in.OptionFlags, out.OptionFlags) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPDFObjectsRoundTrip(t *testing.T) {
+	in := &ff.PDFObjects{Version: '3', Objects: [][]byte{[]byte("abc"), {}, []byte("xyzw")}}
+	out, err := ff.ParsePDFObjects(in.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != '3' || len(out.Objects) != 3 || string(out.Objects[2]) != "xyzw" {
+		t.Errorf("round trip = %+v", out)
+	}
+}
+
+func TestJ2KRoundTrip(t *testing.T) {
+	check := func(w, h uint16, ncomp uint8) bool {
+		in := &ff.J2K{Width: w, Height: h, Components: make([]byte, ncomp%10)}
+		for i := range in.Components {
+			in.Components[i] = byte(i + 1)
+		}
+		if len(in.Components) == 0 {
+			in.Components = []byte{}
+		}
+		out, err := ff.ParseJ2K(in.Encode())
+		if err != nil {
+			return false
+		}
+		return out.Width == w && out.Height == h && bytes.Equal(out.Components, in.Components)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ff.ParseMJPG([]byte("NOPE")); !errors.Is(err, ff.ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	if _, err := ff.ParseMJPG([]byte("MJPG\x01")); !errors.Is(err, ff.ErrTruncated) {
+		t.Errorf("truncated: %v", err)
+	}
+	if _, err := ff.ParseJ2K([]byte{0xFF, 0x4F}); !errors.Is(err, ff.ErrTruncated) {
+		t.Errorf("short codestream: %v", err)
+	}
+	if _, err := ff.ParseJ2K([]byte{1, 2, 3, 4, 5, 6}); !errors.Is(err, ff.ErrBadMagic) {
+		t.Errorf("non-codestream: %v", err)
+	}
+	if _, err := ff.ParseMGIF([]byte("MGIF\x01\x99"), false, false); err == nil {
+		t.Error("unknown block tag accepted")
+	}
+	if _, _, err := ff.ParseMAVI([]byte("MAVI")); !errors.Is(err, ff.ErrTruncated) {
+		t.Errorf("truncated MAVI: %v", err)
+	}
+	if _, err := ff.ParseMTIF([]byte("MTIF\x01\x3D\x01\x20")); !errors.Is(err, ff.ErrTruncated) {
+		t.Errorf("truncated predictor payload: %v", err)
+	}
+}
+
+func TestPDFStreamEncode(t *testing.T) {
+	doc := &ff.PDFStream{
+		Sections: []ff.PDFSection{
+			{Kind: ff.PDFSectionSkip, Data: []byte{1, 2, 3}},
+			{Kind: ff.PDFSectionImage, Data: (&ff.J2K{Width: 4, Height: 4}).Encode()},
+		},
+		End: true,
+	}
+	out := doc.Encode()
+	want := append([]byte("MPDF"), 'S', 3, 1, 2, 3, 'I')
+	want = append(want, (&ff.J2K{Width: 4, Height: 4}).Encode()...)
+	want = append(want, 'E')
+	if !bytes.Equal(out, want) {
+		t.Errorf("Encode = % x, want % x", out, want)
+	}
+}
+
+func TestPDFPagesEncode(t *testing.T) {
+	doc := &ff.PDFPages{
+		Version: '4',
+		Pages: []ff.PDFPage{
+			{Segments: []ff.PDFSegment{{Tag: 0x11, Data: []byte{0xDD}}}},
+			{Segments: []ff.PDFSegment{ff.StuckSegment}, Unterminated: true},
+		},
+	}
+	want := append([]byte("MPDF"), '4', 2, 0x11, 1, 0xDD, 0, 0, 0x7F, 0)
+	if got := doc.Encode(); !bytes.Equal(got, want) {
+		t.Errorf("Encode = % x, want % x", got, want)
+	}
+}
+
+func TestMuPDFDocEncode(t *testing.T) {
+	doc := &ff.MuPDFDoc{
+		Objects: []ff.MuPDFObject{
+			{Filter: ff.FilterFlate, Payload: []byte{9, 8}},
+			{Filter: ff.FilterJPX, Payload: (&ff.J2K{Width: 1, Height: 1}).Encode()},
+		},
+		End: true,
+	}
+	out := doc.Encode()
+	if string(out[:4]) != "MPDF" || len(out) != 4+16+2+1+2+2+11+1 {
+		t.Errorf("Encode length = %d: % x", len(out), out)
+	}
+}

@@ -1,0 +1,145 @@
+package fileformat
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MGIFMagic introduces an MGIF image file.
+const MGIFMagic = "MGIF"
+
+// GIF block tags.
+const (
+	GIFImageTag      = 0x2C
+	GIFExtensionTag  = 0x21
+	GIFTrailerTag    = 0x3B
+	GIFCheckpointTag = 0x3A
+)
+
+// GIFBlock is one block of an MGIF file.
+type GIFBlock interface {
+	encodeInto(out []byte, checkpoints bool) []byte
+}
+
+// GIFImage is an image block: 16-bit codes copied into the decoder's
+// 16-entry table (so more than 16 codes overflow it).
+type GIFImage struct {
+	Codes []uint16
+}
+
+func (g GIFImage) encodeInto(out []byte, checkpoints bool) []byte {
+	out = append(out, GIFImageTag, byte(len(g.Codes)))
+	for _, c := range g.Codes {
+		out = binary.LittleEndian.AppendUint16(out, c)
+	}
+	if checkpoints {
+		out = append(out, GIFCheckpointTag)
+	}
+	return out
+}
+
+// GIFExtension is a skippable extension block.
+type GIFExtension struct {
+	Data []byte
+}
+
+func (g GIFExtension) encodeInto(out []byte, _ bool) []byte {
+	out = append(out, GIFExtensionTag, byte(len(g.Data)))
+	return append(out, g.Data...)
+}
+
+// MGIF is a complete image file.
+type MGIF struct {
+	Version byte
+	Blocks  []GIFBlock
+	// Trailer appends the 0x3B trailer tag after the blocks.
+	Trailer bool
+	// Checkpoints emits the artificial clone's dialect: a checkpoint
+	// byte after every image block.
+	Checkpoints bool
+	// OptionFlags, when non-nil, is the 16-byte option preamble of the
+	// artificial clone's dialect, emitted after the version byte.
+	OptionFlags []byte
+}
+
+// Encode renders the file.
+func (m *MGIF) Encode() []byte {
+	out := []byte(MGIFMagic)
+	out = append(out, m.Version)
+	out = append(out, m.OptionFlags...)
+	for _, b := range m.Blocks {
+		out = b.encodeInto(out, m.Checkpoints)
+	}
+	if m.Trailer {
+		out = append(out, GIFTrailerTag)
+	}
+	return out
+}
+
+// ParseMGIF decodes a file in the given dialect (checkpoints and a
+// 16-byte option preamble for the artificial clone).
+func ParseMGIF(data []byte, checkpoints bool, optionFlags bool) (*MGIF, error) {
+	r := &reader{data: data}
+	if err := r.expect(MGIFMagic); err != nil {
+		return nil, err
+	}
+	m := &MGIF{Checkpoints: checkpoints}
+	var err error
+	if m.Version, err = r.u8(); err != nil {
+		return nil, err
+	}
+	if optionFlags {
+		flags, err := r.bytes(16)
+		if err != nil {
+			return nil, err
+		}
+		m.OptionFlags = append([]byte(nil), flags...)
+	}
+	for r.remaining() > 0 {
+		tag, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case GIFTrailerTag:
+			m.Trailer = true
+			return m, nil
+		case GIFExtensionTag:
+			n, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			data, err := r.bytes(int(n))
+			if err != nil {
+				return nil, err
+			}
+			m.Blocks = append(m.Blocks, GIFExtension{Data: append([]byte(nil), data...)})
+		case GIFImageTag:
+			n, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			var img GIFImage
+			for i := 0; i < int(n); i++ {
+				b, err := r.bytes(2)
+				if err != nil {
+					return nil, err
+				}
+				img.Codes = append(img.Codes, binary.LittleEndian.Uint16(b))
+			}
+			m.Blocks = append(m.Blocks, img)
+			if checkpoints {
+				cp, err := r.u8()
+				if err != nil {
+					return nil, err
+				}
+				if cp != GIFCheckpointTag {
+					return nil, fmt.Errorf("fileformat: bad checkpoint byte %#x", cp)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("fileformat: unknown MGIF block tag %#x", tag)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,231 @@
+package fileformat
+
+import "fmt"
+
+// MPDFMagic introduces every MPDF dialect.
+const MPDFMagic = "MPDF"
+
+// --- ghostscript dialect: tagged sections ------------------------------------
+
+// PDF section tags of the ghostscript dialect.
+const (
+	PDFSectionSkip  = 'S'
+	PDFSectionImage = 'I'
+	PDFSectionEnd   = 'E'
+)
+
+// PDFSection is one section: skip sections carry opaque bytes, image
+// sections carry an embedded codestream.
+type PDFSection struct {
+	Kind byte
+	Data []byte
+}
+
+// PDFStream is the ghostscript-dialect document.
+type PDFStream struct {
+	Sections []PDFSection
+	// End appends the terminating 'E' section.
+	End bool
+}
+
+// Encode renders the document. Skip sections are length-prefixed; image
+// sections embed their data raw (the decoder consumes it).
+func (p *PDFStream) Encode() []byte {
+	out := []byte(MPDFMagic)
+	for _, s := range p.Sections {
+		out = append(out, s.Kind)
+		if s.Kind == PDFSectionSkip {
+			out = append(out, byte(len(s.Data)))
+		}
+		out = append(out, s.Data...)
+	}
+	if p.End {
+		out = append(out, PDFSectionEnd)
+	}
+	return out
+}
+
+// --- pdfalto dialect: version + counted objects ------------------------------
+
+// PDFObjects is the pdfalto-dialect document: a version digit and
+// length-prefixed objects.
+type PDFObjects struct {
+	Version byte
+	Objects [][]byte
+}
+
+// Encode renders the document.
+func (p *PDFObjects) Encode() []byte {
+	out := []byte(MPDFMagic)
+	out = append(out, p.Version)
+	out = append(out, byte(len(p.Objects)))
+	for _, o := range p.Objects {
+		out = append(out, byte(len(o)))
+		out = append(out, o...)
+	}
+	return out
+}
+
+// ParsePDFObjects decodes a pdfalto-dialect document.
+func ParsePDFObjects(data []byte) (*PDFObjects, error) {
+	r := &reader{data: data}
+	if err := r.expect(MPDFMagic); err != nil {
+		return nil, err
+	}
+	p := &PDFObjects{}
+	var err error
+	if p.Version, err = r.u8(); err != nil {
+		return nil, err
+	}
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(n); i++ {
+		olen, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		o, err := r.bytes(int(olen))
+		if err != nil {
+			return nil, err
+		}
+		p.Objects = append(p.Objects, append([]byte(nil), o...))
+	}
+	return p, nil
+}
+
+// --- pdftops dialect: version + pages of segments -----------------------------
+
+// PDFSegment is one scanned segment; tag 0 length 0 terminates a page, tag
+// 0x7F with length 0 is the non-advancing segment that hangs the scanner.
+type PDFSegment struct {
+	Tag  byte
+	Data []byte
+}
+
+// StuckSegment is the CVE-2017-18267 trigger.
+var StuckSegment = PDFSegment{Tag: 0x7F}
+
+// PDFPage is a sequence of segments; Encode appends the terminator record.
+type PDFPage struct {
+	Segments []PDFSegment
+	// Unterminated omits the terminator (the crashing page never ends).
+	Unterminated bool
+}
+
+// PDFPages is the pdftops-dialect document.
+type PDFPages struct {
+	Version byte
+	Pages   []PDFPage
+}
+
+// Encode renders the document.
+func (p *PDFPages) Encode() []byte {
+	out := []byte(MPDFMagic)
+	out = append(out, p.Version)
+	out = append(out, byte(len(p.Pages)))
+	for _, page := range p.Pages {
+		for _, s := range page.Segments {
+			out = append(out, s.Tag, byte(len(s.Data)))
+			out = append(out, s.Data...)
+		}
+		if !page.Unterminated {
+			out = append(out, 0x00, 0x00)
+		}
+	}
+	return out
+}
+
+// --- MuPDF dialect: option flags + filtered objects ---------------------------
+
+// Filter slots of the MuPDF dialect's dispatch table.
+const (
+	FilterFlate = 0
+	FilterASCII = 1
+	FilterJPX   = 2
+)
+
+// MuPDFObject is one filtered stream object.
+type MuPDFObject struct {
+	Filter  byte
+	Payload []byte
+}
+
+// MuPDFDoc is the MuPDF-dialect document: a 16-byte option preamble and
+// filtered objects, terminated by 'E'.
+type MuPDFDoc struct {
+	OptionFlags [16]byte
+	Objects     []MuPDFObject
+	End         bool
+}
+
+// Encode renders the document. Flate payloads are length-prefixed; ASCII
+// payloads are two fixed bytes; JPX payloads embed a raw codestream.
+func (p *MuPDFDoc) Encode() []byte {
+	out := []byte(MPDFMagic)
+	out = append(out, p.OptionFlags[:]...)
+	for _, o := range p.Objects {
+		out = append(out, 'O', o.Filter)
+		switch o.Filter {
+		case FilterFlate:
+			out = append(out, byte(len(o.Payload)))
+		}
+		out = append(out, o.Payload...)
+	}
+	if p.End {
+		out = append(out, 'E')
+	}
+	return out
+}
+
+// --- J2K codestream ------------------------------------------------------------
+
+// J2K is the JPEG2000-style codestream of the shared decoder: SOC and SIZ
+// markers, dimensions, and per-component bit depths. Zero components is
+// the null-dereference trigger (ghostscript-BZ697463 analog).
+type J2K struct {
+	Width      uint16
+	Height     uint16
+	Components []byte
+}
+
+// Encode renders the codestream.
+func (c *J2K) Encode() []byte {
+	out := []byte{0xFF, 0x4F, 0xFF, 0x51, 0x00, 0x08}
+	out = append(out, byte(c.Width), byte(c.Width>>8), byte(c.Height), byte(c.Height>>8))
+	out = append(out, byte(len(c.Components)))
+	return append(out, c.Components...)
+}
+
+// ParseJ2K decodes a codestream.
+func ParseJ2K(data []byte) (*J2K, error) {
+	r := &reader{data: data}
+	hdr, err := r.bytes(6)
+	if err != nil {
+		return nil, err
+	}
+	if hdr[0] != 0xFF || hdr[1] != 0x4F || hdr[2] != 0xFF || hdr[3] != 0x51 {
+		return nil, fmt.Errorf("%w: not a codestream", ErrBadMagic)
+	}
+	if hdr[4] != 0x00 || hdr[5] != 0x08 {
+		return nil, fmt.Errorf("fileformat: bad SIZ length %#x%02x", hdr[4], hdr[5])
+	}
+	c := &J2K{}
+	dims, err := r.bytes(4)
+	if err != nil {
+		return nil, err
+	}
+	c.Width = uint16(dims[0]) | uint16(dims[1])<<8
+	c.Height = uint16(dims[2]) | uint16(dims[3])<<8
+	n, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	comps, err := r.bytes(int(n))
+	if err != nil {
+		return nil, err
+	}
+	c.Components = append([]byte(nil), comps...)
+	return c, nil
+}

@@ -1,0 +1,37 @@
+package fuzz
+
+import "math/rand"
+
+// RunAFLFast runs a coverage-guided campaign with the AFLFast "fast" power
+// schedule: a seed's energy grows exponentially with how often it has been
+// picked and shrinks with how often its path has been exercised, steering
+// effort toward rarely-hit paths (Böhme et al., "Coverage-based Greybox
+// Fuzzing as Markov Chain").
+func RunAFLFast(t *Target, cfg Config) *Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return campaign(t, cfg, rng, nil, aflfastEnergy)
+}
+
+// aflfastEnergy is the fast schedule: min(α · 2^s(i) / f(i), M).
+func aflfastEnergy(s *seedInfo, h *harness, _ float64) int {
+	const (
+		alpha = 32
+		limit = 1024
+	)
+	f := h.pathFreq[s.pathID]
+	if f < 1 {
+		f = 1
+	}
+	pow := s.fuzzed
+	if pow > 16 {
+		pow = 16
+	}
+	e := int64(alpha) << pow / f
+	if e < 8 {
+		e = 8
+	}
+	if e > limit {
+		e = limit
+	}
+	return int(e)
+}

@@ -1,0 +1,82 @@
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"octopocs/internal/cfg"
+)
+
+// ErrNoDistance reports that the AFLGo-style instrumentation could not
+// compute distances to the target: the static CFG contains no path from
+// the entry to the target function. This is the "tool error" of Table V's
+// MuPDF row — AFLGo's compile-time distance instrumentation cannot see
+// through indirect dispatch.
+var ErrNoDistance = errors.New("fuzz: target unreachable in the static CFG, cannot instrument distances")
+
+// RunAFLGo runs a directed campaign toward the target function with
+// AFLGo-style annealing: seed energy is scaled by the seed's normalized
+// distance to the target, with the exploitation weight growing as the
+// campaign progresses (Böhme et al., "Directed Greybox Fuzzing").
+//
+// Distances come from the static CFG only, mirroring AFLGo's compile-time
+// instrumentation pass.
+func RunAFLGo(t *Target, targetFn string, c Config) (*Result, error) {
+	graph := cfg.Build(t.Prog)
+	if !graph.Reachable(targetFn) {
+		return nil, fmt.Errorf("%w (target %s)", ErrNoDistance, targetFn)
+	}
+	dists := graph.DistancesTo(targetFn)
+
+	// blockDist returns the normalized distance of one executed block.
+	blockDist := func(k blockKey) (float64, bool) {
+		if k.fn == targetFn {
+			return 0, true
+		}
+		if v, ok := dists.ToEp(k.fn, k.b); ok {
+			return float64(v), true
+		}
+		return 0, false
+	}
+	seedDist := func(blocks map[blockKey]bool) float64 {
+		sum, n := 0.0, 0
+		for k := range blocks {
+			if d, ok := blockDist(k); ok {
+				sum += d
+				n++
+			}
+		}
+		if n == 0 {
+			return math.Inf(1)
+		}
+		return sum / float64(n)
+	}
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	res := campaign(t, c, rng, seedDist, aflgoEnergy)
+	return res, nil
+}
+
+// aflgoEnergy anneals between exploration and distance-driven
+// exploitation: energy = base^((1-d̃)·(1-T)+T·0.5) style weighting,
+// simplified to a power-of-ten factor over the normalized distance.
+func aflgoEnergy(s *seedInfo, h *harness, progress float64) int {
+	base := aflfastEnergy(s, h, progress)
+	if math.IsInf(s.dist, 1) {
+		return base / 4
+	}
+	// Normalize against a nominal distance scale; closer seeds approach
+	// weight 10^progress, farther seeds 10^-progress.
+	norm := s.dist / (s.dist + 100)
+	w := math.Pow(10, (1-2*norm)*progress)
+	e := int(float64(base) * w)
+	if e < 4 {
+		e = 4
+	}
+	if e > 4096 {
+		e = 4096
+	}
+	return e
+}

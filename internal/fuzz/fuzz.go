@@ -1,0 +1,247 @@
+// Package fuzz implements the two greybox-fuzzing baselines OCTOPOCS is
+// compared against in Table V: a coverage-guided fuzzer with AFLFast power
+// schedules and a directed fuzzer with AFLGo-style distance annealing. Both
+// run MIR binaries in the concrete VM with edge-coverage instrumentation
+// and deterministic, seeded randomness.
+package fuzz
+
+import (
+	"math/rand"
+
+	"octopocs/internal/isa"
+	"octopocs/internal/vm"
+)
+
+// MapSize is the coverage bitmap size (entries), as in AFL.
+const MapSize = 1 << 16
+
+// Target is the binary under test plus the success predicate: a crash
+// inside the shared vulnerable code ℓ verifies the propagated
+// vulnerability.
+type Target struct {
+	Prog *isa.Program
+	// Lib is ℓ; a crash whose innermost frame is in Lib counts.
+	Lib map[string]bool
+	// MaxSteps bounds each execution (also the hang detector).
+	MaxSteps int64
+}
+
+// Config tunes a campaign.
+type Config struct {
+	// Seeds is the initial corpus (the original PoC, typically).
+	Seeds [][]byte
+	// MaxExecs is the execution budget — the analog of the paper's 20 h
+	// wall-clock cap.
+	MaxExecs int64
+	// Seed seeds the PRNG; campaigns are deterministic given a seed.
+	Seed int64
+	// MaxInputLen bounds generated inputs.
+	MaxInputLen int
+}
+
+func (c *Config) defaults() {
+	if c.MaxExecs <= 0 {
+		c.MaxExecs = 200_000
+	}
+	if c.MaxInputLen <= 0 {
+		c.MaxInputLen = 512
+	}
+	if len(c.Seeds) == 0 {
+		c.Seeds = [][]byte{{0}}
+	}
+}
+
+// Result reports a campaign.
+type Result struct {
+	// Found reports whether a verifying crash was produced.
+	Found bool
+	// Crash is the crashing input when Found.
+	Crash []byte
+	// Execs is the number of executions performed.
+	Execs int64
+	// QueueLen is the final number of interesting seeds.
+	QueueLen int
+	// CrashLoc is where the verifying crash fired.
+	CrashLoc isa.Loc
+}
+
+// seedInfo is one queue entry with its schedule bookkeeping.
+type seedInfo struct {
+	data []byte
+	// pathID is the hash of the execution's coverage signature.
+	pathID uint64
+	// fuzzed counts how many times this seed was selected (AFLFast s(i)).
+	fuzzed int
+	// dist is the AFLGo seed distance (mean block distance to target).
+	dist float64
+}
+
+// harness drives executions with coverage instrumentation.
+type harness struct {
+	target *Target
+	// virgin is the global coverage map of hit-count buckets seen.
+	virgin [MapSize]uint8
+	// pathFreq counts executions per path signature (AFLFast f(i)).
+	pathFreq map[uint64]int64
+	execs    int64
+}
+
+func newHarness(t *Target) *harness {
+	return &harness{target: t, pathFreq: make(map[uint64]int64)}
+}
+
+// bucket classifies a hit count the way AFL does.
+func bucket(n uint32) uint8 {
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return 1
+	case n == 2:
+		return 2
+	case n == 3:
+		return 4
+	case n <= 7:
+		return 8
+	case n <= 15:
+		return 16
+	case n <= 31:
+		return 32
+	case n <= 127:
+		return 64
+	default:
+		return 128
+	}
+}
+
+// execResult summarizes one run.
+type execResult struct {
+	newCov  bool
+	pathID  uint64
+	crashed bool
+	loc     isa.Loc
+	// blocks lists distinct (func, block) pairs executed, for AFLGo
+	// distance computation.
+	blocks map[blockKey]bool
+}
+
+type blockKey struct {
+	fn string
+	b  int
+}
+
+// run executes one input and folds its coverage into the global state.
+func (h *harness) run(input []byte, wantBlocks bool) *execResult {
+	h.execs++
+	var local [MapSize]uint32
+	prev := uint32(0)
+	res := &execResult{}
+	if wantBlocks {
+		res.blocks = make(map[blockKey]bool)
+	}
+	hooks := &vm.Hooks{
+		OnBlock: func(fn string, b int) {
+			cur := blockID(fn, b)
+			local[(prev^cur)&(MapSize-1)]++
+			prev = cur >> 1
+			if wantBlocks {
+				res.blocks[blockKey{fn, b}] = true
+			}
+		},
+	}
+	m := vm.New(h.target.Prog, vm.Config{
+		Input:    input,
+		MaxSteps: h.target.MaxSteps,
+		Hooks:    hooks,
+	})
+	out := m.Run()
+
+	// Fold buckets; detect new coverage and compute the path signature.
+	var pathHash uint64 = 1469598103934665603 // FNV offset basis
+	for i, n := range local {
+		if n == 0 {
+			continue
+		}
+		b := bucket(n)
+		pathHash ^= uint64(i)*31 + uint64(b)
+		pathHash *= 1099511628211
+		if h.virgin[i]&b != b {
+			h.virgin[i] |= b
+			res.newCov = true
+		}
+	}
+	res.pathID = pathHash
+	h.pathFreq[pathHash]++
+
+	if out.Crashed() && out.CrashedIn(h.target.Lib) {
+		res.crashed = true
+		res.loc = out.Crash.Loc
+	}
+	return res
+}
+
+// blockID hashes a block identity into a stable 32-bit id.
+func blockID(fn string, b int) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(fn); i++ {
+		h = (h ^ uint32(fn[i])) * 16777619
+	}
+	return (h ^ uint32(b)*2654435761) | 1
+}
+
+// campaign is the common fuzzing loop; the energy callback implements the
+// scheduler difference between AFLFast and AFLGo.
+func campaign(t *Target, cfg Config, rng *rand.Rand,
+	seedDist func(blocks map[blockKey]bool) float64,
+	energy func(s *seedInfo, h *harness, progress float64) int,
+) *Result {
+	cfg.defaults()
+	h := newHarness(t)
+	var queue []*seedInfo
+
+	admit := func(data []byte, er *execResult) {
+		info := &seedInfo{data: append([]byte(nil), data...), pathID: er.pathID}
+		if seedDist != nil {
+			info.dist = seedDist(er.blocks)
+		}
+		queue = append(queue, info)
+	}
+
+	// Dry-run the seeds.
+	for _, s := range cfg.Seeds {
+		er := h.run(s, seedDist != nil)
+		if er.crashed {
+			return &Result{Found: true, Crash: s, Execs: h.execs, QueueLen: len(queue), CrashLoc: er.loc}
+		}
+		admit(s, er)
+	}
+
+	mut := newMutator(rng, cfg.MaxInputLen)
+	for h.execs < cfg.MaxExecs {
+		// Pick the next seed round-robin; energy decides how many
+		// mutants it spawns this cycle.
+		for qi := 0; qi < len(queue) && h.execs < cfg.MaxExecs; qi++ {
+			s := queue[qi]
+			progress := float64(h.execs) / float64(cfg.MaxExecs)
+			n := energy(s, h, progress)
+			s.fuzzed++
+			for k := 0; k < n && h.execs < cfg.MaxExecs; k++ {
+				var cand []byte
+				if k < len(s.data)*2 {
+					cand = mut.deterministic(s.data, k)
+				} else {
+					other := queue[rng.Intn(len(queue))].data
+					cand = mut.havoc(s.data, other)
+				}
+				er := h.run(cand, seedDist != nil)
+				if er.crashed {
+					return &Result{Found: true, Crash: cand, Execs: h.execs, QueueLen: len(queue), CrashLoc: er.loc}
+				}
+				if er.newCov {
+					admit(cand, er)
+				}
+			}
+		}
+	}
+	return &Result{Execs: h.execs, QueueLen: len(queue)}
+}

@@ -1,0 +1,107 @@
+package fuzz
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// interesting holds the classic AFL interesting byte/word values.
+var interesting = []int64{-128, -1, 0, 1, 16, 32, 64, 100, 127, 128, 255, 256, 512, 1000, 1024, 4096, 32767, 65535}
+
+// mutator produces candidate inputs. Deterministic stages walk the seed
+// bytes systematically; havoc stacks random edits.
+type mutator struct {
+	rng    *rand.Rand
+	maxLen int
+}
+
+func newMutator(rng *rand.Rand, maxLen int) *mutator {
+	return &mutator{rng: rng, maxLen: maxLen}
+}
+
+// deterministic applies the k-th deterministic mutation of the seed:
+// even k walk single-bit flips, odd k walk byte replacements with
+// interesting values.
+func (m *mutator) deterministic(seed []byte, k int) []byte {
+	out := append([]byte(nil), seed...)
+	if len(out) == 0 {
+		return []byte{byte(k)}
+	}
+	switch k % 2 {
+	case 0:
+		bit := (k / 2) % (len(out) * 8)
+		out[bit/8] ^= 1 << (bit % 8)
+	default:
+		pos := (k / 2) % len(out)
+		out[pos] = byte(interesting[(k/2/len(out))%len(interesting)])
+	}
+	return out
+}
+
+// havoc applies 1..32 stacked random edits; other donates splice content.
+func (m *mutator) havoc(seed, other []byte) []byte {
+	out := append([]byte(nil), seed...)
+	edits := 1 + m.rng.Intn(32)
+	for e := 0; e < edits; e++ {
+		if len(out) == 0 {
+			out = append(out, byte(m.rng.Intn(256)))
+			continue
+		}
+		switch m.rng.Intn(9) {
+		case 0: // bit flip
+			bit := m.rng.Intn(len(out) * 8)
+			out[bit/8] ^= 1 << (bit % 8)
+		case 1: // random byte
+			out[m.rng.Intn(len(out))] = byte(m.rng.Intn(256))
+		case 2: // interesting byte
+			out[m.rng.Intn(len(out))] = byte(interesting[m.rng.Intn(len(interesting))])
+		case 3: // arith on byte
+			p := m.rng.Intn(len(out))
+			out[p] += byte(m.rng.Intn(71)) - 35
+		case 4: // arith on u16
+			if len(out) >= 2 {
+				p := m.rng.Intn(len(out) - 1)
+				v := binary.LittleEndian.Uint16(out[p:])
+				v += uint16(m.rng.Intn(71)) - 35
+				binary.LittleEndian.PutUint16(out[p:], v)
+			}
+		case 5: // delete span
+			if len(out) > 1 {
+				p := m.rng.Intn(len(out))
+				n := 1 + m.rng.Intn(len(out)-p)
+				out = append(out[:p], out[p+n:]...)
+			}
+		case 6: // insert random span
+			if len(out) < m.maxLen {
+				p := m.rng.Intn(len(out) + 1)
+				n := 1 + m.rng.Intn(8)
+				ins := make([]byte, n)
+				for i := range ins {
+					ins[i] = byte(m.rng.Intn(256))
+				}
+				out = append(out[:p], append(ins, out[p:]...)...)
+			}
+		case 7: // duplicate span
+			if len(out) < m.maxLen && len(out) > 0 {
+				p := m.rng.Intn(len(out))
+				n := 1 + m.rng.Intn(min(8, len(out)-p))
+				dup := append([]byte(nil), out[p:p+n]...)
+				out = append(out[:p], append(dup, out[p:]...)...)
+			}
+		case 8: // splice from another seed
+			if len(other) > 0 {
+				p := m.rng.Intn(len(out))
+				q := m.rng.Intn(len(other))
+				n := min(len(other)-q, len(out)-p)
+				if n > 0 {
+					n = 1 + m.rng.Intn(n)
+					copy(out[p:p+n], other[q:q+n])
+				}
+			}
+		}
+		if len(out) > m.maxLen {
+			out = out[:m.maxLen]
+		}
+	}
+	return out
+}

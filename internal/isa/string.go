@@ -1,0 +1,174 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	switch o {
+	case OpConst:
+		return "const"
+	case OpMov:
+		return "mov"
+	case OpBin:
+		return "bin"
+	case OpBinImm:
+		return "bini"
+	case OpCmp:
+		return "cmp"
+	case OpCmpImm:
+		return "cmpi"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpJmp:
+		return "jmp"
+	case OpBr:
+		return "br"
+	case OpCall:
+		return "call"
+	case OpCallInd:
+		return "calli"
+	case OpRet:
+		return "ret"
+	case OpSyscall:
+		return "sys"
+	case OpTrap:
+		return "trap"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// String returns the mnemonic for the binary operator.
+func (b BinOp) String() string {
+	switch b {
+	case Add:
+		return "add"
+	case Sub:
+		return "sub"
+	case Mul:
+		return "mul"
+	case Div:
+		return "div"
+	case Mod:
+		return "mod"
+	case And:
+		return "and"
+	case Or:
+		return "or"
+	case Xor:
+		return "xor"
+	case Shl:
+		return "shl"
+	case Shr:
+		return "shr"
+	default:
+		return fmt.Sprintf("bin(%d)", uint8(b))
+	}
+}
+
+// String returns the mnemonic for the comparison operator.
+func (c CmpOp) String() string {
+	switch c {
+	case Eq:
+		return "eq"
+	case Ne:
+		return "ne"
+	case Lt:
+		return "lt"
+	case Le:
+		return "le"
+	case Gt:
+		return "gt"
+	case Ge:
+		return "ge"
+	case SLt:
+		return "slt"
+	case SLe:
+		return "sle"
+	default:
+		return fmt.Sprintf("cmp(%d)", uint8(c))
+	}
+}
+
+// String returns the syscall name.
+func (s Sys) String() string {
+	switch s {
+	case SysOpen:
+		return "open"
+	case SysRead:
+		return "read"
+	case SysSeek:
+		return "seek"
+	case SysTell:
+		return "tell"
+	case SysSize:
+		return "size"
+	case SysMMap:
+		return "mmap"
+	case SysAlloc:
+		return "alloc"
+	case SysFree:
+		return "free"
+	case SysWrite:
+		return "write"
+	case SysExit:
+		return "exit"
+	case SysArgRead:
+		return "argread"
+	case SysArgLen:
+		return "arglen"
+	default:
+		return fmt.Sprintf("sys(%d)", uint8(s))
+	}
+}
+
+func regList(rs []Reg) string {
+	parts := make([]string, len(rs))
+	for i, r := range rs {
+		parts[i] = fmt.Sprintf("r%d", r)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders the instruction in the assembler's textual syntax.
+func (in Inst) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const %d", in.Dst, in.Imm)
+	case OpMov:
+		return fmt.Sprintf("r%d = mov r%d", in.Dst, in.A)
+	case OpBin:
+		return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Bin, in.A, in.B)
+	case OpBinImm:
+		return fmt.Sprintf("r%d = %s r%d, %d", in.Dst, in.Bin, in.A, in.Imm)
+	case OpCmp:
+		return fmt.Sprintf("r%d = %s r%d, r%d", in.Dst, in.Cmp, in.A, in.B)
+	case OpCmpImm:
+		return fmt.Sprintf("r%d = %s r%d, %d", in.Dst, in.Cmp, in.A, in.Imm)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load%d r%d+%d", in.Dst, in.Size, in.A, in.Imm)
+	case OpStore:
+		return fmt.Sprintf("store%d r%d+%d, r%d", in.Size, in.A, in.Imm, in.B)
+	case OpJmp:
+		return fmt.Sprintf("jmp %s", in.Then)
+	case OpBr:
+		return fmt.Sprintf("br r%d, %s, %s", in.A, in.Then, in.Else)
+	case OpCall:
+		return fmt.Sprintf("r%d = call %s(%s)", in.Dst, in.Callee, regList(in.Args))
+	case OpCallInd:
+		return fmt.Sprintf("r%d = calli r%d(%s)", in.Dst, in.A, regList(in.Args))
+	case OpRet:
+		return fmt.Sprintf("ret r%d", in.A)
+	case OpSyscall:
+		return fmt.Sprintf("r%d = sys %s(%s)", in.Dst, in.Sys, regList(in.Args))
+	case OpTrap:
+		return fmt.Sprintf("trap %d", in.Imm)
+	default:
+		return fmt.Sprintf("?op(%d)", uint8(in.Op))
+	}
+}

@@ -1,0 +1,147 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors that callers may want to match.
+var (
+	ErrNoEntry     = errors.New("program has no entry function")
+	ErrEmptyBlock  = errors.New("empty basic block")
+	ErrNoTerminate = errors.New("block does not end in a terminator")
+)
+
+// Validate checks program well-formedness and links it. A valid program has
+// an existing entry function, non-empty blocks that end in exactly one
+// terminator (and contain none before the end), in-range registers and
+// widths, resolvable direct call targets, and a function table whose
+// non-empty entries name defined functions.
+func (p *Program) Validate() error {
+	if err := p.Link(); err != nil {
+		return err
+	}
+	if p.Entry == "" || p.Func(p.Entry) == nil {
+		return fmt.Errorf("program %s: %w (entry=%q)", p.Name, ErrNoEntry, p.Entry)
+	}
+	for i, name := range p.FuncTable {
+		if name == "" {
+			continue // unresolvable slot, legal by design
+		}
+		if p.Func(name) == nil {
+			return fmt.Errorf("program %s: functable[%d] names unknown function %q", p.Name, i, name)
+		}
+	}
+	for _, f := range p.Funcs {
+		if err := p.validateFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateFunc(f *Function) error {
+	if f.NParams < 0 || f.NParams > NumRegs {
+		return fmt.Errorf("%s.%s: parameter count %d out of range", p.Name, f.Name, f.NParams)
+	}
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("%s.%s: function has no blocks", p.Name, f.Name)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Insts) == 0 {
+			return fmt.Errorf("%s.%s.%s: %w", p.Name, f.Name, b.Name, ErrEmptyBlock)
+		}
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			last := i == len(b.Insts)-1
+			if in.IsTerminator() != last {
+				if last {
+					return fmt.Errorf("%s.%s.%s: %w", p.Name, f.Name, b.Name, ErrNoTerminate)
+				}
+				return fmt.Errorf("%s.%s.%s: terminator %s in the middle of a block", p.Name, f.Name, b.Name, in.Op)
+			}
+			if err := p.validateInst(f, in); err != nil {
+				return fmt.Errorf("%s.%s.%s[%d]: %w", p.Name, f.Name, b.Name, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateInst(f *Function, in *Inst) error {
+	switch in.Op {
+	case OpConst, OpMov, OpBin, OpBinImm, OpCmp, OpCmpImm, OpLoad:
+		// dst-producing; nothing extra beyond operator checks below.
+	case OpStore, OpJmp, OpBr, OpRet, OpTrap:
+	case OpCall:
+		callee := p.Func(in.Callee)
+		if callee == nil {
+			return fmt.Errorf("call to unknown function %q", in.Callee)
+		}
+		if len(in.Args) != callee.NParams {
+			return fmt.Errorf("call %s: got %d args, want %d", in.Callee, len(in.Args), callee.NParams)
+		}
+	case OpCallInd:
+		if len(p.FuncTable) == 0 {
+			return errors.New("indirect call in a program with an empty function table")
+		}
+		for _, name := range p.FuncTable {
+			if name == "" {
+				continue
+			}
+			if got, want := len(in.Args), p.Func(name).NParams; got != want {
+				return fmt.Errorf("indirect call: %d args but functable entry %q takes %d", got, name, want)
+			}
+		}
+	case OpSyscall:
+		if err := validateSyscall(in); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown opcode %d", in.Op)
+	}
+
+	switch in.Op {
+	case OpBin, OpBinImm:
+		if in.Bin < Add || in.Bin > Shr {
+			return fmt.Errorf("invalid binary operator %d", in.Bin)
+		}
+	case OpCmp, OpCmpImm:
+		if in.Cmp < Eq || in.Cmp > SLe {
+			return fmt.Errorf("invalid comparison operator %d", in.Cmp)
+		}
+	case OpLoad, OpStore:
+		switch in.Size {
+		case 1, 2, 4, 8:
+		default:
+			return fmt.Errorf("invalid access width %d", in.Size)
+		}
+	}
+	return nil
+}
+
+var sysArity = map[Sys]int{
+	SysOpen:    0,
+	SysRead:    3,
+	SysSeek:    2,
+	SysTell:    1,
+	SysSize:    1,
+	SysMMap:    1,
+	SysAlloc:   1,
+	SysFree:    1,
+	SysWrite:   2,
+	SysExit:    1,
+	SysArgRead: 2,
+	SysArgLen:  0,
+}
+
+func validateSyscall(in *Inst) error {
+	want, ok := sysArity[in.Sys]
+	if !ok {
+		return fmt.Errorf("unknown syscall %d", in.Sys)
+	}
+	if len(in.Args) != want {
+		return fmt.Errorf("syscall %s: got %d args, want %d", in.Sys, len(in.Args), want)
+	}
+	return nil
+}

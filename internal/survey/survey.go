@@ -1,0 +1,196 @@
+// Package survey reproduces the § II-A measurement that motivates the
+// paper's focus on malformed-file PoCs: of the 2016-2019 CVEs carrying
+// Bugzilla references, 1,190 shipped a PoC, and 823 of those (70%) were
+// malformed files.
+//
+// The original measurement crawled NVD and Bugzilla; that corpus is not
+// redistributable, so this package pairs a deterministic synthetic report
+// generator — calibrated to the paper's published counts — with an honest
+// content-based classifier, and the experiment checks that classification
+// recovers the distribution from the raw records.
+package survey
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// PoCType classifies a proof of concept (§ II-A taxonomy).
+type PoCType int
+
+// PoC types.
+const (
+	ShellCommand PoCType = iota + 1
+	Program
+	MalformedString
+	MalformedFile
+)
+
+// String renders the type.
+func (t PoCType) String() string {
+	switch t {
+	case ShellCommand:
+		return "shell-command"
+	case Program:
+		return "program"
+	case MalformedString:
+		return "malformed-string"
+	case MalformedFile:
+		return "malformed-file"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Record is one vulnerability report.
+type Record struct {
+	ID          string
+	Year        int
+	BugzillaRef bool
+	// PoCName and PoCContent are empty when no PoC accompanied the
+	// report.
+	PoCName    string
+	PoCContent []byte
+}
+
+// HasPoC reports whether the record carries a PoC.
+func (r *Record) HasPoC() bool { return len(r.PoCContent) > 0 }
+
+// fileExts lists attachment extensions treated as file-format PoCs.
+var fileExts = []string{".jpg", ".png", ".gif", ".tif", ".pdf", ".mp4", ".avi", ".j2k", ".swf", ".doc", ".zip", ".bin"}
+
+// Classify infers the PoC type from the record's attachment name and
+// content, the way the paper's manual triage worked.
+func Classify(r *Record) (PoCType, bool) {
+	if !r.HasPoC() {
+		return 0, false
+	}
+	name := strings.ToLower(r.PoCName)
+	for _, ext := range fileExts {
+		if strings.HasSuffix(name, ext) {
+			return MalformedFile, true
+		}
+	}
+	content := string(r.PoCContent)
+	switch {
+	case strings.HasPrefix(content, "#!/") || strings.HasPrefix(content, "$ "):
+		return ShellCommand, true
+	case strings.Contains(content, "import ") || strings.Contains(content, "#include") ||
+		strings.Contains(content, "def ") || strings.Contains(content, "int main"):
+		return Program, true
+	case binaryFraction(r.PoCContent) > 0.2:
+		return MalformedFile, true
+	default:
+		return MalformedString, true
+	}
+}
+
+// binaryFraction measures how much of the content is non-printable.
+func binaryFraction(b []byte) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range b {
+		if (c < 0x20 && c != '\n' && c != '\t' && c != '\r') || c >= 0x7F {
+			n++
+		}
+	}
+	return float64(n) / float64(len(b))
+}
+
+// Counts aggregates the survey numbers.
+type Counts struct {
+	Total       int // reports with Bugzilla references
+	WithPoC     int
+	ByType      map[PoCType]int
+	FilePercent float64
+}
+
+// Run classifies every record and aggregates the distribution.
+func Run(records []*Record) Counts {
+	c := Counts{ByType: make(map[PoCType]int)}
+	for _, r := range records {
+		if !r.BugzillaRef {
+			continue
+		}
+		c.Total++
+		t, ok := Classify(r)
+		if !ok {
+			continue
+		}
+		c.WithPoC++
+		c.ByType[t]++
+	}
+	if c.WithPoC > 0 {
+		c.FilePercent = 100 * float64(c.ByType[MalformedFile]) / float64(c.WithPoC)
+	}
+	return c
+}
+
+// Paper-published counts (§ II-A).
+const (
+	PaperTotal    = 2455
+	PaperWithPoC  = 1190
+	PaperFilePoCs = 823
+)
+
+// Generate produces the deterministic synthetic report corpus calibrated to
+// the paper's counts: PaperTotal Bugzilla-referenced reports, PaperWithPoC
+// of which carry PoCs, PaperFilePoCs of those being malformed files. The
+// remaining PoCs are split across the other three types.
+func Generate(seed int64) []*Record {
+	rng := rand.New(rand.NewSource(seed))
+	records := make([]*Record, 0, PaperTotal)
+
+	other := PaperWithPoC - PaperFilePoCs
+	quota := map[PoCType]int{
+		MalformedFile:   PaperFilePoCs,
+		ShellCommand:    other / 3,
+		Program:         other / 3,
+		MalformedString: other - 2*(other/3),
+	}
+	var pocTypes []PoCType
+	for t, n := range quota {
+		for i := 0; i < n; i++ {
+			pocTypes = append(pocTypes, t)
+		}
+	}
+	rng.Shuffle(len(pocTypes), func(i, j int) { pocTypes[i], pocTypes[j] = pocTypes[j], pocTypes[i] })
+
+	for i := 0; i < PaperTotal; i++ {
+		r := &Record{
+			ID:          fmt.Sprintf("CVE-%d-%04d", 2016+i%4, 1000+i),
+			Year:        2016 + i%4,
+			BugzillaRef: true,
+		}
+		if i < len(pocTypes) {
+			fillPoC(r, pocTypes[i], rng)
+		}
+		records = append(records, r)
+	}
+	rng.Shuffle(len(records), func(i, j int) { records[i], records[j] = records[j], records[i] })
+	return records
+}
+
+// fillPoC synthesizes PoC content of the requested type.
+func fillPoC(r *Record, t PoCType, rng *rand.Rand) {
+	switch t {
+	case MalformedFile:
+		ext := fileExts[rng.Intn(len(fileExts))]
+		r.PoCName = fmt.Sprintf("poc%d%s", rng.Intn(1000), ext)
+		content := make([]byte, 32+rng.Intn(256))
+		rng.Read(content)
+		r.PoCContent = content
+	case ShellCommand:
+		r.PoCName = "poc.sh"
+		r.PoCContent = []byte(fmt.Sprintf("#!/bin/sh\ncurl -d @payload http://victim:%d/\n", 8000+rng.Intn(100)))
+	case Program:
+		r.PoCName = "poc.py"
+		r.PoCContent = []byte(fmt.Sprintf("import socket\ns = socket.socket()\ns.send(b'A'*%d)\n", 64+rng.Intn(4096)))
+	case MalformedString:
+		r.PoCName = "poc.txt"
+		r.PoCContent = []byte(strings.Repeat("%n%s", 8+rng.Intn(64)))
+	}
+}

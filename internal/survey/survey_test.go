@@ -1,0 +1,101 @@
+package survey_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"octopocs/internal/survey"
+)
+
+func TestGenerateCalibration(t *testing.T) {
+	records := survey.Generate(1)
+	if len(records) != survey.PaperTotal {
+		t.Fatalf("records = %d, want %d", len(records), survey.PaperTotal)
+	}
+	withPoC := 0
+	for _, r := range records {
+		if r.HasPoC() {
+			withPoC++
+		}
+		if !r.BugzillaRef {
+			t.Fatal("every generated record must carry a Bugzilla reference")
+		}
+		if r.Year < 2016 || r.Year > 2019 {
+			t.Fatalf("year %d out of the paper's 2016-2019 window", r.Year)
+		}
+	}
+	if withPoC != survey.PaperWithPoC {
+		t.Errorf("records with PoC = %d, want %d", withPoC, survey.PaperWithPoC)
+	}
+}
+
+func TestRunRecoversPaperDistribution(t *testing.T) {
+	counts := survey.Run(survey.Generate(1))
+	if counts.Total != survey.PaperTotal {
+		t.Errorf("total = %d, want %d", counts.Total, survey.PaperTotal)
+	}
+	if counts.WithPoC != survey.PaperWithPoC {
+		t.Errorf("withPoC = %d, want %d", counts.WithPoC, survey.PaperWithPoC)
+	}
+	if counts.ByType[survey.MalformedFile] != survey.PaperFilePoCs {
+		t.Errorf("file PoCs = %d, want %d (classifier misjudged some records)",
+			counts.ByType[survey.MalformedFile], survey.PaperFilePoCs)
+	}
+	if math.Abs(counts.FilePercent-70) > 2 {
+		t.Errorf("file share = %.1f%%, want ≈70%%", counts.FilePercent)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		name    string
+		rec     survey.Record
+		want    survey.PoCType
+		present bool
+	}{
+		{"no poc", survey.Record{}, 0, false},
+		{"image attachment", survey.Record{PoCName: "crash.jpg", PoCContent: []byte{1, 2}}, survey.MalformedFile, true},
+		{"binary content", survey.Record{PoCName: "poc", PoCContent: []byte{0xFF, 0x00, 0x81, 0x03}}, survey.MalformedFile, true},
+		{"shell", survey.Record{PoCName: "x.sh", PoCContent: []byte("#!/bin/sh\nrm x\n")}, survey.ShellCommand, true},
+		{"python", survey.Record{PoCName: "x.py", PoCContent: []byte("import os\n")}, survey.Program, true},
+		{"c program", survey.Record{PoCName: "x.c", PoCContent: []byte("#include <stdio.h>\nint main(){}\n")}, survey.Program, true},
+		{"format string", survey.Record{PoCName: "x.txt", PoCContent: []byte("%n%n%n%s")}, survey.MalformedString, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, ok := survey.Classify(&tt.rec)
+			if ok != tt.present || (ok && got != tt.want) {
+				t.Errorf("Classify = %v,%v want %v,%v", got, ok, tt.want, tt.present)
+			}
+		})
+	}
+}
+
+// Property: generation is deterministic per seed, and classification is
+// total over generated records with PoCs.
+func TestGenerateDeterministicAndClassifiable(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		a := survey.Run(survey.Generate(seed))
+		b := survey.Run(survey.Generate(seed))
+		if a.WithPoC != b.WithPoC || a.FilePercent != b.FilePercent {
+			return false
+		}
+		sum := 0
+		for _, n := range a.ByType {
+			sum += n
+		}
+		return sum == a.WithPoC
+	}, &quick.Config{MaxCount: 5})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoCTypeStrings(t *testing.T) {
+	for _, ty := range []survey.PoCType{survey.ShellCommand, survey.Program, survey.MalformedString, survey.MalformedFile} {
+		if s := ty.String(); s == "" || s[0] == 't' {
+			t.Errorf("PoCType(%d).String() = %q", ty, s)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package symex_test
+
+import (
+	"testing"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/isa"
+	"octopocs/internal/symex"
+)
+
+// dispatchProg dispatches through a table indexed directly by an input
+// byte (resolvable) or through a runtime memory table (the angr-defect
+// analog, unresolvable for a concretizing explorer).
+func dispatchProg(t *testing.T, viaMemoryTable bool) *isa.Program {
+	t.Helper()
+	b := asm.NewBuilder("disp")
+	for _, name := range []string{"h0", "h1", "h2"} {
+		h := b.Function(name, 0)
+		h.RetI(0)
+	}
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	buf := f.Sys(isa.SysAlloc, f.Const(1))
+	f.Sys(isa.SysRead, fd, buf, f.Const(1))
+	sel := f.Load(1, buf, 0)
+	f.If(f.GtI(sel, 2), func() { f.Exit(1) })
+	if viaMemoryTable {
+		table := f.Sys(isa.SysAlloc, f.Const(4))
+		j := f.VarI(0)
+		f.While(func() isa.Reg { return f.LtI(j, 4) }, func() {
+			f.Store(1, f.Add(table, j), 0, f.AndI(j, 3))
+			f.Assign(j, f.AddI(j, 1))
+		})
+		sel = f.Load(1, f.Add(table, sel), 0)
+	}
+	f.CallInd(sel)
+	f.Exit(0)
+	b.Entry("main")
+	b.FuncTable("h0", "h1", "h2")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestDiscoverFindsAllDirectDispatchTargets(t *testing.T) {
+	prog := dispatchProg(t, false)
+	edges := symex.Discover(prog, symex.NaiveConfig{InputSize: 8})
+	targets := map[string]bool{}
+	for _, e := range edges {
+		targets[e.Callee] = true
+	}
+	for _, want := range []string{"h0", "h1", "h2"} {
+		if !targets[want] {
+			t.Errorf("edge to %s not discovered (got %v)", want, edges)
+		}
+	}
+}
+
+func TestDiscoverPartialThroughMemoryTable(t *testing.T) {
+	// The memory-table indirection forces address concretization: only
+	// the slot of the concretized path is discovered — the Idx-15
+	// failure ingredient.
+	prog := dispatchProg(t, true)
+	edges := symex.Discover(prog, symex.NaiveConfig{InputSize: 8})
+	targets := map[string]bool{}
+	for _, e := range edges {
+		targets[e.Callee] = true
+	}
+	if len(targets) >= 3 {
+		t.Errorf("discovery should be partial through a memory table, got %v", edges)
+	}
+	if len(edges) == 0 {
+		t.Error("discovery should still resolve the concretized slot")
+	}
+}
+
+func TestDiscoverDeduplicatesEdges(t *testing.T) {
+	prog := dispatchProg(t, false)
+	edges := symex.Discover(prog, symex.NaiveConfig{InputSize: 8, MaxStates: 512})
+	seen := map[symex.IndirectEdge]bool{}
+	for _, e := range edges {
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestDiscoverHonorsBudgets(t *testing.T) {
+	prog := dispatchProg(t, false)
+	// A one-state budget cannot reach the dispatch.
+	edges := symex.Discover(prog, symex.NaiveConfig{InputSize: 8, MaxStates: 1})
+	if len(edges) != 0 {
+		t.Errorf("edges = %v with a one-state budget", edges)
+	}
+}

@@ -1,0 +1,524 @@
+package symex
+
+import (
+	"errors"
+	"fmt"
+
+	"octopocs/internal/cfg"
+	"octopocs/internal/expr"
+	"octopocs/internal/isa"
+	"octopocs/internal/solver"
+)
+
+// Defaults.
+const (
+	DefaultInputSize = 256
+	DefaultMaxSteps  = 400_000
+	// DefaultTheta is the paper's θ: the maximum number of loop
+	// iterations attempted when searching for a loop exit (§ IV-B).
+	DefaultTheta = 120
+)
+
+// Errors.
+var (
+	// ErrNoDistances means directed execution was requested without
+	// backward-path-finding results.
+	ErrNoDistances = errors.New("symex: directed execution requires distance maps")
+)
+
+// Config parameterizes an Executor.
+type Config struct {
+	// InputSize is the length of the symbolic input file.
+	InputSize int
+	// MaxSteps bounds instructions per state.
+	MaxSteps int64
+	// Theta is the maximum number of times a block may be re-entered
+	// within one frame before the state is classified loop-dead.
+	Theta int
+	// SatBudget is the solver evaluation budget per feasibility check.
+	SatBudget int64
+	// Target is the objective function (the paper's ep).
+	Target string
+	// Distances holds backward path finding results for Target; required
+	// by Run, unused by RunNaive.
+	Distances *cfg.Distances
+	// MaxBacktracks bounds directed-mode decision reversals.
+	MaxBacktracks int
+}
+
+// DefaultMaxBacktracks bounds how many decision reversals directed
+// execution attempts before giving up.
+const DefaultMaxBacktracks = 512
+
+// EpEntry describes one arrival at the objective function.
+type EpEntry struct {
+	// Seq is 1-based arrival ordinal.
+	Seq int
+	// Args are the symbolic argument expressions of the call.
+	Args []*expr.Expr
+	// FilePos is the input file position indicator at the call.
+	FilePos int64
+}
+
+// Decision tells the executor how to proceed after an ep entry.
+type Decision int
+
+// Visitor decisions.
+const (
+	// Continue executes through the objective function and keeps going.
+	Continue Decision = iota + 1
+	// Stop ends the run successfully with the current constraints.
+	Stop
+	// Infeasible reports that the constraints the visitor just added
+	// contradict the path condition: the state dies and directed
+	// execution backtracks to try another path to the objective.
+	Infeasible
+)
+
+// Visitor observes each arrival at the objective function. It may add
+// constraints to the state (phase P3 bunch placement) before deciding.
+type Visitor func(entry EpEntry, st *State) (Decision, error)
+
+// Stats captures resource usage for the Table IV comparison.
+type Stats struct {
+	Steps     int64
+	SatChecks int64
+	// States is the number of states explored (directed mode counts the
+	// initial path plus one per backtrack).
+	States int
+	// Backtracks counts directed-mode decision reversals (the paper's
+	// "increase the number of iterations and repeat" loop policy).
+	Backtracks int
+	// LoopStates counts symbolic decisions that re-entered an
+	// already-visited block — the paper's transient "loop" state.
+	LoopStates int64
+	// LoopDeads and ProgramDeads count dead states encountered.
+	LoopDeads    int
+	ProgramDeads int
+	// PeakMemBytes is the peak estimated retained memory across live
+	// states (naive mode) or the final state footprint (directed mode).
+	PeakMemBytes int64
+}
+
+// Result is the outcome of a symbolic run.
+type Result struct {
+	// Kind is KindActive when the visitor stopped the run at the
+	// objective (success); otherwise the terminal state kind.
+	Kind StateKind
+	// Why explains dead kinds.
+	Why string
+	// Constraints is the full path condition of the final state.
+	Constraints []*expr.Expr
+	// Entries lists the objective arrivals observed.
+	Entries []EpEntry
+	Stats   Stats
+}
+
+// Reached reports whether the run stopped at the objective by visitor
+// decision.
+func (r *Result) Reached() bool { return r.Kind == KindActive }
+
+// choice is a pending alternative at a past decision point: a snapshot of
+// the state with the program counter still at the deciding instruction,
+// plus the constraints that select the untried directions. Re-executing the
+// instruction under an added alternative constraint makes the executor take
+// that direction.
+type choice struct {
+	snap *State
+	alts []*expr.Expr
+}
+
+// Executor runs symbolic execution over one program.
+type Executor struct {
+	prog *isa.Program
+	cfg  Config
+	sol  solver.Solver
+	stat Stats
+	// stack holds pending decision alternatives for directed backtracking.
+	stack []choice
+	// onResolve observes indirect-call resolutions (dynamic CFG discovery).
+	onResolve func(site isa.Loc, callee string)
+}
+
+// New returns an executor. The program must be validated.
+func New(prog *isa.Program, cfg Config) *Executor {
+	if cfg.InputSize <= 0 {
+		cfg.InputSize = DefaultInputSize
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	if cfg.Theta <= 0 {
+		cfg.Theta = DefaultTheta
+	}
+	if cfg.MaxBacktracks <= 0 {
+		cfg.MaxBacktracks = DefaultMaxBacktracks
+	}
+	e := &Executor{prog: prog, cfg: cfg}
+	e.sol = solver.Solver{Budget: cfg.SatBudget}
+	return e
+}
+
+// sat checks satisfiability of the conjunction of cs.
+func (e *Executor) sat(cs []*expr.Expr) (bool, error) {
+	e.stat.SatChecks++
+	return e.sol.Sat(cs)
+}
+
+// feasible checks whether adding extra to the state's path condition keeps
+// it satisfiable.
+func (e *Executor) feasible(st *State, extra *expr.Expr) (bool, error) {
+	if v, ok := extra.IsConst(); ok {
+		return v != 0, nil
+	}
+	return e.sat(append(append([]*expr.Expr{}, st.constraints...), extra))
+}
+
+// concretize pins a symbolic expression to one concrete value consistent
+// with the path condition, adding the pin as a constraint (the standard
+// address-concretization strategy). An unsatisfiable path condition kills
+// the state (ok=false) so directed execution can backtrack; only solver
+// budget exhaustion is a hard error.
+func (e *Executor) concretize(st *State, v *expr.Expr) (val uint64, ok bool, err error) {
+	if c, isConst := v.IsConst(); isConst {
+		return c, true, nil
+	}
+	e.stat.SatChecks++
+	model, err := e.sol.Solve(st.constraints)
+	if err != nil {
+		if errors.Is(err, solver.ErrUnsat) {
+			st.die(KindProgramDead, fmt.Sprintf("path condition unsatisfiable at %s", st.loc()))
+			return 0, false, nil
+		}
+		return 0, false, fmt.Errorf("concretize %v: %w", v, err)
+	}
+	val, evalOK := v.Eval(func(sym int) (uint64, bool) {
+		if b, present := model[sym]; present {
+			return uint64(b), true
+		}
+		return 0, true // unconstrained symbols default to zero
+	})
+	if !evalOK {
+		return 0, false, fmt.Errorf("concretize %v: expression not evaluable", v)
+	}
+	st.AddConstraint(expr.Bin(expr.OpEq, v, expr.Const(val)))
+	return val, true, nil
+}
+
+// Run performs directed symbolic execution toward cfg.Target, invoking the
+// visitor at every arrival. It implements Algorithm 2 of the paper: the
+// state follows the backward-path preference at every decision, and a dead
+// state (loop-dead, program-dead, crash or premature exit) backtracks to
+// the most recent decision with an untried feasible alternative — which is
+// how the paper's "increase the number of iterations from one to θ"
+// loop-state handling manifests here.
+func (e *Executor) Run(visitor Visitor) (*Result, error) {
+	if e.cfg.Distances == nil {
+		return nil, ErrNoDistances
+	}
+	st := newState()
+	e.pushEntry(st)
+	e.stat.States = 1
+
+	var firstDeath *State
+	for {
+		for st.kind == KindActive {
+			if st.steps >= e.cfg.MaxSteps {
+				st.die(KindHung, fmt.Sprintf("step budget exhausted at %s", st.loc()))
+				break
+			}
+			stop, err := e.step(st, visitor, true)
+			if err != nil {
+				return nil, err
+			}
+			if stop {
+				res := e.result(st)
+				res.Kind = KindActive
+				return res, nil
+			}
+		}
+		switch st.kind {
+		case KindLoopDead:
+			e.stat.LoopDeads++
+		case KindProgramDead:
+			e.stat.ProgramDeads++
+		}
+		if firstDeath == nil || deathRank(st.kind) > deathRank(firstDeath.kind) {
+			firstDeath = st
+		}
+		next, err := e.backtrack()
+		if err != nil {
+			return nil, err
+		}
+		if next == nil {
+			return e.result(firstDeath), nil
+		}
+		st = next
+	}
+}
+
+// deathRank orders terminal kinds by diagnostic value: an infeasible
+// objective placement is the strongest "cannot be triggered" signal
+// (§ III-C P3.3), then program-dead (§ III-B), then the θ-bounded
+// loop-dead.
+func deathRank(k StateKind) int {
+	switch k {
+	case KindInfeasible:
+		return 6
+	case KindProgramDead:
+		return 5
+	case KindLoopDead:
+		return 4
+	case KindHung:
+		return 3
+	case KindCrashed:
+		return 2
+	case KindExited:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// pushChoice records untried alternatives at the current instruction. The
+// snapshot keeps the program counter at the deciding instruction so that
+// resuming re-executes it under the added alternative constraint.
+func (e *Executor) pushChoice(snap *State, alts []*expr.Expr) {
+	if len(alts) == 0 {
+		return
+	}
+	e.stack = append(e.stack, choice{snap: snap, alts: alts})
+}
+
+// backtrack resumes the most recent decision that still has a feasible
+// untried alternative, or returns nil when exhausted.
+func (e *Executor) backtrack() (*State, error) {
+	for len(e.stack) > 0 {
+		if e.stat.Backtracks >= e.cfg.MaxBacktracks {
+			return nil, nil
+		}
+		top := &e.stack[len(e.stack)-1]
+		if len(top.alts) == 0 {
+			e.stack = e.stack[:len(e.stack)-1]
+			continue
+		}
+		alt := top.alts[0]
+		top.alts = top.alts[1:]
+		base := top.snap
+		if len(top.alts) > 0 {
+			base = base.clone()
+		} else {
+			e.stack = e.stack[:len(e.stack)-1]
+		}
+		ok, err := e.feasible(base, alt)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		e.stat.Backtracks++
+		e.stat.States++
+		base.AddConstraint(alt)
+		return base, nil
+	}
+	return nil, nil
+}
+
+func (e *Executor) result(st *State) *Result {
+	e.stat.Steps = st.steps
+	if fp := st.footprint(); fp > e.stat.PeakMemBytes {
+		e.stat.PeakMemBytes = fp
+	}
+	entries := make([]EpEntry, len(st.entries))
+	copy(entries, st.entries)
+	return &Result{
+		Kind:        st.kind,
+		Why:         st.why,
+		Constraints: st.constraints,
+		Entries:     entries,
+		Stats:       e.stat,
+	}
+}
+
+func (e *Executor) pushEntry(st *State) {
+	entry := e.prog.Func(e.prog.Entry)
+	st.frames = append(st.frames, &Frame{fn: entry, visits: map[int]int{0: 1}})
+}
+
+// step executes one instruction of st. directed selects the branch policy.
+// The boolean result is true when the visitor stopped the run.
+func (e *Executor) step(st *State, visitor Visitor, directed bool) (bool, error) {
+	st.steps++
+	fr := st.top()
+	in := &fr.fn.Blocks[fr.block].Insts[fr.inst]
+	advance := true
+
+	switch in.Op {
+	case isa.OpConst:
+		fr.regs[in.Dst] = expr.Const(uint64(in.Imm))
+	case isa.OpMov:
+		fr.regs[in.Dst] = reg(fr, in.A)
+	case isa.OpBin:
+		v, err := e.binOp(st, in.Bin, reg(fr, in.A), reg(fr, in.B))
+		if err != nil {
+			return false, err
+		}
+		if st.kind != KindActive {
+			return false, nil
+		}
+		fr.regs[in.Dst] = v
+	case isa.OpBinImm:
+		v, err := e.binOp(st, in.Bin, reg(fr, in.A), expr.Const(uint64(in.Imm)))
+		if err != nil {
+			return false, err
+		}
+		if st.kind != KindActive {
+			return false, nil
+		}
+		fr.regs[in.Dst] = v
+	case isa.OpCmp:
+		fr.regs[in.Dst] = cmpExpr(in.Cmp, reg(fr, in.A), reg(fr, in.B))
+	case isa.OpCmpImm:
+		fr.regs[in.Dst] = cmpExpr(in.Cmp, reg(fr, in.A), expr.Const(uint64(in.Imm)))
+	case isa.OpLoad:
+		addr, ok, err := e.concretize(st, expr.Bin(expr.OpAdd, reg(fr, in.A), expr.Const(uint64(in.Imm))))
+		if err != nil || !ok {
+			return false, err
+		}
+		v, f := st.mem.load(addr, in.Size)
+		if f != nil {
+			st.die(KindCrashed, f.String())
+			return false, nil
+		}
+		fr.regs[in.Dst] = v
+	case isa.OpStore:
+		addr, ok, err := e.concretize(st, expr.Bin(expr.OpAdd, reg(fr, in.A), expr.Const(uint64(in.Imm))))
+		if err != nil || !ok {
+			return false, err
+		}
+		if f := st.mem.store(addr, in.Size, reg(fr, in.B)); f != nil {
+			st.die(KindCrashed, f.String())
+			return false, nil
+		}
+	case isa.OpJmp:
+		e.enterBlock(st, fr, in.ThenIdx)
+		advance = false
+	case isa.OpBr:
+		if err := e.branch(st, fr, in, directed); err != nil {
+			return false, err
+		}
+		advance = false
+	case isa.OpCall:
+		stop, err := e.call(st, fr, in, e.prog.Func(in.Callee), visitor)
+		if err != nil || stop {
+			return stop, err
+		}
+		advance = false
+	case isa.OpCallInd:
+		stop, err := e.callIndirect(st, fr, in, visitor, directed)
+		if err != nil || stop {
+			return stop, err
+		}
+		advance = false
+	case isa.OpRet:
+		e.ret(st, fr, reg(fr, in.A))
+		advance = false
+	case isa.OpTrap:
+		st.die(KindCrashed, fmt.Sprintf("trap %d at %s", in.Imm, st.loc()))
+		return false, nil
+	case isa.OpSyscall:
+		if err := e.syscall(st, fr, in); err != nil {
+			return false, err
+		}
+	default:
+		return false, fmt.Errorf("symex: unknown opcode %d", in.Op)
+	}
+	if advance && st.kind == KindActive {
+		fr.inst++
+	}
+	return false, nil
+}
+
+// reg reads a register, defaulting unset registers to zero.
+func reg(fr *Frame, r isa.Reg) *expr.Expr {
+	if v := fr.regs[r]; v != nil {
+		return v
+	}
+	return expr.Zero
+}
+
+// cmpExpr builds the boolean expression for a MIR comparison, mapping the
+// Gt/Ge forms onto swapped Lt/Le.
+func cmpExpr(op isa.CmpOp, a, b *expr.Expr) *expr.Expr {
+	switch op {
+	case isa.Eq:
+		return expr.Bin(expr.OpEq, a, b)
+	case isa.Ne:
+		return expr.Bin(expr.OpNe, a, b)
+	case isa.Lt:
+		return expr.Bin(expr.OpLt, a, b)
+	case isa.Le:
+		return expr.Bin(expr.OpLe, a, b)
+	case isa.Gt:
+		return expr.Bin(expr.OpLt, b, a)
+	case isa.Ge:
+		return expr.Bin(expr.OpLe, b, a)
+	case isa.SLt:
+		return expr.Bin(expr.OpSLt, a, b)
+	case isa.SLe:
+		return expr.Bin(expr.OpSLe, a, b)
+	default:
+		panic(fmt.Sprintf("symex: unknown cmp %d", op))
+	}
+}
+
+// binOp builds the result expression, handling symbolic division guards: a
+// division whose divisor could be zero constrains it non-zero when
+// feasible, and crashes the state otherwise.
+func (e *Executor) binOp(st *State, op isa.BinOp, a, b *expr.Expr) (*expr.Expr, error) {
+	var eop expr.Op
+	switch op {
+	case isa.Add:
+		eop = expr.OpAdd
+	case isa.Sub:
+		eop = expr.OpSub
+	case isa.Mul:
+		eop = expr.OpMul
+	case isa.Div, isa.Mod:
+		eop = expr.OpDiv
+		if op == isa.Mod {
+			eop = expr.OpMod
+		}
+		if v, ok := b.IsConst(); ok {
+			if v == 0 {
+				st.die(KindCrashed, "div-by-zero")
+				return nil, nil
+			}
+		} else {
+			nz := expr.Bin(expr.OpNe, b, expr.Zero)
+			ok, err := e.feasible(st, nz)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				st.die(KindCrashed, "div-by-zero")
+				return nil, nil
+			}
+			st.AddConstraint(nz)
+		}
+	case isa.And:
+		eop = expr.OpAnd
+	case isa.Or:
+		eop = expr.OpOr
+	case isa.Xor:
+		eop = expr.OpXor
+	case isa.Shl:
+		eop = expr.OpShl
+	case isa.Shr:
+		eop = expr.OpShr
+	default:
+		return nil, fmt.Errorf("symex: unknown binop %d", op)
+	}
+	return expr.Bin(eop, a, b), nil
+}

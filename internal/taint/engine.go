@@ -1,0 +1,309 @@
+package taint
+
+import (
+	"sort"
+
+	"octopocs/internal/isa"
+	"octopocs/internal/vm"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Lib is the shared function set ℓ: offsets consumed while executing
+	// one of these functions count as crash-primitive bytes.
+	Lib map[string]bool
+	// Ep is the entry point of ℓ (the first ℓ function on the crashing
+	// call stack), whose entries delimit bunches.
+	Ep string
+	// ContextAware selects the paper's context-aware mode. When false,
+	// every used offset lands in a single bunch and ep arguments are not
+	// recorded — the Table III baseline.
+	ContextAware bool
+}
+
+// Bunch groups the crash-primitive offsets consumed during one entry into ℓ
+// (paper § III-A): the byte characters of the PoC "used in ℓ at the same
+// sequence".
+type Bunch struct {
+	// Seq is the 1-based ordinal of the ep entry this bunch belongs to.
+	Seq int
+	// Offsets are the input-file offsets consumed during this entry,
+	// sorted ascending.
+	Offsets []uint32
+	// Args is the ep argument vector observed at this entry; nil in
+	// context-free mode.
+	Args []uint64
+}
+
+// Result is the outcome of P1: the crash primitives of the PoC.
+type Result struct {
+	// Bunches is ordered by Seq. Context-free mode yields exactly one.
+	Bunches []Bunch
+	// EpEntries is how many times execution entered ep.
+	EpEntries int
+}
+
+// AllOffsets returns the union of all bunch offsets, sorted.
+func (r *Result) AllOffsets() []uint32 {
+	var all []uint32
+	for _, b := range r.Bunches {
+		all = append(all, b.Offsets...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out := all[:0]
+	for i, o := range all {
+		if i == 0 || o != out[len(out)-1] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Engine performs the taint analysis over one concrete run. Create with
+// NewEngine, pass Hooks() to vm.Config, run the machine, then read Result.
+type Engine struct {
+	cfg Config
+
+	// regs[frameID] is the per-frame register taint file.
+	regs map[uint64]*[isa.NumRegs]*Set
+	// mem is per-byte memory taint.
+	mem map[uint64]*Set
+
+	// marks[seq] accumulates used offsets per ep entry.
+	marks map[int]map[uint32]bool
+	// epArgs[seq-1] is the recorded argument vector of each ep entry.
+	epArgs [][]uint64
+	// epCount is the number of ep entries so far.
+	epCount int
+
+	// pendingCall carries argument taints from the OpCall/OpCallInd
+	// instruction observation to the matching OnCall event.
+	pendingCall []*Set
+	// pendingRet carries the return-value taint from OpRet to OnRet.
+	pendingRet *Set
+}
+
+// NewEngine returns a fresh engine for one run.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{
+		cfg:   cfg,
+		regs:  make(map[uint64]*[isa.NumRegs]*Set),
+		mem:   make(map[uint64]*Set),
+		marks: make(map[int]map[uint32]bool),
+	}
+}
+
+// Result finalizes and returns the crash primitives. In context-aware mode
+// every ep entry yields a bunch, even an empty one, so that bunch ordinals
+// stay aligned with entry ordinals during the combining phase.
+func (e *Engine) Result() *Result {
+	res := &Result{EpEntries: e.epCount}
+	maxSeq := e.epCount
+	if !e.cfg.ContextAware {
+		maxSeq = 0
+		if len(e.marks) > 0 || e.epCount > 0 {
+			maxSeq = 1
+		}
+	}
+	for seq := 1; seq <= maxSeq; seq++ {
+		offs := make([]uint32, 0, len(e.marks[seq]))
+		for o := range e.marks[seq] {
+			offs = append(offs, o)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		b := Bunch{Seq: seq, Offsets: offs}
+		if e.cfg.ContextAware && seq-1 < len(e.epArgs) {
+			b.Args = e.epArgs[seq-1]
+		}
+		res.Bunches = append(res.Bunches, b)
+	}
+	return res
+}
+
+// EpArgs returns the recorded argument vectors, one per ep entry.
+func (e *Engine) EpArgs() [][]uint64 { return e.epArgs }
+
+// frame returns (allocating) the register taint file of a frame.
+func (e *Engine) frame(id uint64) *[isa.NumRegs]*Set {
+	fr := e.regs[id]
+	if fr == nil {
+		fr = new([isa.NumRegs]*Set)
+		e.regs[id] = fr
+	}
+	return fr
+}
+
+// inLib reports whether offsets used at loc count as crash primitives:
+// execution must be inside an ℓ function and, in context-aware mode, ep
+// must have been entered at least once.
+func (e *Engine) inLib(fn string) bool {
+	if !e.cfg.Lib[fn] {
+		return false
+	}
+	return e.epCount >= 1
+}
+
+// seq returns the bunch key for a use happening now.
+func (e *Engine) seq() int {
+	if e.cfg.ContextAware {
+		return e.epCount
+	}
+	return 1
+}
+
+// mark records that the offsets in s were used inside ℓ.
+func (e *Engine) mark(s *Set) {
+	if s.IsEmpty() {
+		return
+	}
+	seq := e.seq()
+	m := e.marks[seq]
+	if m == nil {
+		m = make(map[uint32]bool)
+		e.marks[seq] = m
+	}
+	for _, o := range s.Offsets() {
+		m[o] = true
+	}
+}
+
+// memTaint unions the taint of size bytes at addr.
+func (e *Engine) memTaint(addr uint64, size uint8) *Set {
+	var s *Set
+	for i := uint64(0); i < uint64(size); i++ {
+		s = s.Union(e.mem[addr+i])
+	}
+	return s
+}
+
+// setMemTaint assigns t to each of size bytes at addr.
+func (e *Engine) setMemTaint(addr uint64, size uint8, t *Set) {
+	for i := uint64(0); i < uint64(size); i++ {
+		if t.IsEmpty() {
+			delete(e.mem, addr+i)
+		} else {
+			e.mem[addr+i] = t
+		}
+	}
+}
+
+// Hooks returns the vm instrumentation that drives this engine. The
+// returned hooks are single-run: use a fresh engine per execution.
+func (e *Engine) Hooks() *vm.Hooks {
+	return &vm.Hooks{
+		OnInst:  e.onInst,
+		OnLoad:  e.onLoad,
+		OnStore: e.onStore,
+		OnCall:  e.onCall,
+		OnRet:   e.onRet,
+		OnRead:  e.onRead,
+		OnMMap:  e.onMMap,
+	}
+}
+
+// onInst propagates register-to-register taint and marks in-ℓ uses. Loads
+// and stores are completed by onLoad/onStore, which know the effective
+// address.
+func (e *Engine) onInst(loc isa.Loc, frameID uint64, in *isa.Inst) {
+	fr := e.frame(frameID)
+	use := func(s *Set) {
+		if e.inLib(loc.Func) {
+			e.mark(s)
+		}
+	}
+	switch in.Op {
+	case isa.OpConst:
+		fr[in.Dst] = nil
+	case isa.OpMov:
+		use(fr[in.A])
+		fr[in.Dst] = fr[in.A]
+	case isa.OpBin, isa.OpCmp:
+		t := fr[in.A].Union(fr[in.B])
+		use(t)
+		fr[in.Dst] = t
+	case isa.OpBinImm, isa.OpCmpImm:
+		use(fr[in.A])
+		fr[in.Dst] = fr[in.A]
+	case isa.OpBr:
+		use(fr[in.A])
+	case isa.OpRet:
+		use(fr[in.A])
+		e.pendingRet = fr[in.A]
+	case isa.OpCall, isa.OpCallInd:
+		args := make([]*Set, len(in.Args))
+		for i, r := range in.Args {
+			args[i] = fr[r]
+			use(fr[r])
+		}
+		if in.Op == isa.OpCallInd {
+			use(fr[in.A])
+		}
+		e.pendingCall = args
+	case isa.OpSyscall:
+		for _, r := range in.Args {
+			use(fr[r])
+		}
+		// Syscall results are concrete system values, not input data;
+		// input-derived memory effects are applied by onRead/onMMap.
+		fr[in.Dst] = nil
+	case isa.OpLoad, isa.OpStore:
+		// Address-register use; value effects happen in onLoad/onStore.
+		use(fr[in.A])
+	}
+}
+
+func (e *Engine) onLoad(loc isa.Loc, frameID uint64, in *isa.Inst, addr uint64, _ uint64) {
+	fr := e.frame(frameID)
+	// A value loaded through a tainted pointer is input-derived too
+	// (table-lookup propagation), so the address taint joins in.
+	t := e.memTaint(addr, in.Size).Union(fr[in.A])
+	if e.inLib(loc.Func) {
+		e.mark(t)
+	}
+	fr[in.Dst] = t
+}
+
+func (e *Engine) onStore(loc isa.Loc, frameID uint64, in *isa.Inst, addr uint64, _ uint64) {
+	fr := e.frame(frameID)
+	t := fr[in.B]
+	if e.inLib(loc.Func) {
+		e.mark(t)
+	}
+	e.setMemTaint(addr, in.Size, t)
+}
+
+func (e *Engine) onCall(_ isa.Loc, callee string, args []uint64, _, calleeID uint64, _ isa.Reg) {
+	fr := e.frame(calleeID)
+	for i, t := range e.pendingCall {
+		if i < isa.NumRegs {
+			fr[i] = t
+		}
+	}
+	e.pendingCall = nil
+	if callee == e.cfg.Ep {
+		e.epCount++
+		e.epArgs = append(e.epArgs, append([]uint64(nil), args...))
+	}
+}
+
+func (e *Engine) onRet(_ string, _ uint64, callerID, calleeID uint64, dst isa.Reg) {
+	delete(e.regs, calleeID)
+	if callerID != 0 {
+		e.frame(callerID)[dst] = e.pendingRet
+	}
+	e.pendingRet = nil
+}
+
+// onRead is the taint source: file bytes from fileOff land at bufAddr.
+func (e *Engine) onRead(_ uint64, fileOff int64, bufAddr uint64, n int) {
+	for i := 0; i < n; i++ {
+		e.mem[bufAddr+uint64(i)] = NewSet(uint32(fileOff) + uint32(i))
+	}
+}
+
+// onMMap taints the whole mapping with the identity offsets.
+func (e *Engine) onMMap(_ uint64, base uint64, size int) {
+	for i := 0; i < size; i++ {
+		e.mem[base+uint64(i)] = NewSet(uint32(i))
+	}
+}

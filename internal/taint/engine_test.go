@@ -1,0 +1,291 @@
+package taint_test
+
+import (
+	"testing"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/isa"
+	"octopocs/internal/taint"
+	"octopocs/internal/vm"
+)
+
+// analyze runs prog on input under a taint engine and returns the result.
+func analyze(t *testing.T, prog *isa.Program, input []byte, cfg taint.Config) *taint.Result {
+	t.Helper()
+	e := taint.NewEngine(cfg)
+	m := vm.New(prog, vm.Config{Input: input, Hooks: e.Hooks(), MaxSteps: 500_000})
+	m.Run()
+	return e.Result()
+}
+
+func wantOffsets(t *testing.T, got []uint32, want ...uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("offsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", got, want)
+		}
+	}
+}
+
+// libProg: main reads a 2-byte header, then calls ep(headerByte0) which
+// reads `count` bytes and sums them. ℓ = {ep}.
+func libProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := asm.NewBuilder("p")
+
+	ep := b.Function("ep", 2) // (fd, count)
+	buf := ep.Sys(isa.SysAlloc, ep.Const(64))
+	n := ep.Sys(isa.SysRead, ep.Param(0), buf, ep.Param(1))
+	i := ep.VarI(0)
+	sum := ep.VarI(0)
+	ep.While(func() isa.Reg { return ep.Cmp(isa.Lt, i, n) }, func() {
+		addr := ep.Add(buf, i)
+		ep.Assign(sum, ep.Add(sum, ep.Load(1, addr, 0)))
+		ep.Assign(i, ep.AddI(i, 1))
+	})
+	ep.Ret(sum)
+
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	hdr := f.Sys(isa.SysAlloc, f.Const(8))
+	f.Sys(isa.SysRead, fd, hdr, f.Const(2))
+	count := f.Load(1, hdr, 1) // header byte 1 = how many payload bytes
+	f.Call("ep", fd, count)
+	f.Exit(0)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestBunchCapturesBytesUsedInLib(t *testing.T) {
+	prog := libProg(t)
+	// header: [magic, count=3], payload: 3 bytes at offsets 2,3,4.
+	input := []byte{0x7F, 3, 10, 20, 30, 99, 99}
+	res := analyze(t, prog, input, taint.Config{
+		Lib: map[string]bool{"ep": true}, Ep: "ep", ContextAware: true,
+	})
+	if res.EpEntries != 1 {
+		t.Fatalf("EpEntries = %d, want 1", res.EpEntries)
+	}
+	if len(res.Bunches) != 1 {
+		t.Fatalf("bunches = %d, want 1", len(res.Bunches))
+	}
+	b := res.Bunches[0]
+	if b.Seq != 1 {
+		t.Errorf("Seq = %d, want 1", b.Seq)
+	}
+	// Payload bytes 2,3,4 are loaded inside ep. Offset 1 (count) flows
+	// into ep as a parameter used by the read syscall inside ℓ, so it is
+	// marked too (indirect use, the paper's candidate-address case).
+	wantOffsets(t, b.Offsets, 1, 2, 3, 4)
+	// The recorded ep args: fd=3, count=3.
+	if len(b.Args) != 2 || b.Args[1] != 3 {
+		t.Errorf("Args = %v, want [fd 3]", b.Args)
+	}
+}
+
+// multiProg calls ep twice, consuming different file regions.
+func multiProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := asm.NewBuilder("p")
+
+	ep := b.Function("ep", 1) // (fd): reads 2 bytes, returns their sum
+	buf := ep.Sys(isa.SysAlloc, ep.Const(8))
+	ep.Sys(isa.SysRead, ep.Param(0), buf, ep.Const(2))
+	ep.Ret(ep.Add(ep.Load(1, buf, 0), ep.Load(1, buf, 1)))
+
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	hdr := f.Sys(isa.SysAlloc, f.Const(8))
+	f.Sys(isa.SysRead, fd, hdr, f.Const(1)) // offset 0: guiding byte
+	f.Call("ep", fd)                        // consumes offsets 1,2
+	f.Sys(isa.SysRead, fd, hdr, f.Const(1)) // offset 3: separator, unused
+	f.Call("ep", fd)                        // consumes offsets 4,5
+	f.Exit(0)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestContextAwareSeparatesBunches(t *testing.T) {
+	input := []byte{9, 1, 2, 9, 4, 5}
+	res := analyze(t, multiProg(t), input, taint.Config{
+		Lib: map[string]bool{"ep": true}, Ep: "ep", ContextAware: true,
+	})
+	if res.EpEntries != 2 {
+		t.Fatalf("EpEntries = %d, want 2", res.EpEntries)
+	}
+	if len(res.Bunches) != 2 {
+		t.Fatalf("bunches = %d, want 2", len(res.Bunches))
+	}
+	wantOffsets(t, res.Bunches[0].Offsets, 1, 2)
+	wantOffsets(t, res.Bunches[1].Offsets, 4, 5)
+	wantOffsets(t, res.AllOffsets(), 1, 2, 4, 5)
+}
+
+func TestContextFreeCollapsesBunches(t *testing.T) {
+	input := []byte{9, 1, 2, 9, 4, 5}
+	res := analyze(t, multiProg(t), input, taint.Config{
+		Lib: map[string]bool{"ep": true}, Ep: "ep", ContextAware: false,
+	})
+	if len(res.Bunches) != 1 {
+		t.Fatalf("bunches = %d, want 1 in context-free mode", len(res.Bunches))
+	}
+	wantOffsets(t, res.Bunches[0].Offsets, 1, 2, 4, 5)
+	if res.Bunches[0].Args != nil {
+		t.Error("context-free mode must not record args")
+	}
+}
+
+func TestIndirectUseViaMemory(t *testing.T) {
+	// main reads a byte pre-ep, stashes it in memory, and ep later loads
+	// it: the offset must still be attributed to the bunch (the paper's
+	// "indirectly used" bytes, P1.2 candidate addresses).
+	b := asm.NewBuilder("p")
+	ep := b.Function("ep", 1) // (stash addr)
+	ep.Ret(ep.Load(1, ep.Param(0), 0))
+
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	stash := f.Sys(isa.SysAlloc, f.Const(8))
+	tmp := f.Sys(isa.SysAlloc, f.Const(8))
+	f.Sys(isa.SysRead, fd, tmp, f.Const(1))
+	v := f.Load(1, tmp, 0)
+	doubled := f.MulI(v, 2) // derived value
+	f.Store(1, stash, 4, doubled)
+	f.Call("ep", f.AddI(stash, 4))
+	f.Exit(0)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analyze(t, prog, []byte{21}, taint.Config{
+		Lib: map[string]bool{"ep": true}, Ep: "ep", ContextAware: true,
+	})
+	if len(res.Bunches) != 1 {
+		t.Fatalf("bunches = %d, want 1", len(res.Bunches))
+	}
+	wantOffsets(t, res.Bunches[0].Offsets, 0)
+}
+
+func TestMMapTaintSource(t *testing.T) {
+	b := asm.NewBuilder("p")
+	ep := b.Function("ep", 1) // (mapping base): loads byte 2
+	ep.Ret(ep.Load(1, ep.Param(0), 2))
+
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	base := f.Sys(isa.SysMMap, fd)
+	f.Call("ep", base)
+	f.Exit(0)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analyze(t, prog, []byte{1, 2, 3, 4}, taint.Config{
+		Lib: map[string]bool{"ep": true}, Ep: "ep", ContextAware: true,
+	})
+	if len(res.Bunches) != 1 {
+		t.Fatalf("bunches = %d, want 1", len(res.Bunches))
+	}
+	wantOffsets(t, res.Bunches[0].Offsets, 2)
+}
+
+func TestUsesBeforeEpAreNotMarked(t *testing.T) {
+	// Offsets consumed before the first ep entry (and outside ℓ) must not
+	// appear in any bunch.
+	b := asm.NewBuilder("p")
+	ep := b.Function("ep", 0)
+	ep.RetI(0)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	buf := f.Sys(isa.SysAlloc, f.Const(8))
+	f.Sys(isa.SysRead, fd, buf, f.Const(4))
+	v := f.Load(4, buf, 0)
+	f.If(f.EqI(v, 0x41414141), func() { f.Call("ep") })
+	f.Exit(0)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analyze(t, prog, []byte("AAAA"), taint.Config{
+		Lib: map[string]bool{"ep": true}, Ep: "ep", ContextAware: true,
+	})
+	if res.EpEntries != 1 {
+		t.Fatalf("EpEntries = %d, want 1", res.EpEntries)
+	}
+	// The entry still yields a bunch (ordinal alignment), but an empty
+	// one: guiding bytes are not crash primitives.
+	if len(res.Bunches) != 1 || len(res.Bunches[0].Offsets) != 0 {
+		t.Fatalf("bunches = %v, want one empty bunch", res.Bunches)
+	}
+}
+
+func TestConstOverwriteClearsTaint(t *testing.T) {
+	// A register overwritten with a constant must drop its taint.
+	b := asm.NewBuilder("p")
+	ep := b.Function("ep", 1)
+	ep.Ret(ep.Param(0))
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	buf := f.Sys(isa.SysAlloc, f.Const(8))
+	f.Sys(isa.SysRead, fd, buf, f.Const(1))
+	v := f.Var(f.Load(1, buf, 0))
+	f.AssignI(v, 7) // kill the taint
+	f.Call("ep", v)
+	f.Exit(0)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analyze(t, prog, []byte{5}, taint.Config{
+		Lib: map[string]bool{"ep": true}, Ep: "ep", ContextAware: true,
+	})
+	if len(res.Bunches) != 1 || len(res.Bunches[0].Offsets) != 0 {
+		t.Fatalf("bunches = %v, want one empty bunch after constant overwrite", res.Bunches)
+	}
+}
+
+func TestReturnValuePropagatesTaint(t *testing.T) {
+	// helper returns an input-derived value; main hands it to ep where it
+	// is used: the offset must be marked.
+	b := asm.NewBuilder("p")
+	helper := b.Function("helper", 1) // (fd) -> first byte
+	buf := helper.Sys(isa.SysAlloc, helper.Const(8))
+	helper.Sys(isa.SysRead, helper.Param(0), buf, helper.Const(1))
+	helper.Ret(helper.Load(1, buf, 0))
+
+	ep := b.Function("ep", 1)
+	ep.Ret(ep.AddI(ep.Param(0), 1)) // uses the value
+
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	v := f.Call("helper", fd)
+	f.Call("ep", v)
+	f.Exit(0)
+	b.Entry("main")
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analyze(t, prog, []byte{0x41}, taint.Config{
+		Lib: map[string]bool{"ep": true}, Ep: "ep", ContextAware: true,
+	})
+	if len(res.Bunches) != 1 {
+		t.Fatalf("bunches = %d, want 1", len(res.Bunches))
+	}
+	wantOffsets(t, res.Bunches[0].Offsets, 0)
+}

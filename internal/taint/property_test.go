@@ -1,0 +1,86 @@
+package taint_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/isa"
+	"octopocs/internal/taint"
+	"octopocs/internal/vm"
+)
+
+// TestTaintRelayProperty: a randomly chosen input byte is relayed through a
+// random chain of register moves, arithmetic and memory hops before being
+// consumed inside ℓ; the extracted bunch must contain exactly that byte's
+// offset, never the decoy byte that is read but dropped.
+func TestTaintRelayProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const inputLen = 16
+		target := uint32(rng.Intn(inputLen - 1))
+		decoy := target + 1
+
+		b := asm.NewBuilder("relay")
+		sink := b.Function("sink", 1)
+		sink.Ret(sink.AddI(sink.Param(0), 1)) // the use inside ℓ
+
+		f := b.Function("main", 0)
+		fd := f.Sys(isa.SysOpen)
+		buf := f.Sys(isa.SysAlloc, f.Const(inputLen))
+		f.Sys(isa.SysRead, fd, buf, f.Const(inputLen))
+		val := f.Var(f.Load(1, buf, int64(target)))
+		dead := f.Load(1, buf, int64(decoy)) // decoy: read, never relayed
+		_ = dead
+
+		hops := 1 + rng.Intn(6)
+		for i := 0; i < hops; i++ {
+			switch rng.Intn(4) {
+			case 0: // register move
+				f.Assign(val, f.Bin(isa.Or, val, val))
+			case 1: // arithmetic that keeps the dependency
+				f.Assign(val, f.SubI(f.AddI(val, 3), 3))
+			case 2: // memory round trip through a fresh cell
+				cell := f.Sys(isa.SysAlloc, f.Const(8))
+				f.Store(1, cell, 0, val)
+				f.Assign(val, f.Load(1, cell, 0))
+			case 3: // via a helper-style double move
+				tmp := f.Var(val)
+				f.Assign(val, tmp)
+			}
+		}
+		f.Call("sink", val)
+		f.Exit(0)
+		b.Entry("main")
+		prog, err := b.Build()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		eng := taint.NewEngine(taint.Config{
+			Lib: map[string]bool{"sink": true}, Ep: "sink", ContextAware: true,
+		})
+		input := make([]byte, inputLen)
+		rng.Read(input)
+		vm.New(prog, vm.Config{Input: input, Hooks: eng.Hooks()}).Run()
+		res := eng.Result()
+		if len(res.Bunches) != 1 {
+			return false
+		}
+		bunch := res.Bunches[0]
+		foundTarget, foundDecoy := false, false
+		for _, off := range bunch.Offsets {
+			if off == target {
+				foundTarget = true
+			}
+			if off == decoy {
+				foundDecoy = true
+			}
+		}
+		return foundTarget && !foundDecoy
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

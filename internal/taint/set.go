@@ -1,0 +1,110 @@
+// Package taint implements the byte-granular dynamic taint analysis of
+// OCTOPOCS phase P1 (paper § III-A). It consumes the vm package's
+// instrumentation hooks — the same observation surface the original work
+// gets from Intel PIN — and tracks, for every register and every memory
+// byte, the set of input-file offsets that influenced it.
+//
+// In context-aware mode (the paper's key refinement), the engine counts
+// entries into the shared-code entry point ep, records the argument vector
+// of each entry, and groups the input offsets used inside the shared
+// function set ℓ into per-entry bunches. In context-free mode (the baseline
+// of Table III) all used offsets collapse into a single bunch.
+package taint
+
+import "sort"
+
+// Set is an immutable set of input-file byte offsets. The zero value and
+// nil are both the empty set. Offsets are kept sorted and unique.
+type Set struct {
+	offs []uint32
+}
+
+// NewSet builds a set from arbitrary offsets.
+func NewSet(offs ...uint32) *Set {
+	if len(offs) == 0 {
+		return nil
+	}
+	sorted := append([]uint32(nil), offs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:1]
+	for _, o := range sorted[1:] {
+		if o != out[len(out)-1] {
+			out = append(out, o)
+		}
+	}
+	return &Set{offs: out}
+}
+
+// IsEmpty reports whether s has no offsets.
+func (s *Set) IsEmpty() bool { return s == nil || len(s.offs) == 0 }
+
+// Len returns the number of offsets.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.offs)
+}
+
+// Contains reports membership.
+func (s *Set) Contains(off uint32) bool {
+	if s == nil {
+		return false
+	}
+	i := sort.Search(len(s.offs), func(i int) bool { return s.offs[i] >= off })
+	return i < len(s.offs) && s.offs[i] == off
+}
+
+// Offsets returns a copy of the sorted offsets.
+func (s *Set) Offsets() []uint32 {
+	if s == nil {
+		return nil
+	}
+	return append([]uint32(nil), s.offs...)
+}
+
+// Union returns s ∪ t, reusing an operand when the other is empty.
+func (s *Set) Union(t *Set) *Set {
+	if s.IsEmpty() {
+		return t
+	}
+	if t.IsEmpty() {
+		return s
+	}
+	merged := make([]uint32, 0, len(s.offs)+len(t.offs))
+	i, j := 0, 0
+	for i < len(s.offs) && j < len(t.offs) {
+		a, b := s.offs[i], t.offs[j]
+		switch {
+		case a < b:
+			merged = append(merged, a)
+			i++
+		case b < a:
+			merged = append(merged, b)
+			j++
+		default:
+			merged = append(merged, a)
+			i++
+			j++
+		}
+	}
+	merged = append(merged, s.offs[i:]...)
+	merged = append(merged, t.offs[j:]...)
+	return &Set{offs: merged}
+}
+
+// Equal reports whether two sets hold the same offsets.
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	if s.IsEmpty() {
+		return true
+	}
+	for i := range s.offs {
+		if s.offs[i] != t.offs[i] {
+			return false
+		}
+	}
+	return true
+}

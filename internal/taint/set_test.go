@@ -1,0 +1,100 @@
+package taint
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	var nilSet *Set
+	if !nilSet.IsEmpty() || nilSet.Len() != 0 {
+		t.Error("nil set must be empty")
+	}
+	if NewSet() != nil {
+		t.Error("NewSet() with no offsets must be nil")
+	}
+
+	s := NewSet(5, 3, 5, 1)
+	if got := s.Offsets(); len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("Offsets() = %v, want [1 3 5]", got)
+	}
+	if !s.Contains(3) || s.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	if nilSet.Contains(0) {
+		t.Error("nil set contains nothing")
+	}
+}
+
+func TestSetUnion(t *testing.T) {
+	a := NewSet(1, 3)
+	b := NewSet(2, 3, 9)
+	u := a.Union(b)
+	want := []uint32{1, 2, 3, 9}
+	got := u.Offsets()
+	if len(got) != len(want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Union = %v, want %v", got, want)
+		}
+	}
+	if a.Union(nil) != a || (*Set)(nil).Union(b) != b {
+		t.Error("union with empty must reuse the operand")
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	if !NewSet(1, 2).Equal(NewSet(2, 1)) {
+		t.Error("order-insensitive equality failed")
+	}
+	if NewSet(1).Equal(NewSet(2)) {
+		t.Error("distinct sets compared equal")
+	}
+	if !(*Set)(nil).Equal(NewSet()) {
+		t.Error("two empties must be equal")
+	}
+}
+
+// Property: union is commutative, associative, idempotent, and its length
+// is bounded by the sum and at least the max of operand lengths.
+func TestSetUnionProperties(t *testing.T) {
+	gen := func(r *rand.Rand) *Set {
+		n := r.Intn(8)
+		offs := make([]uint32, n)
+		for i := range offs {
+			offs[i] = uint32(r.Intn(16))
+		}
+		return NewSet(offs...)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := gen(r), gen(r), gen(r)
+		ab, ba := a.Union(b), b.Union(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			return false
+		}
+		if !a.Union(a).Equal(a) {
+			return false
+		}
+		if ab.Len() > a.Len()+b.Len() || ab.Len() < max(a.Len(), b.Len()) {
+			return false
+		}
+		// Membership is the union of memberships.
+		for o := uint32(0); o < 16; o++ {
+			if ab.Contains(o) != (a.Contains(o) || b.Contains(o)) {
+				return false
+			}
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}

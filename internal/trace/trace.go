@@ -1,0 +1,146 @@
+// Package trace records structured execution traces of MIR programs and
+// compares them. Its centerpiece is the paper's Figure-1 invariant: when a
+// reformed PoC verifies a propagated vulnerability, the execution path
+// *inside* the shared code ℓ is the same as the original PoC's path in S —
+// only the way in (the guiding input) differs.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"octopocs/internal/isa"
+	"octopocs/internal/vm"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+// Event kinds.
+const (
+	KindCall Kind = iota + 1
+	KindRet
+	KindRead
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	Kind Kind
+	// Func is the callee (KindCall) or returning function (KindRet).
+	Func string
+	// Args are the call arguments (KindCall).
+	Args []uint64
+	// Depth is the call depth at the event.
+	Depth int
+	// FileOff and Count describe input consumption (KindRead).
+	FileOff int64
+	Count   int
+}
+
+// Trace is a recorded run.
+type Trace struct {
+	Events  []Event
+	Outcome *vm.Outcome
+}
+
+// Record executes the program and captures calls, returns and input reads.
+func Record(prog *isa.Program, cfg vm.Config) *Trace {
+	tr := &Trace{}
+	depth := 0
+	base := cfg.Hooks
+	hooks := vm.Hooks{}
+	if base != nil {
+		hooks = *base
+	}
+	hooks.OnCall = func(_ isa.Loc, callee string, args []uint64, _, _ uint64, _ isa.Reg) {
+		tr.Events = append(tr.Events, Event{
+			Kind: KindCall, Func: callee,
+			Args: append([]uint64(nil), args...), Depth: depth,
+		})
+		depth++
+	}
+	hooks.OnRet = func(fn string, _ uint64, _, _ uint64, _ isa.Reg) {
+		depth--
+		tr.Events = append(tr.Events, Event{Kind: KindRet, Func: fn, Depth: depth})
+	}
+	hooks.OnRead = func(_ uint64, off int64, _ uint64, n int) {
+		tr.Events = append(tr.Events, Event{Kind: KindRead, Depth: depth, FileOff: off, Count: n})
+	}
+	cfg.Hooks = &hooks
+	tr.Outcome = vm.New(prog, cfg).Run()
+	return tr
+}
+
+// Calls returns the full call sequence.
+func (t *Trace) Calls() []string {
+	var out []string
+	for _, e := range t.Events {
+		if e.Kind == KindCall {
+			out = append(out, e.Func)
+		}
+	}
+	return out
+}
+
+// LibPath returns the execution path restricted to ℓ: the sequence of
+// calls to (and within) shared functions, which the PoC reform must
+// preserve.
+func (t *Trace) LibPath(lib map[string]bool) []string {
+	var out []string
+	inLib := 0
+	for _, e := range t.Events {
+		switch e.Kind {
+		case KindCall:
+			if lib[e.Func] || inLib > 0 {
+				out = append(out, e.Func)
+			}
+			if lib[e.Func] {
+				inLib++
+			}
+		case KindRet:
+			if lib[e.Func] && inLib > 0 {
+				inLib--
+			}
+		}
+	}
+	return out
+}
+
+// SamePath reports whether two traces follow the same ℓ path and, if not,
+// where they first diverge.
+func SamePath(a, b *Trace, lib map[string]bool) (bool, string) {
+	pa, pb := a.LibPath(lib), b.LibPath(lib)
+	n := len(pa)
+	if len(pb) < n {
+		n = len(pb)
+	}
+	for i := 0; i < n; i++ {
+		if pa[i] != pb[i] {
+			return false, fmt.Sprintf("step %d: %s vs %s", i, pa[i], pb[i])
+		}
+	}
+	if len(pa) != len(pb) {
+		return false, fmt.Sprintf("lengths differ: %d vs %d", len(pa), len(pb))
+	}
+	return true, ""
+}
+
+// String renders the trace as an indented call tree with read annotations.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	for _, e := range t.Events {
+		indent := strings.Repeat("  ", e.Depth)
+		switch e.Kind {
+		case KindCall:
+			fmt.Fprintf(&sb, "%scall %s%v\n", indent, e.Func, e.Args)
+		case KindRet:
+			fmt.Fprintf(&sb, "%sret  %s\n", indent, e.Func)
+		case KindRead:
+			fmt.Fprintf(&sb, "%sread [%d..%d)\n", indent, e.FileOff, e.FileOff+int64(e.Count))
+		}
+	}
+	if t.Outcome != nil {
+		fmt.Fprintf(&sb, "=> %s\n", t.Outcome)
+	}
+	return sb.String()
+}

@@ -1,0 +1,93 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/isa"
+	"octopocs/internal/trace"
+	"octopocs/internal/vm"
+)
+
+func TestRecordCapturesStructure(t *testing.T) {
+	b := asm.NewBuilder("t")
+	inner := b.Function("inner", 1)
+	inner.Ret(inner.Param(0))
+	outer := b.Function("outer", 0)
+	outer.Ret(outer.Call("inner", outer.Const(7)))
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	buf := f.Sys(isa.SysAlloc, f.Const(4))
+	f.Sys(isa.SysRead, fd, buf, f.Const(2))
+	f.Call("outer")
+	f.Exit(0)
+	b.Entry("main")
+	prog := b.MustBuild()
+
+	tr := trace.Record(prog, vm.Config{Input: []byte{1, 2, 3}})
+	calls := tr.Calls()
+	want := []string{"main", "outer", "inner"}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("calls = %v, want %v", calls, want)
+		}
+	}
+	s := tr.String()
+	if !strings.Contains(s, "read [0..2)") || !strings.Contains(s, "call inner[7]") {
+		t.Errorf("rendering missing events:\n%s", s)
+	}
+}
+
+func TestLibPathRestriction(t *testing.T) {
+	b := asm.NewBuilder("t")
+	helper := b.Function("helper", 0)
+	helper.RetI(0)
+	dec := b.Function("decode", 0) // ℓ member that calls a non-ℓ helper
+	dec.Call("helper")
+	dec.RetI(0)
+	f := b.Function("main", 0)
+	f.Call("helper") // outside ℓ: must not appear
+	f.Call("decode")
+	f.Exit(0)
+	b.Entry("main")
+	prog := b.MustBuild()
+
+	tr := trace.Record(prog, vm.Config{})
+	path := tr.LibPath(map[string]bool{"decode": true})
+	want := []string{"decode", "helper"} // helper inside ℓ's extent counts
+	if len(path) != len(want) || path[0] != want[0] || path[1] != want[1] {
+		t.Fatalf("LibPath = %v, want %v", path, want)
+	}
+}
+
+// TestFigure1Invariant is the paper's core claim, checked over every
+// triggered corpus pair: the reformed PoC drives T along the same ℓ path
+// that the original PoC drives in S.
+func TestFigure1Invariant(t *testing.T) {
+	pipeline := core.New(core.Config{})
+	for _, spec := range corpus.All() {
+		spec := spec
+		t.Run(spec.Label(), func(t *testing.T) {
+			rep, err := pipeline.Verify(spec.Pair)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Verdict != core.VerdictTriggered {
+				t.Skip("only triggered pairs preserve the ℓ path")
+			}
+			sTrace := trace.Record(spec.Pair.S, vm.Config{Input: spec.Pair.PoC, MaxSteps: spec.Pair.MaxSteps})
+			tTrace := trace.Record(spec.Pair.T, vm.Config{Input: rep.PoCPrime, MaxSteps: spec.Pair.MaxSteps})
+			same, diff := trace.SamePath(sTrace, tTrace, spec.Pair.Lib)
+			if !same {
+				t.Errorf("ℓ paths diverge: %s\nS: %v\nT: %v",
+					diff, sTrace.LibPath(spec.Pair.Lib), tTrace.LibPath(spec.Pair.Lib))
+			}
+		})
+	}
+}

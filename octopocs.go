@@ -1,0 +1,115 @@
+// Package octopocs is a from-scratch Go reproduction of OCTOPOCS (Kwon,
+// Woo, Seong, Lee — DSN 2021): automatic verification of propagated
+// vulnerable code using reformed proofs of concept.
+//
+// Given an original vulnerable binary S, a binary T that received a clone
+// of S's vulnerable code, the malformed-file PoC that crashes S, and the
+// shared function set ℓ, the pipeline decides whether the propagated
+// vulnerability can still be triggered in T:
+//
+//	pipeline := octopocs.New(octopocs.Config{})
+//	report, err := pipeline.Verify(&octopocs.Pair{
+//	    Name: "s->t", S: progS, T: progT, PoC: poc,
+//	    Lib: map[string]bool{"shared_decoder": true},
+//	})
+//
+// A VerdictTriggered report carries the reformed PoC that crashes T; a
+// VerdictNotTriggerable report explains why the clone is dead code
+// (unreached entry point, dead program states, parameter mismatch, or
+// unsatisfiable constraints); VerdictFailure means no sound verdict was
+// possible (e.g. unresolvable indirect control flow).
+//
+// Because no native-binary taint or symbolic-execution substrate exists
+// for Go, the package operates on MIR, a miniature instruction set with a
+// deterministic VM (see BuildProgram and the internal/isa package). The
+// Table II corpus of the paper is reproduced as 15 synthetic S/T pairs
+// over that substrate, available through CorpusPairs.
+package octopocs
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/isa"
+	"octopocs/internal/vm"
+)
+
+// Core pipeline types.
+type (
+	// Pair is one verification task: the (S, T, poc, ℓ) quadruple.
+	Pair = core.Pair
+	// Config tunes the pipeline; the zero value matches the paper.
+	Config = core.Config
+	// Report is the outcome of verifying one pair.
+	Report = core.Report
+	// Verdict is the top-level outcome class.
+	Verdict = core.Verdict
+	// ResultType is the paper's Table II classification.
+	ResultType = core.ResultType
+	// Reason explains non-triggered verdicts.
+	Reason = core.Reason
+	// Pipeline runs the four phases P1-P4.
+	Pipeline = core.Pipeline
+	// BunchBytes is one extracted crash primitive.
+	BunchBytes = core.BunchBytes
+)
+
+// Verdicts.
+const (
+	VerdictTriggered      = core.VerdictTriggered
+	VerdictNotTriggerable = core.VerdictNotTriggerable
+	VerdictFailure        = core.VerdictFailure
+)
+
+// Result types.
+const (
+	TypeI       = core.TypeI
+	TypeII      = core.TypeII
+	TypeIII     = core.TypeIII
+	TypeFailure = core.TypeFailure
+)
+
+// New returns a verification pipeline.
+func New(cfg Config) *Pipeline { return core.New(cfg) }
+
+// Program substrate types.
+type (
+	// Program is a MIR binary.
+	Program = isa.Program
+	// ProgramBuilder constructs programs with structured control flow.
+	ProgramBuilder = asm.Builder
+	// FunctionBuilder emits one function.
+	FunctionBuilder = asm.Fn
+	// Outcome is the result of a concrete run.
+	Outcome = vm.Outcome
+	// RunConfig parameterizes a concrete run.
+	RunConfig = vm.Config
+)
+
+// BuildProgram starts a new program builder.
+func BuildProgram(name string) *ProgramBuilder { return asm.NewBuilder(name) }
+
+// ParseProgram assembles a program from its textual form.
+func ParseProgram(src string) (*Program, error) { return asm.Parse(src) }
+
+// FormatProgram disassembles a program to its textual form.
+func FormatProgram(p *Program) string { return asm.Format(p) }
+
+// Run executes a program concretely on the given input file.
+func Run(p *Program, cfg RunConfig) *Outcome {
+	return vm.New(p, cfg).Run()
+}
+
+// Corpus access.
+type (
+	// PairSpec couples a corpus pair with its Table II metadata.
+	PairSpec = corpus.PairSpec
+)
+
+// CorpusPairs returns the 15 synthetic pairs mirroring the paper's
+// Table II.
+func CorpusPairs() []*PairSpec { return corpus.All() }
+
+// CorpusPair returns the pair with the given Table II row number (1-15),
+// or nil.
+func CorpusPair(idx int) *PairSpec { return corpus.ByIdx(idx) }

@@ -1,0 +1,90 @@
+package octopocs_test
+
+import (
+	"strings"
+	"testing"
+
+	"octopocs"
+	"octopocs/internal/isa"
+)
+
+// buildFacadePair constructs a minimal S/T pair entirely through the public
+// API.
+func buildFacadePair(t *testing.T) *octopocs.Pair {
+	t.Helper()
+	build := func(name, magic string) *octopocs.Program {
+		b := octopocs.BuildProgram(name)
+		g := b.Function("vuln_read", 1)
+		fd := g.Param(0)
+		buf := g.Sys(isa.SysAlloc, g.Const(4))
+		lenB := g.Sys(isa.SysAlloc, g.Const(1))
+		g.Sys(isa.SysRead, fd, lenB, g.Const(1))
+		n := g.Load(1, lenB, 0)
+		g.Sys(isa.SysRead, fd, buf, n)
+		g.Ret(n)
+
+		f := b.Function("main", 0)
+		fdm := f.Sys(isa.SysOpen)
+		mb := f.Sys(isa.SysAlloc, f.Const(2))
+		f.Sys(isa.SysRead, fdm, mb, f.Const(2))
+		for i := 0; i < 2; i++ {
+			f.If(f.NeI(f.Load(1, mb, int64(i)), int64(magic[i])), func() { f.Exit(1) })
+		}
+		f.Call("vuln_read", fdm)
+		f.Exit(0)
+		b.Entry("main")
+		return b.MustBuild()
+	}
+	return &octopocs.Pair{
+		Name: "facade",
+		S:    build("s", "AB"),
+		T:    build("t", "XY"),
+		PoC:  append([]byte("AB"), 9, 1, 2, 3, 4, 5, 6, 7, 8, 9),
+		Lib:  map[string]bool{"vuln_read": true},
+	}
+}
+
+func TestFacadeVerify(t *testing.T) {
+	pair := buildFacadePair(t)
+	rep, err := octopocs.New(octopocs.Config{}).Verify(pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != octopocs.VerdictTriggered || rep.Type != octopocs.TypeII {
+		t.Fatalf("report = %v, want triggered Type-II", rep)
+	}
+	out := octopocs.Run(pair.T, octopocs.RunConfig{Input: rep.PoCPrime})
+	if !out.Crashed() {
+		t.Fatalf("poc' outcome = %v, want crash", out)
+	}
+	if string(rep.PoCPrime[:2]) != "XY" {
+		t.Errorf("guiding header = %q, want XY", rep.PoCPrime[:2])
+	}
+}
+
+func TestFacadeCorpus(t *testing.T) {
+	pairs := octopocs.CorpusPairs()
+	if len(pairs) != 15 {
+		t.Fatalf("CorpusPairs() = %d entries, want 15", len(pairs))
+	}
+	if octopocs.CorpusPair(8) == nil || octopocs.CorpusPair(0) != nil {
+		t.Error("CorpusPair lookup broken")
+	}
+}
+
+func TestFacadeProgramRoundTrip(t *testing.T) {
+	pair := buildFacadePair(t)
+	text := octopocs.FormatProgram(pair.S)
+	if !strings.Contains(text, "program s") {
+		t.Fatalf("Format output unexpected:\n%s", text)
+	}
+	again, err := octopocs.ParseProgram(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := octopocs.Run(pair.S, octopocs.RunConfig{Input: pair.PoC})
+	o2 := octopocs.Run(again, octopocs.RunConfig{Input: pair.PoC})
+	if o1.Status != o2.Status {
+		t.Errorf("outcomes differ after round-trip: %v vs %v", o1, o2)
+	}
+}
