@@ -55,10 +55,14 @@ func run(args []string) error {
 		} else {
 			rows, err = eval.TableII()
 		}
+		// The parallel run returns the rows that verified even when some
+		// pairs failed; print them before surfacing the aggregate error.
+		if len(rows) > 0 {
+			fmt.Println(eval.FormatTableII(rows))
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Println(eval.FormatTableII(rows))
 	}
 	if want(3) {
 		rows, err := eval.TableIII()

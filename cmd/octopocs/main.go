@@ -4,6 +4,7 @@
 // Usage:
 //
 //	octopocs -all                 verify every corpus pair
+//	octopocs -all -workers 4      same, concurrently via the service pool
 //	octopocs -pair 8              verify one Table II row
 //	octopocs -pair 9 -poc out.bin write the reformed PoC to a file
 //	octopocs -pair 3 -context-free  ablation: disable context-aware taint
@@ -11,12 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"octopocs/internal/core"
 	"octopocs/internal/corpus"
+	"octopocs/internal/service"
 	"octopocs/internal/trace"
 	"octopocs/internal/vm"
 )
@@ -37,6 +40,7 @@ func run(args []string) error {
 		contextFree = fs.Bool("context-free", false, "disable context-aware taint analysis")
 		staticCFG   = fs.Bool("static-cfg", false, "disable dynamic CFG discovery")
 		verbose     = fs.Bool("v", false, "print crash primitives and crash details")
+		workers     = fs.Int("workers", 0, "with -all: verify pairs concurrently with this many service workers (0 = sequential)")
 		prioritize  = fs.Bool("prioritize", false, "verify all pairs and print a patch-priority list (§ VII practical usage)")
 		explain     = fs.Bool("explain", false, "with -pair: show the S-on-poc and T-on-poc' traces and the preserved ℓ path")
 	)
@@ -52,7 +56,6 @@ func run(args []string) error {
 	}
 
 	cfg := core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG}
-	pipeline := core.New(cfg)
 
 	var specs []*corpus.PairSpec
 	if *all {
@@ -65,11 +68,13 @@ func run(args []string) error {
 		specs = []*corpus.PairSpec{spec}
 	}
 
-	for _, spec := range specs {
-		rep, err := pipeline.Verify(spec.Pair)
-		if err != nil {
-			return fmt.Errorf("pair %d: %w", spec.Idx, err)
-		}
+	reports, err := verifyAll(specs, cfg, *workers)
+	if err != nil {
+		return err
+	}
+
+	for i, spec := range specs {
+		rep := reports[i]
 		printReport(spec, rep, *verbose)
 		if *explain {
 			explainPair(spec, rep)
@@ -82,6 +87,46 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// verifyAll collects one report per spec, in spec order. With workers > 0
+// the pairs run concurrently through a service worker pool (sharing phase
+// artifacts via its cache); otherwise a single pipeline runs them in turn.
+func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers int) ([]*core.Report, error) {
+	reports := make([]*core.Report, len(specs))
+	if workers > 0 {
+		svc := service.New(service.Config{
+			Workers:    workers,
+			QueueDepth: len(specs),
+			Pipeline:   cfg,
+		})
+		defer svc.Shutdown(context.Background())
+		jobs := make([]*service.Job, len(specs))
+		for i, spec := range specs {
+			job, err := svc.Submit(spec.Pair)
+			if err != nil {
+				return nil, fmt.Errorf("pair %d: %w", spec.Idx, err)
+			}
+			jobs[i] = job
+		}
+		for i, job := range jobs {
+			rep, err := job.Wait(context.Background())
+			if err != nil {
+				return nil, fmt.Errorf("pair %d: %w", specs[i].Idx, err)
+			}
+			reports[i] = rep
+		}
+		return reports, nil
+	}
+	pipeline := core.New(cfg)
+	for i, spec := range specs {
+		rep, err := pipeline.Verify(spec.Pair)
+		if err != nil {
+			return nil, fmt.Errorf("pair %d: %w", spec.Idx, err)
+		}
+		reports[i] = rep
+	}
+	return reports, nil
 }
 
 // explainPair renders the Figure-1 picture for one verified pair: the two

@@ -1,0 +1,94 @@
+// Command octoserved exposes the OCTOPOCS verification pipeline as an HTTP
+// service: submit (S, T, poc) pairs, poll job status, fetch reports and
+// reformed PoCs, and watch queue/cache statistics.
+//
+// Usage:
+//
+//	octoserved [-addr :8344] [-workers N] [-queue N] [-cache N] [-timeout D]
+//
+// The server drains in-flight verifications on SIGINT/SIGTERM before
+// exiting; a second signal aborts them cooperatively.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"octopocs/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "octoserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("octoserved", flag.ContinueOnError)
+	addr := fs.String("addr", ":8344", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", service.DefaultQueueDepth, "job queue depth")
+	cache := fs.Int("cache", service.DefaultCacheEntries, "artifact cache entries per class (negative disables)")
+	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = none)")
+	drain := fs.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, ln, service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		JobTimeout:   *timeout,
+	}, *drain, log.New(out, "octoserved: ", log.LstdFlags))
+}
+
+// serve runs the service on ln until ctx is cancelled, then shuts down:
+// first the HTTP listener, then the worker pool, giving in-flight jobs up
+// to drain before cancelling them cooperatively.
+func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.Duration, logger *log.Logger) error {
+	svc := service.New(cfg)
+	srv := &http.Server{Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Printf("listening on %s (workers=%d queue=%d)", ln.Addr(), cfg.Workers, cfg.QueueDepth)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down, draining jobs (up to %s)", drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shutCtx); err != nil {
+		logger.Printf("drain incomplete, jobs cancelled: %v", err)
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"octopocs/internal/service"
+)
+
+// startServer runs serve on an ephemeral port and returns its base URL plus
+// a shutdown func that triggers the drain path and waits for serve to exit.
+func startServer(t *testing.T, cfg service.Config) (string, func() error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- serve(ctx, ln, cfg, 30*time.Second, log.New(io.Discard, "", 0))
+	}()
+	url := "http://" + ln.Addr().String()
+	waitHealthy(t, url)
+	return url, func() error {
+		cancel()
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(30 * time.Second):
+			t.Fatal("serve did not exit after shutdown")
+			return nil
+		}
+	}
+}
+
+func waitHealthy(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	url, shutdown := startServer(t, service.Config{Workers: 2})
+
+	// Submit two corpus pairs and wait for completion inline.
+	var statuses []service.JobStatus
+	for _, idx := range []int{1, 2} {
+		body := fmt.Sprintf(`{"corpus_idx": %d}`, idx)
+		resp, err := http.Post(url+"/v1/jobs?wait=1", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st service.JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit idx %d: status %d: %+v", idx, resp.StatusCode, st)
+		}
+		if st.State != "done" {
+			t.Fatalf("job for idx %d finished as %q (err %q), want done", idx, st.State, st.Error)
+		}
+		statuses = append(statuses, st)
+	}
+	if statuses[0].Verdict != "triggered" {
+		t.Errorf("pair 1 verdict = %q, want triggered", statuses[0].Verdict)
+	}
+
+	// Pairs 1 and 2 share the same S and poc, so the second job must have
+	// hit the P1 cache.
+	if !statuses[1].P1Cached {
+		t.Errorf("second job (shared S) did not hit the P1 cache: %+v", statuses[1])
+	}
+
+	// The report endpoint returns the full verdict.
+	var rep service.ReportResponse
+	getJSON(t, url+"/v1/jobs/"+statuses[0].ID+"/report", &rep)
+	if rep.Report == nil || rep.Report.Verdict.String() != "triggered" {
+		t.Fatalf("report endpoint: %+v", rep)
+	}
+
+	// The poc endpoint serves the reformed bytes.
+	resp, err := http.Get(url + "/v1/jobs/" + statuses[0].ID + "/poc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	poc, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(poc) == 0 {
+		t.Fatalf("poc endpoint: status %d, %d bytes", resp.StatusCode, len(poc))
+	}
+	if len(poc) != statuses[0].PoCBytes {
+		t.Errorf("poc endpoint returned %d bytes, status said %d", len(poc), statuses[0].PoCBytes)
+	}
+
+	// Stats reflect the completed jobs and the cache hit.
+	var stats service.Stats
+	getJSON(t, url+"/v1/stats", &stats)
+	if stats.Completed != 2 {
+		t.Errorf("stats.Completed = %d, want 2", stats.Completed)
+	}
+	if stats.P1Cache == nil || stats.P1Cache.Hits == 0 {
+		t.Errorf("stats shows no P1 cache hits: %+v", stats.P1Cache)
+	}
+
+	// Job listing covers both submissions in order.
+	var list []service.JobStatus
+	getJSON(t, url+"/v1/jobs", &list)
+	if len(list) != 2 || list[0].ID != statuses[0].ID {
+		t.Errorf("job list = %+v", list)
+	}
+
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestServerRejectsBadInput(t *testing.T) {
+	url, shutdown := startServer(t, service.Config{Workers: 1})
+	defer shutdown()
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"corpus_idx": 99}`, http.StatusBadRequest},
+		{`{"s": "garbage"}`, http.StatusBadRequest},
+		{`not json`, http.StatusBadRequest},
+		{`{"unknown_field": 1}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("submit %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+
+	resp, err := http.Get(url + "/v1/jobs/job-999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/cfg"
+	"octopocs/internal/vm"
+)
+
+// Cache stores phase artifacts under content-addressed keys. Implementations
+// must be safe for concurrent use; the pipeline treats stored artifacts as
+// immutable and shares them freely between verifications.
+type Cache interface {
+	// Get returns the artifact stored under key, if any.
+	Get(key string) (any, bool)
+	// Put stores an artifact under key, evicting at its discretion.
+	Put(key string, v any)
+}
+
+// P1Artifact is the cached output of preprocessing plus phase P1: the S-side
+// work of a verification. It is a pure function of the cache key inputs
+// (S program text, poc bytes, ℓ, taint mode, step budget), so two pairs
+// sharing the same S-side quadruple — the common case when one original
+// package propagates into many targets — reuse one artifact.
+type P1Artifact struct {
+	// Ep is the entry point of ℓ found on the S crash backtrace.
+	Ep string
+	// SCrash is the crash S exhibits on the poc.
+	SCrash *vm.Crash
+	// Bunches are the materialized crash primitives.
+	Bunches []BunchBytes
+}
+
+// P2Artifact is the cached phase-P2 preparation for one (T, ep) target: the
+// CFG with dynamically discovered indirect-call edges and the backward
+// distance maps toward ep. Dist is nil when ep is statically and dynamically
+// unreachable; Graph is kept so the verdict logic can distinguish the
+// unresolved-CFG failure from a sound not-triggerable verdict.
+type P2Artifact struct {
+	Graph *cfg.Graph
+	// Dist holds the distances to Ep; nil when ep is unreachable.
+	Dist *cfg.Distances
+}
+
+// SetCaches installs artifact caches for the P1 (S-side) and P2-prep
+// (T-side) results. Either may be nil to disable that class. Artifacts put
+// into a cache are never mutated afterward, so a single cache may back any
+// number of concurrent pipelines.
+func (p *Pipeline) SetCaches(p1, p2 Cache) {
+	p.p1Cache = p1
+	p.p2Cache = p2
+}
+
+// p1Key derives the content address of the S-side artifact. Every input
+// that influences the artifact participates: the S program (its assembled
+// text), the poc bytes, the ℓ set (it selects ep and scopes the taint
+// engine), the taint mode, and the effective step budget.
+func (p *Pipeline) p1Key(pair *Pair) string {
+	h := sha256.New()
+	io.WriteString(h, asm.Format(pair.S))
+	h.Write(pair.PoC)
+	libs := make([]string, 0, len(pair.Lib))
+	for fn := range pair.Lib {
+		libs = append(libs, fn)
+	}
+	sort.Strings(libs)
+	for _, fn := range libs {
+		fmt.Fprintf(h, "|lib:%s", fn)
+	}
+	fmt.Fprintf(h, "|ctxfree:%v|steps:%d", p.cfg.ContextFree, p.maxSteps(pair))
+	return "p1:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// p2Key derives the content address of the T-side preparation artifact:
+// the T program, the target ep, and every knob the dynamic CFG discovery
+// pass reads (symbolic input size, step budget, solver budget, and whether
+// discovery is disabled outright).
+func (p *Pipeline) p2Key(pair *Pair, ep string) string {
+	h := sha256.New()
+	io.WriteString(h, asm.Format(pair.T))
+	fmt.Fprintf(h, "|ep:%s|static:%v|insize:%d|steps:%d|sat:%d",
+		ep, p.cfg.StaticCFGOnly, p.discoverInputSize(pair), p.maxSteps(pair), p.cfg.SatBudget)
+	return "p2:" + hex.EncodeToString(h.Sum(nil))
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"octopocs/internal/cfg"
 	"octopocs/internal/expr"
@@ -32,10 +34,14 @@ type Config struct {
 	PadByte byte
 }
 
-// Pipeline verifies pairs. Create with New.
+// Pipeline verifies pairs. Create with New. A Pipeline holds no per-run
+// state, so one instance may verify many pairs concurrently; attached
+// caches must be concurrency-safe (see SetCaches).
 type Pipeline struct {
-	cfg    Config
-	debugf func(format string, args ...any)
+	cfg     Config
+	debugf  func(format string, args ...any)
+	p1Cache Cache
+	p2Cache Cache
 }
 
 // New returns a pipeline with the given configuration.
@@ -59,7 +65,7 @@ const inputSlack = 64
 // return the entry point of ℓ (the bottom-most ℓ function on the crash
 // backtrace).
 func (p *Pipeline) FindEp(pair *Pair) (string, error) {
-	out := p.runConcrete(pair.S, pair.PoC, pair.MaxSteps)
+	out := p.runConcrete(context.Background(), pair.S, pair.PoC, pair.MaxSteps)
 	if !out.Crashed() {
 		return "", fmt.Errorf("pair %s: poc does not crash S (%s)", pair.Name, out)
 	}
@@ -72,26 +78,30 @@ func (p *Pipeline) FindEp(pair *Pair) (string, error) {
 
 // Verify runs the full pipeline on one pair.
 func (p *Pipeline) Verify(pair *Pair) (*Report, error) {
+	return p.VerifyContext(context.Background(), pair)
+}
+
+// VerifyContext runs the full pipeline on one pair under a context. When
+// the context is cancelled or its deadline passes, the run stops
+// cooperatively mid-phase — the stop signal is threaded through the
+// concrete VM, the taint run, and every symbolic step loop — and the
+// method returns the context's error.
+func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, error) {
 	rep := &Report{Pair: pair.Name}
 
-	// Preprocessing: crash S with the PoC, find ep on the backtrace.
-	sOut := p.runConcrete(pair.S, pair.PoC, pair.MaxSteps)
-	if !sOut.Crashed() {
-		return nil, fmt.Errorf("pair %s: poc does not crash S (%s)", pair.Name, sOut)
-	}
-	rep.SCrash = sOut.Crash
-	ep, ok := epFromBacktrace(sOut.Crash.Backtrace, pair.Lib)
-	if !ok {
-		return nil, fmt.Errorf("pair %s: no ℓ function on the S crash backtrace", pair.Name)
-	}
-	rep.Ep = ep
-
-	// P1: context-aware taint analysis over the S run.
-	bunches, err := p.extractPrimitives(pair, ep)
+	// Preprocessing + P1 (cache-aware): crash S with the PoC, find ep on
+	// the backtrace, extract crash primitives.
+	t0 := time.Now()
+	p1, p1Cached, err := p.phase1(ctx, pair)
+	rep.Timings.P1 = time.Since(t0)
+	rep.Timings.P1Cached = p1Cached
 	if err != nil {
-		return nil, fmt.Errorf("pair %s: P1: %w", pair.Name, err)
+		return nil, err
 	}
-	rep.Bunches = bunches
+	rep.SCrash = p1.SCrash
+	ep := p1.Ep
+	rep.Ep = ep
+	rep.Bunches = p1.Bunches
 
 	// ep must exist in T at all (ℓ is shared, but be defensive).
 	if pair.T.Func(ep) == nil {
@@ -99,24 +109,22 @@ func (p *Pipeline) Verify(pair *Pair) (*Report, error) {
 		return rep, nil
 	}
 
-	// Backward path finding over T's CFG. Indirect-call edges are
-	// invisible statically; the dynamic CFG adds edges observed by a
-	// bounded symbolic exploration, matching § IV-B ("a dynamic CFG is
-	// generated with symbolic execution"). Discovery is partial — when
-	// it misses the edge to ep, verification fails (the Idx-15 angr
-	// analog) rather than risking an unsound not-triggerable verdict.
-	graph := cfg.Build(pair.T)
-	if !p.cfg.StaticCFGOnly {
-		for _, e := range symex.Discover(pair.T, symex.NaiveConfig{
-			InputSize: len(pair.PoC) + inputSlack,
-			MaxSteps:  p.maxSteps(pair),
-			SatBudget: p.cfg.SatBudget,
-		}) {
-			graph.ObserveCall(e.Site, e.Callee)
-		}
+	// P2 preparation (cache-aware): backward path finding over T's CFG.
+	// Indirect-call edges are invisible statically; the dynamic CFG adds
+	// edges observed by a bounded symbolic exploration, matching § IV-B
+	// ("a dynamic CFG is generated with symbolic execution"). Discovery is
+	// partial — when it misses the edge to ep, verification fails (the
+	// Idx-15 angr analog) rather than risking an unsound not-triggerable
+	// verdict.
+	t0 = time.Now()
+	prep, p2Cached, err := p.phase2Prep(ctx, pair, ep)
+	rep.Timings.P2Prep = time.Since(t0)
+	rep.Timings.P2Cached = p2Cached
+	if err != nil {
+		return nil, err
 	}
-	if !graph.Reachable(ep) {
-		if err := graph.CheckResolvable(ep); err != nil {
+	if prep.Dist == nil {
+		if err := prep.Graph.CheckResolvable(ep); err != nil {
 			// The Idx-15 case: the CFG tool cannot rule reachability
 			// out, so no sound verdict exists.
 			rep.Verdict, rep.Type, rep.Reason = VerdictFailure, TypeFailure, ReasonCFGUnresolved
@@ -128,7 +136,12 @@ func (p *Pipeline) Verify(pair *Pair) (*Report, error) {
 	}
 
 	// P2 + P3: directed symbolic execution with bunch placement.
-	pocPrime, stats, reason := p.reform(pair, ep, graph, bunches)
+	t0 = time.Now()
+	pocPrime, stats, reason, err := p.reform(ctx, pair, ep, prep.Dist, p1.Bunches)
+	rep.Timings.Reform = time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
 	rep.Stats = stats
 	if reason != ReasonNone {
 		switch reason {
@@ -142,7 +155,12 @@ func (p *Pipeline) Verify(pair *Pair) (*Report, error) {
 	rep.PoCPrime = pocPrime
 
 	// P4: verify the propagated vulnerability with poc'.
-	tOut := p.runConcrete(pair.T, pocPrime, pair.MaxSteps)
+	t0 = time.Now()
+	defer func() { rep.Timings.P4 = time.Since(t0) }()
+	tOut := p.runConcrete(ctx, pair.T, pocPrime, pair.MaxSteps)
+	if tOut.Status == vm.StatusStopped {
+		return nil, ctxErr(ctx)
+	}
 	if !tOut.Crashed() || !tOut.CrashedIn(pair.Lib) {
 		rep.Verdict, rep.Type, rep.Reason = VerdictFailure, TypeFailure, ReasonNoCrash
 		return rep, nil
@@ -153,11 +171,17 @@ func (p *Pipeline) Verify(pair *Pair) (*Report, error) {
 	// trim trailing padding while the crash is preserved. Every candidate
 	// is re-verified concretely, so minimization cannot invalidate the
 	// verdict.
-	rep.PoCPrime = p.minimize(pair, rep.PoCPrime, tOut.Crash)
+	rep.PoCPrime = p.minimize(ctx, pair, rep.PoCPrime, tOut.Crash)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Type classification: Type-I when the original poc already triggers
 	// T (its guiding input needs no reform).
-	origOut := p.runConcrete(pair.T, pair.PoC, pair.MaxSteps)
+	origOut := p.runConcrete(ctx, pair.T, pair.PoC, pair.MaxSteps)
+	if origOut.Status == vm.StatusStopped {
+		return nil, ctxErr(ctx)
+	}
 	rep.GuidingSame = origOut.Crashed() && origOut.CrashedIn(pair.Lib)
 	if rep.GuidingSame {
 		rep.Type = TypeI
@@ -167,11 +191,88 @@ func (p *Pipeline) Verify(pair *Pair) (*Report, error) {
 	return rep, nil
 }
 
+// phase1 produces (or retrieves) the S-side artifact: preprocessing plus
+// the P1 taint run. The boolean result reports a cache hit. Only complete
+// artifacts are cached; error paths never populate the cache.
+func (p *Pipeline) phase1(ctx context.Context, pair *Pair) (*P1Artifact, bool, error) {
+	var key string
+	if p.p1Cache != nil {
+		key = p.p1Key(pair)
+		if v, ok := p.p1Cache.Get(key); ok {
+			if art, ok := v.(*P1Artifact); ok {
+				return art, true, nil
+			}
+		}
+	}
+	sOut := p.runConcrete(ctx, pair.S, pair.PoC, pair.MaxSteps)
+	if sOut.Status == vm.StatusStopped {
+		return nil, false, ctxErr(ctx)
+	}
+	if !sOut.Crashed() {
+		return nil, false, fmt.Errorf("pair %s: poc does not crash S (%s)", pair.Name, sOut)
+	}
+	ep, ok := epFromBacktrace(sOut.Crash.Backtrace, pair.Lib)
+	if !ok {
+		return nil, false, fmt.Errorf("pair %s: no ℓ function on the S crash backtrace", pair.Name)
+	}
+	bunches, err := p.extractPrimitives(ctx, pair, ep)
+	if err != nil {
+		return nil, false, fmt.Errorf("pair %s: P1: %w", pair.Name, err)
+	}
+	art := &P1Artifact{Ep: ep, SCrash: sOut.Crash, Bunches: bunches}
+	if p.p1Cache != nil {
+		p.p1Cache.Put(key, art)
+	}
+	return art, false, nil
+}
+
+// phase2Prep produces (or retrieves) the T-side preparation artifact: the
+// CFG with discovered indirect-call edges and the distance maps to ep. The
+// boolean result reports a cache hit.
+func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string) (*P2Artifact, bool, error) {
+	var key string
+	if p.p2Cache != nil {
+		key = p.p2Key(pair, ep)
+		if v, ok := p.p2Cache.Get(key); ok {
+			if art, ok := v.(*P2Artifact); ok {
+				return art, true, nil
+			}
+		}
+	}
+	graph := cfg.Build(pair.T)
+	if !p.cfg.StaticCFGOnly {
+		for _, e := range symex.Discover(pair.T, symex.NaiveConfig{
+			InputSize: p.discoverInputSize(pair),
+			MaxSteps:  p.maxSteps(pair),
+			SatBudget: p.cfg.SatBudget,
+			Stop:      ctx.Done(),
+		}) {
+			graph.ObserveCall(e.Site, e.Callee)
+		}
+		// A cancelled discovery leaves a partial edge set: usable for
+		// nothing, and in particular not cacheable — a cached artifact
+		// must be a pure function of its key.
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+	art := &P2Artifact{Graph: graph}
+	if graph.Reachable(ep) {
+		art.Dist = graph.DistancesTo(ep)
+	}
+	if p.p2Cache != nil {
+		p.p2Cache.Put(key, art)
+	}
+	return art, false, nil
+}
+
 // minimize shortens a verified poc' from the tail while the crash at the
-// same location survives, first by halving and then byte by byte.
-func (p *Pipeline) minimize(pair *Pair, poc []byte, want *vm.Crash) []byte {
+// same location survives, first by halving and then byte by byte. A
+// cancelled run fails the crash check, so cancellation simply stops the
+// shrinking early with the best candidate so far.
+func (p *Pipeline) minimize(ctx context.Context, pair *Pair, poc []byte, want *vm.Crash) []byte {
 	stillCrashes := func(candidate []byte) bool {
-		out := p.runConcrete(pair.T, candidate, pair.MaxSteps)
+		out := p.runConcrete(ctx, pair.T, candidate, pair.MaxSteps)
 		return out.Crashed() && out.Crash.Loc == want.Loc
 	}
 	best := poc
@@ -188,9 +289,12 @@ func (p *Pipeline) minimize(pair *Pair, poc []byte, want *vm.Crash) []byte {
 	return best
 }
 
-func (p *Pipeline) maxSteps(pair *Pair) int64 {
-	if pair.MaxSteps > 0 {
-		return pair.MaxSteps
+// effectiveMaxSteps resolves the per-run instruction budget: a positive
+// override (typically Pair.MaxSteps) wins, then the pipeline config, then
+// vm.DefaultMaxSteps. Every budget consumer goes through this one helper.
+func (p *Pipeline) effectiveMaxSteps(override int64) int64 {
+	if override > 0 {
+		return override
 	}
 	if p.cfg.MaxSteps > 0 {
 		return p.cfg.MaxSteps
@@ -198,17 +302,43 @@ func (p *Pipeline) maxSteps(pair *Pair) int64 {
 	return vm.DefaultMaxSteps
 }
 
-func (p *Pipeline) runConcrete(prog *isa.Program, input []byte, maxSteps int64) *vm.Outcome {
-	if maxSteps <= 0 {
-		maxSteps = p.cfg.MaxSteps
+func (p *Pipeline) maxSteps(pair *Pair) int64 { return p.effectiveMaxSteps(pair.MaxSteps) }
+
+// discoverInputSize is the symbolic input size used by the dynamic-CFG
+// discovery pass (always poc plus slack; the Pair.InputSize override
+// applies only to the reform phase).
+func (p *Pipeline) discoverInputSize(pair *Pair) int { return len(pair.PoC) + inputSlack }
+
+// symInputSize is the symbolic size of poc' used by the reform phase.
+func (p *Pipeline) symInputSize(pair *Pair) int {
+	if pair.InputSize > 0 {
+		return pair.InputSize
 	}
-	m := vm.New(prog, vm.Config{Input: input, MaxSteps: maxSteps})
+	return len(pair.PoC) + inputSlack
+}
+
+func (p *Pipeline) runConcrete(ctx context.Context, prog *isa.Program, input []byte, maxSteps int64) *vm.Outcome {
+	m := vm.New(prog, vm.Config{
+		Input:    input,
+		MaxSteps: p.effectiveMaxSteps(maxSteps),
+		Stop:     ctx.Done(),
+	})
 	return m.Run()
+}
+
+// ctxErr maps an observed stop back to the context's error, defaulting to
+// context.Canceled for the (theoretical) race where the stop fired before
+// the context recorded its error.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
 }
 
 // extractPrimitives is P1: rerun S under the taint engine and materialize
 // bunches.
-func (p *Pipeline) extractPrimitives(pair *Pair, ep string) ([]BunchBytes, error) {
+func (p *Pipeline) extractPrimitives(ctx context.Context, pair *Pair, ep string) ([]BunchBytes, error) {
 	eng := taint.NewEngine(taint.Config{
 		Lib:          pair.Lib,
 		Ep:           ep,
@@ -218,8 +348,12 @@ func (p *Pipeline) extractPrimitives(pair *Pair, ep string) ([]BunchBytes, error
 		Input:    pair.PoC,
 		MaxSteps: p.maxSteps(pair),
 		Hooks:    eng.Hooks(),
+		Stop:     ctx.Done(),
 	})
 	out := m.Run()
+	if out.Status == vm.StatusStopped {
+		return nil, ctxErr(ctx)
+	}
 	if !out.Crashed() {
 		return nil, fmt.Errorf("S did not crash under taint instrumentation (%s)", out)
 	}
@@ -231,19 +365,19 @@ func (p *Pipeline) extractPrimitives(pair *Pair, ep string) ([]BunchBytes, error
 }
 
 // reform is P2+P3: directed symbolic execution of T toward ep with bunch
-// placement at each entry, then constraint solving into poc'.
-func (p *Pipeline) reform(pair *Pair, ep string, graph *cfg.Graph, bunches []BunchBytes) ([]byte, symex.Stats, Reason) {
-	inputSize := pair.InputSize
-	if inputSize <= 0 {
-		inputSize = len(pair.PoC) + inputSlack
-	}
+// placement at each entry, then constraint solving into poc'. A non-nil
+// error is returned only for cancellation; analysis failures degrade into
+// Reason codes.
+func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes) ([]byte, symex.Stats, Reason, error) {
+	inputSize := p.symInputSize(pair)
 	ex := symex.New(pair.T, symex.Config{
 		InputSize: inputSize,
 		MaxSteps:  p.maxSteps(pair),
 		Theta:     p.cfg.Theta,
 		SatBudget: p.cfg.SatBudget,
 		Target:    ep,
-		Distances: graph.DistancesTo(ep),
+		Distances: dist,
+		Stop:      ctx.Done(),
 	})
 
 	placeSol := solver.Solver{Budget: p.cfg.SatBudget}
@@ -292,26 +426,29 @@ func (p *Pipeline) reform(pair *Pair, ep string, graph *cfg.Graph, bunches []Bun
 
 	res, err := ex.Run(visitor)
 	if err != nil {
+		if errors.Is(err, symex.ErrStopped) {
+			return nil, symex.Stats{}, ReasonNone, ctxErr(ctx)
+		}
 		if errors.Is(err, errParamMismatch) {
-			return nil, symex.Stats{}, ReasonParamMismatch
+			return nil, symex.Stats{}, ReasonParamMismatch, nil
 		}
 		if p.debugf != nil {
 			p.debugf("reform %s: %v", pair.Name, err)
 		}
-		return nil, symex.Stats{}, ReasonBudget
+		return nil, symex.Stats{}, ReasonBudget, nil
 	}
 	if !res.Reached() {
 		switch res.Kind {
 		case symex.KindInfeasible:
-			return nil, res.Stats, ReasonUnsat
+			return nil, res.Stats, ReasonUnsat, nil
 		case symex.KindProgramDead:
-			return nil, res.Stats, ReasonProgramDead
+			return nil, res.Stats, ReasonProgramDead, nil
 		case symex.KindLoopDead:
-			return nil, res.Stats, ReasonLoopDead
+			return nil, res.Stats, ReasonLoopDead, nil
 		case symex.KindExited, symex.KindCrashed:
-			return nil, res.Stats, ReasonEpNotCalled
+			return nil, res.Stats, ReasonEpNotCalled, nil
 		default:
-			return nil, res.Stats, ReasonBudget
+			return nil, res.Stats, ReasonBudget, nil
 		}
 	}
 
@@ -320,14 +457,14 @@ func (p *Pipeline) reform(pair *Pair, ep string, graph *cfg.Graph, bunches []Bun
 	model, err := sol.Solve(res.Constraints)
 	if err != nil {
 		if errors.Is(err, solver.ErrUnsat) {
-			return nil, res.Stats, ReasonUnsat
+			return nil, res.Stats, ReasonUnsat, nil
 		}
-		return nil, res.Stats, ReasonBudget
+		return nil, res.Stats, ReasonBudget, nil
 	}
 	// The reformed PoC keeps its full symbolic length: trailing padding
 	// may still be consumed by ℓ past the final ep entry (the symbolic
 	// run stops there, so nothing constrains those bytes — but a
 	// truncated file would turn an overflowing read into a harmless
 	// short read).
-	return model.Fill(inputSize, p.cfg.PadByte), res.Stats, ReasonNone
+	return model.Fill(inputSize, p.cfg.PadByte), res.Stats, ReasonNone, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"octopocs/internal/symex"
 	"octopocs/internal/vm"
@@ -108,6 +109,31 @@ type Report struct {
 
 	// Stats aggregates symbolic-execution effort (P2+P3).
 	Stats symex.Stats
+
+	// Timings records per-phase wall clock and cache reuse. Unlike every
+	// other Report field it is not a pure function of the pair, so
+	// report-equality comparisons should zero it first.
+	Timings PhaseTimings
+}
+
+// PhaseTimings is the per-phase wall-clock breakdown of one verification,
+// plus which phases were served from an artifact cache.
+type PhaseTimings struct {
+	// P1 covers preprocessing plus crash-primitive extraction (S-side).
+	P1 time.Duration
+	// P2Prep covers CFG construction, dynamic edge discovery, and
+	// backward path finding (T-side preparation).
+	P2Prep time.Duration
+	// Reform covers directed symbolic execution with bunch placement and
+	// constraint solving (P2+P3 proper).
+	Reform time.Duration
+	// P4 covers concrete re-verification, minimization, and Type
+	// classification.
+	P4 time.Duration
+	// P1Cached/P2Cached report whether the corresponding artifact came
+	// from a cache instead of being recomputed.
+	P1Cached bool
+	P2Cached bool
 }
 
 // PoCGenerated reports whether a reformed PoC was produced (the poc' column

@@ -1,0 +1,54 @@
+package service_test
+
+import (
+	"context"
+	"testing"
+
+	"octopocs/internal/corpus"
+	"octopocs/internal/service"
+)
+
+// benchIdxs are Table II rows that share artifacts: 7, 8, and 13 use the
+// same openjpeg S package (one P1 computation serves all three), and 7/13
+// differ only in T.
+var benchIdxs = []int{7, 8, 13}
+
+func runBatch(b *testing.B, svc *service.Service) {
+	b.Helper()
+	var jobs []*service.Job
+	for _, idx := range benchIdxs {
+		job, err := svc.Submit(corpus.ByIdx(idx).Pair)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs = append(jobs, job)
+	}
+	for _, job := range jobs {
+		if _, err := job.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchCold measures the batch with caching disabled: every
+// iteration recomputes all phase artifacts.
+func BenchmarkBatchCold(b *testing.B) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 16, CacheEntries: -1})
+	defer svc.Shutdown(context.Background())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBatch(b, svc)
+	}
+}
+
+// BenchmarkBatchWarm measures the same batch against a pre-warmed artifact
+// cache: P1 and P2 prep are served from memory, only reform and P4 run.
+func BenchmarkBatchWarm(b *testing.B) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 16})
+	defer svc.Shutdown(context.Background())
+	runBatch(b, svc) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runBatch(b, svc)
+	}
+}

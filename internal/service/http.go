@@ -1,0 +1,207 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+)
+
+// maxSubmitBytes bounds a submission body: two assembled MIR programs plus
+// a poc comfortably fit in single-digit megabytes.
+const maxSubmitBytes = 16 << 20
+
+// SubmitRequest is the POST /v1/jobs body. A pair is given either inline —
+// assembled MIR text for S and T, poc bytes, and the shared function set ℓ —
+// or as a built-in Table II corpus row via corpus_idx.
+type SubmitRequest struct {
+	// Name labels the pair in reports; defaults to "s->t".
+	Name string `json:"name,omitempty"`
+	// S and T are assembled MIR program texts (see internal/asm).
+	S string `json:"s,omitempty"`
+	T string `json:"t,omitempty"`
+	// PoC is the crashing input for S (JSON base64).
+	PoC []byte `json:"poc,omitempty"`
+	// Lib is ℓ, the shared function set.
+	Lib []string `json:"lib,omitempty"`
+	// CtxArgs lists ep parameter indices carrying semantic context.
+	CtxArgs []int `json:"ctx_args,omitempty"`
+	// InputSize overrides the symbolic poc' size (0 = default).
+	InputSize int `json:"input_size,omitempty"`
+	// MaxSteps overrides the per-run instruction budget (0 = default).
+	MaxSteps int64 `json:"max_steps,omitempty"`
+	// CorpusIdx submits the built-in Table II row instead (1-15).
+	CorpusIdx int `json:"corpus_idx,omitempty"`
+}
+
+// BuildPair converts the request into a verification task.
+func (r *SubmitRequest) BuildPair() (*core.Pair, error) {
+	if r.CorpusIdx != 0 {
+		spec := corpus.ByIdx(r.CorpusIdx)
+		if spec == nil {
+			return nil, fmt.Errorf("no corpus pair with index %d (valid: 1-15)", r.CorpusIdx)
+		}
+		return spec.Pair, nil
+	}
+	if r.S == "" || r.T == "" {
+		return nil, errors.New("s and t program texts are required (or corpus_idx)")
+	}
+	if len(r.PoC) == 0 {
+		return nil, errors.New("poc is required")
+	}
+	if len(r.Lib) == 0 {
+		return nil, errors.New("lib (the shared function set) is required")
+	}
+	sProg, err := asm.Parse(r.S)
+	if err != nil {
+		return nil, fmt.Errorf("parse s: %w", err)
+	}
+	tProg, err := asm.Parse(r.T)
+	if err != nil {
+		return nil, fmt.Errorf("parse t: %w", err)
+	}
+	lib := make(map[string]bool, len(r.Lib))
+	for _, fn := range r.Lib {
+		lib[fn] = true
+	}
+	name := r.Name
+	if name == "" {
+		name = fmt.Sprintf("%s->%s", sProg.Name, tProg.Name)
+	}
+	return &core.Pair{
+		Name:      name,
+		S:         sProg,
+		T:         tProg,
+		PoC:       r.PoC,
+		Lib:       lib,
+		CtxArgs:   r.CtxArgs,
+		InputSize: r.InputSize,
+		MaxSteps:  r.MaxSteps,
+	}, nil
+}
+
+// ReportResponse is the GET /v1/jobs/{id}/report body.
+type ReportResponse struct {
+	JobStatus
+	Report *core.Report `json:"report,omitempty"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs              submit a pair (?wait=1 blocks until done)
+//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/report  full verification report
+//	GET  /v1/jobs/{id}/poc     reformed PoC bytes
+//	POST /v1/jobs/{id}/cancel  cooperative cancellation
+//	GET  /v1/stats             queue/worker/latency/cache counters
+//	GET  /healthz              liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", s.withJob(func(w http.ResponseWriter, r *http.Request, j *Job) {
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/report", s.withJob(s.handleReport))
+	mux.HandleFunc("GET /v1/jobs/{id}/poc", s.withJob(handlePoC))
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.withJob(func(w http.ResponseWriter, r *http.Request, j *Job) {
+		j.Cancel()
+		writeJSON(w, http.StatusOK, j.Snapshot())
+	}))
+	return mux
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxSubmitBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	pair, err := req.BuildPair()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.Submit(pair)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrShutdown):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+		// Block until the job finishes (or the client goes away; the job
+		// itself keeps running — cancellation is explicit).
+		if _, err := job.Wait(r.Context()); err != nil {
+			writeErr(w, http.StatusRequestTimeout, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Snapshot())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request, j *Job) {
+	resp := ReportResponse{JobStatus: j.Snapshot(), Report: j.Report()}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handlePoC(w http.ResponseWriter, r *http.Request, j *Job) {
+	if !j.State().Terminal() {
+		writeErr(w, http.StatusConflict, errors.New("job has not finished"))
+		return
+	}
+	rep := j.Report()
+	if rep == nil || len(rep.PoCPrime) == 0 {
+		writeErr(w, http.StatusNotFound, errors.New("no reformed PoC was generated"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(rep.PoCPrime)
+}
+
+// withJob resolves the {id} path segment, answering 404 for unknown jobs.
+func (s *Service) withJob(h func(http.ResponseWriter, *http.Request, *Job)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		h(w, r, j)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,159 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/corpus"
+	"octopocs/internal/service"
+)
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestHandlerInlineSubmission drives the full HTTP flow with an inline
+// pair: the programs travel as assembled MIR text and round-trip through
+// asm.Parse on the server.
+func TestHandlerInlineSubmission(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Shutdown(context.Background())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	spec := corpus.ByIdx(1)
+	req := service.SubmitRequest{
+		Name:    "inline-jpegc",
+		S:       asm.Format(spec.Pair.S),
+		T:       asm.Format(spec.Pair.T),
+		PoC:     spec.Pair.PoC,
+		CtxArgs: spec.Pair.CtxArgs,
+	}
+	// Mirror ℓ exactly as the corpus defines it.
+	for fn := range spec.Pair.Lib {
+		req.Lib = append(req.Lib, fn)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st service.JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pair != "inline-jpegc" {
+		t.Errorf("pair name = %q", st.Pair)
+	}
+
+	// Poll until terminal.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.State != "done" || st.Verdict != "triggered" {
+		t.Fatalf("job finished as %+v, want done/triggered", st)
+	}
+
+	// The inline submission must verify identically to the built-in pair.
+	direct, err := svc.Pipeline().Verify(corpus.ByIdx(1).Pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/poc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	poc, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if !bytes.Equal(poc, direct.PoCPrime) {
+		t.Errorf("poc' over HTTP (%d bytes) differs from direct run (%d bytes)", len(poc), len(direct.PoCPrime))
+	}
+}
+
+func TestHandlerQueueFull429(t *testing.T) {
+	svc := service.New(service.Config{Workers: 1, QueueDepth: 1})
+	defer svc.Shutdown(context.Background())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	slow := slowPair()
+	submit := func() (*http.Response, []byte) {
+		return postJSON(t, ts.URL+"/v1/jobs", service.SubmitRequest{
+			S: asm.Format(slow.S), T: asm.Format(slow.T),
+			PoC: slow.PoC, Lib: []string{"reader"}, MaxSteps: slow.MaxSteps,
+		})
+	}
+
+	resp, body := submit()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d: %s", resp.StatusCode, body)
+	}
+	var first service.JobStatus
+	json.Unmarshal(body, &first)
+	j, _ := svc.Job(first.ID)
+	waitRunning(t, j)
+
+	if resp, body = submit(); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d: %s", resp.StatusCode, body)
+	}
+	if resp, _ = submit(); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %d, want 429", resp.StatusCode)
+	}
+	st := svc.Stats()
+	if st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+
+	// Cancel over HTTP and confirm the state flips.
+	resp, body = postJSON(t, ts.URL+"/v1/jobs/"+first.ID+"/cancel", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d: %s", resp.StatusCode, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	j.Wait(ctx)
+	if got := j.State(); got != service.JobCancelled {
+		t.Errorf("state after HTTP cancel = %v, want cancelled", got)
+	}
+	for _, js := range svc.Jobs() {
+		if jj, ok := svc.Job(js.ID); ok {
+			jj.Cancel()
+		}
+	}
+}

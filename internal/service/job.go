@@ -1,0 +1,178 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"octopocs/internal/core"
+)
+
+// JobState is the lifecycle position of a submitted verification.
+type JobState int
+
+// Job states.
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = iota + 1
+	// JobRunning: a worker is executing the pipeline.
+	JobRunning
+	// JobDone: the pipeline produced a report (any verdict).
+	JobDone
+	// JobFailed: the pipeline returned an error (e.g. the poc does not
+	// crash S).
+	JobFailed
+	// JobCancelled: the job was cancelled or timed out before completing.
+	JobCancelled
+)
+
+// String renders the state.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Job is one submitted verification task. All methods are safe for
+// concurrent use.
+type Job struct {
+	id     string
+	pair   *core.Pair
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	state     JobState
+	report    *core.Report
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the job identifier assigned at submission.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cooperative cancellation. Safe to call in any state;
+// cancelling a finished job is a no-op.
+func (j *Job) Cancel() { j.cancel() }
+
+// Wait blocks until the job finishes or ctx expires, returning the report
+// and error the job finished with.
+func (j *Job) Wait(ctx context.Context) (*core.Report, error) {
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.report, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Report returns the finished report, or nil while the job is still
+// pending or when it failed.
+func (j *Job) Report() *core.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// Err returns the terminal error, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Elapsed is the verification wall clock: started to finished, or to now
+// while running; zero before the job starts.
+func (j *Job) Elapsed() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case j.started.IsZero():
+		return 0
+	case j.finished.IsZero():
+		return time.Since(j.started)
+	default:
+		return j.finished.Sub(j.started)
+	}
+}
+
+// JobStatus is the JSON-facing snapshot of a job.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	Pair      string    `json:"pair"`
+	State     string    `json:"state"`
+	Submitted time.Time `json:"submitted"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	// Terminal-state detail.
+	Error    string `json:"error,omitempty"`
+	Verdict  string `json:"verdict,omitempty"`
+	Type     string `json:"type,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	PoCBytes int    `json:"poc_bytes,omitempty"`
+	// Cache reuse observed by the finished run.
+	P1Cached bool `json:"p1_cached,omitempty"`
+	P2Cached bool `json:"p2_cached,omitempty"`
+}
+
+// Snapshot renders the job for status endpoints.
+func (j *Job) Snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		Pair:      j.pair.Name,
+		State:     j.state.String(),
+		Submitted: j.submitted,
+	}
+	switch {
+	case j.started.IsZero():
+	case j.finished.IsZero():
+		st.ElapsedMS = float64(time.Since(j.started)) / float64(time.Millisecond)
+	default:
+		st.ElapsedMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.report != nil {
+		st.Verdict = j.report.Verdict.String()
+		st.Type = j.report.Type.String()
+		st.Reason = string(j.report.Reason)
+		st.PoCBytes = len(j.report.PoCPrime)
+		st.P1Cached = j.report.Timings.P1Cached
+		st.P2Cached = j.report.Timings.P2Cached
+	}
+	return st
+}

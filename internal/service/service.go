@@ -1,0 +1,322 @@
+// Package service runs the OCTOPOCS pipeline as a long-lived verification
+// service: a bounded job queue drained by a worker pool, a content-addressed
+// phase-artifact cache shared by all workers, cooperative cancellation and
+// per-job deadlines, and an HTTP API (see http.go) served by the octoserved
+// command.
+//
+// The cache is what makes the service more than a thread pool: clone
+// detectors emit many candidate (S, T) pairs sharing one original package or
+// one propagation target, so the S-side taint artifacts (P1) and the T-side
+// CFG/distance artifacts (P2 prep) are keyed by content hashes of exactly
+// the inputs that determine them and reused across jobs.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"octopocs/internal/core"
+)
+
+// Service errors.
+var (
+	// ErrQueueFull rejects a submission when the bounded queue is at
+	// capacity; callers are expected to back off and retry.
+	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrShutdown rejects submissions after Shutdown has begun.
+	ErrShutdown = errors.New("service: shutting down")
+)
+
+// Defaults.
+const (
+	// DefaultQueueDepth bounds the number of accepted-but-unstarted jobs.
+	DefaultQueueDepth = 64
+	// DefaultCacheEntries is the per-class artifact cache capacity.
+	DefaultCacheEntries = 512
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Workers is the worker-pool size; GOMAXPROCS when <= 0.
+	Workers int
+	// QueueDepth bounds queued jobs; DefaultQueueDepth when 0.
+	QueueDepth int
+	// JobTimeout is the per-job deadline; 0 means none.
+	JobTimeout time.Duration
+	// CacheEntries sizes each artifact cache class; DefaultCacheEntries
+	// when 0, and any negative value disables caching entirely.
+	CacheEntries int
+	// Pipeline configures the underlying core pipeline.
+	Pipeline core.Config
+	// P1Store/P2Store override the default LRU backends; useful for
+	// plugging an external store. Ignored when CacheEntries < 0.
+	P1Store, P2Store Store
+}
+
+// Service owns a worker pool verifying submitted pairs. Create with New;
+// stop with Shutdown.
+type Service struct {
+	cfg   Config
+	pl    *core.Pipeline
+	p1c   Store
+	p2c   Store
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string
+	nextID  uint64
+	closed  bool
+	running int
+	ctr     counters
+}
+
+// counters aggregates lifecycle and latency accounting; guarded by
+// Service.mu.
+type counters struct {
+	submitted uint64
+	rejected  uint64
+	completed uint64
+	failed    uint64
+	cancelled uint64
+	phase     [4]phaseAccum // indexed by phaseIdx
+}
+
+type phaseAccum struct {
+	n     uint64
+	total time.Duration
+}
+
+// Phase indices for counters.phase.
+const (
+	phaseP1 = iota
+	phaseP2Prep
+	phaseReform
+	phaseP4
+)
+
+var phaseNames = [4]string{"p1", "p2_prep", "reform", "p4"}
+
+// New starts a service: the worker pool is live and accepting submissions
+// when New returns.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	s := &Service{
+		cfg:   cfg,
+		pl:    core.New(cfg.Pipeline),
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  make(map[string]*Job),
+	}
+	if cfg.CacheEntries >= 0 {
+		entries := cfg.CacheEntries
+		if entries == 0 {
+			entries = DefaultCacheEntries
+		}
+		s.p1c, s.p2c = cfg.P1Store, cfg.P2Store
+		if s.p1c == nil {
+			s.p1c = NewLRU(entries)
+		}
+		if s.p2c == nil {
+			s.p2c = NewLRU(entries)
+		}
+		s.pl.SetCaches(s.p1c, s.p2c)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Pipeline exposes the shared pipeline (primarily for tests that want to
+// compare service results against direct verification).
+func (s *Service) Pipeline() *core.Pipeline { return s.pl }
+
+// Submit enqueues a verification. It never blocks: when the queue is at
+// capacity the job is rejected with ErrQueueFull so that callers (and the
+// HTTP layer's 429) can apply backpressure instead of piling up goroutines.
+func (s *Service) Submit(pair *core.Pair) (*Job, error) {
+	if pair == nil {
+		return nil, errors.New("service: nil pair")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.ctr.rejected++
+		return nil, ErrShutdown
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	s.nextID++
+	job := &Job{
+		id:        fmt.Sprintf("job-%d", s.nextID),
+		pair:      pair,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.ctr.rejected++
+		s.nextID-- // the rejected job never existed
+		cancel()
+		return nil, ErrQueueFull
+	}
+	s.ctr.submitted++
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	return job, nil
+}
+
+// Job returns a submitted job by ID.
+func (s *Service) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every known job in submission order.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Snapshot()
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job by ID, reporting whether the job
+// exists.
+func (s *Service) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.Cancel()
+	return true
+}
+
+// Shutdown stops accepting submissions and drains queued plus in-flight
+// jobs. When ctx expires first, every unfinished job is cancelled
+// cooperatively; Shutdown still waits for the workers to observe the
+// cancellation (they return promptly via the stop plumbing) and then
+// returns ctx.Err().
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.Cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Service) runJob(j *Job) {
+	// A job cancelled while still queued finishes without running.
+	if err := j.ctx.Err(); err != nil {
+		s.finishJob(j, nil, err)
+		return
+	}
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+
+	rep, err := s.pl.VerifyContext(j.ctx, j.pair)
+
+	s.mu.Lock()
+	s.running--
+	s.mu.Unlock()
+	s.finishJob(j, rep, err)
+}
+
+func (s *Service) finishJob(j *Job, rep *core.Report, err error) {
+	j.mu.Lock()
+	j.report = rep
+	j.err = err
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = JobDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = JobCancelled
+	default:
+		j.state = JobFailed
+	}
+	state := j.state
+	j.mu.Unlock()
+	j.cancel() // release the deadline timer, if any
+
+	s.mu.Lock()
+	switch state {
+	case JobDone:
+		s.ctr.completed++
+		t := rep.Timings
+		for i, d := range [4]time.Duration{t.P1, t.P2Prep, t.Reform, t.P4} {
+			s.ctr.phase[i].n++
+			s.ctr.phase[i].total += d
+		}
+	case JobCancelled:
+		s.ctr.cancelled++
+	default:
+		s.ctr.failed++
+	}
+	s.mu.Unlock()
+
+	// Closing done hands the report to waiters; it must be the last read
+	// the service performs on it.
+	close(j.done)
+}

@@ -1,0 +1,76 @@
+package service
+
+import "time"
+
+// PhaseLatency summarizes completed-job latency for one pipeline phase.
+type PhaseLatency struct {
+	Count   uint64  `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	AvgMS   float64 `json:"avg_ms"`
+}
+
+// Stats is the point-in-time service snapshot served by /v1/stats.
+type Stats struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"` // jobs waiting for a worker now
+	QueueCap   int `json:"queue_cap"`
+	Running    int `json:"running"`
+
+	Submitted uint64 `json:"submitted"`
+	Rejected  uint64 `json:"rejected"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+
+	// PhaseLatency is keyed by phase name: p1, p2_prep, reform, p4.
+	PhaseLatency map[string]PhaseLatency `json:"phase_latency"`
+
+	// P1Cache/P2Cache hold hit/miss counters when the backend supports
+	// accounting (the built-in LRU does); nil otherwise.
+	P1Cache *CacheCounters `json:"p1_cache,omitempty"`
+	P2Cache *CacheCounters `json:"p2_cache,omitempty"`
+}
+
+// Stats snapshots the service counters, queue occupancy, and cache
+// accounting.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Workers:      s.cfg.Workers,
+		QueueDepth:   len(s.queue),
+		QueueCap:     cap(s.queue),
+		Running:      s.running,
+		Submitted:    s.ctr.submitted,
+		Rejected:     s.ctr.rejected,
+		Completed:    s.ctr.completed,
+		Failed:       s.ctr.failed,
+		Cancelled:    s.ctr.cancelled,
+		PhaseLatency: make(map[string]PhaseLatency, len(phaseNames)),
+	}
+	for i, name := range phaseNames {
+		acc := s.ctr.phase[i]
+		pl := PhaseLatency{
+			Count:   acc.n,
+			TotalMS: float64(acc.total) / float64(time.Millisecond),
+		}
+		if acc.n > 0 {
+			pl.AvgMS = pl.TotalMS / float64(acc.n)
+		}
+		st.PhaseLatency[name] = pl
+	}
+	s.mu.Unlock()
+
+	st.P1Cache = cacheCounters(s.p1c)
+	st.P2Cache = cacheCounters(s.p2c)
+	return st
+}
+
+// cacheCounters extracts accounting from stores that expose it.
+func cacheCounters(st Store) *CacheCounters {
+	type counted interface{ Counters() CacheCounters }
+	if c, ok := st.(counted); ok {
+		cc := c.Counters()
+		return &cc
+	}
+	return nil
+}

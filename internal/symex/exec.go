@@ -24,7 +24,16 @@ var (
 	// ErrNoDistances means directed execution was requested without
 	// backward-path-finding results.
 	ErrNoDistances = errors.New("symex: directed execution requires distance maps")
+	// ErrStopped reports that the Config.Stop channel was closed mid-run;
+	// the execution was cancelled, not completed.
+	ErrStopped = errors.New("symex: execution stopped")
 )
+
+// stopCheckMask throttles Stop polling: the state loop checks the channel
+// when steps&stopCheckMask == 0. Symbolic steps are orders of magnitude
+// heavier than concrete ones, so a small interval keeps cancellation prompt
+// without measurable overhead.
+const stopCheckMask = 255
 
 // Config parameterizes an Executor.
 type Config struct {
@@ -44,6 +53,9 @@ type Config struct {
 	Distances *cfg.Distances
 	// MaxBacktracks bounds directed-mode decision reversals.
 	MaxBacktracks int
+	// Stop is a cooperative cancellation signal; when it closes, Run and
+	// RunNaive return ErrStopped promptly. May be nil.
+	Stop <-chan struct{}
 }
 
 // DefaultMaxBacktracks bounds how many decision reversals directed
@@ -159,6 +171,19 @@ func New(prog *isa.Program, cfg Config) *Executor {
 	return e
 }
 
+// stopHit reports whether the cancellation channel has closed.
+func (e *Executor) stopHit() bool {
+	if e.cfg.Stop == nil {
+		return false
+	}
+	select {
+	case <-e.cfg.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
 // sat checks satisfiability of the conjunction of cs.
 func (e *Executor) sat(cs []*expr.Expr) (bool, error) {
 	e.stat.SatChecks++
@@ -223,6 +248,9 @@ func (e *Executor) Run(visitor Visitor) (*Result, error) {
 	var firstDeath *State
 	for {
 		for st.kind == KindActive {
+			if st.steps&stopCheckMask == 0 && e.stopHit() {
+				return nil, ErrStopped
+			}
 			if st.steps >= e.cfg.MaxSteps {
 				st.die(KindHung, fmt.Sprintf("step budget exhausted at %s", st.loc()))
 				break
@@ -294,6 +322,9 @@ func (e *Executor) pushChoice(snap *State, alts []*expr.Expr) {
 // untried alternative, or returns nil when exhausted.
 func (e *Executor) backtrack() (*State, error) {
 	for len(e.stack) > 0 {
+		if e.stopHit() {
+			return nil, ErrStopped
+		}
 		if e.stat.Backtracks >= e.cfg.MaxBacktracks {
 			return nil, nil
 		}

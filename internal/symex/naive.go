@@ -38,6 +38,9 @@ type NaiveConfig struct {
 	// baseline); depth-first order is what the dynamic-CFG discovery pass
 	// uses to get past wide-but-shallow branching.
 	DFS bool
+	// Stop is a cooperative cancellation signal; when it closes, the
+	// exploration returns ErrStopped promptly. May be nil.
+	Stop <-chan struct{}
 }
 
 // RunNaive explores the program breadth-first, forking at every feasible
@@ -72,6 +75,7 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 		Theta:     cfg.Theta,
 		SatBudget: cfg.SatBudget,
 		Target:    cfg.Target,
+		Stop:      cfg.Stop,
 	})
 	e.onResolve = onResolve
 
@@ -102,6 +106,9 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 	stopVisitor := func(EpEntry, *State) (Decision, error) { return Stop, nil }
 
 	for len(frontier) > 0 {
+		if e.stopHit() {
+			return nil, ErrStopped
+		}
 		if e.stat.States >= cfg.MaxStates {
 			return e.resultWhy(KindHung, "state budget exhausted"), nil
 		}
@@ -121,6 +128,9 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 		// Run the state forward until it terminates, reaches the
 		// target, or forks.
 		for st.kind == KindActive {
+			if st.steps&stopCheckMask == 0 && e.stopHit() {
+				return nil, ErrStopped
+			}
 			if st.steps >= e.cfg.MaxSteps {
 				st.die(KindHung, "step budget exhausted")
 				break

@@ -21,9 +21,10 @@ type Status int
 
 // Run statuses.
 const (
-	StatusExit  Status = iota + 1 // clean exit (SysExit or return from entry)
-	StatusCrash                   // memory fault, trap, or bad indirect call
-	StatusHang                    // instruction budget exhausted
+	StatusExit    Status = iota + 1 // clean exit (SysExit or return from entry)
+	StatusCrash                     // memory fault, trap, or bad indirect call
+	StatusHang                      // instruction budget exhausted
+	StatusStopped                   // cooperative stop signal observed mid-run
 )
 
 // String renders the status.
@@ -35,6 +36,8 @@ func (s Status) String() string {
 		return "crash"
 	case StatusHang:
 		return "hang"
+	case StatusStopped:
+		return "stopped"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -151,6 +154,8 @@ func (o *Outcome) String() string {
 		return fmt.Sprintf("crash: %s after %d steps", o.Crash, o.Steps)
 	case StatusHang:
 		return fmt.Sprintf("hang after %d steps", o.Steps)
+	case StatusStopped:
+		return fmt.Sprintf("stopped after %d steps", o.Steps)
 	default:
 		return "unknown outcome"
 	}

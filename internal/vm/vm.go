@@ -18,7 +18,16 @@ type Config struct {
 	MaxSteps int64
 	// Hooks receive instrumentation events; may be nil.
 	Hooks *Hooks
+	// Stop is a cooperative cancellation signal (typically a context's
+	// Done channel). The machine polls it every stopCheckMask+1 steps and
+	// ends the run with StatusStopped once it is closed. May be nil.
+	Stop <-chan struct{}
 }
+
+// stopCheckMask throttles Stop-channel polling: the check fires when
+// steps&stopCheckMask == 0, i.e. every 2048 instructions — frequent enough
+// that cancellation latency stays in the microsecond range.
+const stopCheckMask = 2047
 
 // Hooks is the instrumentation surface, the analog of a PIN tool. Every
 // field may be nil. Hook callbacks must not retain the slices they are
@@ -71,6 +80,7 @@ type Machine struct {
 	frames   []*frame
 	hooks    Hooks
 	maxSteps int64
+	stop     <-chan struct{}
 	steps    int64
 	output   []byte
 	nextID   uint64
@@ -85,6 +95,7 @@ func New(prog *isa.Program, cfg Config) *Machine {
 		mem:      NewMemory(),
 		input:    cfg.Input,
 		maxSteps: cfg.MaxSteps,
+		stop:     cfg.Stop,
 	}
 	if m.maxSteps <= 0 {
 		m.maxSteps = DefaultMaxSteps
@@ -183,6 +194,13 @@ func (m *Machine) Run() *Outcome {
 	entry := m.prog.Func(m.prog.Entry)
 	m.pushFrame(entry, nil, 0)
 	for {
+		if m.stop != nil && m.steps&stopCheckMask == 0 {
+			select {
+			case <-m.stop:
+				return &Outcome{Status: StatusStopped, Steps: m.steps, Output: m.output}
+			default:
+			}
+		}
 		if m.steps >= m.maxSteps {
 			return &Outcome{
 				Status: StatusHang,
