@@ -36,13 +36,18 @@ func run(args []string) error {
 		execs     = fs.Int64("execs", 300_000, "fuzzing execution budget for Table V")
 		memBudget = fs.Int64("mem", 0, "naive-SE memory budget in bytes for Table IV (0 = default)")
 		workers   = fs.Int("workers", 0, "verify Table II pairs with a worker pool of this size (0 = sequential)")
+		doBench   = fs.Bool("bench-telemetry", false, "run the cold/warm service benchmarks and write machine-readable results")
+		benchOut  = fs.String("bench-out", "BENCH_telemetry.json", "with -bench-telemetry: output file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *doBench {
+		return benchTelemetry(*benchOut)
+	}
 	if !*all && *table == 0 && !*doSurvey && !*doLatest && !*doSweeps {
 		fs.Usage()
-		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, or -survey")
+		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, or -bench-telemetry")
 	}
 
 	want := func(n int) bool { return *all || *table == n }

@@ -13,13 +13,17 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 
 	"octopocs/internal/core"
 	"octopocs/internal/corpus"
 	"octopocs/internal/service"
+	"octopocs/internal/telemetry"
 	"octopocs/internal/trace"
 	"octopocs/internal/vm"
 )
@@ -43,8 +47,15 @@ func run(args []string) error {
 		workers     = fs.Int("workers", 0, "with -all: verify pairs concurrently with this many service workers (0 = sequential)")
 		prioritize  = fs.Bool("prioritize", false, "verify all pairs and print a patch-priority list (§ VII practical usage)")
 		explain     = fs.Bool("explain", false, "with -pair: show the S-on-poc and T-on-poc' traces and the preserved ℓ path")
+		withTrace   = fs.Bool("trace", false, "dump each job's phase/sub-step span tree as JSON after its report")
+		logLevel    = fs.String("log-level", "warn", "log level: debug, info, warn, error")
+		logFormat   = fs.String("log-format", "text", "log format: text or json")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	if !*all && *pairIdx == 0 && !*prioritize {
@@ -68,7 +79,7 @@ func run(args []string) error {
 		specs = []*corpus.PairSpec{spec}
 	}
 
-	reports, err := verifyAll(specs, cfg, *workers)
+	reports, traces, err := verifyAll(specs, cfg, *workers, logger, *withTrace)
 	if err != nil {
 		return err
 	}
@@ -76,6 +87,11 @@ func run(args []string) error {
 	for i, spec := range specs {
 		rep := reports[i]
 		printReport(spec, rep, *verbose)
+		if *withTrace && traces[i] != nil {
+			if err := dumpTrace(os.Stdout, traces[i]); err != nil {
+				return err
+			}
+		}
 		if *explain {
 			explainPair(spec, rep)
 		}
@@ -89,44 +105,69 @@ func run(args []string) error {
 	return nil
 }
 
-// verifyAll collects one report per spec, in spec order. With workers > 0
-// the pairs run concurrently through a service worker pool (sharing phase
-// artifacts via its cache); otherwise a single pipeline runs them in turn.
-func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers int) ([]*core.Report, error) {
+// verifyAll collects one report per spec, in spec order, plus the span
+// trace of each run when withTrace is set (nil entries otherwise). With
+// workers > 0 the pairs run concurrently through a service worker pool
+// (sharing phase artifacts via its cache); otherwise a single pipeline runs
+// them in turn.
+func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers int, logger *slog.Logger, withTrace bool) ([]*core.Report, []*telemetry.Trace, error) {
 	reports := make([]*core.Report, len(specs))
+	traces := make([]*telemetry.Trace, len(specs))
 	if workers > 0 {
+		traceCap := -1
+		if withTrace {
+			traceCap = len(specs)
+		}
 		svc := service.New(service.Config{
-			Workers:    workers,
-			QueueDepth: len(specs),
-			Pipeline:   cfg,
+			Workers:       workers,
+			QueueDepth:    len(specs),
+			Pipeline:      cfg,
+			Logger:        logger,
+			TraceCapacity: traceCap,
 		})
 		defer svc.Shutdown(context.Background())
 		jobs := make([]*service.Job, len(specs))
 		for i, spec := range specs {
 			job, err := svc.Submit(spec.Pair)
 			if err != nil {
-				return nil, fmt.Errorf("pair %d: %w", spec.Idx, err)
+				return nil, nil, fmt.Errorf("pair %d: %w", spec.Idx, err)
 			}
 			jobs[i] = job
 		}
 		for i, job := range jobs {
 			rep, err := job.Wait(context.Background())
 			if err != nil {
-				return nil, fmt.Errorf("pair %d: %w", specs[i].Idx, err)
+				return nil, nil, fmt.Errorf("pair %d: %w", specs[i].Idx, err)
 			}
 			reports[i] = rep
+			traces[i], _ = svc.Trace(job.ID())
 		}
-		return reports, nil
+		return reports, traces, nil
 	}
 	pipeline := core.New(cfg)
 	for i, spec := range specs {
-		rep, err := pipeline.Verify(spec.Pair)
+		ctx := telemetry.WithLogger(context.Background(), logger)
+		if withTrace {
+			traces[i] = telemetry.NewTrace(fmt.Sprintf("pair-%d", spec.Idx), "verify")
+			ctx = telemetry.WithTrace(ctx, traces[i])
+		}
+		rep, err := pipeline.VerifyContext(ctx, spec.Pair)
+		traces[i].Finish()
 		if err != nil {
-			return nil, fmt.Errorf("pair %d: %w", spec.Idx, err)
+			return nil, nil, fmt.Errorf("pair %d: %w", spec.Idx, err)
 		}
 		reports[i] = rep
 	}
-	return reports, nil
+	return reports, traces, nil
+}
+
+// dumpTrace writes the span tree as indented JSON, matching the shape of
+// the service's GET /v1/jobs/{id}/trace response.
+func dumpTrace(w io.Writer, tr *telemetry.Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("  ", "  ")
+	fmt.Fprint(w, "  ")
+	return enc.Encode(tr.Snapshot())
 }
 
 // explainPair renders the Figure-1 picture for one verified pair: the two

@@ -1,13 +1,17 @@
 // Command octoserved exposes the OCTOPOCS verification pipeline as an HTTP
-// service: submit (S, T, poc) pairs, poll job status, fetch reports and
-// reformed PoCs, and watch queue/cache statistics.
+// service: submit (S, T, poc) pairs, poll job status, fetch reports, reformed
+// PoCs and per-job phase traces, and watch queue/cache statistics. Metrics
+// are served in Prometheus text form at /metrics; an optional debug listener
+// exposes net/http/pprof.
 //
 // Usage:
 //
 //	octoserved [-addr :8344] [-workers N] [-queue N] [-cache N] [-timeout D]
+//	           [-log-level info] [-log-format text] [-debug-addr ADDR]
 //
 // The server drains in-flight verifications on SIGINT/SIGTERM before
-// exiting; a second signal aborts them cooperatively.
+// exiting; a second signal aborts them cooperatively. While draining,
+// /healthz answers 503 so load balancers stop routing to the instance.
 package main
 
 import (
@@ -15,25 +19,27 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"octopocs/internal/service"
+	"octopocs/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "octoserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, logOut *os.File) error {
 	fs := flag.NewFlagSet("octoserved", flag.ContinueOnError)
 	addr := fs.String("addr", ":8344", "listen address")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
@@ -41,7 +47,15 @@ func run(args []string, out *os.File) error {
 	cache := fs.Int("cache", service.DefaultCacheEntries, "artifact cache entries per class (negative disables)")
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+	traces := fs.Int("traces", 0, "retained finished job traces (0 = default, negative disables)")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "log format: text or json")
+	debugAddr := fs.String("debug-addr", "", "optional second listener serving net/http/pprof (e.g. 127.0.0.1:8345)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := telemetry.NewLogger(logOut, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -49,26 +63,59 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		if debugLn, err = net.Listen("tcp", *debugAddr); err != nil {
+			return err
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	return serve(ctx, ln, service.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		JobTimeout:   *timeout,
-	}, *drain, log.New(out, "octoserved: ", log.LstdFlags))
+	return serve(ctx, ln, debugLn, service.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheEntries:  *cache,
+		JobTimeout:    *timeout,
+		TraceCapacity: *traces,
+		Logger:        logger,
+	}, *drain, logger)
+}
+
+// debugMux builds the pprof handler set on a private mux, so the profiling
+// surface is bound only to the opt-in debug listener and never exposed on
+// the API address.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // serve runs the service on ln until ctx is cancelled, then shuts down:
-// first the HTTP listener, then the worker pool, giving in-flight jobs up
-// to drain before cancelling them cooperatively.
-func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.Duration, logger *log.Logger) error {
+// first the HTTP listeners, then the worker pool, giving in-flight jobs up
+// to drain before cancelling them cooperatively. debugLn, when non-nil,
+// serves pprof for the lifetime of the server.
+func serve(ctx context.Context, ln, debugLn net.Listener, cfg service.Config, drain time.Duration, logger *slog.Logger) error {
 	svc := service.New(cfg)
 	srv := &http.Server{Handler: svc.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	logger.Printf("listening on %s (workers=%d queue=%d)", ln.Addr(), cfg.Workers, cfg.QueueDepth)
+	var dsrv *http.Server
+	if debugLn != nil {
+		dsrv = &http.Server{Handler: debugMux()}
+		go func() {
+			if err := dsrv.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug server", "err", err.Error())
+			}
+		}()
+		logger.Info("pprof listening", "addr", debugLn.Addr().String())
+	}
+	logger.Info("listening", "addr", ln.Addr().String(),
+		"workers", cfg.Workers, "queue", cfg.QueueDepth)
 
 	select {
 	case err := <-errc:
@@ -76,19 +123,22 @@ func serve(ctx context.Context, ln net.Listener, cfg service.Config, drain time.
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutting down, draining jobs (up to %s)", drain)
+	logger.Info("shutting down, draining jobs", "drain", drain.String())
 	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err.Error())
+	}
+	if dsrv != nil {
+		dsrv.Close()
 	}
 	if err := svc.Shutdown(shutCtx); err != nil {
-		logger.Printf("drain incomplete, jobs cancelled: %v", err)
+		logger.Warn("drain incomplete, jobs cancelled", "err", err.Error())
 		return err
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

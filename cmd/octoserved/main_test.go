@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"strings"
@@ -13,6 +12,7 @@ import (
 	"time"
 
 	"octopocs/internal/service"
+	"octopocs/internal/telemetry"
 )
 
 // startServer runs serve on an ephemeral port and returns its base URL plus
@@ -26,7 +26,7 @@ func startServer(t *testing.T, cfg service.Config) (string, func() error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		errc <- serve(ctx, ln, cfg, 30*time.Second, log.New(io.Discard, "", 0))
+		errc <- serve(ctx, ln, nil, cfg, 30*time.Second, telemetry.DiscardLogger())
 	}()
 	url := "http://" + ln.Addr().String()
 	waitHealthy(t, url)
@@ -148,6 +148,59 @@ func TestServerEndToEnd(t *testing.T) {
 
 	if err := shutdown(); err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestDebugListener checks that pprof is served only on the opt-in debug
+// address, never on the API address.
+func TestDebugListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- serve(ctx, ln, debugLn, service.Config{Workers: 1}, 30*time.Second, telemetry.DiscardLogger())
+	}()
+	apiURL := "http://" + ln.Addr().String()
+	waitHealthy(t, apiURL)
+
+	resp, err := http.Get("http://" + debugLn.Addr().String() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on debug listener: status %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(apiURL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof reachable on the API listener; it must be debug-only")
+	}
+
+	// The metrics exposition rides on the API listener.
+	resp, err = http.Get(apiURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "octopocs_jobs_submitted_total") {
+		t.Errorf("/metrics: status %d body %q", resp.StatusCode, body)
+	}
+
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("serve: %v", err)
 	}
 }
 

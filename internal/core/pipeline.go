@@ -12,6 +12,7 @@ import (
 	"octopocs/internal/solver"
 	"octopocs/internal/symex"
 	"octopocs/internal/taint"
+	"octopocs/internal/telemetry"
 	"octopocs/internal/vm"
 )
 
@@ -32,6 +33,11 @@ type Config struct {
 	StaticCFGOnly bool
 	// PadByte fills unconstrained poc' bytes.
 	PadByte byte
+	// Metrics, when non-nil, receives engine counters (VM, symbolic
+	// executor, solver) from every run. Leave nil to disable engine
+	// instrumentation entirely; the hot paths then contain no telemetry
+	// calls at all.
+	Metrics *Metrics
 }
 
 // Pipeline verifies pairs. Create with New. A Pipeline holds no per-run
@@ -39,7 +45,6 @@ type Config struct {
 // caches must be concurrency-safe (see SetCaches).
 type Pipeline struct {
 	cfg     Config
-	debugf  func(format string, args ...any)
 	p1Cache Cache
 	p2Cache Cache
 }
@@ -48,10 +53,6 @@ type Pipeline struct {
 func New(cfg Config) *Pipeline {
 	return &Pipeline{cfg: cfg}
 }
-
-// SetDebugf installs a diagnostic logger for internal analysis errors that
-// degrade into budget-class verdicts.
-func (p *Pipeline) SetDebugf(f func(format string, args ...any)) { p.debugf = f }
 
 // errParamMismatch aborts P2/P3 when T enters ep with context parameters
 // that differ from the recorded S context (the Idx-10..12 mechanism).
@@ -88,11 +89,18 @@ func (p *Pipeline) Verify(pair *Pair) (*Report, error) {
 // method returns the context's error.
 func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, error) {
 	rep := &Report{Pair: pair.Name}
+	tr := telemetry.TraceFrom(ctx)
+	root := tr.Start("verify", nil)
+	root.SetAttr("pair", pair.Name)
+	defer root.End()
 
 	// Preprocessing + P1 (cache-aware): crash S with the PoC, find ep on
 	// the backtrace, extract crash primitives.
 	t0 := time.Now()
-	p1, p1Cached, err := p.phase1(ctx, pair)
+	sp := tr.Start("p1", root)
+	p1, p1Cached, err := p.phase1(ctx, pair, sp)
+	sp.SetAttr("cached", p1Cached)
+	sp.End()
 	rep.Timings.P1 = time.Since(t0)
 	rep.Timings.P1Cached = p1Cached
 	if err != nil {
@@ -117,7 +125,10 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	// Idx-15 angr analog) rather than risking an unsound not-triggerable
 	// verdict.
 	t0 = time.Now()
-	prep, p2Cached, err := p.phase2Prep(ctx, pair, ep)
+	sp = tr.Start("p2_prep", root)
+	prep, p2Cached, err := p.phase2Prep(ctx, pair, ep, sp)
+	sp.SetAttr("cached", p2Cached)
+	sp.End()
 	rep.Timings.P2Prep = time.Since(t0)
 	rep.Timings.P2Cached = p2Cached
 	if err != nil {
@@ -137,7 +148,9 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 
 	// P2 + P3: directed symbolic execution with bunch placement.
 	t0 = time.Now()
-	pocPrime, stats, reason, err := p.reform(ctx, pair, ep, prep.Dist, p1.Bunches)
+	sp = tr.Start("reform", root)
+	pocPrime, stats, reason, err := p.reform(ctx, pair, ep, prep.Dist, p1.Bunches, sp)
+	sp.End()
 	rep.Timings.Reform = time.Since(t0)
 	if err != nil {
 		return nil, err
@@ -156,7 +169,9 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 
 	// P4: verify the propagated vulnerability with poc'.
 	t0 = time.Now()
+	p4 := tr.Start("p4", root)
 	defer func() { rep.Timings.P4 = time.Since(t0) }()
+	defer p4.End()
 	tOut := p.runConcrete(ctx, pair.T, pocPrime, pair.MaxSteps)
 	if tOut.Status == vm.StatusStopped {
 		return nil, ctxErr(ctx)
@@ -171,13 +186,18 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	// trim trailing padding while the crash is preserved. Every candidate
 	// is re-verified concretely, so minimization cannot invalidate the
 	// verdict.
+	msp := tr.Start("minimize", p4)
 	rep.PoCPrime = p.minimize(ctx, pair, rep.PoCPrime, tOut.Crash)
+	msp.SetAttr("bytes", len(rep.PoCPrime))
+	msp.End()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
 	// Type classification: Type-I when the original poc already triggers
 	// T (its guiding input needs no reform).
+	csp := tr.Start("classify", p4)
+	defer csp.End()
 	origOut := p.runConcrete(ctx, pair.T, pair.PoC, pair.MaxSteps)
 	if origOut.Status == vm.StatusStopped {
 		return nil, ctxErr(ctx)
@@ -194,7 +214,7 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 // phase1 produces (or retrieves) the S-side artifact: preprocessing plus
 // the P1 taint run. The boolean result reports a cache hit. Only complete
 // artifacts are cached; error paths never populate the cache.
-func (p *Pipeline) phase1(ctx context.Context, pair *Pair) (*P1Artifact, bool, error) {
+func (p *Pipeline) phase1(ctx context.Context, pair *Pair, parent *telemetry.Span) (*P1Artifact, bool, error) {
 	var key string
 	if p.p1Cache != nil {
 		key = p.p1Key(pair)
@@ -204,7 +224,10 @@ func (p *Pipeline) phase1(ctx context.Context, pair *Pair) (*P1Artifact, bool, e
 			}
 		}
 	}
+	tr := telemetry.TraceFrom(ctx)
+	sp := tr.Start("crash_s", parent)
 	sOut := p.runConcrete(ctx, pair.S, pair.PoC, pair.MaxSteps)
+	sp.End()
 	if sOut.Status == vm.StatusStopped {
 		return nil, false, ctxErr(ctx)
 	}
@@ -215,7 +238,10 @@ func (p *Pipeline) phase1(ctx context.Context, pair *Pair) (*P1Artifact, bool, e
 	if !ok {
 		return nil, false, fmt.Errorf("pair %s: no ℓ function on the S crash backtrace", pair.Name)
 	}
+	sp = tr.Start("taint", parent)
+	sp.SetAttr("ep", ep)
 	bunches, err := p.extractPrimitives(ctx, pair, ep)
+	sp.End()
 	if err != nil {
 		return nil, false, fmt.Errorf("pair %s: P1: %w", pair.Name, err)
 	}
@@ -229,7 +255,7 @@ func (p *Pipeline) phase1(ctx context.Context, pair *Pair) (*P1Artifact, bool, e
 // phase2Prep produces (or retrieves) the T-side preparation artifact: the
 // CFG with discovered indirect-call edges and the distance maps to ep. The
 // boolean result reports a cache hit.
-func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string) (*P2Artifact, bool, error) {
+func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, parent *telemetry.Span) (*P2Artifact, bool, error) {
 	var key string
 	if p.p2Cache != nil {
 		key = p.p2Key(pair, ep)
@@ -239,16 +265,20 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string) (*P2Ar
 			}
 		}
 	}
+	tr := telemetry.TraceFrom(ctx)
 	graph := cfg.Build(pair.T)
 	if !p.cfg.StaticCFGOnly {
+		sp := tr.Start("discover", parent)
 		for _, e := range symex.Discover(pair.T, symex.NaiveConfig{
 			InputSize: p.discoverInputSize(pair),
 			MaxSteps:  p.maxSteps(pair),
 			SatBudget: p.cfg.SatBudget,
 			Stop:      ctx.Done(),
+			Metrics:   p.cfg.Metrics.symexSink(),
 		}) {
 			graph.ObserveCall(e.Site, e.Callee)
 		}
+		sp.End()
 		// A cancelled discovery leaves a partial edge set: usable for
 		// nothing, and in particular not cacheable — a cached artifact
 		// must be a pure function of its key.
@@ -258,7 +288,9 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string) (*P2Ar
 	}
 	art := &P2Artifact{Graph: graph}
 	if graph.Reachable(ep) {
+		sp := tr.Start("distance_map", parent)
 		art.Dist = graph.DistancesTo(ep)
+		sp.End()
 	}
 	if p.p2Cache != nil {
 		p.p2Cache.Put(key, art)
@@ -322,6 +354,7 @@ func (p *Pipeline) runConcrete(ctx context.Context, prog *isa.Program, input []b
 		Input:    input,
 		MaxSteps: p.effectiveMaxSteps(maxSteps),
 		Stop:     ctx.Done(),
+		Metrics:  p.cfg.Metrics.vmSink(),
 	})
 	return m.Run()
 }
@@ -349,6 +382,7 @@ func (p *Pipeline) extractPrimitives(ctx context.Context, pair *Pair, ep string)
 		MaxSteps: p.maxSteps(pair),
 		Hooks:    eng.Hooks(),
 		Stop:     ctx.Done(),
+		Metrics:  p.cfg.Metrics.vmSink(),
 	})
 	out := m.Run()
 	if out.Status == vm.StatusStopped {
@@ -368,8 +402,9 @@ func (p *Pipeline) extractPrimitives(ctx context.Context, pair *Pair, ep string)
 // placement at each entry, then constraint solving into poc'. A non-nil
 // error is returned only for cancellation; analysis failures degrade into
 // Reason codes.
-func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes) ([]byte, symex.Stats, Reason, error) {
+func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes, parent *telemetry.Span) ([]byte, symex.Stats, Reason, error) {
 	inputSize := p.symInputSize(pair)
+	tr := telemetry.TraceFrom(ctx)
 	ex := symex.New(pair.T, symex.Config{
 		InputSize: inputSize,
 		MaxSteps:  p.maxSteps(pair),
@@ -378,10 +413,16 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 		Target:    ep,
 		Distances: dist,
 		Stop:      ctx.Done(),
+		Metrics:   p.cfg.Metrics.symexSink(),
+		Logger:    telemetry.Logger(ctx),
 	})
 
-	placeSol := solver.Solver{Budget: p.cfg.SatBudget}
+	placeSol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink()}
 	visitor := func(entry symex.EpEntry, st *symex.State) (symex.Decision, error) {
+		esp := tr.Start("ep_entry", parent)
+		defer esp.End()
+		esp.SetAttr("seq", entry.Seq)
+		esp.SetAttr("file_pos", entry.FilePos)
 		if entry.Seq > len(bunches) {
 			return symex.Stop, nil
 		}
@@ -432,9 +473,8 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 		if errors.Is(err, errParamMismatch) {
 			return nil, symex.Stats{}, ReasonParamMismatch, nil
 		}
-		if p.debugf != nil {
-			p.debugf("reform %s: %v", pair.Name, err)
-		}
+		telemetry.Logger(ctx).Warn("reform degraded to budget verdict",
+			"pair", pair.Name, "err", err.Error())
 		return nil, symex.Stats{}, ReasonBudget, nil
 	}
 	if !res.Reached() {
@@ -453,8 +493,11 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 	}
 
 	// P3.3: solve everything into concrete bytes.
-	sol := solver.Solver{Budget: p.cfg.SatBudget}
+	ssp := tr.Start("solve", parent)
+	ssp.SetAttr("constraints", len(res.Constraints))
+	sol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink()}
 	model, err := sol.Solve(res.Constraints)
+	ssp.End()
 	if err != nil {
 		if errors.Is(err, solver.ErrUnsat) {
 			return nil, res.Stats, ReasonUnsat, nil

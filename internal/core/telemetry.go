@@ -1,0 +1,100 @@
+package core
+
+import (
+	"octopocs/internal/solver"
+	"octopocs/internal/symex"
+	"octopocs/internal/telemetry"
+	"octopocs/internal/vm"
+)
+
+// Metrics bundles the engine counter sinks threaded through one pipeline:
+// the concrete VM, the symbolic executor, and the constraint solver. A nil
+// *Metrics disables engine instrumentation entirely — the accessors return
+// nil sinks, which the engines treat as no-ops — so an unregistered
+// pipeline pays nothing on the hot path.
+type Metrics struct {
+	VM     *vm.Metrics
+	Symex  *symex.Metrics
+	Solver *solver.Metrics
+}
+
+// NewMetrics registers the engine counter families on reg under their
+// canonical octopocs_* names and returns the bundle. A nil registry yields
+// a nil bundle (instrumentation off).
+//
+// The symex counters carry the paper's § III/IV state taxonomy into the
+// exposition: loop-dead and program-dead terminations, transient loop
+// states, and θ-retry exhaustion (runs whose every backtrack up to θ
+// iterations still ended loop-dead).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	sol := &solver.Metrics{
+		Solves: reg.Counter("octopocs_solver_solves_total",
+			"Constraint solver Solve calls.", nil),
+		Sat: reg.Counter("octopocs_solver_sat_total",
+			"Solver calls that produced a model.", nil),
+		Unsat: reg.Counter("octopocs_solver_unsat_total",
+			"Solver calls that proved the constraints unsatisfiable.", nil),
+		Budget: reg.Counter("octopocs_solver_budget_exhausted_total",
+			"Solver calls that hit the evaluation budget before a verdict.", nil),
+	}
+	return &Metrics{
+		VM: &vm.Metrics{
+			Runs: reg.Counter("octopocs_vm_runs_total",
+				"Concrete VM executions.", nil),
+			Insts: reg.Counter("octopocs_vm_instructions_total",
+				"Concrete VM instructions retired.", nil),
+			Crashes: reg.Counter("octopocs_vm_crashes_total",
+				"Concrete VM runs that ended in a crash.", nil),
+			Hangs: reg.Counter("octopocs_vm_hangs_total",
+				"Concrete VM runs that exhausted their step budget.", nil),
+		},
+		Symex: &symex.Metrics{
+			Runs: reg.Counter("octopocs_symex_runs_total",
+				"Symbolic executions completed (directed and naive).", nil),
+			States: reg.Counter("octopocs_symex_states_total",
+				"Symbolic states explored.", nil),
+			Steps: reg.Counter("octopocs_symex_steps_total",
+				"Symbolic instructions stepped.", nil),
+			Backtracks: reg.Counter("octopocs_symex_backtracks_total",
+				"Directed-mode decision reversals.", nil),
+			LoopStates: reg.Counter("octopocs_symex_loop_states_total",
+				"Decisions that re-entered a visited block (transient loop states).", nil),
+			LoopDeads: reg.Counter("octopocs_symex_loop_dead_total",
+				"Loop-dead state terminations (no feasible loop exit within theta).", nil),
+			ProgramDeads: reg.Counter("octopocs_symex_program_dead_total",
+				"Program-dead state terminations (no feasible branch).", nil),
+			ThetaExhausted: reg.Counter("octopocs_symex_theta_exhausted_total",
+				"Runs whose every retry up to theta iterations ended loop-dead.", nil),
+			SatChecks: reg.Counter("octopocs_symex_sat_checks_total",
+				"Feasibility queries issued during symbolic execution.", nil),
+			Solver: sol,
+		},
+		Solver: sol,
+	}
+}
+
+// vmSink, symexSink and solverSink are the nil-tolerant accessors the
+// pipeline threads into engine configs.
+func (m *Metrics) vmSink() *vm.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.VM
+}
+
+func (m *Metrics) symexSink() *symex.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.Symex
+}
+
+func (m *Metrics) solverSink() *solver.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.Solver
+}

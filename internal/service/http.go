@@ -98,14 +98,22 @@ type ReportResponse struct {
 //	GET  /v1/jobs/{id}         job status
 //	GET  /v1/jobs/{id}/report  full verification report
 //	GET  /v1/jobs/{id}/poc     reformed PoC bytes
+//	GET  /v1/jobs/{id}/trace   phase/sub-step span tree (JSON)
 //	POST /v1/jobs/{id}/cancel  cooperative cancellation
 //	GET  /v1/stats             queue/worker/latency/cache counters
-//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text exposition
+//	GET  /healthz              liveness (503 while draining)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -118,6 +126,7 @@ func (s *Service) Handler() http.Handler {
 	}))
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.withJob(s.handleReport))
 	mux.HandleFunc("GET /v1/jobs/{id}/poc", s.withJob(handlePoC))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.withJob(s.handleTrace))
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.withJob(func(w http.ResponseWriter, r *http.Request, j *Job) {
 		j.Cancel()
 		writeJSON(w, http.StatusOK, j.Snapshot())
@@ -166,6 +175,16 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request, j *Job) {
 	resp := ReportResponse{JobStatus: j.Snapshot(), Report: j.Report()}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request, j *Job) {
+	tr, ok := s.Trace(j.ID())
+	if !ok {
+		writeErr(w, http.StatusNotFound,
+			errors.New("no trace retained for this job (tracing disabled, job still queued, or trace evicted)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Snapshot())
 }
 
 func handlePoC(w http.ResponseWriter, r *http.Request, j *Job) {

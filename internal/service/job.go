@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"octopocs/internal/core"
+	"octopocs/internal/telemetry"
 )
 
 // JobState is the lifecycle position of a submitted verification.
@@ -66,6 +67,9 @@ type Job struct {
 	submitted time.Time
 	started   time.Time
 	finished  time.Time
+	// trace is the live span recorder while the job runs; on finish it
+	// moves to the service's bounded trace ring and this field is cleared.
+	trace *telemetry.Trace
 }
 
 // ID returns the job identifier assigned at submission.
@@ -104,6 +108,14 @@ func (j *Job) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// Trace returns the live span recorder, or nil once the job has finished
+// (the service's trace ring owns finished traces) or when tracing is off.
+func (j *Job) Trace() *telemetry.Trace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
 }
 
 // State returns the current lifecycle state.

@@ -15,11 +15,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
 
 	"octopocs/internal/core"
+	"octopocs/internal/telemetry"
 )
 
 // Service errors.
@@ -55,17 +57,30 @@ type Config struct {
 	// P1Store/P2Store override the default LRU backends; useful for
 	// plugging an external store. Ignored when CacheEntries < 0.
 	P1Store, P2Store Store
+	// Registry receives service and engine metrics; New creates a private
+	// one when nil, so /metrics and latency quantiles always work.
+	Registry *telemetry.Registry
+	// Logger receives structured job-lifecycle logs; nil discards them.
+	Logger *slog.Logger
+	// TraceCapacity bounds the ring of retained finished job traces:
+	// telemetry.DefaultTraceCapacity when 0, tracing disabled when
+	// negative.
+	TraceCapacity int
 }
 
 // Service owns a worker pool verifying submitted pairs. Create with New;
 // stop with Shutdown.
 type Service struct {
-	cfg   Config
-	pl    *core.Pipeline
-	p1c   Store
-	p2c   Store
-	queue chan *Job
-	wg    sync.WaitGroup
+	cfg    Config
+	pl     *core.Pipeline
+	p1c    Store
+	p2c    Store
+	queue  chan *Job
+	wg     sync.WaitGroup
+	reg    *telemetry.Registry
+	log    *slog.Logger
+	traces *telemetry.TraceRing
+	met    *serviceMetrics
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -111,11 +126,21 @@ func New(cfg Config) *Service {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = DefaultQueueDepth
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.DiscardLogger()
+	}
 	s := &Service{
 		cfg:   cfg,
-		pl:    core.New(cfg.Pipeline),
+		reg:   cfg.Registry,
+		log:   cfg.Logger,
 		queue: make(chan *Job, cfg.QueueDepth),
 		jobs:  make(map[string]*Job),
+	}
+	if cfg.TraceCapacity >= 0 {
+		s.traces = telemetry.NewTraceRing(cfg.TraceCapacity)
 	}
 	if cfg.CacheEntries >= 0 {
 		entries := cfg.CacheEntries
@@ -129,6 +154,16 @@ func New(cfg Config) *Service {
 		if s.p2c == nil {
 			s.p2c = NewLRU(entries)
 		}
+	}
+	// Metric registration must precede worker start so scrape-time
+	// collectors never race a half-built service.
+	s.met = newServiceMetrics(s, s.reg)
+	pcfg := cfg.Pipeline
+	if pcfg.Metrics == nil {
+		pcfg.Metrics = s.met.engines
+	}
+	s.pl = core.New(pcfg)
+	if s.p1c != nil || s.p2c != nil {
 		s.pl.SetCaches(s.p1c, s.p2c)
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -136,6 +171,28 @@ func New(cfg Config) *Service {
 		go s.worker()
 	}
 	return s
+}
+
+// Registry exposes the metrics registry (served at /metrics).
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// Draining reports whether Shutdown has begun; the liveness endpoint turns
+// 503 on a draining service so load balancers stop routing to it.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Trace returns the retained trace for a job: the live recorder while the
+// job runs, else the finished trace if the ring still holds it.
+func (s *Service) Trace(id string) (*telemetry.Trace, bool) {
+	if j, ok := s.Job(id); ok {
+		if tr := j.Trace(); tr != nil {
+			return tr, true
+		}
+	}
+	return s.traces.Get(id)
 }
 
 // Pipeline exposes the shared pipeline (primarily for tests that want to
@@ -153,6 +210,7 @@ func (s *Service) Submit(pair *core.Pair) (*Job, error) {
 	defer s.mu.Unlock()
 	if s.closed {
 		s.ctr.rejected++
+		s.met.rejected.Inc()
 		return nil, ErrShutdown
 	}
 	ctx := context.Background()
@@ -176,13 +234,16 @@ func (s *Service) Submit(pair *core.Pair) (*Job, error) {
 	case s.queue <- job:
 	default:
 		s.ctr.rejected++
+		s.met.rejected.Inc()
 		s.nextID-- // the rejected job never existed
 		cancel()
 		return nil, ErrQueueFull
 	}
 	s.ctr.submitted++
+	s.met.submitted.Inc()
 	s.jobs[job.id] = job
 	s.order = append(s.order, job.id)
+	s.log.Debug("job submitted", "job", job.id, "pair", pair.Name)
 	return job, nil
 }
 
@@ -270,12 +331,22 @@ func (s *Service) runJob(j *Job) {
 	j.mu.Lock()
 	j.state = JobRunning
 	j.started = time.Now()
+	wait := j.started.Sub(j.submitted)
+	if s.traces != nil {
+		j.trace = telemetry.NewTrace(j.id, "verify")
+	}
+	tr := j.trace
 	j.mu.Unlock()
+	s.met.queueWait.Observe(wait.Seconds())
 	s.mu.Lock()
 	s.running++
 	s.mu.Unlock()
 
-	rep, err := s.pl.VerifyContext(j.ctx, j.pair)
+	jl := s.log.With("job", j.id, "pair", j.pair.Name)
+	jl.Info("job started", "queue_wait_ms", wait.Milliseconds())
+	ctx := telemetry.WithLogger(j.ctx, jl)
+	ctx = telemetry.WithTrace(ctx, tr)
+	rep, err := s.pl.VerifyContext(ctx, j.pair)
 
 	s.mu.Lock()
 	s.running--
@@ -297,8 +368,14 @@ func (s *Service) finishJob(j *Job, rep *core.Report, err error) {
 		j.state = JobFailed
 	}
 	state := j.state
+	// Finished traces move from the job to the bounded ring: the jobs map
+	// retains every job, the ring is what bounds trace memory.
+	tr := j.trace
+	j.trace = nil
 	j.mu.Unlock()
 	j.cancel() // release the deadline timer, if any
+	tr.Finish()
+	s.traces.Put(tr)
 
 	s.mu.Lock()
 	switch state {
@@ -315,6 +392,18 @@ func (s *Service) finishJob(j *Job, rep *core.Report, err error) {
 		s.ctr.failed++
 	}
 	s.mu.Unlock()
+	s.met.observeFinish(state, rep)
+
+	switch state {
+	case JobDone:
+		s.log.Info("job done", "job", j.id, "pair", j.pair.Name,
+			"verdict", rep.Verdict.String(), "type", rep.Type.String(),
+			"reason", string(rep.Reason))
+	case JobCancelled:
+		s.log.Info("job cancelled", "job", j.id, "pair", j.pair.Name)
+	default:
+		s.log.Warn("job failed", "job", j.id, "pair", j.pair.Name, "err", err.Error())
+	}
 
 	// Closing done hands the report to waiters; it must be the last read
 	// the service performs on it.

@@ -3,10 +3,16 @@ package service
 import "time"
 
 // PhaseLatency summarizes completed-job latency for one pipeline phase.
+// The quantiles are estimated from the phase's fixed-bucket histogram
+// (linear interpolation within the winning bucket), so they are approximate
+// but cheap and mergeable — unlike the exact count/total pair.
 type PhaseLatency struct {
 	Count   uint64  `json:"count"`
 	TotalMS float64 `json:"total_ms"`
 	AvgMS   float64 `json:"avg_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P90MS   float64 `json:"p90_ms"`
+	P99MS   float64 `json:"p99_ms"`
 }
 
 // Stats is the point-in-time service snapshot served by /v1/stats.
@@ -56,12 +62,21 @@ func (s *Service) Stats() Stats {
 		if acc.n > 0 {
 			pl.AvgMS = pl.TotalMS / float64(acc.n)
 		}
+		h := s.met.phase[i]
+		const ms = 1000
+		pl.P50MS = h.Quantile(0.50) * ms
+		pl.P90MS = h.Quantile(0.90) * ms
+		pl.P99MS = h.Quantile(0.99) * ms
 		st.PhaseLatency[name] = pl
 	}
-	s.mu.Unlock()
-
+	// s.p1c/s.p2c are written once in New, before any worker or handler
+	// can call Stats, so reading them is safe anywhere; they stay inside
+	// the critical section so the whole snapshot is taken at one point in
+	// time. Lock order Service.mu → LRU.mu is safe: the cache never calls
+	// back into the service.
 	st.P1Cache = cacheCounters(s.p1c)
 	st.P2Cache = cacheCounters(s.p2c)
+	s.mu.Unlock()
 	return st
 }
 

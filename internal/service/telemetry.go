@@ -1,0 +1,118 @@
+package service
+
+import (
+	"octopocs/internal/core"
+	"octopocs/internal/telemetry"
+)
+
+// serviceMetrics holds the instrument handles the service records into. The
+// engine sinks (VM, symex, solver) live in engines and are threaded into the
+// pipeline config; everything else is observed by the job lifecycle in
+// Submit/runJob/finishJob or collected at scrape time from live state.
+type serviceMetrics struct {
+	submitted *telemetry.Counter
+	rejected  *telemetry.Counter
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+	cancelled *telemetry.Counter
+
+	// queueWait is submission-to-start latency; phase is per-phase
+	// pipeline latency of completed jobs, indexed like counters.phase.
+	queueWait *telemetry.Histogram
+	phase     [4]*telemetry.Histogram
+
+	verdicts map[core.Verdict]*telemetry.Counter
+	types    map[core.ResultType]*telemetry.Counter
+
+	engines *core.Metrics
+}
+
+// newServiceMetrics registers every service-level family on reg. The verdict
+// and result-type families are pre-registered for all known values so they
+// expose as 0 before the first job completes. Gauges over live state (queue
+// depth, running jobs, cache counters) are scrape-time functions; WriteText
+// holds the registry lock while calling them, so they may take Service.mu
+// but the service must never touch the registry while holding its own lock.
+func newServiceMetrics(s *Service, reg *telemetry.Registry) *serviceMetrics {
+	m := &serviceMetrics{
+		submitted: reg.Counter("octopocs_jobs_submitted_total",
+			"Jobs accepted into the queue.", nil),
+		rejected: reg.Counter("octopocs_jobs_rejected_total",
+			"Submissions rejected (queue full or shutting down).", nil),
+		completed: reg.Counter("octopocs_jobs_completed_total",
+			"Jobs that produced a report.", nil),
+		failed: reg.Counter("octopocs_jobs_failed_total",
+			"Jobs that ended in a pipeline error.", nil),
+		cancelled: reg.Counter("octopocs_jobs_cancelled_total",
+			"Jobs cancelled or timed out.", nil),
+		queueWait: reg.Histogram("octopocs_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", nil, nil),
+		verdicts: make(map[core.Verdict]*telemetry.Counter, 3),
+		types:    make(map[core.ResultType]*telemetry.Counter, 4),
+	}
+	for i, name := range phaseNames {
+		m.phase[i] = reg.Histogram("octopocs_phase_seconds",
+			"Per-phase pipeline latency of completed jobs.",
+			telemetry.Labels{"phase": name}, nil)
+	}
+	for _, v := range []core.Verdict{core.VerdictTriggered, core.VerdictNotTriggerable, core.VerdictFailure} {
+		m.verdicts[v] = reg.Counter("octopocs_verdicts_total",
+			"Completed-job verdicts.", telemetry.Labels{"verdict": v.String()})
+	}
+	for _, t := range []core.ResultType{core.TypeI, core.TypeII, core.TypeIII, core.TypeFailure} {
+		m.types[t] = reg.Counter("octopocs_result_types_total",
+			"Completed-job Table II result types.", telemetry.Labels{"type": t.String()})
+	}
+
+	reg.GaugeFunc("octopocs_queue_depth",
+		"Jobs waiting for a worker.", nil,
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("octopocs_jobs_running",
+		"Jobs currently executing.", nil,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.running)
+		})
+	reg.Gauge("octopocs_workers", "Worker-pool size.", nil).Set(int64(s.cfg.Workers))
+	for name, store := range map[string]*Store{"p1": &s.p1c, "p2": &s.p2c} {
+		labels := telemetry.Labels{"cache": name}
+		st := store
+		reg.CounterFunc("octopocs_cache_hits_total",
+			"Artifact cache hits.", labels, func() float64 {
+				if cc := cacheCounters(*st); cc != nil {
+					return float64(cc.Hits)
+				}
+				return 0
+			})
+		reg.CounterFunc("octopocs_cache_misses_total",
+			"Artifact cache misses.", labels, func() float64 {
+				if cc := cacheCounters(*st); cc != nil {
+					return float64(cc.Misses)
+				}
+				return 0
+			})
+	}
+
+	m.engines = core.NewMetrics(reg)
+	return m
+}
+
+// observeFinish records terminal-state accounting for one job. Called
+// without Service.mu held; every instrument is internally synchronized.
+func (m *serviceMetrics) observeFinish(state JobState, rep *core.Report) {
+	switch state {
+	case JobDone:
+		m.completed.Inc()
+		t := rep.Timings
+		for i, d := range [4]float64{t.P1.Seconds(), t.P2Prep.Seconds(), t.Reform.Seconds(), t.P4.Seconds()} {
+			m.phase[i].Observe(d)
+		}
+		m.verdicts[rep.Verdict].Inc()
+		m.types[rep.Type].Inc()
+	case JobCancelled:
+		m.cancelled.Inc()
+	default:
+		m.failed.Inc()
+	}
+}

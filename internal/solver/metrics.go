@@ -1,0 +1,37 @@
+package solver
+
+import (
+	"errors"
+
+	"octopocs/internal/telemetry"
+)
+
+// Metrics is the optional counter sink for solver activity: one increment
+// per Solve call (Sat goes through Solve), classified by outcome. A nil
+// *Metrics is a valid no-op sink.
+type Metrics struct {
+	// Solves counts Solve calls regardless of outcome.
+	Solves *telemetry.Counter
+	// Sat counts satisfiable results (a model was produced).
+	Sat *telemetry.Counter
+	// Unsat counts ErrUnsat results.
+	Unsat *telemetry.Counter
+	// Budget counts ErrBudget results (work bound hit before a verdict).
+	Budget *telemetry.Counter
+}
+
+// observe classifies one finished Solve.
+func (m *Metrics) observe(err error) {
+	if m == nil {
+		return
+	}
+	m.Solves.Inc()
+	switch {
+	case err == nil:
+		m.Sat.Inc()
+	case errors.Is(err, ErrUnsat):
+		m.Unsat.Inc()
+	case errors.Is(err, ErrBudget):
+		m.Budget.Inc()
+	}
+}

@@ -54,6 +54,8 @@ type Solver struct {
 	// Budget bounds the number of constraint evaluations; DefaultBudget
 	// if zero.
 	Budget int64
+	// Metrics receives per-Solve outcome counters; may be nil.
+	Metrics *Metrics
 }
 
 // domain is a 256-bit set of candidate byte values.
@@ -130,6 +132,12 @@ func (st *state) unassign(si int) {
 // Solve returns a model satisfying every constraint (each must evaluate to
 // a non-zero value), ErrUnsat, or ErrBudget.
 func (s *Solver) Solve(constraints []*expr.Expr) (Model, error) {
+	model, err := s.solve(constraints)
+	s.Metrics.observe(err)
+	return model, err
+}
+
+func (s *Solver) solve(constraints []*expr.Expr) (Model, error) {
 	st := &state{
 		symIdx: make(map[int]int),
 		budget: s.Budget,

@@ -3,11 +3,13 @@ package symex
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 
 	"octopocs/internal/cfg"
 	"octopocs/internal/expr"
 	"octopocs/internal/isa"
 	"octopocs/internal/solver"
+	"octopocs/internal/telemetry"
 )
 
 // Defaults.
@@ -56,6 +58,12 @@ type Config struct {
 	// Stop is a cooperative cancellation signal; when it closes, Run and
 	// RunNaive return ErrStopped promptly. May be nil.
 	Stop <-chan struct{}
+	// Metrics receives run-level counters, flushed once per run; may be
+	// nil.
+	Metrics *Metrics
+	// Logger receives structured diagnostics (dead-state context,
+	// backtrack exhaustion); nil means discard.
+	Logger *slog.Logger
 }
 
 // DefaultMaxBacktracks bounds how many decision reversals directed
@@ -166,8 +174,14 @@ func New(prog *isa.Program, cfg Config) *Executor {
 	if cfg.MaxBacktracks <= 0 {
 		cfg.MaxBacktracks = DefaultMaxBacktracks
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.DiscardLogger()
+	}
 	e := &Executor{prog: prog, cfg: cfg}
 	e.sol = solver.Solver{Budget: cfg.SatBudget}
+	if cfg.Metrics != nil {
+		e.sol.Metrics = cfg.Metrics.Solver
+	}
 	return e
 }
 
@@ -238,6 +252,21 @@ func (e *Executor) concretize(st *State, v *expr.Expr) (val uint64, ok bool, err
 // how the paper's "increase the number of iterations from one to θ"
 // loop-state handling manifests here.
 func (e *Executor) Run(visitor Visitor) (*Result, error) {
+	res, err := e.run(visitor)
+	kind := KindActive
+	if res != nil {
+		kind = res.Kind
+	}
+	e.cfg.Metrics.observe(&e.stat, kind)
+	if res != nil && res.Kind != KindActive {
+		e.cfg.Logger.Debug("directed run ended dead",
+			"kind", res.Kind.String(), "why", res.Why,
+			"states", e.stat.States, "backtracks", e.stat.Backtracks)
+	}
+	return res, err
+}
+
+func (e *Executor) run(visitor Visitor) (*Result, error) {
 	if e.cfg.Distances == nil {
 		return nil, ErrNoDistances
 	}

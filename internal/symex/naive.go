@@ -41,6 +41,9 @@ type NaiveConfig struct {
 	// Stop is a cooperative cancellation signal; when it closes, the
 	// exploration returns ErrStopped promptly. May be nil.
 	Stop <-chan struct{}
+	// Metrics receives run-level counters, flushed once per exploration;
+	// may be nil.
+	Metrics *Metrics
 }
 
 // RunNaive explores the program breadth-first, forking at every feasible
@@ -53,7 +56,7 @@ func RunNaive(prog *isa.Program, cfg NaiveConfig) (*Result, error) {
 }
 
 // runNaive is RunNaive with an optional indirect-call resolution collector.
-func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string)) (*Result, error) {
+func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string)) (res *Result, err error) {
 	if cfg.InputSize <= 0 {
 		cfg.InputSize = DefaultInputSize
 	}
@@ -76,8 +79,16 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 		SatBudget: cfg.SatBudget,
 		Target:    cfg.Target,
 		Stop:      cfg.Stop,
+		Metrics:   cfg.Metrics,
 	})
 	e.onResolve = onResolve
+	defer func() {
+		kind := KindActive
+		if res != nil {
+			kind = res.Kind
+		}
+		e.cfg.Metrics.observe(&e.stat, kind)
+	}()
 
 	initial := newState()
 	e.pushEntry(initial)
@@ -183,6 +194,12 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 				e.stat.Steps += st.steps
 				return reached(st), nil
 			}
+		}
+		switch st.kind {
+		case KindLoopDead:
+			e.stat.LoopDeads++
+		case KindProgramDead:
+			e.stat.ProgramDeads++
 		}
 		e.stat.Steps += st.steps
 	}

@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestNilTelemetryZeroAlloc proves the acceptance property that disabled
+// telemetry (nil registry → nil instruments everywhere) adds zero
+// allocations on the pipeline hot path: every operation an engine performs
+// against a nil sink must not allocate.
+func TestNilTelemetryZeroAlloc(t *testing.T) {
+	var (
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		tr *Trace
+		sp *Span
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(17)
+		_ = c.Value()
+		g.Set(3)
+		g.Add(-1)
+		h.Observe(0.25)
+		h.ObserveDuration(time.Millisecond)
+		_ = h.Quantile(0.5)
+		s := tr.Start("phase", sp)
+		s.SetAttr("k", 1)
+		s.End()
+		tr.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil telemetry ops allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestDiscardLoggerZeroAllocWhenDisabled checks that a context without a
+// logger resolves to the discard logger without allocating, and that a
+// disabled log call with pre-built arguments does not allocate either.
+func TestDiscardLoggerZeroAllocWhenDisabled(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		l := Logger(ctx)
+		if l.Enabled(ctx, -8) {
+			t.Error("discard logger reports enabled")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Logger(ctx) allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkNilCounterAdd(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkNilHistogramObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.1)
+	}
+}
+
+func BenchmarkNilTraceSpan(b *testing.B) {
+	var tr *Trace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("x", nil)
+		sp.End()
+	}
+}
+
+func BenchmarkLiveHistogramObserve(b *testing.B) {
+	h := NewHistogram(DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.01)
+	}
+}

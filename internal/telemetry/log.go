@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+type ctxKey int
+
+const (
+	loggerKey ctxKey = iota
+	traceKey
+)
+
+// discardHandler is a slog.Handler that reports every level disabled, so
+// the logging call sites short-circuit before formatting anything.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// discardLogger is handed out when no logger is configured.
+var discardLogger = slog.New(discardHandler{})
+
+// DiscardLogger returns a logger that drops everything. Useful as the
+// default for optional Logger fields.
+func DiscardLogger() *slog.Logger { return discardLogger }
+
+// NewLogger builds a *slog.Logger writing to w. level is one of
+// debug|info|warn|error (default info); format is text|json (default text).
+// These are the values of the -log-level and -log-format flags on the
+// octopocs and octoserved binaries.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch level {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text|json)", format)
+	}
+}
+
+// WithLogger returns a context carrying the logger; retrieve it with
+// Logger. A nil logger stores the discard logger.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		l = discardLogger
+	}
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Logger returns the context's logger, or the discard logger when none was
+// attached. Never returns nil.
+func Logger(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
+		return l
+	}
+	return discardLogger
+}
+
+// WithTrace returns a context carrying the trace; retrieve it with
+// TraceFrom.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the context's trace, or nil (a valid no-op recorder)
+// when none was attached.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}

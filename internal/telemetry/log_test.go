@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerLevelsAndFormats(t *testing.T) {
+	var b strings.Builder
+	lg, err := NewLogger(&b, "debug", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "job", "job-1")
+	if out := b.String(); !strings.Contains(out, "hello") || !strings.Contains(out, "job=job-1") {
+		t.Errorf("text output = %q", out)
+	}
+
+	b.Reset()
+	lg, err = NewLogger(&b, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("dropped")
+	lg.Warn("kept", "pair", "s->t")
+	line := strings.TrimSpace(b.String())
+	if strings.Contains(line, "dropped") {
+		t.Errorf("info line not filtered at warn level: %q", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("json output not parseable: %v (%q)", err, line)
+	}
+	if rec["msg"] != "kept" || rec["pair"] != "s->t" {
+		t.Errorf("json record = %v", rec)
+	}
+
+	if _, err := NewLogger(&b, "loud", "text"); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := NewLogger(&b, "info", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestLoggerContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := Logger(ctx); got != discardLogger {
+		t.Fatal("empty context did not yield the discard logger")
+	}
+	var b strings.Builder
+	lg, _ := NewLogger(&b, "info", "text")
+	ctx = WithLogger(ctx, lg)
+	Logger(ctx).Info("via-ctx")
+	if !strings.Contains(b.String(), "via-ctx") {
+		t.Errorf("context logger not used: %q", b.String())
+	}
+	if got := Logger(WithLogger(context.Background(), nil)); got != discardLogger {
+		t.Error("WithLogger(nil) did not fall back to discard")
+	}
+}
+
+func TestTraceContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if TraceFrom(ctx) != nil {
+		t.Fatal("empty context yielded a trace")
+	}
+	tr := NewTrace("id", "verify")
+	if got := TraceFrom(WithTrace(ctx, tr)); got != tr {
+		t.Fatal("trace not round-tripped through context")
+	}
+}
+
+func TestDiscardLogger(t *testing.T) {
+	lg := DiscardLogger()
+	if lg == nil {
+		t.Fatal("nil discard logger")
+	}
+	lg.Error("goes nowhere") // must not panic
+	if lg.Handler().Enabled(context.Background(), slog.LevelError) {
+		t.Error("discard handler claims enabled")
+	}
+}

@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Labels attaches constant dimensions to a metric at registration time,
+// e.g. Labels{"phase": "p1"}. Per-observation label values do not exist:
+// every (name, labels) series is registered once and written through a
+// pointer, which is what keeps the instruments allocation-free.
+type Labels map[string]string
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) exposition() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels string // rendered `a="b",c="d"` (no braces), "" when unlabeled
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+	fn     func() float64
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series
+	order  []string
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format (version 0.0.4). All methods are safe for concurrent
+// use. Registration methods on a nil *Registry return nil instruments, so
+// "telemetry disabled" propagates naturally to every nil-safe sink.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels renders a label set deterministically (keys sorted).
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	return b.String()
+}
+
+// register returns the series for (name, labels), creating family and series
+// as needed. Re-registering an existing series with the same kind returns it
+// (idempotent); a kind clash panics — it is a naming bug, not a runtime
+// condition.
+func (r *Registry) register(name, help string, kind metricKind, labels Labels) (*series, bool) {
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = fam
+		r.order = append(r.order, name)
+		sort.Strings(r.order)
+	}
+	if fam.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q re-registered as %s (was %s)",
+			name, kind.exposition(), fam.kind.exposition()))
+	}
+	ls := renderLabels(labels)
+	if s, ok := fam.series[ls]; ok {
+		return s, false
+	}
+	s := &series{labels: ls}
+	fam.series[ls] = s
+	fam.order = append(fam.order, ls)
+	sort.Strings(fam.order)
+	return s, true
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.register(name, help, kindCounter, labels)
+	if fresh {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.register(name, help, kindGauge, labels)
+	if fresh {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram registers (or returns the existing) histogram series over the
+// given bucket bounds (DurationBuckets when nil).
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, fresh := r.register(name, help, kindHistogram, labels)
+	if fresh {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// CounterFunc registers a counter whose value is collected at scrape time.
+// Useful for monotonic counts owned by another component (e.g. cache hit
+// totals), avoiding double accounting. fn must be safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.register(name, help, kindCounterFunc, labels)
+	s.fn = fn
+}
+
+// GaugeFunc registers a gauge collected at scrape time (e.g. queue depth).
+// fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, _ := r.register(name, help, kindGaugeFunc, labels)
+	s.fn = fn
+}
+
+// formatFloat renders a sample value the way Prometheus clients do.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSample writes one `name{labels} value` line. extraLabel (e.g. the
+// histogram le) is appended after the registered labels.
+func writeSample(w io.Writer, name, labels, extraLabel, value string) error {
+	var err error
+	switch {
+	case labels == "" && extraLabel == "":
+		_, err = fmt.Fprintf(w, "%s %s\n", name, value)
+	case labels == "":
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", name, extraLabel, value)
+	case extraLabel == "":
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	default:
+		_, err = fmt.Fprintf(w, "%s{%s,%s} %s\n", name, labels, extraLabel, value)
+	}
+	return err
+}
+
+// WriteText renders every family in the text exposition format, families
+// sorted by name and series by label string, so output is deterministic.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.order {
+		fam := r.families[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			fam.name, fam.help, fam.name, fam.kind.exposition()); err != nil {
+			return err
+		}
+		for _, ls := range fam.order {
+			s := fam.series[ls]
+			if err := writeSeries(w, fam, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, fam *family, s *series) error {
+	switch fam.kind {
+	case kindCounter:
+		return writeSample(w, fam.name, s.labels, "", strconv.FormatUint(s.ctr.Value(), 10))
+	case kindGauge:
+		return writeSample(w, fam.name, s.labels, "", strconv.FormatInt(s.gauge.Value(), 10))
+	case kindCounterFunc, kindGaugeFunc:
+		return writeSample(w, fam.name, s.labels, "", formatFloat(s.fn()))
+	case kindHistogram:
+		cum, sum, count := s.hist.snapshot()
+		for i, b := range s.hist.bounds {
+			le := `le="` + formatFloat(b) + `"`
+			if err := writeSample(w, fam.name+"_bucket", s.labels, le, strconv.FormatUint(cum[i], 10)); err != nil {
+				return err
+			}
+		}
+		if err := writeSample(w, fam.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(cum[len(cum)-1], 10)); err != nil {
+			return err
+		}
+		if err := writeSample(w, fam.name+"_sum", s.labels, "", formatFloat(sum)); err != nil {
+			return err
+		}
+		return writeSample(w, fam.name+"_count", s.labels, "", strconv.FormatUint(count, 10))
+	default:
+		return fmt.Errorf("telemetry: unknown metric kind %d", fam.kind)
+	}
+}
+
+// Handler serves the registry at GET in the text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

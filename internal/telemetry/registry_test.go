@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden pins the exact Prometheus text format: HELP/TYPE
+// headers, family and series ordering, label rendering, histogram
+// bucket/sum/count lines with cumulative counts and the +Inf bucket.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("octopocs_symex_states_total", "States explored.", nil)
+	c.Add(3)
+	g := r.Gauge("octopocs_queue_depth", "Jobs waiting.", nil)
+	g.Set(2)
+	h := r.Histogram("octopocs_phase_seconds", "Phase latency.", Labels{"phase": "p1"}, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("octopocs_workers", "Worker pool size.", nil, func() float64 { return 4 })
+	r.CounterFunc("octopocs_cache_hits_total", "Cache hits.", Labels{"class": "p1"}, func() float64 { return 9 })
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP octopocs_cache_hits_total Cache hits.
+# TYPE octopocs_cache_hits_total counter
+octopocs_cache_hits_total{class="p1"} 9
+# HELP octopocs_phase_seconds Phase latency.
+# TYPE octopocs_phase_seconds histogram
+octopocs_phase_seconds_bucket{phase="p1",le="0.1"} 1
+octopocs_phase_seconds_bucket{phase="p1",le="1"} 2
+octopocs_phase_seconds_bucket{phase="p1",le="+Inf"} 3
+octopocs_phase_seconds_sum{phase="p1"} 5.55
+octopocs_phase_seconds_count{phase="p1"} 3
+# HELP octopocs_queue_depth Jobs waiting.
+# TYPE octopocs_queue_depth gauge
+octopocs_queue_depth 2
+# HELP octopocs_symex_states_total States explored.
+# TYPE octopocs_symex_states_total counter
+octopocs_symex_states_total 3
+# HELP octopocs_workers Worker pool size.
+# TYPE octopocs_workers gauge
+octopocs_workers 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "A.", nil).Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "a_total 1") {
+		t.Errorf("body missing sample:\n%s", body)
+	}
+}
+
+func TestMultiLabelOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "M.", Labels{"b": "2", "a": "1"}).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `m_total{a="1",b="2"} 1`) {
+		t.Errorf("labels not sorted:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace records the span tree of one verification job: phases P1→P2→P3→P4
+// and their key sub-steps (distance-map build, ep entry binds, solver
+// calls). A nil *Trace is a no-op recorder — Start returns a nil *Span
+// whose methods are also no-ops — so untraced runs pay nothing.
+//
+// A trace is written by the single worker goroutine running the job, but
+// snapshotting may race with recording (a live trace listed over HTTP), so
+// every access takes the trace mutex.
+type Trace struct {
+	mu     sync.Mutex
+	id     string
+	name   string
+	start  time.Time
+	end    time.Time
+	spans  []*Span
+	nextID int
+}
+
+// Span is one timed operation within a trace.
+type Span struct {
+	tr     *Trace
+	id     int
+	parent int // span id, or -1 for a root
+	name   string
+	start  time.Time
+	end    time.Time
+	attrs  map[string]any
+}
+
+// NewTrace starts a trace. id is the lookup key (the job id); name labels
+// the overall operation.
+func NewTrace(id, name string) *Trace {
+	return &Trace{id: id, name: name, start: time.Now()}
+}
+
+// ID returns the trace's lookup key.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start opens a span under parent (nil parent = root span). Safe on a nil
+// trace, returning a nil span.
+func (t *Trace) Start(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{tr: t, id: t.nextID, parent: -1, name: name, start: time.Now()}
+	if parent != nil {
+		sp.parent = parent.id
+	}
+	t.nextID++
+	t.spans = append(t.spans, sp)
+	return sp
+}
+
+// Finish marks the trace complete. Idempotent.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+	}
+}
+
+// SetAttr attaches an attribute to the span. Safe on a nil span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, 4)
+	}
+	s.attrs[key] = value
+}
+
+// End closes the span. Idempotent; safe on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+}
+
+// SpanSnapshot is the JSON form of one span, children nested.
+type SpanSnapshot struct {
+	ID         int             `json:"id"`
+	Name       string          `json:"name"`
+	StartUS    int64           `json:"start_us"` // offset from trace start
+	DurationUS int64           `json:"duration_us"`
+	Attrs      map[string]any  `json:"attrs,omitempty"`
+	Children   []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// TraceSnapshot is the JSON form of a finished (or in-flight) trace: the
+// span tree served by GET /v1/jobs/{id}/trace.
+type TraceSnapshot struct {
+	ID         string          `json:"id"`
+	Name       string          `json:"name"`
+	Start      time.Time       `json:"start"`
+	DurationUS int64           `json:"duration_us"`
+	Finished   bool            `json:"finished"`
+	Spans      []*SpanSnapshot `json:"spans"`
+}
+
+// Snapshot renders the span tree. An unfinished span or trace reports
+// duration up to now. Returns a zero snapshot for a nil trace.
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	snap := TraceSnapshot{
+		ID:       t.id,
+		Name:     t.name,
+		Start:    t.start,
+		Finished: !t.end.IsZero(),
+	}
+	end := t.end
+	if end.IsZero() {
+		end = now
+	}
+	snap.DurationUS = end.Sub(t.start).Microseconds()
+
+	nodes := make(map[int]*SpanSnapshot, len(t.spans))
+	for _, sp := range t.spans {
+		spEnd := sp.end
+		if spEnd.IsZero() {
+			spEnd = now
+		}
+		node := &SpanSnapshot{
+			ID:         sp.id,
+			Name:       sp.name,
+			StartUS:    sp.start.Sub(t.start).Microseconds(),
+			DurationUS: spEnd.Sub(sp.start).Microseconds(),
+		}
+		if len(sp.attrs) > 0 {
+			node.Attrs = make(map[string]any, len(sp.attrs))
+			for k, v := range sp.attrs {
+				node.Attrs[k] = v
+			}
+		}
+		nodes[sp.id] = node
+	}
+	// Spans were appended in id order, so children attach after parents.
+	for _, sp := range t.spans {
+		node := nodes[sp.id]
+		if parent, ok := nodes[sp.parent]; sp.parent >= 0 && ok {
+			parent.Children = append(parent.Children, node)
+		} else {
+			snap.Spans = append(snap.Spans, node)
+		}
+	}
+	return snap
+}
+
+// TraceRing keeps the most recent finished traces, keyed by trace ID, in a
+// bounded buffer: adding beyond capacity evicts the oldest insertion. All
+// methods are safe for concurrent use; a nil ring is a no-op.
+type TraceRing struct {
+	mu   sync.Mutex
+	cap  int
+	byID map[string]*Trace
+	ids  []string // insertion order; front = oldest
+}
+
+// DefaultTraceCapacity bounds the ring when no capacity is configured.
+const DefaultTraceCapacity = 256
+
+// NewTraceRing returns a ring holding at most capacity traces
+// (DefaultTraceCapacity when <= 0).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceRing{cap: capacity, byID: make(map[string]*Trace)}
+}
+
+// Put inserts a trace, evicting the oldest when full. A trace with an
+// already-present ID replaces the stored one without consuming capacity.
+func (r *TraceRing) Put(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := t.ID()
+	if _, ok := r.byID[id]; ok {
+		r.byID[id] = t
+		return
+	}
+	r.byID[id] = t
+	r.ids = append(r.ids, id)
+	if len(r.ids) > r.cap {
+		delete(r.byID, r.ids[0])
+		r.ids = r.ids[1:]
+	}
+}
+
+// Get returns the trace stored under id.
+func (r *TraceRing) Get(id string) (*Trace, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Len reports the number of retained traces.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ids)
+}
+
+// IDs returns the retained trace IDs, oldest first.
+func (r *TraceRing) IDs() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.ids...)
+	return out
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("job-1", "verify")
+	root := tr.Start("verify", nil)
+	root.SetAttr("pair", "s->t")
+	p1 := tr.Start("p1", root)
+	p1.End()
+	reform := tr.Start("reform", root)
+	e1 := tr.Start("ep_entry", reform)
+	e1.SetAttr("seq", 1)
+	e1.End()
+	e2 := tr.Start("ep_entry", reform)
+	e2.SetAttr("seq", 2)
+	e2.End()
+	reform.End()
+	root.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if !snap.Finished {
+		t.Fatal("trace not marked finished")
+	}
+	if snap.ID != "job-1" || snap.Name != "verify" {
+		t.Fatalf("snapshot identity = %q/%q", snap.ID, snap.Name)
+	}
+	if len(snap.Spans) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(snap.Spans))
+	}
+	r := snap.Spans[0]
+	if r.Name != "verify" || r.Attrs["pair"] != "s->t" {
+		t.Fatalf("root = %+v", r)
+	}
+	if len(r.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (p1, reform)", len(r.Children))
+	}
+	rf := r.Children[1]
+	if rf.Name != "reform" || len(rf.Children) != 2 {
+		t.Fatalf("reform span = %+v", rf)
+	}
+	if rf.Children[0].Attrs["seq"] != 1 || rf.Children[1].Attrs["seq"] != 2 {
+		t.Fatalf("ep_entry attrs = %+v, %+v", rf.Children[0].Attrs, rf.Children[1].Attrs)
+	}
+	// The snapshot must marshal cleanly (it is served as JSON).
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("x", nil)
+	if sp != nil {
+		t.Fatal("nil trace returned non-nil span")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End()
+	tr.Finish()
+	if snap := tr.Snapshot(); snap.ID != "" || len(snap.Spans) != 0 {
+		t.Fatalf("nil snapshot = %+v", snap)
+	}
+}
+
+// TestTraceRingEvictionConcurrent hammers the ring from many goroutines
+// (the concurrent-jobs scenario) and then checks the bound and that only
+// the newest insertions survive.
+func TestTraceRingEvictionConcurrent(t *testing.T) {
+	const capacity = 16
+	ring := NewTraceRing(capacity)
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr := NewTrace(fmt.Sprintf("job-%d-%d", w, i), "verify")
+				tr.Finish()
+				ring.Put(tr)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := ring.Len(); got != capacity {
+		t.Fatalf("ring length = %d, want %d", got, capacity)
+	}
+	// Every retained ID must be retrievable.
+	for _, id := range ring.IDs() {
+		if _, ok := ring.Get(id); !ok {
+			t.Fatalf("retained id %q not retrievable", id)
+		}
+	}
+	// Insertion order is preserved: inserting one more evicts the head.
+	oldest := ring.IDs()[0]
+	tr := NewTrace("job-final", "verify")
+	ring.Put(tr)
+	if _, ok := ring.Get(oldest); ok {
+		t.Fatalf("oldest trace %q not evicted", oldest)
+	}
+	if _, ok := ring.Get("job-final"); !ok {
+		t.Fatal("newest trace missing")
+	}
+}
+
+func TestTraceRingReplaceSameID(t *testing.T) {
+	ring := NewTraceRing(2)
+	ring.Put(NewTrace("a", "verify"))
+	ring.Put(NewTrace("a", "verify"))
+	ring.Put(NewTrace("b", "verify"))
+	if got := ring.Len(); got != 2 {
+		t.Fatalf("len = %d, want 2 (same-ID put must not consume capacity)", got)
+	}
+}

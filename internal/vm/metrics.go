@@ -1,0 +1,33 @@
+package vm
+
+import "octopocs/internal/telemetry"
+
+// Metrics is the optional counter sink for concrete execution. Counters are
+// flushed once per Run from the machine's local step count — never touched
+// per instruction — so an instrumented VM runs at uninstrumented speed. A
+// nil *Metrics (and nil counters within one) is a valid no-op sink.
+type Metrics struct {
+	// Runs counts completed Machine.Run calls.
+	Runs *telemetry.Counter
+	// Insts counts instructions retired across all runs.
+	Insts *telemetry.Counter
+	// Crashes counts runs that ended in a crash.
+	Crashes *telemetry.Counter
+	// Hangs counts runs that exhausted their step budget.
+	Hangs *telemetry.Counter
+}
+
+// observe flushes one finished run into the counters.
+func (m *Metrics) observe(out *Outcome) {
+	if m == nil {
+		return
+	}
+	m.Runs.Inc()
+	m.Insts.Add(uint64(out.Steps))
+	switch out.Status {
+	case StatusCrash:
+		m.Crashes.Inc()
+	case StatusHang:
+		m.Hangs.Inc()
+	}
+}

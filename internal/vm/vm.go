@@ -22,6 +22,9 @@ type Config struct {
 	// Done channel). The machine polls it every stopCheckMask+1 steps and
 	// ends the run with StatusStopped once it is closed. May be nil.
 	Stop <-chan struct{}
+	// Metrics receives run-level counters (flushed once per Run); may be
+	// nil.
+	Metrics *Metrics
 }
 
 // stopCheckMask throttles Stop-channel polling: the check fires when
@@ -81,6 +84,7 @@ type Machine struct {
 	hooks    Hooks
 	maxSteps int64
 	stop     <-chan struct{}
+	metrics  *Metrics
 	steps    int64
 	output   []byte
 	nextID   uint64
@@ -96,6 +100,7 @@ func New(prog *isa.Program, cfg Config) *Machine {
 		input:    cfg.Input,
 		maxSteps: cfg.MaxSteps,
 		stop:     cfg.Stop,
+		metrics:  cfg.Metrics,
 	}
 	if m.maxSteps <= 0 {
 		m.maxSteps = DefaultMaxSteps
@@ -191,6 +196,12 @@ func (m *Machine) pushFrame(fn *isa.Function, args []uint64, retDst isa.Reg) {
 
 // Run executes the program to completion.
 func (m *Machine) Run() *Outcome {
+	out := m.run()
+	m.metrics.observe(out)
+	return out
+}
+
+func (m *Machine) run() *Outcome {
 	entry := m.prog.Func(m.prog.Entry)
 	m.pushFrame(entry, nil, 0)
 	for {
