@@ -1,0 +1,181 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"octopocs/internal/cfg"
+	"octopocs/internal/corpus"
+	"octopocs/internal/solver"
+	"octopocs/internal/symex"
+)
+
+// symexWorkerCounts is the scaling ladder measured per workload.
+var symexWorkerCounts = []int{1, 2, 4, 8}
+
+// SymexBenchRow is one (workload, workers, cache) measurement of
+// BENCH_symex.json.
+type SymexBenchRow struct {
+	Spec       string  `json:"spec"`
+	Workers    int     `json:"workers"`
+	SatCache   bool    `json:"sat_cache"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	MsPerOp    float64 `json:"ms_per_op"`
+	// SpeedupVs1 is this row's throughput relative to the 1-worker row of
+	// the same workload and cache mode: the parallel-scaling axis. It can
+	// only exceed 1 meaningfully when go_max_procs > 1.
+	SpeedupVs1 float64 `json:"speedup_vs_1_worker"`
+	// SpeedupVsCold is this row's throughput relative to the workload's
+	// cache-less 1-worker row: the end-to-end Phase-2 speedup a
+	// configuration delivers over the sequential cold baseline.
+	SpeedupVsCold float64 `json:"speedup_vs_cold_1_worker"`
+	// Exploration counters from the last run of the benchmark loop.
+	States       int    `json:"states"`
+	SatChecks    int64  `json:"sat_checks"`
+	Steals       uint64 `json:"steals"`
+	FrontierPeak int    `json:"frontier_peak"`
+	// Cache counters accumulated across the whole row (warm-up included);
+	// zero-valued when SatCache is false.
+	CacheHits   uint64 `json:"sat_cache_hits"`
+	CacheMisses uint64 `json:"sat_cache_misses"`
+}
+
+// symexBenchFile is the BENCH_symex.json document.
+type symexBenchFile struct {
+	GoMaxProcs int `json:"go_max_procs"`
+	// Note spells out how to read the two speedup columns on this host.
+	Note       string          `json:"note"`
+	Specs      []symexSpecMeta `json:"specs"`
+	Benchmarks []SymexBenchRow `json:"benchmarks"`
+}
+
+type symexSpecMeta struct {
+	Name      string `json:"name"`
+	InputSize int    `json:"input_size"`
+	Leaves    int    `json:"leaves"`
+}
+
+// benchSymexRun performs one full directed exploration of spec and returns
+// the result. The search space is exhaustive by construction (the target
+// gate is unsatisfiable), so wall time measures how fast the frontier
+// retires all 2^depth leaves.
+func benchSymexRun(spec *corpus.SymexBenchSpec, workers int, cache *solver.Cache) (*symex.Result, error) {
+	g := cfg.Build(spec.Prog)
+	ex := symex.New(spec.Prog, symex.Config{
+		Target:        spec.Target,
+		InputSize:     spec.InputSize,
+		Distances:     g.DistancesTo(spec.Target),
+		MaxBacktracks: 1 << 20,
+		// Two-symbol congruence constraints cost ~64Ki evaluations per
+		// filtering pass; the default budget trips on deep prefixes.
+		SatBudget:   1 << 27,
+		Workers:     workers,
+		SolverCache: cache,
+	})
+	return ex.Run(func(symex.EpEntry, *symex.State) (symex.Decision, error) {
+		return symex.Stop, nil
+	})
+}
+
+// benchSymex runs the parallel-exploration benchmark matrix — every
+// workload from corpus.SymexBench at 1/2/4/8 workers, with the memoized SAT
+// cache off and on — and writes machine-readable results to path. Cache-on
+// rows benchmark against a warmed cache (one untimed exploration first), so
+// they measure the steady state a long-lived service converges to when jobs
+// re-explore the same program.
+func benchSymex(path string) error {
+	out := symexBenchFile{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	if out.GoMaxProcs > 1 {
+		out.Note = "speedup_vs_1_worker is the parallel-scaling axis; " +
+			"speedup_vs_cold_1_worker folds in the memoized SAT cache."
+	} else {
+		out.Note = fmt.Sprintf("host exposes %d CPU: goroutines cannot run in parallel, so "+
+			"speedup_vs_1_worker measures scheduling overhead only (expect ~1.0x); "+
+			"speedup_vs_cold_1_worker shows the memoized-SAT-cache speedup, which is "+
+			"CPU-count independent. Re-run on a multicore host for the scaling ladder.",
+			out.GoMaxProcs)
+	}
+	specs := corpus.SymexBench()
+	for _, s := range specs {
+		out.Specs = append(out.Specs, symexSpecMeta{Name: s.Name, InputSize: s.InputSize, Leaves: s.Leaves})
+	}
+
+	for _, spec := range specs {
+		var coldBase float64
+		for _, withCache := range []bool{false, true} {
+			var base float64
+			for _, workers := range symexWorkerCounts {
+				spec, workers, withCache := spec, workers, withCache
+				var cache *solver.Cache
+				if withCache {
+					cache = solver.NewCache(0)
+					if _, err := benchSymexRun(spec, workers, cache); err != nil {
+						return fmt.Errorf("%s warm-up: %w", spec.Name, err)
+					}
+				}
+				var last *symex.Result
+				var runErr error
+				r := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						res, err := benchSymexRun(spec, workers, cache)
+						if err != nil {
+							runErr = err
+							b.Fatal(err)
+						}
+						last = res
+					}
+				})
+				if runErr != nil {
+					return fmt.Errorf("%s workers=%d cache=%v: %w", spec.Name, workers, withCache, runErr)
+				}
+				row := SymexBenchRow{
+					Spec:       spec.Name,
+					Workers:    workers,
+					SatCache:   withCache,
+					Iterations: r.N,
+					NsPerOp:    r.NsPerOp(),
+					MsPerOp:    float64(r.NsPerOp()) / 1e6,
+				}
+				if last != nil {
+					row.States = last.Stats.States
+					row.SatChecks = last.Stats.SatChecks
+					row.Steals = last.Stats.Steals
+					row.FrontierPeak = last.Stats.FrontierPeak
+				}
+				if cache != nil {
+					st := cache.Stats()
+					row.CacheHits, row.CacheMisses = st.Hits, st.Misses
+				}
+				if workers == 1 {
+					base = float64(r.NsPerOp())
+					if !withCache {
+						coldBase = base
+					}
+				}
+				if base > 0 {
+					row.SpeedupVs1 = base / float64(r.NsPerOp())
+				}
+				if coldBase > 0 {
+					row.SpeedupVsCold = coldBase / float64(r.NsPerOp())
+				}
+				out.Benchmarks = append(out.Benchmarks, row)
+				fmt.Printf("%-12s workers=%d cache=%-5v %8.2f ms/op  scaling %.2fx  vs-cold %.2fx  sat_checks %d  steals %d\n",
+					spec.Name, workers, withCache, row.MsPerOp, row.SpeedupVs1, row.SpeedupVsCold, row.SatChecks, row.Steals)
+			}
+		}
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"octopocs/internal/corpus"
+	"octopocs/internal/solver"
+)
+
+// TestBenchSymexWorkloadsExhaustive checks the benchmark's core premise:
+// the target gate is unsatisfiable, so a directed run never commits a
+// success and must retire the full 2^depth search tree — that exhaustion is
+// what the scaling rows measure.
+func TestBenchSymexWorkloadsExhaustive(t *testing.T) {
+	for _, spec := range corpus.SymexBench() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			cache := solver.NewCache(0)
+			res, err := benchSymexRun(spec, 4, cache)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Reached() {
+				t.Fatalf("benchmark target reached; the gate must be unsatisfiable")
+			}
+			if res.Stats.States < spec.Leaves {
+				t.Errorf("explored %d states, want >= %d leaves (search not exhaustive)",
+					res.Stats.States, spec.Leaves)
+			}
+			// Re-exploring the identical program must be answered from the
+			// memoized verdict cache.
+			before := cache.Stats()
+			if _, err := benchSymexRun(spec, 4, cache); err != nil {
+				t.Fatalf("re-run: %v", err)
+			}
+			if after := cache.Stats(); after.Hits <= before.Hits {
+				t.Errorf("cache hits did not grow on re-exploration: %+v -> %+v", before, after)
+			}
+		})
+	}
+}

@@ -38,6 +38,8 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "verify Table II pairs with a worker pool of this size (0 = sequential)")
 		doBench   = fs.Bool("bench-telemetry", false, "run the cold/warm service benchmarks and write machine-readable results")
 		benchOut  = fs.String("bench-out", "BENCH_telemetry.json", "with -bench-telemetry: output file")
+		doSymex   = fs.Bool("bench-symex", false, "run the parallel symbolic-execution scaling benchmarks")
+		symexOut  = fs.String("bench-symex-out", "BENCH_symex.json", "with -bench-symex: output file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,9 +47,12 @@ func run(args []string) error {
 	if *doBench {
 		return benchTelemetry(*benchOut)
 	}
+	if *doSymex {
+		return benchSymex(*symexOut)
+	}
 	if !*all && *table == 0 && !*doSurvey && !*doLatest && !*doSweeps {
 		fs.Usage()
-		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, or -bench-telemetry")
+		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, or -bench-symex")
 	}
 
 	want := func(n int) bool { return *all || *table == n }

@@ -7,6 +7,7 @@
 //	octopocs -all -workers 4      same, concurrently via the service pool
 //	octopocs -pair 8              verify one Table II row
 //	octopocs -pair 9 -poc out.bin write the reformed PoC to a file
+//	octopocs -pair 8 -symex-workers 4  explore P2 with 4 frontier goroutines
 //	octopocs -pair 3 -context-free  ablation: disable context-aware taint
 //	octopocs -pair 8 -static-cfg    ablation: static CFG only
 package main
@@ -19,6 +20,7 @@ import (
 	"io"
 	"log/slog"
 	"os"
+	"runtime"
 
 	"octopocs/internal/core"
 	"octopocs/internal/corpus"
@@ -45,6 +47,7 @@ func run(args []string) error {
 		staticCFG   = fs.Bool("static-cfg", false, "disable dynamic CFG discovery")
 		verbose     = fs.Bool("v", false, "print crash primitives and crash details")
 		workers     = fs.Int("workers", 0, "with -all: verify pairs concurrently with this many service workers (0 = sequential)")
+		symexWork   = fs.Int("symex-workers", 0, "frontier explorer goroutines per symbolic execution (0 = GOMAXPROCS, negative = legacy sequential engine)")
 		prioritize  = fs.Bool("prioritize", false, "verify all pairs and print a patch-priority list (§ VII practical usage)")
 		explain     = fs.Bool("explain", false, "with -pair: show the S-on-poc and T-on-poc' traces and the preserved ℓ path")
 		withTrace   = fs.Bool("trace", false, "dump each job's phase/sub-step span tree as JSON after its report")
@@ -63,10 +66,12 @@ func run(args []string) error {
 		return fmt.Errorf("pass -all, -pair N, or -prioritize")
 	}
 	if *prioritize {
-		return runPrioritize(core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG})
+		return runPrioritize(core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG,
+			SymexWorkers: symexBudget(*symexWork)})
 	}
 
-	cfg := core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG}
+	cfg := core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG,
+		SymexWorkers: symexBudget(*symexWork)}
 
 	var specs []*corpus.PairSpec
 	if *all {
@@ -79,7 +84,7 @@ func run(args []string) error {
 		specs = []*corpus.PairSpec{spec}
 	}
 
-	reports, traces, err := verifyAll(specs, cfg, *workers, logger, *withTrace)
+	reports, traces, err := verifyAll(specs, cfg, *workers, *symexWork, logger, *withTrace)
 	if err != nil {
 		return err
 	}
@@ -105,12 +110,26 @@ func run(args []string) error {
 	return nil
 }
 
+// symexBudget maps the -symex-workers flag onto core.Config.SymexWorkers for
+// a direct in-process pipeline: positive values pass through, 0 auto-sizes to
+// GOMAXPROCS, and negative values select the legacy sequential engine.
+func symexBudget(flagVal int) int {
+	switch {
+	case flagVal > 0:
+		return flagVal
+	case flagVal < 0:
+		return 0
+	default:
+		return runtime.GOMAXPROCS(0)
+	}
+}
+
 // verifyAll collects one report per spec, in spec order, plus the span
 // trace of each run when withTrace is set (nil entries otherwise). With
 // workers > 0 the pairs run concurrently through a service worker pool
 // (sharing phase artifacts via its cache); otherwise a single pipeline runs
 // them in turn.
-func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers int, logger *slog.Logger, withTrace bool) ([]*core.Report, []*telemetry.Trace, error) {
+func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers, symexWorkers int, logger *slog.Logger, withTrace bool) ([]*core.Report, []*telemetry.Trace, error) {
 	reports := make([]*core.Report, len(specs))
 	traces := make([]*telemetry.Trace, len(specs))
 	if workers > 0 {
@@ -118,12 +137,16 @@ func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers int, logger *s
 		if withTrace {
 			traceCap = len(specs)
 		}
+		// The raw flag goes to the service, which auto-budgets 0 to
+		// GOMAXPROCS/Workers so pairs-in-parallel and frontier goroutines
+		// don't multiply against each other.
 		svc := service.New(service.Config{
 			Workers:       workers,
 			QueueDepth:    len(specs),
 			Pipeline:      cfg,
 			Logger:        logger,
 			TraceCapacity: traceCap,
+			SymexWorkers:  symexWorkers,
 		})
 		defer svc.Shutdown(context.Background())
 		jobs := make([]*service.Job, len(specs))

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	octoserved [-addr :8344] [-workers N] [-queue N] [-cache N] [-timeout D]
+//	octoserved [-addr :8344] [-workers N] [-symex-workers N] [-queue N]
+//	           [-cache N] [-timeout D] [-traces N] [-drain D]
 //	           [-log-level info] [-log-format text] [-debug-addr ADDR]
 //
 // The server drains in-flight verifications on SIGINT/SIGTERM before
@@ -43,6 +44,7 @@ func run(args []string, logOut *os.File) error {
 	fs := flag.NewFlagSet("octoserved", flag.ContinueOnError)
 	addr := fs.String("addr", ":8344", "listen address")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	symexWorkers := fs.Int("symex-workers", 0, "frontier explorer goroutines per job (0 = auto GOMAXPROCS/workers, negative = sequential engine)")
 	queue := fs.Int("queue", service.DefaultQueueDepth, "job queue depth")
 	cache := fs.Int("cache", service.DefaultCacheEntries, "artifact cache entries per class (negative disables)")
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = none)")
@@ -77,6 +79,7 @@ func run(args []string, logOut *os.File) error {
 		CacheEntries:  *cache,
 		JobTimeout:    *timeout,
 		TraceCapacity: *traces,
+		SymexWorkers:  *symexWorkers,
 		Logger:        logger,
 	}, *drain, logger)
 }

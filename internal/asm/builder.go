@@ -1,6 +1,12 @@
 // Package asm provides two ways to construct MIR programs: a fluent builder
 // with structured control flow (If/While/etc.), used by the synthetic corpus,
 // and a textual assembler/disassembler used by the mirrun tool and tests.
+// It is construction tooling only — the binaries it produces are what the
+// P1–P4 pipeline analyzes.
+//
+// Concurrency: a Builder (and its Fn handles) is confined to one goroutine;
+// the isa.Program it builds is immutable and may be shared freely, including
+// by parallel frontier workers.
 package asm
 
 import (

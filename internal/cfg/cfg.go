@@ -11,7 +11,14 @@
 // indirect call edge that appears only when a program is running").
 // ObserveCall/RefineDynamic add run-time-discovered indirect edges the way
 // angr's dynamic CFG does; an indirect site always remains marked
-// Unresolved because no trace set proves completeness.
+// Unresolved because no trace set proves completeness. The distance maps are
+// the preparation step of phase P2: they are what directs the symbolic
+// executor toward ep.
+//
+// Concurrency: graph construction and mutation (Build, ObserveCall,
+// RefineDynamic) are confined to one goroutine. The distance maps returned
+// by DistancesTo are plain values that are never mutated afterwards, so P2
+// may share one map read-only across every parallel frontier worker.
 package cfg
 
 import (

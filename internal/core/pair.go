@@ -3,6 +3,13 @@
 // it extracts crash primitives (P1), generates guiding inputs (P2), combines
 // them into a reformed PoC (P3), and verifies the propagated vulnerability
 // (P4), producing the verdict taxonomy of the paper's Table II.
+//
+// Concurrency: one Pipeline is safe for concurrent Verify calls — the
+// service worker pool shares a single instance. Per-verification state is
+// local to each call; the components a Pipeline shares across calls (the
+// memoized SAT cache, metrics sinks, loggers) are internally synchronized
+// or atomic. The SymexWorkers knob additionally parallelizes the inside of
+// one P2/P3 run via the symex frontier engine.
 package core
 
 import (

@@ -33,6 +33,20 @@ type Config struct {
 	StaticCFGOnly bool
 	// PadByte fills unconstrained poc' bytes.
 	PadByte byte
+	// SymexWorkers selects the P2/P3 exploration engine: 0 (default) keeps
+	// the sequential backtracking loop; >= 1 runs the parallel frontier
+	// engine with that many explorer goroutines. Any N >= 1 produces the
+	// same verdict and poc' bytes as N = 1 (the frontier commit protocol is
+	// deterministic); 0 and 1 may legitimately differ on pairs that
+	// backtrack, because the sequential engine commits its first success
+	// while the frontier commits the minimal-path one.
+	SymexWorkers int
+	// SatCacheEntries sizes the shared satisfiability-verdict cache used by
+	// every feasibility check of this pipeline (directed execution, bunch
+	// placement, dynamic-CFG discovery). 0 means solver.DefaultCacheEntries;
+	// negative disables memoization. Cached verdicts are always identical
+	// to fresh ones, so this is purely a performance knob.
+	SatCacheEntries int
 	// Metrics, when non-nil, receives engine counters (VM, symbolic
 	// executor, solver) from every run. Leave nil to disable engine
 	// instrumentation entirely; the hot paths then contain no telemetry
@@ -47,12 +61,23 @@ type Pipeline struct {
 	cfg     Config
 	p1Cache Cache
 	p2Cache Cache
+	// satCache memoizes satisfiability verdicts across all phases and all
+	// concurrent verifications sharing this pipeline; nil when disabled.
+	satCache *solver.Cache
 }
 
 // New returns a pipeline with the given configuration.
 func New(cfg Config) *Pipeline {
-	return &Pipeline{cfg: cfg}
+	p := &Pipeline{cfg: cfg}
+	if cfg.SatCacheEntries >= 0 {
+		p.satCache = solver.NewCache(cfg.SatCacheEntries)
+	}
+	return p
 }
+
+// SatCache exposes the pipeline's shared satisfiability cache (nil when
+// disabled) so callers can surface its hit-rate statistics.
+func (p *Pipeline) SatCache() *solver.Cache { return p.satCache }
 
 // errParamMismatch aborts P2/P3 when T enters ep with context parameters
 // that differ from the recorded S context (the Idx-10..12 mechanism).
@@ -270,11 +295,12 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, parent
 	if !p.cfg.StaticCFGOnly {
 		sp := tr.Start("discover", parent)
 		for _, e := range symex.Discover(pair.T, symex.NaiveConfig{
-			InputSize: p.discoverInputSize(pair),
-			MaxSteps:  p.maxSteps(pair),
-			SatBudget: p.cfg.SatBudget,
-			Stop:      ctx.Done(),
-			Metrics:   p.cfg.Metrics.symexSink(),
+			InputSize:   p.discoverInputSize(pair),
+			MaxSteps:    p.maxSteps(pair),
+			SatBudget:   p.cfg.SatBudget,
+			Stop:        ctx.Done(),
+			Metrics:     p.cfg.Metrics.symexSink(),
+			SolverCache: p.satCache,
 		}) {
 			graph.ObserveCall(e.Site, e.Callee)
 		}
@@ -406,18 +432,23 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 	inputSize := p.symInputSize(pair)
 	tr := telemetry.TraceFrom(ctx)
 	ex := symex.New(pair.T, symex.Config{
-		InputSize: inputSize,
-		MaxSteps:  p.maxSteps(pair),
-		Theta:     p.cfg.Theta,
-		SatBudget: p.cfg.SatBudget,
-		Target:    ep,
-		Distances: dist,
-		Stop:      ctx.Done(),
-		Metrics:   p.cfg.Metrics.symexSink(),
-		Logger:    telemetry.Logger(ctx),
+		InputSize:   inputSize,
+		MaxSteps:    p.maxSteps(pair),
+		Theta:       p.cfg.Theta,
+		SatBudget:   p.cfg.SatBudget,
+		Target:      ep,
+		Distances:   dist,
+		Stop:        ctx.Done(),
+		Metrics:     p.cfg.Metrics.symexSink(),
+		Logger:      telemetry.Logger(ctx),
+		Workers:     p.cfg.SymexWorkers,
+		SolverCache: p.satCache,
 	})
 
-	placeSol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink()}
+	// The visitor below runs concurrently when SymexWorkers > 1; it only
+	// touches state-local data, mutex-guarded trace spans, and placeSol,
+	// whose Sat is safe for concurrent use.
+	placeSol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink(), Cache: p.satCache}
 	visitor := func(entry symex.EpEntry, st *symex.State) (symex.Decision, error) {
 		esp := tr.Start("ep_entry", parent)
 		defer esp.End()

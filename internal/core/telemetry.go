@@ -39,6 +39,10 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Solver calls that proved the constraints unsatisfiable.", nil),
 		Budget: reg.Counter("octopocs_solver_budget_exhausted_total",
 			"Solver calls that hit the evaluation budget before a verdict.", nil),
+		CacheHits: reg.Counter("octopocs_solver_sat_cache_hits_total",
+			"Sat checks answered from the memoized verdict cache.", nil),
+		CacheMisses: reg.Counter("octopocs_solver_sat_cache_misses_total",
+			"Cache-backed Sat checks that had to solve.", nil),
 	}
 	return &Metrics{
 		VM: &vm.Metrics{
@@ -70,6 +74,13 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 				"Runs whose every retry up to theta iterations ended loop-dead.", nil),
 			SatChecks: reg.Counter("octopocs_symex_sat_checks_total",
 				"Feasibility queries issued during symbolic execution.", nil),
+			Steals: reg.Counter("octopocs_symex_frontier_steals_total",
+				"Frontier nodes executed by a worker other than their emitter.", nil),
+			FrontierPeak: reg.Gauge("octopocs_symex_frontier_peak_nodes",
+				"Peak pending-node depth of the most recent parallel run.", nil),
+			WorkerSteps: reg.Histogram("octopocs_symex_worker_steps",
+				"Per-worker symbolic step counts of parallel runs.", nil,
+				[]float64{0, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}),
 			Solver: sol,
 		},
 		Solver: sol,

@@ -9,7 +9,13 @@
 // checks, length-prefixed records, skip loops, dispatch tables. Every
 // vulnerability manifests through ordinary memory-safety violations (or a
 // hang for the CWE-835 case), never through artificial "crash here"
-// markers in ℓ.
+// markers in ℓ. The pairs are the end-to-end inputs of the P1–P4 pipeline;
+// bench.go additionally defines frontier-shaped workloads for the P2
+// parallel-exploration benchmark.
+//
+// Concurrency: constructors rebuild programs on every call and return
+// exclusively owned values; nothing in this package holds shared mutable
+// state, so callers may verify different PairSpecs concurrently.
 package corpus
 
 import (

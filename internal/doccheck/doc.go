@@ -1,0 +1,8 @@
+// Package doccheck is the repository's documentation lint: a test that
+// fails CI when any internal package loses its package doc comment, its
+// mapping to the paper phases P1–P4, or its stated concurrency contract.
+// It keeps the engine-room documentation from rotting as the code moves.
+//
+// Concurrency: the lint is a read-only parse of the source tree; the test
+// may run concurrently with anything.
+package doccheck

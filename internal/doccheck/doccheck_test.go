@@ -1,0 +1,78 @@
+package doccheck
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"testing"
+)
+
+// phaseRef matches a reference to a paper phase: "P1".."P4", including
+// compounds like "P1–P4" or "P3.3".
+var phaseRef = regexp.MustCompile(`\bP[1-4]\b`)
+
+// internalDir locates internal/ relative to this source file, so the lint
+// works regardless of the working directory the test runner uses.
+func internalDir(t *testing.T) string {
+	t.Helper()
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(self))
+}
+
+// TestEveryInternalPackageDocumented enforces the documentation contract of
+// the engine room: every package under internal/ must carry a package doc
+// comment that (a) maps the package to the paper phase(s) P1–P4 it serves
+// (or explicitly relates it to them) and (b) states its concurrency
+// contract behind a "Concurrency:" marker. Removing either fails CI.
+func TestEveryInternalPackageDocumented(t *testing.T) {
+	root := internalDir(t)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("read %s: %v", root, err)
+	}
+	checked := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkg := e.Name()
+		t.Run(pkg, func(t *testing.T) {
+			fset := token.NewFileSet()
+			pkgs, err := parser.ParseDir(fset, filepath.Join(root, pkg), nil, parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			var doc string
+			for name, p := range pkgs {
+				if len(name) > len("_test") && name[len(name)-len("_test"):] == "_test" {
+					continue
+				}
+				for _, f := range p.Files {
+					if f.Doc != nil && len(f.Doc.Text()) > len(doc) {
+						doc = f.Doc.Text()
+					}
+				}
+			}
+			if doc == "" {
+				t.Fatalf("package %s has no package doc comment", pkg)
+			}
+			if !phaseRef.MatchString(doc) {
+				t.Errorf("package %s doc does not reference a paper phase (P1–P4)", pkg)
+			}
+			if !regexp.MustCompile(`(?m)^Concurrency:`).MatchString(doc) {
+				t.Errorf("package %s doc has no \"Concurrency:\" contract paragraph", pkg)
+			}
+		})
+		checked++
+	}
+	// Guard against the walk silently checking nothing.
+	if checked < 15 {
+		t.Fatalf("only %d internal packages found; expected the full engine room", checked)
+	}
+}

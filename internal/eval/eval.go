@@ -3,7 +3,12 @@
 // Each TableN function runs the corresponding experiment over the synthetic
 // corpus and returns structured rows; the Format functions render them the
 // way the paper's tables read. The octobench command and the repository's
-// top-level benchmarks are thin wrappers over this package.
+// top-level benchmarks are thin wrappers over this package. Each experiment
+// drives the full P1–P4 pipeline (or an ablated variant of it).
+//
+// Concurrency: every TableN/Sweep function builds its own pipelines and
+// may run concurrently with the others; TableIIParallel fans its rows out
+// through a service worker pool internally.
 package eval
 
 import (

@@ -1,17 +1,28 @@
 // Package expr provides the symbolic expression language shared by the
-// symbolic executor and the constraint solver. Expressions are immutable
-// trees over 64-bit words whose leaves are constants and input-file byte
-// symbols (each symbol ranges over 0..255, zero-extended to a word).
+// symbolic executor and the constraint solver (phases P2 and P3 build path
+// conditions out of these nodes; P3.3 hands them to the solver). Expressions
+// are immutable trees over 64-bit words whose leaves are constants and
+// input-file byte symbols (each symbol ranges over 0..255, zero-extended to
+// a word).
 //
 // Constructors simplify aggressively — constant folding, neutral and
 // absorbing elements, constant re-association, comparison inversion — so
 // that the constraints reaching the solver from file-format parsing code
 // are mostly small byte-equality and range facts.
+//
+// Concurrency: nodes are immutable after construction and safe to share
+// between goroutines. The lazily computed per-node caches (symbol support,
+// possible-bits mask, structural fingerprint) are published with atomic
+// operations; concurrent computation is idempotent, so the worst case is
+// duplicated work, never a torn read. This is what lets the parallel
+// symbolic-execution frontier share expression trees between sibling states
+// without cloning them.
 package expr
 
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Op enumerates expression node kinds.
@@ -83,7 +94,9 @@ func (o Op) String() string {
 	}
 }
 
-// Expr is one immutable expression node.
+// Expr is one immutable expression node. The unexported fields are lazy
+// caches published atomically (see the package comment); everything else is
+// written once by the constructor and never mutated.
 type Expr struct {
 	Op  Op
 	Val uint64 // OpConst
@@ -91,11 +104,15 @@ type Expr struct {
 	X   *Expr
 	Y   *Expr
 
-	syms []int // cached sorted support; nil until computed
+	syms atomic.Pointer[[]int]    // cached sorted support
+	mask atomic.Pointer[maskInfo] // cached possible-bits bound
+	fp   atomic.Uint64            // cached structural fingerprint; 0 = unset
+}
 
-	mask    uint64 // cached possible-bits mask
-	maskSet bool   // mask computed
-	maskOK  bool   // mask is meaningful
+// maskInfo is the cached result of computeMask.
+type maskInfo struct {
+	mask uint64
+	ok   bool
 }
 
 // Const builds a constant.
@@ -202,11 +219,11 @@ func b2w(b bool) uint64 {
 // Mask conservatively computes the set of bits e can have set. ok is
 // false when no useful bound is known. The result is cached on the node.
 func (e *Expr) Mask() (uint64, bool) {
-	if e.maskSet {
-		return e.mask, e.maskOK
+	if mi := e.mask.Load(); mi != nil {
+		return mi.mask, mi.ok
 	}
 	m, ok := computeMask(e)
-	e.mask, e.maskOK, e.maskSet = m, ok, true
+	e.mask.Store(&maskInfo{mask: m, ok: ok})
 	return m, ok
 }
 
@@ -520,8 +537,8 @@ func (e *Expr) EvalConcrete(input []byte) uint64 {
 // Syms returns the sorted distinct symbols appearing in e. The result is
 // cached; callers must not modify it.
 func (e *Expr) Syms() []int {
-	if e.syms != nil {
-		return e.syms
+	if p := e.syms.Load(); p != nil {
+		return *p
 	}
 	seen := map[int]bool{}
 	e.collect(seen)
@@ -538,8 +555,55 @@ func (e *Expr) Syms() []int {
 	if len(out) == 0 {
 		out = []int{}
 	}
-	e.syms = out
+	e.syms.Store(&out)
 	return out
+}
+
+// fingerprint mixing constants (splitmix64 finalizer multipliers) and
+// per-field seeds; the exact values only need to be fixed and well mixed.
+const (
+	fpMul1 = 0xbf58476d1ce4e5b9
+	fpMul2 = 0x94d049bb133111eb
+)
+
+// fpMix is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// permutation used to combine fingerprint components.
+func fpMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= fpMul1
+	x ^= x >> 27
+	x *= fpMul2
+	x ^= x >> 31
+	return x
+}
+
+// Fingerprint returns a 64-bit structural hash of e: equal structures have
+// equal fingerprints, and distinct structures collide with the odds of a
+// well-mixed 64-bit hash (no adversarial inputs exist here — every
+// expression is built by the executor from program text). The result is
+// cached on the node, so fingerprinting a constraint set costs one tree
+// walk the first time and O(1) afterwards. Used by the solver's memoized
+// satisfiability cache to canonicalize constraint sets.
+func (e *Expr) Fingerprint() uint64 {
+	if fp := e.fp.Load(); fp != 0 {
+		return fp
+	}
+	var h uint64
+	switch e.Op {
+	case OpConst:
+		h = fpMix(uint64(e.Op) ^ fpMix(e.Val))
+	case OpSym:
+		h = fpMix(uint64(e.Op)<<32 ^ fpMix(uint64(e.Sym)+1))
+	default:
+		// Mix the operator with both child fingerprints, order-sensitively
+		// (x-y and y-x must differ).
+		h = fpMix(uint64(e.Op) + fpMix(e.X.Fingerprint()) + 3*fpMix(e.Y.Fingerprint()))
+	}
+	if h == 0 {
+		h = 1 // 0 is the "unset" sentinel
+	}
+	e.fp.Store(h)
+	return h
 }
 
 func (e *Expr) collect(seen map[int]bool) {

@@ -7,7 +7,13 @@
 //
 // The formats are deliberately small but carry the load-bearing features
 // of their real counterparts: magic numbers, length-prefixed records,
-// sub-containers, dispatchable stream filters, and terminators.
+// sub-containers, dispatchable stream filters, and terminators. These are
+// the malformed-file PoCs that enter the pipeline at P1 and come back
+// reformed from P3.
+//
+// Concurrency: encoders and parsers are pure functions over caller-owned
+// byte slices; there is no package-level state, so all of them are safe
+// for concurrent use.
 package fileformat
 
 import (

@@ -2,7 +2,12 @@
 // compared against in Table V: a coverage-guided fuzzer with AFLFast power
 // schedules and a directed fuzzer with AFLGo-style distance annealing. Both
 // run MIR binaries in the concrete VM with edge-coverage instrumentation
-// and deterministic, seeded randomness.
+// and deterministic, seeded randomness. They are the alternatives the
+// paper measures P2's guiding-input generation against.
+//
+// Concurrency: a Fuzzer instance is confined to one goroutine (its RNG and
+// corpus are unsynchronized); run independent Fuzzer instances to fuzz
+// campaigns in parallel.
 package fuzz
 
 import (

@@ -14,7 +14,11 @@
 // direct and indirect calls (the latter through a program-level function
 // table, which is what makes the static-vs-dynamic CFG distinction from the
 // paper meaningful), and a small syscall surface for file I/O and memory
-// management.
+// management. Every phase P1–P4 consumes programs in this representation.
+//
+// Concurrency: a Program and everything it contains are immutable once
+// built (builders hand over ownership), so one Program may back concurrent
+// taint runs, VM executions, and parallel symbolic frontier workers.
 package isa
 
 import "fmt"

@@ -9,6 +9,13 @@
 // one propagation target, so the S-side taint artifacts (P1) and the T-side
 // CFG/distance artifacts (P2 prep) are keyed by content hashes of exactly
 // the inputs that determine them and reused across jobs.
+//
+// Concurrency: a Service is safe for concurrent Submit/Wait/Stats calls.
+// All pool workers share one core.Pipeline (safe by that package's
+// contract) and one artifact cache (internally locked). Two parallelism
+// levels compose: Workers jobs run at once, and SymexWorkers explorer
+// goroutines run inside each job's P2/P3 symbolic execution; the default
+// auto-budget divides GOMAXPROCS between them.
 package service
 
 import (
@@ -45,6 +52,13 @@ const (
 type Config struct {
 	// Workers is the worker-pool size; GOMAXPROCS when <= 0.
 	Workers int
+	// SymexWorkers is the per-job symbolic exploration budget: how many
+	// frontier explorer goroutines each verification's P2/P3 phase may use.
+	// 0 (the default) auto-budgets to max(1, GOMAXPROCS / Workers) so a
+	// fully loaded pool does not oversubscribe the machine; negative forces
+	// the sequential engine. The value (after auto-budgeting) is forwarded
+	// to Pipeline.SymexWorkers, overriding whatever that field holds.
+	SymexWorkers int
 	// QueueDepth bounds queued jobs; DefaultQueueDepth when 0.
 	QueueDepth int
 	// JobTimeout is the per-job deadline; 0 means none.
@@ -161,6 +175,18 @@ func New(cfg Config) *Service {
 	pcfg := cfg.Pipeline
 	if pcfg.Metrics == nil {
 		pcfg.Metrics = s.met.engines
+	}
+	switch {
+	case cfg.SymexWorkers > 0:
+		pcfg.SymexWorkers = cfg.SymexWorkers
+	case cfg.SymexWorkers < 0:
+		pcfg.SymexWorkers = 0 // sequential engine
+	default:
+		budget := runtime.GOMAXPROCS(0) / cfg.Workers
+		if budget < 1 {
+			budget = 1
+		}
+		pcfg.SymexWorkers = budget
 	}
 	s.pl = core.New(pcfg)
 	if s.p1c != nil || s.p2c != nil {

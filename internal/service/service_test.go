@@ -83,12 +83,16 @@ func waitRunning(t *testing.T, j *service.Job) {
 }
 
 func TestSubmitWaitMatchesDirectVerify(t *testing.T) {
-	svc := service.New(service.Config{Workers: 2, CacheEntries: -1})
+	// Pin the per-job frontier budget to 1 so the service report is
+	// field-for-field comparable with a direct pipeline: the frontier
+	// engine's Report is deterministic for any worker count, but its Stats
+	// (steps, steals) legitimately vary with scheduling.
+	svc := service.New(service.Config{Workers: 2, SymexWorkers: 1, CacheEntries: -1})
 	defer svc.Shutdown(context.Background())
 
 	for _, idx := range []int{1, 7, 9} {
 		spec := corpus.ByIdx(idx)
-		want, err := core.New(core.Config{}).Verify(corpus.ByIdx(idx).Pair)
+		want, err := core.New(core.Config{SymexWorkers: 1}).Verify(corpus.ByIdx(idx).Pair)
 		if err != nil {
 			t.Fatalf("direct verify idx %d: %v", idx, err)
 		}

@@ -241,3 +241,40 @@ func TestStatsConcurrent(t *testing.T) {
 		t.Fatalf("quantile ordering violated: p50=%v p99=%v", p1.P50MS, p1.P99MS)
 	}
 }
+
+// TestSatCacheHitsAcrossJobs: submitting the same pair twice must answer
+// part of the second job's feasibility checks from the pipeline's shared
+// satisfiability cache, and the reuse must be visible in /metrics.
+func TestSatCacheHitsAcrossJobs(t *testing.T) {
+	// Disable the phase-artifact caches so the second job genuinely
+	// re-runs reform (otherwise the cached report would skip the solver
+	// entirely and prove nothing about sat memoization).
+	svc := service.New(service.Config{Workers: 1, CacheEntries: -1})
+	defer svc.Shutdown(context.Background())
+	runOne(t, svc, 1)
+	runOne(t, svc, 1)
+
+	stats := svc.Pipeline().SatCache().Stats()
+	if stats.Hits == 0 {
+		t.Fatalf("no sat-cache hits after identical resubmission: %+v", stats)
+	}
+
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "octopocs_solver_sat_cache_hits_total") {
+		t.Error("exposition missing octopocs_solver_sat_cache_hits_total")
+	}
+	if strings.Contains(text, "octopocs_solver_sat_cache_hits_total 0\n") {
+		t.Error("sat-cache hit counter is zero in /metrics")
+	}
+}

@@ -7,7 +7,8 @@ import (
 )
 
 // Metrics is the optional counter sink for solver activity: one increment
-// per Solve call (Sat goes through Solve), classified by outcome. A nil
+// per Solve call (an uncached Sat goes through Solve), classified by
+// outcome, plus the memoization accounting of cache-backed Sat calls. A nil
 // *Metrics is a valid no-op sink.
 type Metrics struct {
 	// Solves counts Solve calls regardless of outcome.
@@ -18,6 +19,23 @@ type Metrics struct {
 	Unsat *telemetry.Counter
 	// Budget counts ErrBudget results (work bound hit before a verdict).
 	Budget *telemetry.Counter
+	// CacheHits counts Sat calls answered from the memoization cache
+	// without touching the propagation engine.
+	CacheHits *telemetry.Counter
+	// CacheMisses counts cache-backed Sat calls that had to solve.
+	CacheMisses *telemetry.Counter
+}
+
+// observeCache classifies one cache-backed Sat lookup.
+func (m *Metrics) observeCache(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.CacheHits.Inc()
+	} else {
+		m.CacheMisses.Inc()
+	}
 }
 
 // observe classifies one finished Solve.

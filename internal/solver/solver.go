@@ -1,13 +1,26 @@
 // Package solver decides satisfiability of byte-symbol constraint systems
-// and produces concrete models. It is the stand-in for the SMT solving that
-// angr delegates to Z3 in the original OCTOPOCS implementation.
+// and produces concrete models: the decision procedure behind every branch
+// feasibility check of phase P2 (guiding-input generation) and the final
+// constraint solving of phase P3.3 that materializes poc'. It is the
+// stand-in for the SMT solving that angr delegates to Z3 in the original
+// OCTOPOCS implementation.
 //
 // The algorithm is a classic finite-domain constraint solver: every symbol
 // is a byte with a 256-value domain; constraints whose support has at most
 // two unassigned symbols are filtered by enumeration; the remainder is
 // handled by backtracking search with smallest-domain-first variable
 // selection. Work is bounded by an evaluation budget so callers can treat
-// "too hard" separately from "unsatisfiable".
+// "too hard" separately from "unsatisfiable". Sat verdicts can additionally
+// be memoized in a sharded LRU keyed by canonical constraint-set identity
+// (cache.go), which is what makes repeated feasibility checks across
+// sibling frontier states and across service jobs cheap.
+//
+// Concurrency: a Solver value is stateless between calls — each Solve
+// builds private search state — so one Solver may be used from many
+// goroutines, and the attached Metrics (atomic counters) and Cache
+// (sharded, mutex-guarded) are safe to share. Solutions are deterministic:
+// the search enumerates domains in ascending order, so the same constraint
+// set always yields the same model.
 package solver
 
 import (
@@ -56,6 +69,11 @@ type Solver struct {
 	Budget int64
 	// Metrics receives per-Solve outcome counters; may be nil.
 	Metrics *Metrics
+	// Cache, when non-nil, memoizes Sat verdicts by canonical constraint-set
+	// key. Solve is never cached — its callers need a model, and models are
+	// not canonical. Sharing one Cache between solvers (and between jobs) is
+	// safe and is the intended configuration.
+	Cache *Cache
 }
 
 // domain is a 256-bit set of candidate byte values.
@@ -157,6 +175,28 @@ func (s *Solver) solve(constraints []*expr.Expr) (Model, error) {
 		st.constraints = append(st.constraints, c)
 		st.support = append(st.support, c.Syms())
 	}
+	// Directly contradictory pairs — a constraint alongside its exact
+	// negation — are routine in backtracking sets: re-executing a branch
+	// under an alternative pin re-records the direction the pin already
+	// excludes. Arc-consistency filters each constraint of such a pair
+	// separately and sees supports for both, so refuting the set through
+	// search costs the full cross product of every unrelated domain. A
+	// linear syntactic scan decides these for free. Not is involutive on
+	// comparison nodes, so the complement of a branch constraint is
+	// structurally canonical; fingerprints prefilter, Equal confirms.
+	byFp := make(map[uint64][]*expr.Expr, len(st.constraints))
+	for _, c := range st.constraints {
+		byFp[c.Fingerprint()] = append(byFp[c.Fingerprint()], c)
+	}
+	for _, c := range st.constraints {
+		neg := expr.Not(c)
+		for _, o := range byFp[neg.Fingerprint()] {
+			if neg.Equal(o) {
+				return nil, ErrUnsat
+			}
+		}
+	}
+
 	for _, sup := range st.support {
 		for _, sym := range sup {
 			if _, ok := st.symIdx[sym]; !ok {
@@ -494,13 +534,27 @@ func (st *state) verifyAll() error {
 }
 
 // Sat reports whether the constraints are satisfiable without returning a
-// model. The error distinguishes budget exhaustion.
+// model. The error distinguishes budget exhaustion. When a Cache is
+// attached, the verdict is served from (and recorded into) it; only
+// definite sat/unsat answers are memoized, so cached and fresh verdicts
+// always agree for solvers sharing a budget.
 func (s *Solver) Sat(constraints []*expr.Expr) (bool, error) {
+	var key CacheKey
+	if s.Cache != nil {
+		key = SatKey(constraints)
+		if sat, ok := s.Cache.Lookup(key); ok {
+			s.Metrics.observeCache(true)
+			return sat, nil
+		}
+		s.Metrics.observeCache(false)
+	}
 	_, err := s.Solve(constraints)
 	if err == nil {
+		s.Cache.Store(key, true)
 		return true, nil
 	}
 	if errors.Is(err, ErrUnsat) {
+		s.Cache.Store(key, false)
 		return false, nil
 	}
 	return false, fmt.Errorf("sat check: %w", err)

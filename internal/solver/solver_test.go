@@ -278,3 +278,37 @@ func TestSolverSoundnessOnContradictions(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestComplementPairShortCircuits pins the syntactic-complement scan: a set
+// holding a constraint and its exact negation must be refuted without any
+// search, even when the pair sits behind unrelated wide-domain symbols that
+// would make an enumerative refutation cost their full cross product. The
+// tiny budget fails the test if the scan ever regresses to search.
+func TestComplementPairShortCircuits(t *testing.T) {
+	congruence := func(i int, m uint64) *expr.Expr {
+		sum := expr.Bin(expr.OpAdd,
+			expr.Bin(expr.OpMul, expr.Sym(2*i), expr.Const(17)),
+			expr.Bin(expr.OpMul, expr.Sym(2*i+1), expr.Const(31)))
+		return expr.Bin(expr.OpEq, expr.Bin(expr.OpAnd, sum, expr.Const(63)), expr.Const(m))
+	}
+	cs := []*expr.Expr{
+		congruence(0, 3),  // unrelated satisfiable pair (in[0], in[1])
+		congruence(1, 14), // unrelated satisfiable pair (in[2], in[3])
+		congruence(2, 25),
+		expr.Not(congruence(2, 25)), // direct contradiction on (in[4], in[5])
+	}
+	s := solver.Solver{Budget: 1_000}
+	sat, err := s.Sat(cs)
+	if err != nil {
+		t.Fatalf("Sat() error: %v (complement scan should decide before the budget matters)", err)
+	}
+	if sat {
+		t.Fatal("Sat() = true for a set containing c and ¬c")
+	}
+	// The same set without the contradiction stays satisfiable.
+	s = solver.Solver{}
+	sat, err = s.Sat(cs[:3])
+	if err != nil || !sat {
+		t.Fatalf("Sat(without contradiction) = %v, %v; want true", sat, err)
+	}
+}

@@ -7,7 +7,12 @@
 // redistributable, so this package pairs a deterministic synthetic report
 // generator — calibrated to the paper's published counts — with an honest
 // content-based classifier, and the experiment checks that classification
-// recovers the distribution from the raw records.
+// recovers the distribution from the raw records. The survey sits upstream
+// of the pipeline: it justifies why P1–P4 operate on malformed-file PoCs.
+//
+// Concurrency: Generate and Run are pure functions of their arguments
+// (deterministic seeded randomness, no package state) and are safe to call
+// concurrently.
 package survey
 
 import (

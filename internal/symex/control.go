@@ -56,9 +56,15 @@ func (e *Executor) branch(st *State, fr *Frame, in *isa.Inst, directed bool) err
 		}
 		if ok {
 			// Record the untried direction (if any) for backtracking
-			// before this path commits.
-			if directed && i == 0 && fr.visits[opts[1].block] < e.cfg.Theta {
-				e.pushChoice(st.clone(), []*expr.Expr{opts[1].constraint})
+			// before this path commits. A frontier worker records it even
+			// in naive mode, where the emitted alternative plays the role
+			// of the fork's second child.
+			if (directed || e.emit != nil) && i == 0 && fr.visits[opts[1].block] < e.cfg.Theta {
+				var d int64
+				if directed {
+					d = e.blockScore(fr, opts[1].block)
+				}
+				e.pushChoice(st, []*expr.Expr{opts[1].constraint}, []int64{d})
 			}
 			if fr.visits[o.block] > 0 {
 				e.stat.LoopStates++ // the paper's transient loop state
@@ -206,12 +212,14 @@ func (e *Executor) callIndirect(st *State, fr *Frame, in *isa.Inst, visitor Visi
 			return false, err
 		}
 		if ok {
-			if directed && i+1 < len(cands) {
+			if (directed || e.emit != nil) && i+1 < len(cands) {
 				alts := make([]*expr.Expr, 0, len(cands)-i-1)
+				dists := make([]int64, 0, len(cands)-i-1)
 				for _, rest := range cands[i+1:] {
 					alts = append(alts, expr.Bin(expr.OpEq, idx, expr.Const(rest.v)))
+					dists = append(dists, rest.rank)
 				}
-				e.pushChoice(st.clone(), alts)
+				e.pushChoice(st, alts, dists)
 			}
 			st.AddConstraint(pin)
 			callee := resolve(c.v)

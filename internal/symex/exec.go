@@ -55,6 +55,19 @@ type Config struct {
 	Distances *cfg.Distances
 	// MaxBacktracks bounds directed-mode decision reversals.
 	MaxBacktracks int
+	// Workers selects the exploration engine. 0 (the default) runs the
+	// sequential backtracking loop. Workers >= 1 runs the parallel frontier
+	// engine with that many explorer goroutines; 1 is the deterministic
+	// reference configuration, and any N >= 1 produces the same Result
+	// (modulo Stats) as long as MaxBacktracks is not hit mid-run. When
+	// Workers > 1 the Visitor may be invoked from multiple goroutines
+	// concurrently and must be safe for that.
+	Workers int
+	// SolverCache, when non-nil, memoizes satisfiability verdicts across
+	// feasibility checks. Sharing one cache between executors (and between
+	// the frontier engine's workers) is safe and is the intended
+	// configuration.
+	SolverCache *solver.Cache
 	// Stop is a cooperative cancellation signal; when it closes, Run and
 	// RunNaive return ErrStopped promptly. May be nil.
 	Stop <-chan struct{}
@@ -118,6 +131,15 @@ type Stats struct {
 	// PeakMemBytes is the peak estimated retained memory across live
 	// states (naive mode) or the final state footprint (directed mode).
 	PeakMemBytes int64
+	// Workers is the number of explorer goroutines used; 0 means the
+	// sequential engine ran.
+	Workers int
+	// Steals counts frontier nodes executed by a worker other than the one
+	// that emitted them (parallel engine only).
+	Steals uint64
+	// FrontierPeak is the maximum number of pending nodes in the shared
+	// frontier heap (parallel engine only).
+	FrontierPeak int
 }
 
 // Result is the outcome of a symbolic run.
@@ -156,12 +178,15 @@ type Executor struct {
 	stat Stats
 	// stack holds pending decision alternatives for directed backtracking.
 	stack []choice
+	// emit, when set, redirects pushChoice into the parallel frontier
+	// instead of the local stack (set per worker by the frontier engine).
+	emit func(st *State, alts []*expr.Expr, dists []int64)
 	// onResolve observes indirect-call resolutions (dynamic CFG discovery).
 	onResolve func(site isa.Loc, callee string)
 }
 
-// New returns an executor. The program must be validated.
-func New(prog *isa.Program, cfg Config) *Executor {
+// normalize fills Config defaults; shared by New and the frontier engine.
+func normalize(cfg Config) Config {
 	if cfg.InputSize <= 0 {
 		cfg.InputSize = DefaultInputSize
 	}
@@ -177,8 +202,14 @@ func New(prog *isa.Program, cfg Config) *Executor {
 	if cfg.Logger == nil {
 		cfg.Logger = telemetry.DiscardLogger()
 	}
+	return cfg
+}
+
+// New returns an executor. The program must be validated.
+func New(prog *isa.Program, cfg Config) *Executor {
+	cfg = normalize(cfg)
 	e := &Executor{prog: prog, cfg: cfg}
-	e.sol = solver.Solver{Budget: cfg.SatBudget}
+	e.sol = solver.Solver{Budget: cfg.SatBudget, Cache: cfg.SolverCache}
 	if cfg.Metrics != nil {
 		e.sol.Metrics = cfg.Metrics.Solver
 	}
@@ -251,7 +282,14 @@ func (e *Executor) concretize(st *State, v *expr.Expr) (val uint64, ok bool, err
 // the most recent decision with an untried feasible alternative — which is
 // how the paper's "increase the number of iterations from one to θ"
 // loop-state handling manifests here.
+//
+// With Config.Workers >= 1 the run is delegated to the parallel frontier
+// engine, which explores the same decision tree concurrently and commits the
+// minimal-path outcome (see frontier.go for the determinism argument).
 func (e *Executor) Run(visitor Visitor) (*Result, error) {
+	if e.cfg.Workers >= 1 {
+		return runFrontier(e.prog, e.cfg, visitor, frontierBudgets{}, e.onResolve)
+	}
 	res, err := e.run(visitor)
 	kind := KindActive
 	if res != nil {
@@ -337,14 +375,22 @@ func deathRank(k StateKind) int {
 	}
 }
 
-// pushChoice records untried alternatives at the current instruction. The
-// snapshot keeps the program counter at the deciding instruction so that
-// resuming re-executes it under the added alternative constraint.
-func (e *Executor) pushChoice(snap *State, alts []*expr.Expr) {
+// pushChoice records untried alternatives at the current instruction,
+// snapshotting st with the program counter still at the deciding instruction
+// so that resuming re-executes it under the added alternative constraint.
+// dists carries the per-alternative frontier priority (backward-path
+// distance of the block the alternative leads to); the sequential stack
+// ignores it. When the executor belongs to a frontier worker the
+// alternatives go to the shared heap instead of the local stack.
+func (e *Executor) pushChoice(st *State, alts []*expr.Expr, dists []int64) {
 	if len(alts) == 0 {
 		return
 	}
-	e.stack = append(e.stack, choice{snap: snap, alts: alts})
+	if e.emit != nil {
+		e.emit(st, alts, dists)
+		return
+	}
+	e.stack = append(e.stack, choice{snap: st.clone(), alts: alts})
 }
 
 // backtrack resumes the most recent decision that still has a feasible

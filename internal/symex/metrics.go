@@ -35,6 +35,16 @@ type Metrics struct {
 	ThetaExhausted *telemetry.Counter
 	// SatChecks counts feasibility queries issued to the solver.
 	SatChecks *telemetry.Counter
+	// Steals counts frontier nodes executed by a worker other than the one
+	// that emitted them (parallel engine only).
+	Steals *telemetry.Counter
+	// FrontierPeak records the peak pending-node depth of the shared
+	// frontier heap of the most recent parallel run.
+	FrontierPeak *telemetry.Gauge
+	// WorkerSteps observes the per-worker symbolic step count of each
+	// parallel run — a flat distribution means the work-stealing frontier
+	// balanced the exploration.
+	WorkerSteps *telemetry.Histogram
 	// Solver, when set, is threaded into the executor's internal solver so
 	// its SAT/UNSAT/budget outcomes are counted alongside standalone
 	// solver use.
@@ -57,5 +67,20 @@ func (m *Metrics) observe(st *Stats, finalKind StateKind) {
 	m.SatChecks.Add(uint64(st.SatChecks))
 	if finalKind == KindLoopDead {
 		m.ThetaExhausted.Inc()
+	}
+	if st.Workers >= 1 {
+		m.Steals.Add(st.Steals)
+		m.FrontierPeak.Set(int64(st.FrontierPeak))
+	}
+}
+
+// observeWorkers flushes the per-worker step distribution of one parallel
+// run.
+func (m *Metrics) observeWorkers(steps []int64) {
+	if m == nil {
+		return
+	}
+	for _, s := range steps {
+		m.WorkerSteps.Observe(float64(s))
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"octopocs/internal/expr"
 	"octopocs/internal/isa"
+	"octopocs/internal/solver"
 )
 
 // ErrMemBudget reports that naive exploration exceeded its memory budget —
@@ -44,6 +45,13 @@ type NaiveConfig struct {
 	// Metrics receives run-level counters, flushed once per exploration;
 	// may be nil.
 	Metrics *Metrics
+	// Workers selects the engine: 0 (default) runs the sequential
+	// BFS/DFS fork loop; >= 1 runs the parallel frontier engine, where
+	// DFS is ignored (the frontier pops in deterministic path order).
+	Workers int
+	// SolverCache, when non-nil, memoizes satisfiability verdicts across
+	// feasibility checks; safe to share between explorations.
+	SolverCache *solver.Cache
 }
 
 // RunNaive explores the program breadth-first, forking at every feasible
@@ -71,6 +79,24 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 	}
 	if cfg.MaxStates <= 0 {
 		cfg.MaxStates = 1 << 20
+	}
+	// The parallel frontier engine handles naive exploration as an
+	// undirected instance of the same decision tree. Dynamic-CFG discovery
+	// (onResolve != nil) stays sequential: its artifact must be a pure
+	// function of the program, independent of worker scheduling.
+	if cfg.Workers >= 1 && onResolve == nil {
+		stopVisitor := func(EpEntry, *State) (Decision, error) { return Stop, nil }
+		return runFrontier(prog, Config{
+			InputSize:   cfg.InputSize,
+			MaxSteps:    cfg.MaxSteps,
+			Theta:       cfg.Theta,
+			SatBudget:   cfg.SatBudget,
+			Target:      cfg.Target,
+			Stop:        cfg.Stop,
+			Metrics:     cfg.Metrics,
+			Workers:     cfg.Workers,
+			SolverCache: cfg.SolverCache,
+		}, stopVisitor, frontierBudgets{mem: cfg.MemBudget, states: cfg.MaxStates}, nil)
 	}
 	e := New(prog, Config{
 		InputSize: cfg.InputSize,

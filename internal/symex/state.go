@@ -7,6 +7,19 @@
 // memory bytes hold expressions; branch decisions on symbolic conditions are
 // resolved by the directed policy (backward-path distances plus
 // satisfiability checks) or, in naive mode, by forking.
+//
+// Two engines share the stepping core. Config.Workers == 0 selects the
+// sequential backtracking loop (Algorithm 2 of the paper, one state at a
+// time); Workers >= 1 selects the parallel frontier engine of frontier.go,
+// which explores the same decision tree with a pool of explorer goroutines
+// over a shared minimal-distance work heap.
+//
+// Concurrency: an Executor and its States are confined to one goroutine and
+// are not safe for concurrent use. The parallel engine gets its concurrency
+// by giving every worker a private Executor and exchanging only immutable
+// state snapshots through the frontier heap; the only caller-visible
+// consequence is that a Visitor runs concurrently when Config.Workers > 1
+// and must be safe for that.
 package symex
 
 import (
@@ -318,6 +331,16 @@ type State struct {
 	// program counter is still at the call, and the naive loop must
 	// execute it rather than fork it again.
 	pinnedDispatch bool
+	// path is the state's identity in the parallel frontier: the sequence
+	// of emission ordinals taken from the root. A state's emitted children
+	// extend its path by one element, so a path is always lexicographically
+	// greater than every proper prefix — the property the commit protocol's
+	// determinism argument rests on. The slice is immutable once assigned
+	// and may be shared between clones.
+	path []uint32
+	// emitSeq numbers the alternatives this state has emitted so far; the
+	// next emitted child gets path+[emitSeq].
+	emitSeq uint32
 }
 
 func newState() *State {
@@ -336,6 +359,8 @@ func (s *State) clone() *State {
 		kind:        s.kind,
 		why:         s.why,
 		entries:     append([]EpEntry(nil), s.entries...),
+		path:        s.path,
+		emitSeq:     s.emitSeq,
 	}
 	for i, f := range s.frames {
 		ns.frames[i] = f.clone()

@@ -9,6 +9,12 @@
 // of each entry, and groups the input offsets used inside the shared
 // function set ℓ into per-entry bunches. In context-free mode (the baseline
 // of Table III) all used offsets collapse into a single bunch.
+//
+// Concurrency: an analysis run (engine plus the vm.Hooks it installs) is
+// confined to one goroutine. The P1 artifacts it produces — crash
+// primitives and bunches — are not mutated after the run and may be shared,
+// which is how the service's artifact cache hands one P1 result to many
+// concurrent jobs.
 package taint
 
 import "sort"

@@ -12,7 +12,13 @@
 //
 // Engines never touch an atomic per instruction: the VM and the symbolic
 // executor aggregate into their existing local stats and flush once per run,
-// so instrumented throughput matches uninstrumented throughput.
+// so instrumented throughput matches uninstrumented throughput. The layer
+// observes every phase P1–P4 (engine counters, per-phase trace spans) but
+// participates in none of them.
+//
+// Concurrency: all instruments are safe for concurrent use — counters and
+// gauges are atomics, histograms and trace rings take short internal locks —
+// so one Registry serves every service worker and every frontier goroutine.
 package telemetry
 
 import (

@@ -2,7 +2,12 @@
 // compares them. Its centerpiece is the paper's Figure-1 invariant: when a
 // reformed PoC verifies a propagated vulnerability, the execution path
 // *inside* the shared code ℓ is the same as the original PoC's path in S —
-// only the way in (the guiding input) differs.
+// only the way in (the guiding input) differs. It backs the P4 verification
+// explanations (octopocs -explain) and tests of the reform pipeline.
+//
+// Concurrency: Record runs a private VM and returns an immutable Trace;
+// comparisons (SamePath) only read. Distinct recordings may run
+// concurrently.
 package trace
 
 import (

@@ -7,7 +7,13 @@
 // from ordinary memory-safety violations (out-of-bounds or use-after-free
 // accesses, null dereferences, division by zero, writes to read-only
 // mappings), from explicit traps, or from exceeding the instruction budget
-// (the hang analog of CWE-835 infinite loops).
+// (the hang analog of CWE-835 infinite loops). The taint engine of P1
+// observes through these hooks, and P4 replays the reformed PoC here for
+// the final verdict.
+//
+// Concurrency: a VM instance (and any Hooks installed on it) is confined
+// to one goroutine for its whole run; programs and inputs are read-only, so
+// any number of VMs may execute the same Program concurrently.
 package vm
 
 import (
