@@ -40,6 +40,8 @@ func run(args []string) error {
 		benchOut  = fs.String("bench-out", "BENCH_telemetry.json", "with -bench-telemetry: output file")
 		doSymex   = fs.Bool("bench-symex", false, "run the parallel symbolic-execution scaling benchmarks")
 		symexOut  = fs.String("bench-symex-out", "BENCH_symex.json", "with -bench-symex: output file")
+		doStatic  = fs.Bool("bench-static", false, "run the static-prune pipeline benchmark (all pairs, pruning off vs on)")
+		staticOut = fs.String("bench-static-out", "BENCH_static.json", "with -bench-static: output file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,9 +52,12 @@ func run(args []string) error {
 	if *doSymex {
 		return benchSymex(*symexOut)
 	}
+	if *doStatic {
+		return benchStatic(*staticOut)
+	}
 	if !*all && *table == 0 && !*doSurvey && !*doLatest && !*doSweeps {
 		fs.Usage()
-		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, or -bench-symex")
+		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, or -bench-static")
 	}
 
 	want := func(n int) bool { return *all || *table == n }

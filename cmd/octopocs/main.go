@@ -10,6 +10,7 @@
 //	octopocs -pair 8 -symex-workers 4  explore P2 with 4 frontier goroutines
 //	octopocs -pair 3 -context-free  ablation: disable context-aware taint
 //	octopocs -pair 8 -static-cfg    ablation: static CFG only
+//	octopocs -pair 16 -static       static pre-analysis: verify, fold, prune
 package main
 
 import (
@@ -41,10 +42,11 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("octopocs", flag.ContinueOnError)
 	var (
 		all         = fs.Bool("all", false, "verify every corpus pair")
-		pairIdx     = fs.Int("pair", 0, "verify one Table II row (1-15)")
+		pairIdx     = fs.Int("pair", 0, "verify one corpus row (1-15 Table II, 16-17 static set)")
 		pocOut      = fs.String("poc", "", "write the reformed PoC to this file")
 		contextFree = fs.Bool("context-free", false, "disable context-aware taint analysis")
 		staticCFG   = fs.Bool("static-cfg", false, "disable dynamic CFG discovery")
+		static      = fs.Bool("static", false, "enable the static pre-analysis (MIR verifier, constant folding, dead-block pruning, statically-unreachable short-circuit)")
 		verbose     = fs.Bool("v", false, "print crash primitives and crash details")
 		workers     = fs.Int("workers", 0, "with -all: verify pairs concurrently with this many service workers (0 = sequential)")
 		symexWork   = fs.Int("symex-workers", 0, "frontier explorer goroutines per symbolic execution (0 = GOMAXPROCS, negative = legacy sequential engine)")
@@ -67,11 +69,11 @@ func run(args []string) error {
 	}
 	if *prioritize {
 		return runPrioritize(core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG,
-			SymexWorkers: symexBudget(*symexWork)})
+			StaticPrune: *static, SymexWorkers: symexBudget(*symexWork)})
 	}
 
 	cfg := core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG,
-		SymexWorkers: symexBudget(*symexWork)}
+		StaticPrune: *static, SymexWorkers: symexBudget(*symexWork)}
 
 	var specs []*corpus.PairSpec
 	if *all {
@@ -79,7 +81,7 @@ func run(args []string) error {
 	} else {
 		spec := corpus.ByIdx(*pairIdx)
 		if spec == nil {
-			return fmt.Errorf("no corpus pair with index %d (valid: 1-15)", *pairIdx)
+			return fmt.Errorf("no corpus pair with index %d (valid: 1-17)", *pairIdx)
 		}
 		specs = []*corpus.PairSpec{spec}
 	}
@@ -265,6 +267,9 @@ func printReport(spec *corpus.PairSpec, rep *core.Report, verbose bool) {
 		return
 	}
 	fmt.Printf("     vulnerability: %s (%s), ep: %s\n", spec.CVE, spec.CWE, rep.Ep)
+	if rep.Static != nil {
+		fmt.Printf("     static: %s\n", rep.Static)
+	}
 	if rep.SCrash != nil {
 		fmt.Printf("     S crash: %s\n", rep.SCrash)
 	}

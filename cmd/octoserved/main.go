@@ -7,7 +7,7 @@
 // Usage:
 //
 //	octoserved [-addr :8344] [-workers N] [-symex-workers N] [-queue N]
-//	           [-cache N] [-timeout D] [-traces N] [-drain D]
+//	           [-cache N] [-timeout D] [-traces N] [-drain D] [-static]
 //	           [-log-level info] [-log-format text] [-debug-addr ADDR]
 //
 // The server drains in-flight verifications on SIGINT/SIGTERM before
@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"octopocs/internal/core"
 	"octopocs/internal/service"
 	"octopocs/internal/telemetry"
 )
@@ -50,6 +51,7 @@ func run(args []string, logOut *os.File) error {
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = none)")
 	drain := fs.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
 	traces := fs.Int("traces", 0, "retained finished job traces (0 = default, negative disables)")
+	static := fs.Bool("static", false, "enable the static pre-analysis for all jobs (per-job \"static\" field overrides)")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	debugAddr := fs.String("debug-addr", "", "optional second listener serving net/http/pprof (e.g. 127.0.0.1:8345)")
@@ -80,6 +82,7 @@ func run(args []string, logOut *os.File) error {
 		JobTimeout:    *timeout,
 		TraceCapacity: *traces,
 		SymexWorkers:  *symexWorkers,
+		Pipeline:      core.Config{StaticPrune: *static},
 		Logger:        logger,
 	}, *drain, logger)
 }

@@ -60,45 +60,10 @@ type Graph struct {
 	observed map[string]map[string]bool
 }
 
-// Build constructs the static graph.
+// Build constructs the static graph with no pruning; it is
+// BuildPruned(prog, nil).
 func Build(prog *isa.Program) *Graph {
-	g := &Graph{
-		Prog:     prog,
-		succs:    make(map[string][][]int, len(prog.Funcs)),
-		sites:    make(map[string][]*CallSite, len(prog.Funcs)),
-		observed: make(map[string]map[string]bool),
-	}
-	for _, f := range prog.Funcs {
-		succ := make([][]int, len(f.Blocks))
-		for bi, b := range f.Blocks {
-			term := b.Terminator()
-			switch term.Op {
-			case isa.OpJmp:
-				succ[bi] = []int{term.ThenIdx}
-			case isa.OpBr:
-				succ[bi] = []int{term.ThenIdx, term.ElseIdx}
-			}
-			for ii := range b.Insts {
-				in := &b.Insts[ii]
-				loc := isa.Loc{Func: f.Name, Block: bi, Inst: ii}
-				switch in.Op {
-				case isa.OpCall:
-					g.sites[f.Name] = append(g.sites[f.Name], &CallSite{
-						Loc:     loc,
-						Targets: []string{in.Callee},
-					})
-				case isa.OpCallInd:
-					g.sites[f.Name] = append(g.sites[f.Name], &CallSite{
-						Loc:        loc,
-						Indirect:   true,
-						Unresolved: true,
-					})
-				}
-			}
-		}
-		g.succs[f.Name] = succ
-	}
-	return g
+	return BuildPruned(prog, nil)
 }
 
 // Succs returns the successor block indices of block b in fn.

@@ -1,0 +1,76 @@
+package cfg
+
+import "octopocs/internal/isa"
+
+// Pruner is the static-analysis view consumed by the pruned graph build
+// (implemented by mirstatic.Analysis; cfg states only the contract to keep
+// the dependency arrow pointing P2-ward). Both methods must be sound
+// over-approximations of the concrete semantics: DeadBlock may return true
+// only for blocks no execution enters, and BranchTaken may fold a branch
+// only when its condition is the same constant on every execution.
+//
+// Concurrency: implementations must be safe for unsynchronized concurrent
+// reads; the graph build and every symex worker share one Pruner.
+type Pruner interface {
+	// DeadBlock reports whether block is statically unreachable in fn.
+	DeadBlock(fn string, block int) bool
+	// BranchTaken reports the always-taken successor of the conditional
+	// branch terminating (fn, block), if the condition is constant.
+	BranchTaken(fn string, block int) (taken int, folded bool)
+}
+
+// BuildPruned constructs the static graph restricted to the blocks and
+// edges that survive static analysis: dead blocks contribute no successors
+// and no call sites, and folded branches keep only their taken edge. The
+// resulting distance maps (DistancesTo) therefore never route the symex
+// frontier into provably dead regions, and call edges that exist only in
+// dead code no longer make ep look reachable. A nil pruner degrades to
+// Build.
+func BuildPruned(prog *isa.Program, pv Pruner) *Graph {
+	g := &Graph{
+		Prog:     prog,
+		succs:    make(map[string][][]int, len(prog.Funcs)),
+		sites:    make(map[string][]*CallSite, len(prog.Funcs)),
+		observed: make(map[string]map[string]bool),
+	}
+	for _, f := range prog.Funcs {
+		succ := make([][]int, len(f.Blocks))
+		for bi, b := range f.Blocks {
+			if pv != nil && pv.DeadBlock(f.Name, bi) {
+				continue // no edges out of, and no call sites in, dead code
+			}
+			term := b.Terminator()
+			switch term.Op {
+			case isa.OpJmp:
+				succ[bi] = []int{term.ThenIdx}
+			case isa.OpBr:
+				if pv != nil {
+					if taken, ok := pv.BranchTaken(f.Name, bi); ok {
+						succ[bi] = []int{taken}
+						break
+					}
+				}
+				succ[bi] = []int{term.ThenIdx, term.ElseIdx}
+			}
+			for ii := range b.Insts {
+				in := &b.Insts[ii]
+				loc := isa.Loc{Func: f.Name, Block: bi, Inst: ii}
+				switch in.Op {
+				case isa.OpCall:
+					g.sites[f.Name] = append(g.sites[f.Name], &CallSite{
+						Loc:     loc,
+						Targets: []string{in.Callee},
+					})
+				case isa.OpCallInd:
+					g.sites[f.Name] = append(g.sites[f.Name], &CallSite{
+						Loc:        loc,
+						Indirect:   true,
+						Unresolved: true,
+					})
+				}
+			}
+		}
+		g.succs[f.Name] = succ
+	}
+	return g
+}

@@ -77,13 +77,14 @@ func (p *Pipeline) p1Key(pair *Pair) string {
 }
 
 // p2Key derives the content address of the T-side preparation artifact:
-// the T program, the target ep, and every knob the dynamic CFG discovery
-// pass reads (symbolic input size, step budget, solver budget, and whether
-// discovery is disabled outright).
-func (p *Pipeline) p2Key(pair *Pair, ep string) string {
+// the T program, the target ep, every knob the dynamic CFG discovery pass
+// reads (symbolic input size, step budget, solver budget, and whether
+// discovery is disabled outright), and whether the graph was built over the
+// statically pruned CFG view.
+func (p *Pipeline) p2Key(pair *Pair, ep string, pruned bool) string {
 	h := sha256.New()
 	io.WriteString(h, asm.Format(pair.T))
-	fmt.Fprintf(h, "|ep:%s|static:%v|insize:%d|steps:%d|sat:%d",
-		ep, p.cfg.StaticCFGOnly, p.discoverInputSize(pair), p.maxSteps(pair), p.cfg.SatBudget)
+	fmt.Fprintf(h, "|ep:%s|static:%v|insize:%d|steps:%d|sat:%d|prune:%v",
+		ep, p.cfg.StaticCFGOnly, p.discoverInputSize(pair), p.maxSteps(pair), p.cfg.SatBudget, pruned)
 	return "p2:" + hex.EncodeToString(h.Sum(nil))
 }

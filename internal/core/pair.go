@@ -46,6 +46,9 @@ type Pair struct {
 	// Pairs whose S-crash is a hang (CWE-835) keep this small so the
 	// hang detection stays fast.
 	MaxSteps int64
+	// StaticPrune overrides Config.StaticPrune for this pair when non-nil
+	// (the service's per-job static knob).
+	StaticPrune *bool
 }
 
 // epFromBacktrace returns the paper's ep: the bottom-most call-stack entry

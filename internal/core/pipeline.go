@@ -9,6 +9,7 @@ import (
 	"octopocs/internal/cfg"
 	"octopocs/internal/expr"
 	"octopocs/internal/isa"
+	"octopocs/internal/mirstatic"
 	"octopocs/internal/solver"
 	"octopocs/internal/symex"
 	"octopocs/internal/taint"
@@ -31,6 +32,17 @@ type Config struct {
 	// StaticCFGOnly disables dynamic CFG refinement (§ IV-B discusses
 	// using the static CFG as a fallback option).
 	StaticCFGOnly bool
+	// StaticPrune enables the static pre-analysis of T before P2: the MIR
+	// verifier, constant folding with dead-block elimination, and dominator
+	// computation. When the verified T provably cannot reach ep — even with
+	// every unresolved indirect call over-approximated as may-call-anything
+	// — the pipeline short-circuits to a sound statically-unreachable
+	// verdict without running symbolic execution; otherwise the pruned CFG
+	// view is fed to the distance maps and the symex frontier so provably
+	// dead branches are never scheduled. Pruning never changes a verdict or
+	// the poc' bytes: a statically dead direction is semantically
+	// infeasible, so the only thing skipped is its SAT refutation.
+	StaticPrune bool
 	// PadByte fills unconstrained poc' bytes.
 	PadByte byte
 	// SymexWorkers selects the P2/P3 exploration engine: 0 (default) keeps
@@ -142,6 +154,34 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 		return rep, nil
 	}
 
+	// Static pre-analysis (cache-aware): verify T, fold constants, prune
+	// dead blocks, and — when even the may-call-anything over-approximation
+	// of indirect calls cannot reach ep — short-circuit to the sound
+	// statically-unreachable verdict with zero symbolic execution.
+	var sa *mirstatic.Analysis
+	if p.staticEnabled(pair) {
+		t0 = time.Now()
+		ssp := tr.Start("static", root)
+		var staticCached bool
+		sa, staticCached, err = p.phaseStatic(pair)
+		ssp.SetAttr("cached", staticCached)
+		if sa != nil {
+			ssp.SetAttr("dead_blocks", sa.Summary.DeadBlocks)
+		}
+		ssp.End()
+		rep.Timings.Static = time.Since(t0)
+		rep.Timings.StaticCached = staticCached
+		if err != nil {
+			return nil, err
+		}
+		rep.Static = &sa.Summary
+		if sa.EpUnreachable(ep) {
+			p.cfg.Metrics.staticShortCircuit()
+			rep.Verdict, rep.Type, rep.Reason = VerdictNotTriggerable, TypeIII, ReasonStaticUnreachable
+			return rep, nil
+		}
+	}
+
 	// P2 preparation (cache-aware): backward path finding over T's CFG.
 	// Indirect-call edges are invisible statically; the dynamic CFG adds
 	// edges observed by a bounded symbolic exploration, matching § IV-B
@@ -151,7 +191,7 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	// verdict.
 	t0 = time.Now()
 	sp = tr.Start("p2_prep", root)
-	prep, p2Cached, err := p.phase2Prep(ctx, pair, ep, sp)
+	prep, p2Cached, err := p.phase2Prep(ctx, pair, ep, sa, sp)
 	sp.SetAttr("cached", p2Cached)
 	sp.End()
 	rep.Timings.P2Prep = time.Since(t0)
@@ -174,7 +214,7 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	// P2 + P3: directed symbolic execution with bunch placement.
 	t0 = time.Now()
 	sp = tr.Start("reform", root)
-	pocPrime, stats, reason, err := p.reform(ctx, pair, ep, prep.Dist, p1.Bunches, sp)
+	pocPrime, stats, reason, err := p.reform(ctx, pair, ep, prep.Dist, p1.Bunches, prunerOf(sa), sp)
 	sp.End()
 	rep.Timings.Reform = time.Since(t0)
 	if err != nil {
@@ -279,11 +319,13 @@ func (p *Pipeline) phase1(ctx context.Context, pair *Pair, parent *telemetry.Spa
 
 // phase2Prep produces (or retrieves) the T-side preparation artifact: the
 // CFG with discovered indirect-call edges and the distance maps to ep. The
-// boolean result reports a cache hit.
-func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, parent *telemetry.Span) (*P2Artifact, bool, error) {
+// boolean result reports a cache hit. When a static analysis is supplied the
+// graph omits provably dead blocks and folded-away branch edges, so the
+// distance maps never route through unreachable code.
+func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mirstatic.Analysis, parent *telemetry.Span) (*P2Artifact, bool, error) {
 	var key string
 	if p.p2Cache != nil {
-		key = p.p2Key(pair, ep)
+		key = p.p2Key(pair, ep, sa != nil)
 		if v, ok := p.p2Cache.Get(key); ok {
 			if art, ok := v.(*P2Artifact); ok {
 				return art, true, nil
@@ -291,7 +333,7 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, parent
 		}
 	}
 	tr := telemetry.TraceFrom(ctx)
-	graph := cfg.Build(pair.T)
+	graph := cfg.BuildPruned(pair.T, prunerOf(sa))
 	if !p.cfg.StaticCFGOnly {
 		sp := tr.Start("discover", parent)
 		for _, e := range symex.Discover(pair.T, symex.NaiveConfig{
@@ -301,6 +343,7 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, parent
 			Stop:        ctx.Done(),
 			Metrics:     p.cfg.Metrics.symexSink(),
 			SolverCache: p.satCache,
+			Prune:       prunerOf(sa),
 		}) {
 			graph.ObserveCall(e.Site, e.Callee)
 		}
@@ -428,7 +471,7 @@ func (p *Pipeline) extractPrimitives(ctx context.Context, pair *Pair, ep string)
 // placement at each entry, then constraint solving into poc'. A non-nil
 // error is returned only for cancellation; analysis failures degrade into
 // Reason codes.
-func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes, parent *telemetry.Span) ([]byte, symex.Stats, Reason, error) {
+func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes, prune cfg.Pruner, parent *telemetry.Span) ([]byte, symex.Stats, Reason, error) {
 	inputSize := p.symInputSize(pair)
 	tr := telemetry.TraceFrom(ctx)
 	ex := symex.New(pair.T, symex.Config{
@@ -443,6 +486,7 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 		Logger:      telemetry.Logger(ctx),
 		Workers:     p.cfg.SymexWorkers,
 		SolverCache: p.satCache,
+		Prune:       prune,
 	})
 
 	// The visitor below runs concurrently when SymexWorkers > 1; it only

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"octopocs/internal/mirstatic"
 	"octopocs/internal/symex"
 	"octopocs/internal/vm"
 )
@@ -83,6 +84,11 @@ const (
 	ReasonCFGUnresolved Reason = "CFG construction failed (unresolved indirect calls)"
 	ReasonNoCrash       Reason = "generated poc' did not crash T"
 	ReasonBudget        Reason = "analysis budget exhausted"
+	// ReasonStaticUnreachable is the static-prune short-circuit: the
+	// verified T cannot reach ep even with every unresolved indirect call
+	// over-approximated as may-call-anything, so the not-triggerable
+	// verdict is sound without running symbolic execution (case ii).
+	ReasonStaticUnreachable Reason = "statically-unreachable"
 )
 
 // Report is the full result of verifying one pair.
@@ -110,6 +116,11 @@ type Report struct {
 	// Stats aggregates symbolic-execution effort (P2+P3).
 	Stats symex.Stats
 
+	// Static summarizes the pre-P2 static analysis of T (blocks folded and
+	// pruned, dead regions, reachable functions); nil when static pruning
+	// was disabled for this pair.
+	Static *mirstatic.Summary
+
 	// Timings records per-phase wall clock and cache reuse. Unlike every
 	// other Report field it is not a pure function of the pair, so
 	// report-equality comparisons should zero it first.
@@ -121,6 +132,9 @@ type Report struct {
 type PhaseTimings struct {
 	// P1 covers preprocessing plus crash-primitive extraction (S-side).
 	P1 time.Duration
+	// Static covers the pre-P2 static analysis of T (verifier, constant
+	// folding, dominators, reachability); zero when disabled.
+	Static time.Duration
 	// P2Prep covers CFG construction, dynamic edge discovery, and
 	// backward path finding (T-side preparation).
 	P2Prep time.Duration
@@ -130,10 +144,11 @@ type PhaseTimings struct {
 	// P4 covers concrete re-verification, minimization, and Type
 	// classification.
 	P4 time.Duration
-	// P1Cached/P2Cached report whether the corresponding artifact came
-	// from a cache instead of being recomputed.
-	P1Cached bool
-	P2Cached bool
+	// P1Cached/P2Cached/StaticCached report whether the corresponding
+	// artifact came from a cache instead of being recomputed.
+	P1Cached     bool
+	P2Cached     bool
+	StaticCached bool
 }
 
 // PoCGenerated reports whether a reformed PoC was produced (the poc' column

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/cfg"
+	"octopocs/internal/mirstatic"
+)
+
+// staticEnabled resolves whether the static pre-analysis runs for a pair:
+// a per-pair override wins, then the pipeline configuration.
+func (p *Pipeline) staticEnabled(pair *Pair) bool {
+	if pair.StaticPrune != nil {
+		return *pair.StaticPrune
+	}
+	return p.cfg.StaticPrune
+}
+
+// staticKey derives the content address of the static pre-analysis artifact.
+// The analysis is a pure function of the T program, so only its assembled
+// text participates.
+func staticKey(pair *Pair) string {
+	h := sha256.New()
+	io.WriteString(h, asm.Format(pair.T))
+	return "ps:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// phaseStatic produces (or retrieves) the static pre-analysis of T: the MIR
+// verifier, constant folding with dead-block elimination, dominator trees,
+// and the may-call-anything reachability closure. The boolean result reports
+// a cache hit. A verifier rejection is a hard error — a malformed T cannot
+// be verified soundly by any later phase either.
+func (p *Pipeline) phaseStatic(pair *Pair) (*mirstatic.Analysis, bool, error) {
+	var key string
+	if p.p2Cache != nil {
+		key = staticKey(pair)
+		if v, ok := p.p2Cache.Get(key); ok {
+			if sa, ok := v.(*mirstatic.Analysis); ok {
+				return sa, true, nil
+			}
+		}
+	}
+	start := time.Now()
+	sa, err := mirstatic.Analyze(pair.T)
+	if err != nil {
+		return nil, false, fmt.Errorf("pair %s: static pre-analysis of T: %w", pair.Name, err)
+	}
+	p.cfg.Metrics.staticObserve(&sa.Summary, time.Since(start))
+	if p.p2Cache != nil {
+		p.p2Cache.Put(key, sa)
+	}
+	return sa, false, nil
+}
+
+// prunerOf adapts an optional analysis to the cfg.Pruner interface without
+// producing a non-nil interface around a nil pointer.
+func prunerOf(sa *mirstatic.Analysis) cfg.Pruner {
+	if sa == nil {
+		return nil
+	}
+	return sa
+}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"time"
+
+	"octopocs/internal/mirstatic"
 	"octopocs/internal/solver"
 	"octopocs/internal/symex"
 	"octopocs/internal/telemetry"
@@ -16,6 +19,15 @@ type Metrics struct {
 	VM     *vm.Metrics
 	Symex  *symex.Metrics
 	Solver *solver.Metrics
+
+	// Static pre-analysis counters (the P2 pre-phase). All fields are
+	// nil-tolerant, so a partially populated bundle is valid.
+	StaticAnalyses      *telemetry.Counter
+	StaticFolded        *telemetry.Counter
+	StaticDeadBlocks    *telemetry.Counter
+	StaticDeadRegions   *telemetry.Counter
+	StaticShortCircuits *telemetry.Counter
+	StaticLatency       *telemetry.Histogram
 }
 
 // NewMetrics registers the engine counter families on reg under their
@@ -84,6 +96,19 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			Solver: sol,
 		},
 		Solver: sol,
+		StaticAnalyses: reg.Counter("octopocs_static_analyses_total",
+			"Static pre-analyses computed (cache hits excluded).", nil),
+		StaticFolded: reg.Counter("octopocs_static_branches_folded_total",
+			"Branches proven one-sided by constant propagation.", nil),
+		StaticDeadBlocks: reg.Counter("octopocs_static_blocks_pruned_total",
+			"Basic blocks proven dead and pruned from the CFG view.", nil),
+		StaticDeadRegions: reg.Counter("octopocs_static_dead_regions_total",
+			"Dominator-closed dead regions behind folded branches.", nil),
+		StaticShortCircuits: reg.Counter("octopocs_static_short_circuits_total",
+			"Verifications concluded statically-unreachable without symbolic execution.", nil),
+		StaticLatency: reg.Histogram("octopocs_static_latency_seconds",
+			"Wall-clock seconds of one static pre-analysis.", nil,
+			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
 	}
 }
 
@@ -108,4 +133,25 @@ func (m *Metrics) solverSink() *solver.Metrics {
 		return nil
 	}
 	return m.Solver
+}
+
+// staticObserve flushes one freshly computed static pre-analysis.
+func (m *Metrics) staticObserve(s *mirstatic.Summary, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.StaticAnalyses.Inc()
+	m.StaticFolded.Add(uint64(s.FoldedBranches))
+	m.StaticDeadBlocks.Add(uint64(s.DeadBlocks))
+	m.StaticDeadRegions.Add(uint64(s.DeadRegions))
+	m.StaticLatency.ObserveDuration(d)
+}
+
+// staticShortCircuit counts one statically-unreachable verdict emitted
+// without running symbolic execution.
+func (m *Metrics) staticShortCircuit() {
+	if m == nil {
+		return
+	}
+	m.StaticShortCircuits.Inc()
 }

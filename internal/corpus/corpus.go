@@ -76,9 +76,15 @@ func All() []*PairSpec {
 	}
 }
 
-// ByIdx returns the pair with the given Table II row number, or nil.
+// ByIdx returns the pair with the given row number — a Table II row (1-15)
+// or a static-prune pair (16-17) — or nil.
 func ByIdx(idx int) *PairSpec {
 	for _, s := range All() {
+		if s != nil && s.Idx == idx {
+			return s
+		}
+	}
+	for _, s := range StaticSet() {
 		if s != nil && s.Idx == idx {
 			return s
 		}

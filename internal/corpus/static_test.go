@@ -1,0 +1,138 @@
+package corpus_test
+
+import (
+	"bytes"
+	"testing"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/vm"
+)
+
+// TestStaticSetDefined checks the static-prune pairs are complete and
+// resolvable through ByIdx without disturbing the Table II set.
+func TestStaticSetDefined(t *testing.T) {
+	specs := corpus.StaticSet()
+	if len(specs) != 2 {
+		t.Fatalf("static set has %d pairs, want 2", len(specs))
+	}
+	for i, s := range specs {
+		if s.Idx != 16+i {
+			t.Errorf("static pair %d has Idx %d, want %d", i, s.Idx, 16+i)
+		}
+		if s.Pair == nil || s.Pair.S == nil || s.Pair.T == nil || len(s.Pair.PoC) == 0 {
+			t.Errorf("pair %d (%s) incomplete", s.Idx, s.Label())
+		}
+		if got := corpus.ByIdx(s.Idx); got == nil || got.Idx != s.Idx {
+			t.Errorf("ByIdx(%d) = %v", s.Idx, got)
+		}
+	}
+}
+
+// TestStaticPoCsCrashS checks the static-set ground truth: the shared PoC
+// crashes S inside ℓ.
+func TestStaticPoCsCrashS(t *testing.T) {
+	for _, s := range corpus.StaticSet() {
+		t.Run(s.Label(), func(t *testing.T) {
+			out := vm.New(s.Pair.S, vm.Config{Input: s.Pair.PoC}).Run()
+			if !out.Crashed() || !out.CrashedIn(s.Pair.Lib) {
+				t.Fatalf("S outcome = %v, want crash inside ℓ", out)
+			}
+		})
+	}
+}
+
+// TestStaticPruneEquivalence is the pruning soundness check: every corpus
+// pair — the 15 Table II rows plus the static set — must produce the same
+// verdict, type, and byte-identical poc' with static pruning on and off.
+// Only the Reason may sharpen (a pair proven unreachable statically reports
+// statically-unreachable instead of the symex-derived reason) and the
+// effort statistics may shrink.
+func TestStaticPruneEquivalence(t *testing.T) {
+	off := core.New(core.Config{})
+	on := core.New(core.Config{StaticPrune: true})
+	specs := append(corpus.All(), corpus.StaticSet()...)
+	shortCircuits := 0
+	for _, s := range specs {
+		s := s
+		t.Run(s.Label(), func(t *testing.T) {
+			repOff, err := off.Verify(s.Pair)
+			if err != nil {
+				t.Fatalf("Verify (prune off): %v", err)
+			}
+			repOn, err := on.Verify(s.Pair)
+			if err != nil {
+				t.Fatalf("Verify (prune on): %v", err)
+			}
+			t.Logf("off: %v", repOff)
+			t.Logf("on:  %v", repOn)
+			if repOn.Verdict != repOff.Verdict {
+				t.Errorf("verdict: on=%v off=%v", repOn.Verdict, repOff.Verdict)
+			}
+			if repOn.Type != repOff.Type {
+				t.Errorf("type: on=%v off=%v", repOn.Type, repOff.Type)
+			}
+			if !bytes.Equal(repOn.PoCPrime, repOff.PoCPrime) {
+				t.Errorf("poc' differs: on=%x off=%x", repOn.PoCPrime, repOff.PoCPrime)
+			}
+			if repOff.Static != nil {
+				t.Errorf("prune-off report carries a static summary: %v", repOff.Static)
+			}
+			if repOn.Static == nil {
+				t.Errorf("prune-on report is missing the static summary")
+			}
+			if repOn.Reason == core.ReasonStaticUnreachable {
+				shortCircuits++
+				if repOn.Stats.Steps != 0 || repOn.Stats.States != 0 {
+					t.Errorf("short-circuited verdict still ran symex: %+v", repOn.Stats)
+				}
+			}
+		})
+	}
+	if shortCircuits == 0 {
+		t.Error("no pair short-circuited to statically-unreachable")
+	}
+}
+
+// TestDeadCloneShortCircuits pins the Idx-16 contract: with pruning the
+// verdict is statically-unreachable with zero symbolic execution, without
+// it the same not-triggerable verdict costs a directed run.
+func TestDeadCloneShortCircuits(t *testing.T) {
+	spec := corpus.ByIdx(16)
+	rep, err := core.New(core.Config{StaticPrune: true}).Verify(spec.Pair)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.Verdict != core.VerdictNotTriggerable || rep.Type != core.TypeIII {
+		t.Fatalf("verdict = %v/%v, want not-triggerable/Type-III", rep.Verdict, rep.Type)
+	}
+	if rep.Reason != core.ReasonStaticUnreachable {
+		t.Fatalf("reason = %q, want %q", rep.Reason, core.ReasonStaticUnreachable)
+	}
+	if rep.Stats.Steps != 0 {
+		t.Fatalf("short circuit ran %d symex steps, want 0", rep.Stats.Steps)
+	}
+	if rep.Static == nil || rep.Static.DeadBlocks == 0 || rep.Static.FoldedBranches == 0 {
+		t.Fatalf("static summary missing or empty: %+v", rep.Static)
+	}
+}
+
+// TestEmbedPairTriggers pins the Idx-17 contract: still triggerable with
+// pruning on, and the dead legacy remnant is actually pruned.
+func TestEmbedPairTriggers(t *testing.T) {
+	spec := corpus.ByIdx(17)
+	rep, err := core.New(core.Config{StaticPrune: true}).Verify(spec.Pair)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if rep.Verdict != core.VerdictTriggered || rep.Type != core.TypeII {
+		t.Fatalf("verdict = %v/%v (reason %q), want triggered/Type-II", rep.Verdict, rep.Type, rep.Reason)
+	}
+	if rep.Static == nil || rep.Static.DeadBlocks == 0 {
+		t.Fatalf("static summary missing or empty: %+v", rep.Static)
+	}
+	out := vm.New(spec.Pair.T, vm.Config{Input: rep.PoCPrime}).Run()
+	if !out.Crashed() || !out.CrashedIn(spec.Pair.Lib) {
+		t.Fatalf("poc' does not crash T in ℓ: %v", out)
+	}
+}

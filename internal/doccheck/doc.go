@@ -2,6 +2,9 @@
 // fails CI when any internal package loses its package doc comment, its
 // mapping to the paper phases P1–P4, or its stated concurrency contract.
 // It keeps the engine-room documentation from rotting as the code moves.
+// The same contract (plus the goroutine-cancellation check) runs as a vet
+// tool via internal/lint and cmd/octolint; this package stays as the
+// test-harness entry point so a plain `go test ./...` enforces it too.
 //
 // Concurrency: the lint is a read-only parse of the source tree; the test
 // may run concurrently with anything.

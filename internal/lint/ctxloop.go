@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ctxLoopScope names the runtime packages whose goroutines CtxLoop audits:
+// the ones that launch long-lived workers (the P2 frontier explorers, the
+// service pool) or drive whole verifications.
+var ctxLoopScope = []string{"internal/symex", "internal/service", "internal/core"}
+
+// CtxLoop flags unbounded loops inside goroutines that have no way to
+// observe cancellation. For every `go` statement in the package it audits
+// the goroutine's driver loops — each infinite (`for {}`) or condition-only
+// (`for cond {}`) loop in the goroutine body itself or in a function the
+// body calls directly; a loop is fine if its body — transitively, through
+// same-package calls — contains a cancellation or wake-up point, and is
+// flagged otherwise. Helpers deeper in the call graph (heap sifts, drain
+// loops) are bounded by the data structures they walk and are not audited,
+// though they do count as cancellation points for the driver loops that
+// call them.
+//
+// Accepted cancellation points, chosen to match the repo's cooperative-stop
+// idioms: a call to a method named Err or Done (ctx.Err(), ctx.Done()), a
+// select statement with a channel-receive case (the Stop-channel pattern in
+// the symex executor), a bare channel receive, and a call to a method named
+// Wait (sync.Cond.Wait / sync.WaitGroup.Wait — blocking points that are
+// woken by the party that sets the exit flag). Range loops and three-clause
+// loops are exempt: the former end when their channel closes or their
+// collection is exhausted, the latter are bounded by construction.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "check that unbounded loops in goroutines can observe cancellation " +
+		"(ctx.Err/ctx.Done, a Stop-channel select, a receive, or a cond wait)",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	inScope := false
+	for _, s := range ctxLoopScope {
+		if strings.HasSuffix(pass.ImportPath, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	// Index the package's function and method declarations by name. Methods
+	// on different types may collide; the over-approximation only widens the
+	// searched closure, which errs toward accepting code.
+	decls := map[string][]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[fd.Name.Name] = append(decls[fd.Name.Name], fd.Body)
+			}
+		}
+	}
+
+	// Collect the goroutine driver bodies: the body launched by each `go`
+	// statement plus the bodies of the functions it calls directly.
+	var roots []ast.Node
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				roots = append(roots, fun.Body)
+			default:
+				for _, b := range decls[calleeName(g.Call)] {
+					roots = append(roots, b)
+				}
+			}
+			return true
+		})
+	}
+	audit := map[ast.Node]bool{}
+	for _, r := range roots {
+		audit[r] = true
+		ast.Inspect(r, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				for _, b := range decls[calleeName(call)] {
+					audit[b] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Audit every unbounded loop in the driver bodies.
+	for body := range audit {
+		ast.Inspect(body, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Init != nil || loop.Post != nil {
+				return true
+			}
+			if !hasCancelPoint(loop.Body, decls, map[ast.Node]bool{}) {
+				kind := "infinite"
+				if loop.Cond != nil {
+					kind = "condition-only"
+				}
+				pass.Reportf(loop.For, "%s loop in a goroutine has no cancellation point "+
+					"(no ctx.Err/ctx.Done call, select with receive, channel receive, or cond wait)", kind)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeName extracts the resolvable name of a call target: the identifier
+// of a plain call or the selector of a method / qualified call. Anything
+// else (calling a function value, a call chain) is unresolvable and
+// treated as marker-free.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// cancelMethods are the method names whose calls count as cancellation or
+// wake-up points (see the CtxLoop doc for why Wait qualifies).
+var cancelMethods = map[string]bool{"Err": true, "Done": true, "Wait": true}
+
+// hasCancelPoint reports whether n — transitively, through same-package
+// calls — contains a cancellation point. visited guards against recursion.
+func hasCancelPoint(n ast.Node, decls map[string][]*ast.BlockStmt, visited map[ast.Node]bool) bool {
+	if visited[n] {
+		return false
+	}
+	visited[n] = true
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			for _, c := range m.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm != nil {
+					if _, isSend := cc.Comm.(*ast.SendStmt); !isSend {
+						found = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if cancelMethods[calleeName(m)] {
+				found = true
+				return false
+			}
+			for _, b := range decls[calleeName(m)] {
+				if hasCancelPoint(b, decls, visited) {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,242 @@
+package mirstatic
+
+import "octopocs/internal/isa"
+
+// cval is a flat constant lattice value: known c, or varies (bottom).
+// "Unvisited" (top) is represented by a nil per-block fact, so the lattice
+// never needs a third state inside the array.
+type cval struct {
+	known bool
+	v     uint64
+}
+
+var varies = cval{}
+
+func konst(v uint64) cval { return cval{known: true, v: v} }
+
+// meet joins two lattice values: equal constants stay constant, anything
+// else varies.
+func meet(a, b cval) cval {
+	if a.known && b.known && a.v == b.v {
+		return a
+	}
+	return varies
+}
+
+// analyzeFunc runs sparse conditional constant propagation over one
+// function: block-entry register facts flow only along edges that are
+// possible under the facts seen so far, so constant-guarded regions never
+// become live and their (possibly constant-relaxing) joins never pollute
+// the facts. The concrete semantics mirrored here are exactly the VM's
+// (wrapping 64-bit arithmetic, shifts >= 64 produce 0, division by zero
+// faults): a register is reported constant only if it holds that value in
+// every concrete execution reaching the block.
+func analyzeFunc(f *isa.Function) *FuncFacts {
+	n := len(f.Blocks)
+	ff := &FuncFacts{
+		Live:  make([]bool, n),
+		Taken: make([]int, n),
+	}
+	for i := range ff.Taken {
+		ff.Taken[i] = -1
+	}
+	if n == 0 {
+		return ff
+	}
+
+	// facts[b] is the register file at b's entry; nil = not yet reached.
+	facts := make([]*[isa.NumRegs]cval, n)
+	entry := new([isa.NumRegs]cval)
+	for r := 0; r < isa.NumRegs; r++ {
+		if r < f.NParams {
+			entry[r] = varies // arguments are unknown
+		} else {
+			entry[r] = konst(0) // the VM zero-initializes register files
+		}
+	}
+	facts[0] = entry
+
+	work := []int{0}
+	inWork := make([]bool, n)
+	inWork[0] = true
+
+	flow := func(from *[isa.NumRegs]cval, to int) {
+		if facts[to] == nil {
+			cp := *from
+			facts[to] = &cp
+		} else {
+			changed := false
+			for r := 0; r < isa.NumRegs; r++ {
+				m := meet(facts[to][r], from[r])
+				if m != facts[to][r] {
+					facts[to][r] = m
+					changed = true
+				}
+			}
+			if !changed {
+				return
+			}
+		}
+		if !inWork[to] {
+			inWork[to] = true
+			work = append(work, to)
+		}
+	}
+
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b] = false
+
+		regs := *facts[b] // copy: transfer must not mutate the entry fact
+		blk := f.Blocks[b]
+		for i := range blk.Insts {
+			applyTransfer(&blk.Insts[i], &regs)
+		}
+
+		term := blk.Terminator()
+		switch term.Op {
+		case isa.OpJmp:
+			flow(&regs, term.ThenIdx)
+		case isa.OpBr:
+			if c := regs[term.A]; c.known {
+				if c.v != 0 {
+					flow(&regs, term.ThenIdx)
+				} else {
+					flow(&regs, term.ElseIdx)
+				}
+			} else {
+				flow(&regs, term.ThenIdx)
+				flow(&regs, term.ElseIdx)
+			}
+		}
+	}
+
+	// The fixpoint only descends, so a single post-pass reads off the
+	// final verdicts consistently.
+	for b := range f.Blocks {
+		if facts[b] == nil {
+			continue // dead: never reached along surviving edges
+		}
+		ff.Live[b] = true
+		term := f.Blocks[b].Terminator()
+		if term.Op != isa.OpBr {
+			continue
+		}
+		regs := *facts[b]
+		for i := range f.Blocks[b].Insts {
+			in := &f.Blocks[b].Insts[i]
+			applyTransfer(in, &regs)
+		}
+		if c := regs[term.A]; c.known {
+			if c.v != 0 {
+				ff.Taken[b] = term.ThenIdx
+			} else {
+				ff.Taken[b] = term.ElseIdx
+			}
+		}
+	}
+	return ff
+}
+
+// applyTransfer is the straight-line transfer function used by the
+// post-pass; it matches the in-loop switch above.
+func applyTransfer(in *isa.Inst, regs *[isa.NumRegs]cval) {
+	switch in.Op {
+	case isa.OpConst:
+		regs[in.Dst] = konst(uint64(in.Imm))
+	case isa.OpMov:
+		regs[in.Dst] = regs[in.A]
+	case isa.OpBin:
+		regs[in.Dst] = binFold(in.Bin, regs[in.A], regs[in.B])
+	case isa.OpBinImm:
+		regs[in.Dst] = binFold(in.Bin, regs[in.A], konst(uint64(in.Imm)))
+	case isa.OpCmp:
+		regs[in.Dst] = cmpFold(in.Cmp, regs[in.A], regs[in.B])
+	case isa.OpCmpImm:
+		regs[in.Dst] = cmpFold(in.Cmp, regs[in.A], konst(uint64(in.Imm)))
+	case isa.OpLoad, isa.OpCall, isa.OpCallInd:
+		regs[in.Dst] = varies
+	case isa.OpSyscall:
+		if in.Sys != isa.SysExit {
+			regs[in.Dst] = varies
+		}
+	}
+}
+
+// binFold mirrors vm.binOp on the constant lattice. Division or modulo by
+// a known zero faults at runtime; the result register is treated as
+// varying, which keeps the successor facts a sound over-approximation of
+// the (empty) set of executions that survive the fault.
+func binFold(op isa.BinOp, a, b cval) cval {
+	if !a.known || !b.known {
+		return varies
+	}
+	switch op {
+	case isa.Add:
+		return konst(a.v + b.v)
+	case isa.Sub:
+		return konst(a.v - b.v)
+	case isa.Mul:
+		return konst(a.v * b.v)
+	case isa.Div:
+		if b.v == 0 {
+			return varies
+		}
+		return konst(a.v / b.v)
+	case isa.Mod:
+		if b.v == 0 {
+			return varies
+		}
+		return konst(a.v % b.v)
+	case isa.And:
+		return konst(a.v & b.v)
+	case isa.Or:
+		return konst(a.v | b.v)
+	case isa.Xor:
+		return konst(a.v ^ b.v)
+	case isa.Shl:
+		if b.v >= 64 {
+			return konst(0)
+		}
+		return konst(a.v << b.v)
+	case isa.Shr:
+		if b.v >= 64 {
+			return konst(0)
+		}
+		return konst(a.v >> b.v)
+	}
+	return varies
+}
+
+// cmpFold mirrors vm.cmpOp on the constant lattice.
+func cmpFold(op isa.CmpOp, a, b cval) cval {
+	if !a.known || !b.known {
+		return varies
+	}
+	var ok bool
+	switch op {
+	case isa.Eq:
+		ok = a.v == b.v
+	case isa.Ne:
+		ok = a.v != b.v
+	case isa.Lt:
+		ok = a.v < b.v
+	case isa.Le:
+		ok = a.v <= b.v
+	case isa.Gt:
+		ok = a.v > b.v
+	case isa.Ge:
+		ok = a.v >= b.v
+	case isa.SLt:
+		ok = int64(a.v) < int64(b.v)
+	case isa.SLe:
+		ok = int64(a.v) <= int64(b.v)
+	default:
+		return varies
+	}
+	if ok {
+		return konst(1)
+	}
+	return konst(0)
+}

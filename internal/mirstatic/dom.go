@@ -1,0 +1,195 @@
+package mirstatic
+
+import "octopocs/internal/isa"
+
+// staticSuccs returns the unfolded static successors of block b in f.
+func staticSuccs(f *isa.Function, b int) []int {
+	term := f.Blocks[b].Terminator()
+	switch term.Op {
+	case isa.OpJmp:
+		return []int{term.ThenIdx}
+	case isa.OpBr:
+		if term.ThenIdx == term.ElseIdx {
+			return []int{term.ThenIdx}
+		}
+		return []int{term.ThenIdx, term.ElseIdx}
+	}
+	return nil
+}
+
+// Dominators computes the immediate-dominator tree of f's unfolded static
+// CFG with the iterative algorithm of Cooper, Harvey and Kennedy. The
+// result maps each block to its immediate dominator; the entry block maps
+// to itself, and blocks unreachable from the entry map to -1.
+func Dominators(f *isa.Function) []int {
+	n := len(f.Blocks)
+	succs := make([][]int, n)
+	for b := 0; b < n; b++ {
+		succs[b] = staticSuccs(f, b)
+	}
+	return idomTree(n, 0, succs)
+}
+
+// PostDominators computes the immediate-post-dominator tree of f: the
+// dominator tree of the reversed CFG rooted at a virtual exit that joins
+// every exit block (ret, trap, or exit syscall). IPdom[b] == -1 when b's
+// immediate post-dominator is the virtual exit itself, or when b cannot
+// reach any exit (an infinite loop).
+func PostDominators(f *isa.Function) []int {
+	n := len(f.Blocks)
+	// Reverse graph over n real nodes plus virtual exit node n: every edge
+	// b->s (and b->exit for terminal blocks) becomes s->b.
+	rev := make([][]int, n+1)
+	for b := 0; b < n; b++ {
+		ss := staticSuccs(f, b)
+		if len(ss) == 0 {
+			rev[n] = append(rev[n], b)
+			continue
+		}
+		for _, s := range ss {
+			rev[s] = append(rev[s], b)
+		}
+	}
+	idom := idomTree(n+1, n, rev)
+	out := make([]int, n)
+	for b := 0; b < n; b++ {
+		if idom[b] == n || idom[b] < 0 {
+			out[b] = -1
+		} else {
+			out[b] = idom[b]
+		}
+	}
+	return out
+}
+
+// idomTree runs the CHK iterative dominator algorithm on an arbitrary
+// graph given as successor lists, rooted at root. Nodes unreachable from
+// root get idom -1; the root maps to itself.
+func idomTree(n, root int, succs [][]int) []int {
+	// Reverse post-order from root.
+	order := make([]int, 0, n)
+	seen := make([]bool, n)
+	var dfs func(int)
+	dfs = func(u int) {
+		seen[u] = true
+		for _, v := range succs[u] {
+			if !seen[v] {
+				dfs(v)
+			}
+		}
+		order = append(order, u)
+	}
+	dfs(root)
+	// order is post-order; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, u := range order {
+		rpoNum[u] = i
+	}
+	preds := make([][]int, n)
+	for u := 0; u < n; u++ {
+		if !seen[u] {
+			continue
+		}
+		for _, v := range succs[u] {
+			preds[v] = append(preds[v], u)
+		}
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[root] = root
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range order {
+			if u == root {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[u] {
+				if idom[p] < 0 {
+					continue // not yet processed or unreachable
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && idom[u] != newIdom {
+				idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominates walks the idom tree upward from y looking for x. The
+// convention matches Dominators/PostDominators: a node dominates itself,
+// and -1 entries (unreachable, or virtual-exit children) dominate nothing.
+func dominates(idom []int, x, y int) bool {
+	if x < 0 || y < 0 || x >= len(idom) || y >= len(idom) || idom[y] < 0 {
+		return false
+	}
+	for {
+		if y == x {
+			return true
+		}
+		next := idom[y]
+		if next < 0 || next == y {
+			return false
+		}
+		y = next
+	}
+}
+
+// deadRegions derives, for every folded branch in a live block, the region
+// proved dead by the dominator argument: if the never-taken successor d is
+// itself dead after folding, then every block dominated by d in the
+// unfolded CFG is dead too (each of its entry paths must pass through d).
+// The per-region accounting feeds telemetry and -v diagnostics.
+func deadRegions(f *isa.Function, ff *FuncFacts) [][]int {
+	var regions [][]int
+	for b := range f.Blocks {
+		if !ff.Live[b] || ff.Taken[b] < 0 {
+			continue
+		}
+		term := f.Blocks[b].Terminator()
+		dead := term.ElseIdx
+		if ff.Taken[b] == term.ElseIdx {
+			dead = term.ThenIdx
+		}
+		if dead == ff.Taken[b] || ff.Live[dead] {
+			continue // both arms coincide, or another path keeps d alive
+		}
+		var region []int
+		for x := range f.Blocks {
+			if dominates(ff.Idom, dead, x) && !ff.Live[x] {
+				region = append(region, x)
+			}
+		}
+		if len(region) > 0 {
+			regions = append(regions, region)
+		}
+	}
+	return regions
+}

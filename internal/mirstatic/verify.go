@@ -1,0 +1,345 @@
+package mirstatic
+
+import (
+	"fmt"
+	"strings"
+
+	"octopocs/internal/isa"
+)
+
+// Severity grades a verifier diagnostic.
+type Severity int
+
+const (
+	// SevError marks a malformed program: running it would panic the VM
+	// or symex mid-flight, so the pipeline rejects it up front.
+	SevError Severity = iota
+	// SevWarn marks legal-but-suspicious MIR, such as a register that may
+	// be read before any instruction writes it (the VM defines such reads
+	// as zero, but hand-written MIR rarely means that).
+	SevWarn
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warn"
+}
+
+// Diagnostic is one verifier finding, anchored to a program point.
+type Diagnostic struct {
+	Sev Severity
+	Loc isa.Loc
+	Msg string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Sev, d.Loc, d.Msg)
+}
+
+// VerifyError wraps the full diagnostic list of a malformed program.
+type VerifyError struct {
+	Prog  string
+	Diags []Diagnostic
+}
+
+func (e *VerifyError) Error() string {
+	var errs []string
+	for _, d := range e.Diags {
+		if d.Sev == SevError {
+			errs = append(errs, d.String())
+		}
+	}
+	return fmt.Sprintf("mirstatic: program %s is malformed: %s", e.Prog, strings.Join(errs, "; "))
+}
+
+// Verify checks prog for well-formedness and returns every finding instead
+// of stopping at the first, so a malformed guest program fails fast with a
+// complete picture. It subsumes isa.Validate's structural checks (non-empty
+// blocks, single trailing terminator, in-range branch targets, call and
+// syscall arity, operator and width ranges) and adds register-file checks
+// Validate does not perform: all register operands must be below
+// isa.NumRegs, and reads that can happen before any write are flagged as
+// warnings. prog must already be linked (Program.Link or Validate).
+func Verify(prog *isa.Program) []Diagnostic {
+	var ds []Diagnostic
+	errf := func(loc isa.Loc, format string, args ...any) {
+		ds = append(ds, Diagnostic{Sev: SevError, Loc: loc, Msg: fmt.Sprintf(format, args...)})
+	}
+	if prog.Entry == "" || prog.Func(prog.Entry) == nil {
+		errf(isa.Loc{}, "entry function %q is not defined", prog.Entry)
+	}
+	for i, name := range prog.FuncTable {
+		if name != "" && prog.Func(name) == nil {
+			errf(isa.Loc{}, "functable[%d] names unknown function %q", i, name)
+		}
+	}
+	for _, f := range prog.Funcs {
+		ds = append(ds, verifyFunc(prog, f)...)
+	}
+	return ds
+}
+
+func verifyFunc(prog *isa.Program, f *isa.Function) []Diagnostic {
+	var ds []Diagnostic
+	errf := func(loc isa.Loc, format string, args ...any) {
+		ds = append(ds, Diagnostic{Sev: SevError, Loc: loc, Msg: fmt.Sprintf(format, args...)})
+	}
+	if f.NParams < 0 || f.NParams > isa.NumRegs {
+		errf(isa.Loc{Func: f.Name}, "parameter count %d out of range [0,%d]", f.NParams, isa.NumRegs)
+	}
+	if len(f.Blocks) == 0 {
+		errf(isa.Loc{Func: f.Name}, "function has no blocks")
+		return ds
+	}
+	nb := len(f.Blocks)
+	for b, blk := range f.Blocks {
+		if len(blk.Insts) == 0 {
+			errf(isa.Loc{Func: f.Name, Block: b}, "empty basic block %q", blk.Name)
+			continue
+		}
+		for i := range blk.Insts {
+			in := &blk.Insts[i]
+			loc := isa.Loc{Func: f.Name, Block: b, Inst: i}
+			if last := i == len(blk.Insts)-1; in.IsTerminator() != last {
+				if last {
+					errf(loc, "block %q does not end in a terminator", blk.Name)
+				} else {
+					errf(loc, "terminator %v in the middle of block %q", in.Op, blk.Name)
+				}
+			}
+			ds = append(ds, verifyInst(prog, f, in, loc, nb)...)
+		}
+	}
+	ds = append(ds, verifyDefiniteAssignment(f)...)
+	return ds
+}
+
+// verifyInst checks one instruction: operand register ranges, resolved
+// jump/branch targets, call arity against the callee (direct) or every
+// non-empty function-table entry (indirect), syscall arity, and operator
+// and access-width ranges.
+func verifyInst(prog *isa.Program, f *isa.Function, in *isa.Inst, loc isa.Loc, nb int) []Diagnostic {
+	var ds []Diagnostic
+	errf := func(format string, args ...any) {
+		ds = append(ds, Diagnostic{Sev: SevError, Loc: loc, Msg: fmt.Sprintf(format, args...)})
+	}
+	reg := func(what string, r isa.Reg) {
+		if int(r) >= isa.NumRegs {
+			errf("%s register r%d out of range (file has %d registers)", what, r, isa.NumRegs)
+		}
+	}
+	// Operand shape per opcode.
+	switch in.Op {
+	case isa.OpConst:
+		reg("dst", in.Dst)
+	case isa.OpMov:
+		reg("dst", in.Dst)
+		reg("src", in.A)
+	case isa.OpBin, isa.OpCmp:
+		reg("dst", in.Dst)
+		reg("lhs", in.A)
+		reg("rhs", in.B)
+	case isa.OpBinImm, isa.OpCmpImm:
+		reg("dst", in.Dst)
+		reg("lhs", in.A)
+	case isa.OpLoad:
+		reg("dst", in.Dst)
+		reg("addr", in.A)
+	case isa.OpStore:
+		reg("addr", in.A)
+		reg("val", in.B)
+	case isa.OpJmp:
+		if in.ThenIdx < 0 || in.ThenIdx >= nb {
+			errf("jmp target %q (index %d) out of range", in.Then, in.ThenIdx)
+		}
+	case isa.OpBr:
+		reg("cond", in.A)
+		if in.ThenIdx < 0 || in.ThenIdx >= nb {
+			errf("br then-target %q (index %d) out of range", in.Then, in.ThenIdx)
+		}
+		if in.ElseIdx < 0 || in.ElseIdx >= nb {
+			errf("br else-target %q (index %d) out of range", in.Else, in.ElseIdx)
+		}
+	case isa.OpCall:
+		reg("dst", in.Dst)
+		callee := prog.Func(in.Callee)
+		if callee == nil {
+			errf("call to unknown function %q", in.Callee)
+		} else if len(in.Args) != callee.NParams {
+			errf("call %s: got %d args, want %d", in.Callee, len(in.Args), callee.NParams)
+		}
+	case isa.OpCallInd:
+		reg("dst", in.Dst)
+		reg("idx", in.A)
+		if len(prog.FuncTable) == 0 {
+			errf("indirect call in a program with an empty function table")
+		}
+		for _, name := range prog.FuncTable {
+			if name == "" || prog.Func(name) == nil {
+				continue
+			}
+			if got, want := len(in.Args), prog.Func(name).NParams; got != want {
+				errf("indirect call: %d args but functable entry %q takes %d", got, name, want)
+			}
+		}
+	case isa.OpRet:
+		reg("val", in.A)
+	case isa.OpTrap:
+	case isa.OpSyscall:
+		reg("dst", in.Dst)
+		if want, ok := sysArity[in.Sys]; !ok {
+			errf("unknown syscall %d", in.Sys)
+		} else if len(in.Args) != want {
+			errf("syscall %v: got %d args, want %d", in.Sys, len(in.Args), want)
+		}
+	default:
+		errf("unknown opcode %d", in.Op)
+	}
+	for _, r := range in.Args {
+		reg("arg", r)
+	}
+	switch in.Op {
+	case isa.OpBin, isa.OpBinImm:
+		if in.Bin < isa.Add || in.Bin > isa.Shr {
+			errf("invalid binary operator %d", in.Bin)
+		}
+	case isa.OpCmp, isa.OpCmpImm:
+		if in.Cmp < isa.Eq || in.Cmp > isa.SLe {
+			errf("invalid comparison operator %d", in.Cmp)
+		}
+	case isa.OpLoad, isa.OpStore:
+		switch in.Size {
+		case 1, 2, 4, 8:
+		default:
+			errf("invalid access width %d", in.Size)
+		}
+	}
+	return ds
+}
+
+// sysArity mirrors the VM's syscall arity table (isa keeps its copy
+// unexported).
+var sysArity = map[isa.Sys]int{
+	isa.SysOpen:    0,
+	isa.SysRead:    3,
+	isa.SysSeek:    2,
+	isa.SysTell:    1,
+	isa.SysSize:    1,
+	isa.SysMMap:    1,
+	isa.SysAlloc:   1,
+	isa.SysFree:    1,
+	isa.SysWrite:   2,
+	isa.SysExit:    1,
+	isa.SysArgRead: 2,
+	isa.SysArgLen:  0,
+}
+
+// verifyDefiniteAssignment runs a forward must-be-assigned dataflow over
+// the static CFG and warns about register reads that can execute before
+// any write. The VM defines such reads to yield zero, so this is SevWarn,
+// not SevError; it exists to catch operand typos in hand-written MIR.
+func verifyDefiniteAssignment(f *isa.Function) []Diagnostic {
+	n := len(f.Blocks)
+	if n == 0 {
+		return nil
+	}
+	// in[b] = bitset of registers definitely written on every path to b.
+	words := (isa.NumRegs + 63) / 64
+	in := make([][]uint64, n)
+	in[0] = make([]uint64, words)
+	for r := 0; r < f.NParams && r < isa.NumRegs; r++ {
+		in[0][r/64] |= 1 << (r % 64)
+	}
+	work := []int{0}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := make([]uint64, words)
+		copy(out, in[b])
+		for i := range f.Blocks[b].Insts {
+			if d, ok := instDst(&f.Blocks[b].Insts[i]); ok && int(d) < isa.NumRegs {
+				out[int(d)/64] |= 1 << (int(d) % 64)
+			}
+		}
+		for _, s := range staticSuccs(f, b) {
+			if in[s] == nil {
+				cp := make([]uint64, words)
+				copy(cp, out)
+				in[s] = cp
+				work = append(work, s)
+				continue
+			}
+			changed := false
+			for w := 0; w < words; w++ {
+				m := in[s][w] & out[w]
+				if m != in[s][w] {
+					in[s][w] = m
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, s)
+			}
+		}
+	}
+
+	var ds []Diagnostic
+	for b := range f.Blocks {
+		if in[b] == nil {
+			continue // unreachable: nothing to report
+		}
+		def := make([]uint64, words)
+		copy(def, in[b])
+		has := func(r isa.Reg) bool {
+			return int(r) < isa.NumRegs && def[int(r)/64]&(1<<(int(r)%64)) != 0
+		}
+		for i := range f.Blocks[b].Insts {
+			inst := &f.Blocks[b].Insts[i]
+			for _, r := range instSrcs(inst) {
+				if !has(r) {
+					ds = append(ds, Diagnostic{
+						Sev: SevWarn,
+						Loc: isa.Loc{Func: f.Name, Block: b, Inst: i},
+						Msg: fmt.Sprintf("r%d may be read before it is written (reads as 0)", r),
+					})
+				}
+			}
+			if d, ok := instDst(inst); ok && int(d) < isa.NumRegs {
+				def[int(d)/64] |= 1 << (int(d) % 64)
+			}
+		}
+	}
+	return ds
+}
+
+// instDst reports the register an instruction writes, if any.
+func instDst(in *isa.Inst) (isa.Reg, bool) {
+	switch in.Op {
+	case isa.OpConst, isa.OpMov, isa.OpBin, isa.OpBinImm, isa.OpCmp,
+		isa.OpCmpImm, isa.OpLoad, isa.OpCall, isa.OpCallInd:
+		return in.Dst, true
+	case isa.OpSyscall:
+		if in.Sys == isa.SysExit {
+			return 0, false
+		}
+		return in.Dst, true
+	}
+	return 0, false
+}
+
+// instSrcs lists the registers an instruction reads.
+func instSrcs(in *isa.Inst) []isa.Reg {
+	var out []isa.Reg
+	switch in.Op {
+	case isa.OpMov, isa.OpBinImm, isa.OpCmpImm, isa.OpLoad, isa.OpRet, isa.OpBr:
+		out = append(out, in.A)
+	case isa.OpBin, isa.OpCmp, isa.OpStore:
+		out = append(out, in.A, in.B)
+	case isa.OpCallInd:
+		out = append(out, in.A)
+	}
+	out = append(out, in.Args...)
+	return out
+}

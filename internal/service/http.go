@@ -35,8 +35,14 @@ type SubmitRequest struct {
 	InputSize int `json:"input_size,omitempty"`
 	// MaxSteps overrides the per-run instruction budget (0 = default).
 	MaxSteps int64 `json:"max_steps,omitempty"`
-	// CorpusIdx submits the built-in Table II row instead (1-15).
+	// CorpusIdx submits a built-in corpus row instead: the Table II pairs
+	// (1-15) or the static-prune pairs (16-17).
 	CorpusIdx int `json:"corpus_idx,omitempty"`
+	// Static overrides the service-wide static-prune setting for this job:
+	// true forces the pre-P2 static analysis (verifier, constant folding,
+	// dead-block pruning, statically-unreachable short-circuit), false
+	// forces it off, absent inherits the pipeline configuration.
+	Static *bool `json:"static,omitempty"`
 }
 
 // BuildPair converts the request into a verification task.
@@ -44,9 +50,17 @@ func (r *SubmitRequest) BuildPair() (*core.Pair, error) {
 	if r.CorpusIdx != 0 {
 		spec := corpus.ByIdx(r.CorpusIdx)
 		if spec == nil {
-			return nil, fmt.Errorf("no corpus pair with index %d (valid: 1-15)", r.CorpusIdx)
+			return nil, fmt.Errorf("no corpus pair with index %d (valid: 1-17)", r.CorpusIdx)
 		}
-		return spec.Pair, nil
+		pair := spec.Pair
+		if r.Static != nil {
+			// Corpus specs are shared; copy before attaching the per-job
+			// override.
+			cp := *pair
+			cp.StaticPrune = r.Static
+			pair = &cp
+		}
+		return pair, nil
 	}
 	if r.S == "" || r.T == "" {
 		return nil, errors.New("s and t program texts are required (or corpus_idx)")
@@ -74,14 +88,15 @@ func (r *SubmitRequest) BuildPair() (*core.Pair, error) {
 		name = fmt.Sprintf("%s->%s", sProg.Name, tProg.Name)
 	}
 	return &core.Pair{
-		Name:      name,
-		S:         sProg,
-		T:         tProg,
-		PoC:       r.PoC,
-		Lib:       lib,
-		CtxArgs:   r.CtxArgs,
-		InputSize: r.InputSize,
-		MaxSteps:  r.MaxSteps,
+		Name:        name,
+		S:           sProg,
+		T:           tProg,
+		PoC:         r.PoC,
+		Lib:         lib,
+		CtxArgs:     r.CtxArgs,
+		InputSize:   r.InputSize,
+		MaxSteps:    r.MaxSteps,
+		StaticPrune: r.Static,
 	}, nil
 }
 

@@ -43,11 +43,28 @@ func (e *Executor) branch(st *State, fr *Frame, in *isa.Inst, directed bool) err
 		opts[0], opts[1] = opts[1], opts[0]
 	}
 
+	// A statically folded branch has exactly one direction any execution
+	// can take; the other is infeasible on every path, so skipping it (and
+	// never scheduling it as a backtrack alternative) cannot change the
+	// outcome — it only saves the SAT checks that would refute it.
+	prunedTaken := -1
+	if e.cfg.Prune != nil && in.ThenIdx != in.ElseIdx {
+		if t, ok := e.cfg.Prune.BranchTaken(fr.fn.Name, fr.block); ok {
+			prunedTaken = t
+		}
+	}
+
 	inLoop := fr.visits[fr.block] > 1
 	for i, o := range opts {
 		// θ bound: refuse to re-enter a block beyond the iteration cap.
+		// This runs before the prune skip so the loop-dead/program-dead
+		// classification of a dying state is identical with pruning off.
 		if fr.visits[o.block] >= e.cfg.Theta {
 			inLoop = true
+			continue
+		}
+		if prunedTaken >= 0 && o.block != prunedTaken {
+			e.stat.PrunedBranches++
 			continue
 		}
 		ok, err := e.feasible(st, o.constraint)
@@ -59,7 +76,9 @@ func (e *Executor) branch(st *State, fr *Frame, in *isa.Inst, directed bool) err
 			// before this path commits. A frontier worker records it even
 			// in naive mode, where the emitted alternative plays the role
 			// of the fork's second child.
-			if (directed || e.emit != nil) && i == 0 && fr.visits[opts[1].block] < e.cfg.Theta {
+			if (directed || e.emit != nil) && i == 0 &&
+				!(prunedTaken >= 0 && opts[1].block != prunedTaken) &&
+				fr.visits[opts[1].block] < e.cfg.Theta {
 				var d int64
 				if directed {
 					d = e.blockScore(fr, opts[1].block)

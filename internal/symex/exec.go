@@ -53,6 +53,13 @@ type Config struct {
 	// Distances holds backward path finding results for Target; required
 	// by Run, unused by RunNaive.
 	Distances *cfg.Distances
+	// Prune, when non-nil, supplies sound static facts (folded branches,
+	// dead blocks) from the pre-P2 analysis: the executor skips branch
+	// directions the pruner proves dead instead of spending SAT checks and
+	// backtrack slots on them. Because a pruned direction is infeasible on
+	// every path, the committed path, constraint set and result are
+	// identical with and without a pruner; only the work differs.
+	Prune cfg.Pruner
 	// MaxBacktracks bounds directed-mode decision reversals.
 	MaxBacktracks int
 	// Workers selects the exploration engine. 0 (the default) runs the
@@ -128,6 +135,9 @@ type Stats struct {
 	// LoopDeads and ProgramDeads count dead states encountered.
 	LoopDeads    int
 	ProgramDeads int
+	// PrunedBranches counts branch directions skipped because the static
+	// pre-analysis proved them dead (no SAT check, no backtrack slot).
+	PrunedBranches int64
 	// PeakMemBytes is the peak estimated retained memory across live
 	// states (naive mode) or the final state footprint (directed mode).
 	PeakMemBytes int64

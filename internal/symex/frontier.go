@@ -484,6 +484,7 @@ func (f *frontier) finish(ws []*fWorker, workers int) (*Result, error) {
 		stat.Steps += w.steps
 		stat.SatChecks += w.ex.stat.SatChecks
 		stat.LoopStates += w.ex.stat.LoopStates
+		stat.PrunedBranches += w.ex.stat.PrunedBranches
 		workerSteps[i] = w.steps
 	}
 

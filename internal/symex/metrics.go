@@ -35,6 +35,9 @@ type Metrics struct {
 	ThetaExhausted *telemetry.Counter
 	// SatChecks counts feasibility queries issued to the solver.
 	SatChecks *telemetry.Counter
+	// PrunedBranches counts branch directions skipped because the static
+	// pre-analysis (P2 pre-phase) proved them dead.
+	PrunedBranches *telemetry.Counter
 	// Steals counts frontier nodes executed by a worker other than the one
 	// that emitted them (parallel engine only).
 	Steals *telemetry.Counter
@@ -65,6 +68,7 @@ func (m *Metrics) observe(st *Stats, finalKind StateKind) {
 	m.LoopDeads.Add(uint64(st.LoopDeads))
 	m.ProgramDeads.Add(uint64(st.ProgramDeads))
 	m.SatChecks.Add(uint64(st.SatChecks))
+	m.PrunedBranches.Add(uint64(st.PrunedBranches))
 	if finalKind == KindLoopDead {
 		m.ThetaExhausted.Inc()
 	}

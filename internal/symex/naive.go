@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"octopocs/internal/cfg"
 	"octopocs/internal/expr"
 	"octopocs/internal/isa"
 	"octopocs/internal/solver"
@@ -52,6 +53,10 @@ type NaiveConfig struct {
 	// SolverCache, when non-nil, memoizes satisfiability verdicts across
 	// feasibility checks; safe to share between explorations.
 	SolverCache *solver.Cache
+	// Prune, when non-nil, skips statically dead branch directions exactly
+	// as in Config.Prune; the fork set is unchanged because a pruned
+	// direction is infeasible and would be dropped by its SAT check.
+	Prune cfg.Pruner
 }
 
 // RunNaive explores the program breadth-first, forking at every feasible
@@ -96,6 +101,7 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 			Metrics:     cfg.Metrics,
 			Workers:     cfg.Workers,
 			SolverCache: cfg.SolverCache,
+			Prune:       cfg.Prune,
 		}, stopVisitor, frontierBudgets{mem: cfg.MemBudget, states: cfg.MaxStates}, nil)
 	}
 	e := New(prog, Config{
@@ -106,6 +112,7 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 		Target:    cfg.Target,
 		Stop:      cfg.Stop,
 		Metrics:   cfg.Metrics,
+		Prune:     cfg.Prune,
 	})
 	e.onResolve = onResolve
 	defer func() {
@@ -244,12 +251,24 @@ func (e *Executor) fork(st *State, fr *Frame, in *isa.Inst) ([]*State, error) {
 		block      int
 		constraint *expr.Expr
 	}
+	prunedTaken := -1
+	if e.cfg.Prune != nil && in.ThenIdx != in.ElseIdx {
+		if t, ok := e.cfg.Prune.BranchTaken(fr.fn.Name, fr.block); ok {
+			prunedTaken = t
+		}
+	}
 	var out []*State
 	for _, o := range []option{
 		{in.ThenIdx, expr.Bool(cond)},
 		{in.ElseIdx, expr.Not(cond)},
 	} {
 		if fr.visits[o.block] >= e.cfg.Theta {
+			continue
+		}
+		if prunedTaken >= 0 && o.block != prunedTaken {
+			// Statically dead direction: the feasibility check below
+			// would refute it; skip the SAT call.
+			e.stat.PrunedBranches++
 			continue
 		}
 		ok, err := e.feasible(st, o.constraint)
