@@ -42,6 +42,8 @@ func run(args []string) error {
 		symexOut  = fs.String("bench-symex-out", "BENCH_symex.json", "with -bench-symex: output file")
 		doStatic  = fs.Bool("bench-static", false, "run the static-prune pipeline benchmark (all pairs, pruning off vs on)")
 		staticOut = fs.String("bench-static-out", "BENCH_static.json", "with -bench-static: output file")
+		doFaults  = fs.Bool("bench-faults", false, "run the fault-injection overhead benchmark (all pairs, clean vs canned chaos schedule)")
+		faultsOut = fs.String("bench-faults-out", "BENCH_faults.json", "with -bench-faults: output file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,9 +57,12 @@ func run(args []string) error {
 	if *doStatic {
 		return benchStatic(*staticOut)
 	}
+	if *doFaults {
+		return benchFaults(*faultsOut)
+	}
 	if !*all && *table == 0 && !*doSurvey && !*doLatest && !*doSweeps {
 		fs.Usage()
-		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, or -bench-static")
+		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, -bench-static, or -bench-faults")
 	}
 
 	want := func(n int) bool { return *all || *table == n }

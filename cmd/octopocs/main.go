@@ -25,6 +25,7 @@ import (
 
 	"octopocs/internal/core"
 	"octopocs/internal/corpus"
+	"octopocs/internal/faultinject"
 	"octopocs/internal/service"
 	"octopocs/internal/telemetry"
 	"octopocs/internal/trace"
@@ -55,11 +56,16 @@ func run(args []string) error {
 		withTrace   = fs.Bool("trace", false, "dump each job's phase/sub-step span tree as JSON after its report")
 		logLevel    = fs.String("log-level", "warn", "log level: debug, info, warn, error")
 		logFormat   = fs.String("log-format", "text", "log format: text or json")
+		faultSched  = fs.String("fault-schedule", "", "deterministic fault-injection schedule, e.g. 'seed=42;solver.sat:nth=2|5' (chaos testing; off by default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger, err := telemetry.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	faults, err := parseFaults(*faultSched)
 	if err != nil {
 		return err
 	}
@@ -69,11 +75,11 @@ func run(args []string) error {
 	}
 	if *prioritize {
 		return runPrioritize(core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG,
-			StaticPrune: *static, SymexWorkers: symexBudget(*symexWork)})
+			StaticPrune: *static, SymexWorkers: symexBudget(*symexWork), Faults: faults})
 	}
 
 	cfg := core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG,
-		StaticPrune: *static, SymexWorkers: symexBudget(*symexWork)}
+		StaticPrune: *static, SymexWorkers: symexBudget(*symexWork), Faults: faults}
 
 	var specs []*corpus.PairSpec
 	if *all {
@@ -115,6 +121,16 @@ func run(args []string) error {
 // symexBudget maps the -symex-workers flag onto core.Config.SymexWorkers for
 // a direct in-process pipeline: positive values pass through, 0 auto-sizes to
 // GOMAXPROCS, and negative values select the legacy sequential engine.
+// parseFaults builds the fault injector from the -fault-schedule flag; an
+// empty schedule (the default) disables injection entirely.
+func parseFaults(schedule string) (*faultinject.Injector, error) {
+	sch, err := faultinject.ParseSchedule(schedule)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-schedule: %w", err)
+	}
+	return faultinject.New(sch), nil
+}
+
 func symexBudget(flagVal int) int {
 	switch {
 	case flagVal > 0:

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"octopocs/internal/core"
+	"octopocs/internal/faultinject"
 	"octopocs/internal/service"
 	"octopocs/internal/telemetry"
 )
@@ -55,12 +56,17 @@ func run(args []string, logOut *os.File) error {
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	debugAddr := fs.String("debug-addr", "", "optional second listener serving net/http/pprof (e.g. 127.0.0.1:8345)")
+	faultSched := fs.String("fault-schedule", "", "deterministic fault-injection schedule, e.g. 'seed=42;solver.sat:nth=2|5' (chaos testing; off by default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	logger, err := telemetry.NewLogger(logOut, *logLevel, *logFormat)
 	if err != nil {
 		return err
+	}
+	faultSchedule, err := faultinject.ParseSchedule(*faultSched)
+	if err != nil {
+		return fmt.Errorf("-fault-schedule: %w", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -82,7 +88,7 @@ func run(args []string, logOut *os.File) error {
 		JobTimeout:    *timeout,
 		TraceCapacity: *traces,
 		SymexWorkers:  *symexWorkers,
-		Pipeline:      core.Config{StaticPrune: *static},
+		Pipeline:      core.Config{StaticPrune: *static, Faults: faultinject.New(faultSchedule)},
 		Logger:        logger,
 	}, *drain, logger)
 }

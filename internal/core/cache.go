@@ -9,6 +9,7 @@ import (
 
 	"octopocs/internal/asm"
 	"octopocs/internal/cfg"
+	"octopocs/internal/faultinject"
 	"octopocs/internal/vm"
 )
 
@@ -54,6 +55,33 @@ type P2Artifact struct {
 func (p *Pipeline) SetCaches(p1, p2 Cache) {
 	p.p1Cache = p1
 	p.p2Cache = p2
+}
+
+// cacheGet reads an artifact through the fault injector: an injected
+// cache-read failure degrades to a miss, so the phase recomputes the
+// artifact it would have loaded — slower, never different.
+func (p *Pipeline) cacheGet(c Cache, key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	if p.cfg.Faults.Fire(faultinject.CoreCacheGet) {
+		return nil, false
+	}
+	return c.Get(key)
+}
+
+// cachePut stores an artifact through the fault injector: an injected
+// cache-write failure drops the write. Later verifications recompute
+// instead of hitting; verdicts are unaffected because only complete
+// artifacts are ever stored.
+func (p *Pipeline) cachePut(c Cache, key string, v any) {
+	if c == nil {
+		return
+	}
+	if p.cfg.Faults.Fire(faultinject.CoreCachePut) {
+		return
+	}
+	c.Put(key, v)
 }
 
 // p1Key derives the content address of the S-side artifact. Every input

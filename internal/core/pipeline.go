@@ -8,6 +8,7 @@ import (
 
 	"octopocs/internal/cfg"
 	"octopocs/internal/expr"
+	"octopocs/internal/faultinject"
 	"octopocs/internal/isa"
 	"octopocs/internal/mirstatic"
 	"octopocs/internal/solver"
@@ -64,6 +65,15 @@ type Config struct {
 	// instrumentation entirely; the hot paths then contain no telemetry
 	// calls at all.
 	Metrics *Metrics
+	// Retry bounds the per-phase retry loop for transient faults (injected
+	// SAT failures, recovered worker panics). The zero value retries
+	// DefaultRetryMax times; Max < 0 disables retries.
+	Retry RetryPolicy
+	// Faults, when non-nil, injects the scheduled faults at every named
+	// injection point threaded through the pipeline: the solver, the symex
+	// engines, the artifact caches, and the static pre-analysis. Nil in
+	// production — every Fire call on a nil injector is a no-op.
+	Faults *faultinject.Injector
 }
 
 // Pipeline verifies pairs. Create with New. A Pipeline holds no per-run
@@ -83,6 +93,14 @@ func New(cfg Config) *Pipeline {
 	p := &Pipeline{cfg: cfg}
 	if cfg.SatCacheEntries >= 0 {
 		p.satCache = solver.NewCache(cfg.SatCacheEntries)
+	}
+	if cfg.Faults != nil && cfg.Metrics != nil {
+		cfg.Faults.SetCounters(faultinject.Counters{
+			Injected:  cfg.Metrics.FaultsInjected,
+			Recovered: cfg.Metrics.FaultsRecovered,
+			Retried:   cfg.Metrics.FaultsRetried,
+			Degraded:  cfg.Metrics.FaultsDegraded,
+		})
 	}
 	return p
 }
@@ -135,7 +153,13 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	// the backtrace, extract crash primitives.
 	t0 := time.Now()
 	sp := tr.Start("p1", root)
-	p1, p1Cached, err := p.phase1(ctx, pair, sp)
+	var p1 *P1Artifact
+	var p1Cached bool
+	err := p.retryTransient(ctx, "p1", func() error {
+		var rerr error
+		p1, p1Cached, rerr = p.phase1(ctx, pair, sp)
+		return rerr
+	})
 	sp.SetAttr("cached", p1Cached)
 	sp.End()
 	rep.Timings.P1 = time.Since(t0)
@@ -172,13 +196,25 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 		rep.Timings.Static = time.Since(t0)
 		rep.Timings.StaticCached = staticCached
 		if err != nil {
-			return nil, err
+			if !faultinject.IsDegraded(err) {
+				return nil, err
+			}
+			// Graceful degradation: the pipeline is complete without the
+			// static layer — pruning only skips SAT refutations of
+			// semantically infeasible directions — so an injected analysis
+			// failure falls back to the unpruned CFG view. The verdict is
+			// unchanged; only Timings and the pruned-branch counters differ.
+			telemetry.Logger(ctx).Warn("static pre-analysis degraded; continuing unpruned",
+				"pair", pair.Name, "err", err.Error())
+			sa = nil
 		}
-		rep.Static = &sa.Summary
-		if sa.EpUnreachable(ep) {
-			p.cfg.Metrics.staticShortCircuit()
-			rep.Verdict, rep.Type, rep.Reason = VerdictNotTriggerable, TypeIII, ReasonStaticUnreachable
-			return rep, nil
+		if sa != nil {
+			rep.Static = &sa.Summary
+			if sa.EpUnreachable(ep) {
+				p.cfg.Metrics.staticShortCircuit()
+				rep.Verdict, rep.Type, rep.Reason = VerdictNotTriggerable, TypeIII, ReasonStaticUnreachable
+				return rep, nil
+			}
 		}
 	}
 
@@ -191,7 +227,13 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	// verdict.
 	t0 = time.Now()
 	sp = tr.Start("p2_prep", root)
-	prep, p2Cached, err := p.phase2Prep(ctx, pair, ep, sa, sp)
+	var prep *P2Artifact
+	var p2Cached bool
+	err = p.retryTransient(ctx, "p2_prep", func() error {
+		var rerr error
+		prep, p2Cached, rerr = p.phase2Prep(ctx, pair, ep, sa, sp)
+		return rerr
+	})
 	sp.SetAttr("cached", p2Cached)
 	sp.End()
 	rep.Timings.P2Prep = time.Since(t0)
@@ -214,7 +256,14 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	// P2 + P3: directed symbolic execution with bunch placement.
 	t0 = time.Now()
 	sp = tr.Start("reform", root)
-	pocPrime, stats, reason, err := p.reform(ctx, pair, ep, prep.Dist, p1.Bunches, prunerOf(sa), sp)
+	var pocPrime []byte
+	var stats symex.Stats
+	var reason Reason
+	err = p.retryTransient(ctx, "reform", func() error {
+		var rerr error
+		pocPrime, stats, reason, rerr = p.reform(ctx, pair, ep, prep.Dist, p1.Bunches, prunerOf(sa), sp)
+		return rerr
+	})
 	sp.End()
 	rep.Timings.Reform = time.Since(t0)
 	if err != nil {
@@ -283,7 +332,7 @@ func (p *Pipeline) phase1(ctx context.Context, pair *Pair, parent *telemetry.Spa
 	var key string
 	if p.p1Cache != nil {
 		key = p.p1Key(pair)
-		if v, ok := p.p1Cache.Get(key); ok {
+		if v, ok := p.cacheGet(p.p1Cache, key); ok {
 			if art, ok := v.(*P1Artifact); ok {
 				return art, true, nil
 			}
@@ -312,7 +361,7 @@ func (p *Pipeline) phase1(ctx context.Context, pair *Pair, parent *telemetry.Spa
 	}
 	art := &P1Artifact{Ep: ep, SCrash: sOut.Crash, Bunches: bunches}
 	if p.p1Cache != nil {
-		p.p1Cache.Put(key, art)
+		p.cachePut(p.p1Cache, key, art)
 	}
 	return art, false, nil
 }
@@ -326,7 +375,7 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mi
 	var key string
 	if p.p2Cache != nil {
 		key = p.p2Key(pair, ep, sa != nil)
-		if v, ok := p.p2Cache.Get(key); ok {
+		if v, ok := p.cacheGet(p.p2Cache, key); ok {
 			if art, ok := v.(*P2Artifact); ok {
 				return art, true, nil
 			}
@@ -336,7 +385,7 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mi
 	graph := cfg.BuildPruned(pair.T, prunerOf(sa))
 	if !p.cfg.StaticCFGOnly {
 		sp := tr.Start("discover", parent)
-		for _, e := range symex.Discover(pair.T, symex.NaiveConfig{
+		edges, derr := symex.Discover(pair.T, symex.NaiveConfig{
 			InputSize:   p.discoverInputSize(pair),
 			MaxSteps:    p.maxSteps(pair),
 			SatBudget:   p.cfg.SatBudget,
@@ -344,10 +393,18 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mi
 			Metrics:     p.cfg.Metrics.symexSink(),
 			SolverCache: p.satCache,
 			Prune:       prunerOf(sa),
-		}) {
+			Faults:      p.cfg.Faults,
+		})
+		for _, e := range edges {
 			graph.ObserveCall(e.Site, e.Callee)
 		}
 		sp.End()
+		// A transiently faulted discovery leaves a partial edge set: a
+		// different dynamic CFG than the fault-free run would build.
+		// Surface it so the caller retries the whole phase.
+		if derr != nil {
+			return nil, false, derr
+		}
 		// A cancelled discovery leaves a partial edge set: usable for
 		// nothing, and in particular not cacheable — a cached artifact
 		// must be a pure function of its key.
@@ -362,7 +419,7 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mi
 		sp.End()
 	}
 	if p.p2Cache != nil {
-		p.p2Cache.Put(key, art)
+		p.cachePut(p.p2Cache, key, art)
 	}
 	return art, false, nil
 }
@@ -469,8 +526,11 @@ func (p *Pipeline) extractPrimitives(ctx context.Context, pair *Pair, ep string)
 
 // reform is P2+P3: directed symbolic execution of T toward ep with bunch
 // placement at each entry, then constraint solving into poc'. A non-nil
-// error is returned only for cancellation; analysis failures degrade into
-// Reason codes.
+// error is returned for cancellation, for transient injected faults (so
+// the caller's retry loop re-runs the phase instead of accepting a
+// fault-altered verdict), and for real worker panics (which must fail the
+// job explicitly, never degrade into a verdict); all other analysis
+// failures degrade into Reason codes.
 func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes, prune cfg.Pruner, parent *telemetry.Span) ([]byte, symex.Stats, Reason, error) {
 	inputSize := p.symInputSize(pair)
 	tr := telemetry.TraceFrom(ctx)
@@ -487,12 +547,13 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 		Workers:     p.cfg.SymexWorkers,
 		SolverCache: p.satCache,
 		Prune:       prune,
+		Faults:      p.cfg.Faults,
 	})
 
 	// The visitor below runs concurrently when SymexWorkers > 1; it only
 	// touches state-local data, mutex-guarded trace spans, and placeSol,
 	// whose Sat is safe for concurrent use.
-	placeSol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink(), Cache: p.satCache}
+	placeSol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink(), Cache: p.satCache, Faults: p.cfg.Faults}
 	visitor := func(entry symex.EpEntry, st *symex.State) (symex.Decision, error) {
 		esp := tr.Start("ep_entry", parent)
 		defer esp.End()
@@ -531,7 +592,13 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 		// dying here lets directed execution backtrack to a longer or
 		// different path (the paper's iterate-until-not-loop-dead
 		// policy subsumed by decision reversal).
-		if ok, err := placeSol.Sat(st.Constraints()); err == nil && !ok {
+		ok, serr := placeSol.Sat(st.Constraints())
+		if serr != nil && faultinject.IsTransient(serr) {
+			// Ignoring the failed check would place the bunch on a path
+			// the fault-free run might refute; abort so the phase retries.
+			return symex.Stop, serr
+		}
+		if serr == nil && !ok {
 			return symex.Infeasible, nil
 		}
 		if entry.Seq == len(bunches) {
@@ -547,6 +614,15 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 		}
 		if errors.Is(err, errParamMismatch) {
 			return nil, symex.Stats{}, ReasonParamMismatch, nil
+		}
+		if faultinject.IsTransient(err) {
+			return nil, symex.Stats{}, ReasonNone, err
+		}
+		var pe *faultinject.PanicError
+		if errors.As(err, &pe) {
+			// A real (non-injected) worker panic: a bug, not a budget
+			// exhaustion. Degrading it into a verdict would hide it.
+			return nil, symex.Stats{}, ReasonNone, err
 		}
 		telemetry.Logger(ctx).Warn("reform degraded to budget verdict",
 			"pair", pair.Name, "err", err.Error())
@@ -570,12 +646,15 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 	// P3.3: solve everything into concrete bytes.
 	ssp := tr.Start("solve", parent)
 	ssp.SetAttr("constraints", len(res.Constraints))
-	sol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink()}
+	sol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink(), Faults: p.cfg.Faults}
 	model, err := sol.Solve(res.Constraints)
 	ssp.End()
 	if err != nil {
 		if errors.Is(err, solver.ErrUnsat) {
 			return nil, res.Stats, ReasonUnsat, nil
+		}
+		if faultinject.IsTransient(err) {
+			return nil, res.Stats, ReasonNone, err
 		}
 		return nil, res.Stats, ReasonBudget, nil
 	}

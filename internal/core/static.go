@@ -9,6 +9,7 @@ import (
 
 	"octopocs/internal/asm"
 	"octopocs/internal/cfg"
+	"octopocs/internal/faultinject"
 	"octopocs/internal/mirstatic"
 )
 
@@ -39,11 +40,14 @@ func (p *Pipeline) phaseStatic(pair *Pair) (*mirstatic.Analysis, bool, error) {
 	var key string
 	if p.p2Cache != nil {
 		key = staticKey(pair)
-		if v, ok := p.p2Cache.Get(key); ok {
+		if v, ok := p.cacheGet(p.p2Cache, key); ok {
 			if sa, ok := v.(*mirstatic.Analysis); ok {
 				return sa, true, nil
 			}
 		}
+	}
+	if err := p.cfg.Faults.Err(faultinject.CoreStatic); err != nil {
+		return nil, false, fmt.Errorf("pair %s: static pre-analysis of T: %w", pair.Name, err)
 	}
 	start := time.Now()
 	sa, err := mirstatic.Analyze(pair.T)
@@ -52,7 +56,7 @@ func (p *Pipeline) phaseStatic(pair *Pair) (*mirstatic.Analysis, bool, error) {
 	}
 	p.cfg.Metrics.staticObserve(&sa.Summary, time.Since(start))
 	if p.p2Cache != nil {
-		p.p2Cache.Put(key, sa)
+		p.cachePut(p.p2Cache, key, sa)
 	}
 	return sa, false, nil
 }

@@ -28,6 +28,13 @@ type Metrics struct {
 	StaticDeadRegions   *telemetry.Counter
 	StaticShortCircuits *telemetry.Counter
 	StaticLatency       *telemetry.Histogram
+
+	// Fault-injection counters (populated by the chaos harness; always zero
+	// in production, where no injector is attached).
+	FaultsInjected  *telemetry.Counter
+	FaultsRecovered *telemetry.Counter
+	FaultsRetried   *telemetry.Counter
+	FaultsDegraded  *telemetry.Counter
 }
 
 // NewMetrics registers the engine counter families on reg under their
@@ -109,6 +116,14 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		StaticLatency: reg.Histogram("octopocs_static_latency_seconds",
 			"Wall-clock seconds of one static pre-analysis.", nil,
 			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
+		FaultsInjected: reg.Counter("octopocs_faults_injected_total",
+			"Faults fired by the injection schedule.", nil),
+		FaultsRecovered: reg.Counter("octopocs_faults_recovered_total",
+			"Panics recovered by containment boundaries (workers, job runners, HTTP handlers).", nil),
+		FaultsRetried: reg.Counter("octopocs_faults_retried_total",
+			"Phase retries triggered by transient faults.", nil),
+		FaultsDegraded: reg.Counter("octopocs_faults_degraded_total",
+			"Degraded-mode fallbacks taken (cache bypassed, static pruning skipped).", nil),
 	}
 }
 

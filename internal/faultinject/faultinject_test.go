@@ -1,0 +1,268 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, s string) *Schedule {
+	t.Helper()
+	sch, err := ParseSchedule(s)
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q): %v", s, err)
+	}
+	return sch
+}
+
+// TestParseScheduleRoundTrip checks the grammar parses and renders back to
+// a canonical form that re-parses to the same schedule.
+func TestParseScheduleRoundTrip(t *testing.T) {
+	in := "seed=42;solver.sat:nth=2|5;core.cache_get:rate=0.1;symex.frontier_stall:nth=1,delay=50ms;service.queue_full"
+	s := mustParse(t, in)
+	if s.Seed != 42 {
+		t.Errorf("seed = %d, want 42", s.Seed)
+	}
+	if len(s.Rules) != 4 {
+		t.Fatalf("got %d rules, want 4: %+v", len(s.Rules), s.Rules)
+	}
+	again := mustParse(t, s.String())
+	if s.String() != again.String() {
+		t.Errorf("canonical form is not a fixed point:\n  first:  %s\n  second: %s", s, again)
+	}
+	// The bare point defaults to an always-fire rate rule.
+	var qf *Rule
+	for i := range s.Rules {
+		if s.Rules[i].Point == ServiceQueueFull {
+			qf = &s.Rules[i]
+		}
+	}
+	if qf == nil || qf.Rate != 1 {
+		t.Errorf("bare point rule = %+v, want rate=1", qf)
+	}
+}
+
+// TestParseScheduleRejects checks typos fail fast instead of silently not
+// injecting.
+func TestParseScheduleRejects(t *testing.T) {
+	for _, bad := range []string{
+		"solver.stat:nth=1",                 // unknown point
+		"solver.sat:nht=1",                  // unknown option
+		"solver.sat:rate=1.5",               // rate out of range
+		"solver.sat:nth=0",                  // ordinals are 1-based
+		"solver.sat:nth=1;solver.sat:nth=2", // duplicate rule
+		"seed=x;solver.sat",                 // bad seed
+		"solver.sat:delay=50",               // delay needs a unit
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", bad)
+		}
+	}
+	// Empty schedules are valid and yield a nil injector.
+	s, err := ParseSchedule("")
+	if err != nil || s != nil {
+		t.Errorf("ParseSchedule(\"\") = %v, %v; want nil, nil", s, err)
+	}
+	if in := New(nil); in != nil {
+		t.Errorf("New(nil) = %v, want nil", in)
+	}
+}
+
+// TestNthFiring checks ordinal rules fire exactly the listed calls and a
+// Count cap bounds total fires.
+func TestNthFiring(t *testing.T) {
+	in := New(mustParse(t, "seed=7;solver.sat:nth=2|5"))
+	var fired []int
+	for i := 1; i <= 8; i++ {
+		if in.Fire(SolverSat) {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 5 {
+		t.Errorf("fired ordinals = %v, want [2 5]", fired)
+	}
+	if got := in.Injected(); got != 2 {
+		t.Errorf("Injected() = %d, want 2", got)
+	}
+	st := in.Stats()[SolverSat]
+	if st.Calls != 8 || st.Fired != 2 {
+		t.Errorf("stats = %+v, want calls=8 fired=2", st)
+	}
+
+	capped := New(mustParse(t, "solver.sat:rate=1,count=3"))
+	n := 0
+	for i := 0; i < 10; i++ {
+		if capped.Fire(SolverSat) {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Errorf("count-capped fires = %d, want 3", n)
+	}
+	if st := capped.Stats()[SolverSat]; st.Fired != 3 {
+		t.Errorf("capped stats fired = %d, want 3", st.Fired)
+	}
+}
+
+// TestRateDeterminism checks a rate rule's fired set is a pure function of
+// (seed, point, ordinal): same seed reproduces it, another seed differs (at
+// this rate and call volume, with overwhelming probability), and the
+// empirical rate lands near the nominal one.
+func TestRateDeterminism(t *testing.T) {
+	firedSet := func(seed uint64) []uint64 {
+		in := New(&Schedule{Seed: seed, Rules: []Rule{{Point: SolverSat, Rate: 0.1}}})
+		var out []uint64
+		for i := uint64(1); i <= 2000; i++ {
+			if in.Fire(SolverSat) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	a, b := firedSet(1), firedSet(1)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different fired sets")
+	}
+	if fmt.Sprint(a) == fmt.Sprint(firedSet(2)) {
+		t.Error("different seeds produced identical fired sets")
+	}
+	if len(a) < 120 || len(a) > 280 {
+		t.Errorf("empirical rate %d/2000, want ~200", len(a))
+	}
+}
+
+// TestConcurrentFiredSet checks the per-point fired count is scheduling
+// independent: N goroutines hammering one point fire exactly as many faults
+// as the sequential run.
+func TestConcurrentFiredSet(t *testing.T) {
+	const calls = 4000
+	seq := New(&Schedule{Seed: 9, Rules: []Rule{{Point: SolverSat, Rate: 0.25}}})
+	want := 0
+	for i := 0; i < calls; i++ {
+		if seq.Fire(SolverSat) {
+			want++
+		}
+	}
+	par := New(&Schedule{Seed: 9, Rules: []Rule{{Point: SolverSat, Rate: 0.25}}})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer func() { recover() }() // appease panicguard; Fire cannot panic
+			defer wg.Done()
+			n := 0
+			for i := 0; i < calls/8; i++ {
+				if par.Fire(SolverSat) {
+					n++
+				}
+			}
+			mu.Lock()
+			got += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if got != want {
+		t.Errorf("concurrent fired count = %d, sequential = %d", got, want)
+	}
+}
+
+// TestClassification checks the error taxonomy: Err yields a classified
+// *Fault, panics recovered through PanicError keep their class, and real
+// panic values are neither transient nor degraded.
+func TestClassification(t *testing.T) {
+	in := New(mustParse(t, "solver.sat;solver.cache"))
+	err := in.Err(SolverSat)
+	if !IsTransient(err) || IsDegraded(err) {
+		t.Errorf("solver.sat fault classified wrong: %v", err)
+	}
+	if err := fmt.Errorf("sat check: %w", in.Err(SolverCache)); !IsDegraded(err) || IsTransient(err) {
+		t.Errorf("wrapped solver.cache fault classified wrong: %v", err)
+	}
+
+	panicIn := New(mustParse(t, "symex.worker_panic:nth=1"))
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("Panic did not panic")
+			}
+			pe := Recovered("test.site", r)
+			if !IsTransient(pe) {
+				t.Errorf("recovered injected panic not transient: %v", pe)
+			}
+			if len(pe.Stack) == 0 {
+				t.Error("no stack captured")
+			}
+		}()
+		panicIn.Panic(SymexWorkerPanic)
+	}()
+
+	real := Recovered("test.site", errors.New("index out of range"))
+	if IsTransient(real) || IsDegraded(real) {
+		t.Errorf("real panic misclassified: %v", real)
+	}
+	if real.Unwrap() == nil {
+		t.Error("error panic value not unwrapped")
+	}
+	if (&PanicError{Site: "s", Value: 42}).Unwrap() != nil {
+		t.Error("non-error panic value unwrapped")
+	}
+}
+
+// TestEveryPointClassified checks the closed point set: each point has a
+// class, parses as a schedule term, and fires through the injector.
+func TestEveryPointClassified(t *testing.T) {
+	for _, p := range Points() {
+		if p.Class() == 0 {
+			t.Errorf("point %s has no class", p)
+		}
+		in := New(mustParse(t, string(p)+":nth=1"))
+		if !in.Fire(p) {
+			t.Errorf("point %s did not fire on nth=1", p)
+		}
+	}
+	if Point("bogus").Class() != 0 {
+		t.Error("unknown point got a class")
+	}
+}
+
+// TestNilInjectorSafe checks the production configuration — a nil injector —
+// supports the full API as no-ops.
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if in.Fire(SolverSat) || in.Err(SolverSat) != nil {
+		t.Error("nil injector fired")
+	}
+	in.Panic(SymexWorkerPanic)
+	in.Sleep(SymexFrontierStall)
+	in.SetCounters(Counters{})
+	in.CountRecovered()
+	in.CountRetried()
+	if in.Injected()+in.RecoveredCount()+in.RetriedCount()+in.DegradedCount() != 0 {
+		t.Error("nil injector counted")
+	}
+	if in.Stats() != nil {
+		t.Error("nil injector has stats")
+	}
+}
+
+// TestSleepDelay checks delay rules stall for roughly their configured
+// duration.
+func TestSleepDelay(t *testing.T) {
+	in := New(mustParse(t, "symex.frontier_stall:nth=1,delay=30ms"))
+	start := time.Now()
+	in.Sleep(SymexFrontierStall)
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("stall lasted %v, want >= 30ms", d)
+	}
+	start = time.Now()
+	in.Sleep(SymexFrontierStall) // nth=1 already consumed: no stall
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("non-firing Sleep stalled %v", d)
+	}
+}

@@ -1,0 +1,172 @@
+package faultinject
+
+// schedule.go parses the -fault-schedule flag syntax into a Schedule. The
+// grammar is a semicolon-separated rule list:
+//
+//	seed=42;solver.sat:nth=2|5;core.cache_get:rate=0.1;symex.frontier_stall:nth=1,delay=50ms
+//
+// One leading seed=N term sets the decision seed (default 0). Every other
+// term is <point>[:opt,opt,...] with options rate=FLOAT (deterministic
+// hash-thresholded firing probability), nth=A|B|C (explicit 1-based call
+// ordinals that fire), count=N (cap on total fires), and delay=DURATION
+// (stall length for delay-class points). A point with neither rate nor nth
+// fires on every call (rate=1). Unknown points and malformed options are
+// errors, so schedule typos fail at flag parsing, not silently mid-run.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Rule schedules faults at one point.
+type Rule struct {
+	// Point is the injection site.
+	Point Point
+	// Rate is the deterministic firing probability in [0,1]; ignored when
+	// Nth is set.
+	Rate float64
+	// Nth lists the exact 1-based call ordinals that fire.
+	Nth []uint64
+	// Count caps the total fires at the point; 0 means uncapped.
+	Count uint64
+	// Delay is the stall length for delay-class points; DefaultStallDelay
+	// when 0.
+	Delay time.Duration
+}
+
+// Schedule is a parsed fault schedule: a seed plus one rule per point.
+type Schedule struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+// ParseSchedule parses the -fault-schedule flag syntax. An empty string
+// yields a nil schedule (no injection).
+func ParseSchedule(s string) (*Schedule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	known := make(map[Point]bool, len(Points()))
+	for _, p := range Points() {
+		known[p] = true
+	}
+	sched := &Schedule{}
+	seen := make(map[Point]bool)
+	for _, term := range strings.Split(s, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(term, "seed="); ok {
+			seed, err := strconv.ParseUint(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault schedule: bad seed %q: %v", rest, err)
+			}
+			sched.Seed = seed
+			continue
+		}
+		name, opts, _ := strings.Cut(term, ":")
+		p := Point(strings.TrimSpace(name))
+		if !known[p] {
+			return nil, fmt.Errorf("fault schedule: unknown point %q (known: %s)", name, pointList())
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("fault schedule: duplicate rule for %s", p)
+		}
+		seen[p] = true
+		r := Rule{Point: p}
+		for _, opt := range strings.Split(opts, ",") {
+			opt = strings.TrimSpace(opt)
+			if opt == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(opt, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault schedule: %s: option %q is not key=value", p, opt)
+			}
+			switch key {
+			case "rate":
+				rate, err := strconv.ParseFloat(val, 64)
+				if err != nil || rate < 0 || rate > 1 {
+					return nil, fmt.Errorf("fault schedule: %s: rate %q is not in [0,1]", p, val)
+				}
+				r.Rate = rate
+			case "nth":
+				for _, part := range strings.Split(val, "|") {
+					n, err := strconv.ParseUint(part, 10, 64)
+					if err != nil || n == 0 {
+						return nil, fmt.Errorf("fault schedule: %s: nth ordinal %q is not a positive integer", p, part)
+					}
+					r.Nth = append(r.Nth, n)
+				}
+			case "count":
+				n, err := strconv.ParseUint(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("fault schedule: %s: bad count %q", p, val)
+				}
+				r.Count = n
+			case "delay":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("fault schedule: %s: bad delay %q", p, val)
+				}
+				r.Delay = d
+			default:
+				return nil, fmt.Errorf("fault schedule: %s: unknown option %q (rate, nth, count, delay)", p, key)
+			}
+		}
+		if len(r.Nth) == 0 && r.Rate == 0 {
+			r.Rate = 1 // a bare point fires every call
+		}
+		sort.Slice(r.Nth, func(i, j int) bool { return r.Nth[i] < r.Nth[j] })
+		sched.Rules = append(sched.Rules, r)
+	}
+	if len(sched.Rules) == 0 {
+		return nil, nil
+	}
+	return sched, nil
+}
+
+// String renders the schedule back into the flag syntax; the render parses
+// to an equal schedule.
+func (s *Schedule) String() string {
+	if s == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "seed=%d", s.Seed)
+	for _, r := range s.Rules {
+		fmt.Fprintf(&sb, ";%s:", r.Point)
+		var opts []string
+		if len(r.Nth) > 0 {
+			parts := make([]string, len(r.Nth))
+			for i, n := range r.Nth {
+				parts[i] = strconv.FormatUint(n, 10)
+			}
+			opts = append(opts, "nth="+strings.Join(parts, "|"))
+		} else {
+			opts = append(opts, "rate="+strconv.FormatFloat(r.Rate, 'g', -1, 64))
+		}
+		if r.Count > 0 {
+			opts = append(opts, "count="+strconv.FormatUint(r.Count, 10))
+		}
+		if r.Delay > 0 {
+			opts = append(opts, "delay="+r.Delay.String())
+		}
+		sb.WriteString(strings.Join(opts, ","))
+	}
+	return sb.String()
+}
+
+func pointList() string {
+	ps := Points()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = string(p)
+	}
+	return strings.Join(names, ", ")
+}

@@ -63,7 +63,7 @@ type Analyzer struct {
 }
 
 // All is the suite: every analyzer octolint and the tests run.
-var All = []*Analyzer{PhaseDoc, CtxLoop}
+var All = []*Analyzer{PhaseDoc, CtxLoop, PanicGuard}
 
 // RunFiles runs the analyzers over an already-parsed package and returns
 // the findings sorted by position.

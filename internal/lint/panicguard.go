@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// panicGuardScope names the packages whose goroutines PanicGuard audits: the
+// ones where a worker panic would otherwise strand peers (the symex frontier
+// waits for active workers), poison the pool (service workers), or crash the
+// chaos harness mid-schedule.
+var panicGuardScope = []string{"internal/symex", "internal/service", "internal/faultinject"}
+
+// PanicGuard checks that every goroutine launched in the audited packages
+// installs a recover-and-report boundary: somewhere in the goroutine body —
+// transitively, through same-package calls — there must be a deferred
+// function whose body (again transitively) calls recover(). Without one, a
+// panic on the goroutine terminates the whole process, which is exactly the
+// failure mode the fault-injection layer exists to rule out: a worker panic
+// must become a structured job error, never an exit.
+//
+// The check is an over-approximation in the accepting direction (any
+// deferred recover in the transitive same-package closure satisfies it), so
+// it can miss a goroutine whose recover is on a path not actually executed —
+// but it cannot reject a guarded one.
+var PanicGuard = &Analyzer{
+	Name: "panicguard",
+	Doc: "check that goroutines in worker/service packages install a deferred " +
+		"recover boundary so a panic becomes a structured error, not a process exit",
+	Run: runPanicGuard,
+}
+
+func runPanicGuard(pass *Pass) error {
+	inScope := false
+	for _, s := range panicGuardScope {
+		if strings.HasSuffix(pass.ImportPath, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+
+	// Index the package's function and method declarations by name, as in
+	// ctxloop; name collisions only widen the closure toward acceptance.
+	decls := map[string][]*ast.BlockStmt{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[fd.Name.Name] = append(decls[fd.Name.Name], fd.Body)
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var roots []ast.Node
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				roots = append(roots, fun.Body)
+			default:
+				for _, b := range decls[calleeName(g.Call)] {
+					roots = append(roots, b)
+				}
+			}
+			if len(roots) == 0 {
+				// Goroutine over a function value we cannot resolve: flag it —
+				// an unauditable entry point is indistinguishable from an
+				// unguarded one.
+				pass.Reportf(g.Go, "goroutine target is unresolvable; cannot verify a recover boundary")
+				return true
+			}
+			guarded := false
+			for _, r := range roots {
+				if hasRecoverBoundary(r, decls, map[ast.Node]bool{}) {
+					guarded = true
+					break
+				}
+			}
+			if !guarded {
+				pass.Reportf(g.Go, "goroutine has no deferred recover boundary "+
+					"(a panic here terminates the process instead of becoming a structured error)")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasRecoverBoundary reports whether n — transitively, through same-package
+// calls — contains a DeferStmt whose deferred function recovers. visited
+// guards against recursion.
+func hasRecoverBoundary(n ast.Node, decls map[string][]*ast.BlockStmt, visited map[ast.Node]bool) bool {
+	if visited[n] {
+		return false
+	}
+	visited[n] = true
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.DeferStmt:
+			if deferredRecovers(m, decls) {
+				found = true
+				return false
+			}
+		case *ast.CallExpr:
+			for _, b := range decls[calleeName(m)] {
+				if hasRecoverBoundary(b, decls, visited) {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// deferredRecovers reports whether a defer statement's target recovers: a
+// deferred func literal whose body calls recover() (directly or through a
+// same-package call), or a deferred call to a same-package function that
+// does.
+func deferredRecovers(d *ast.DeferStmt, decls map[string][]*ast.BlockStmt) bool {
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		return callsRecover(lit.Body, decls, map[ast.Node]bool{})
+	}
+	for _, b := range decls[calleeName(d.Call)] {
+		if callsRecover(b, decls, map[ast.Node]bool{}) {
+			return true
+		}
+	}
+	return false
+}
+
+// callsRecover reports whether n — transitively, through same-package calls
+// — contains a call to the recover builtin.
+func callsRecover(n ast.Node, decls map[string][]*ast.BlockStmt, visited map[ast.Node]bool) bool {
+	if visited[n] {
+		return false
+	}
+	visited[n] = true
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" {
+				found = true
+				return false
+			}
+			for _, b := range decls[calleeName(call)] {
+				if callsRecover(b, decls, visited) {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPanicGuardFlagsUnguarded checks the core finding: a goroutine without
+// a deferred recover anywhere in its transitive same-package closure is
+// flagged, for both the literal and named-function launch forms.
+func TestPanicGuardFlagsUnguarded(t *testing.T) {
+	cases := map[string]string{
+		"literal": `package p
+func launch() {
+	go func() {
+		work()
+	}()
+}
+func work() {}
+`,
+		"named": `package p
+func launch() {
+	go worker()
+}
+func worker() {
+	work()
+}
+func work() {}
+`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			diags := runFixture(t, "octopocs/internal/service", src, []*Analyzer{PanicGuard})
+			if len(diags) != 1 {
+				t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+			}
+			if !strings.Contains(diags[0].Message, "recover") {
+				t.Errorf("unexpected diagnostic: %v", diags[0])
+			}
+		})
+	}
+}
+
+// TestPanicGuardAcceptsBoundaries checks each accepted containment idiom:
+// an inline deferred recover, a recover reached through a helper the
+// goroutine calls (the frontier's loop -> runNode shape), and a deferred
+// named method that recovers (the service's recoverToLog shape).
+func TestPanicGuardAcceptsBoundaries(t *testing.T) {
+	cases := map[string]string{
+		"inline": `package p
+func launch() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				report(r)
+			}
+		}()
+		work()
+	}()
+}
+func work()          {}
+func report(r any)   {}
+`,
+		"through helper": `package p
+func launch() {
+	go func() {
+		loop()
+	}()
+}
+func loop() {
+	for i := 0; i < 10; i++ {
+		runOne()
+	}
+}
+func runOne() {
+	defer func() {
+		if r := recover(); r != nil {
+			report(r)
+		}
+	}()
+	work()
+}
+func work()        {}
+func report(r any) {}
+`,
+		"deferred named func": `package p
+func launch() {
+	go func() {
+		defer recoverToLog()
+		work()
+	}()
+}
+func recoverToLog() {
+	if r := recover(); r != nil {
+		report(r)
+	}
+}
+func work()        {}
+func report(r any) {}
+`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if diags := runFixture(t, "octopocs/internal/symex", src, []*Analyzer{PanicGuard}); len(diags) != 0 {
+				t.Errorf("got diagnostics, want none: %v", diags)
+			}
+		})
+	}
+}
+
+// TestPanicGuardScope checks goroutines outside the audited packages are
+// left alone, and that an unresolvable goroutine target is flagged as
+// unauditable.
+func TestPanicGuardScope(t *testing.T) {
+	unguarded := `package p
+func launch() {
+	go func() {
+		work()
+	}()
+}
+func work() {}
+`
+	if diags := runFixture(t, "octopocs/internal/corpus", unguarded, []*Analyzer{PanicGuard}); len(diags) != 0 {
+		t.Errorf("out-of-scope package flagged: %v", diags)
+	}
+	unresolvable := `package p
+func launch(f func()) {
+	go f()
+}
+`
+	diags := runFixture(t, "octopocs/internal/service", unresolvable, []*Analyzer{PanicGuard})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unresolvable") {
+		t.Errorf("got %v, want one unresolvable-target diagnostic", diags)
+	}
+}

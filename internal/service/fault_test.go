@@ -1,0 +1,164 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/faultinject"
+	"octopocs/internal/service"
+	"octopocs/internal/testutil"
+)
+
+func injector(t *testing.T, schedule string) *faultinject.Injector {
+	t.Helper()
+	sch, err := faultinject.ParseSchedule(schedule)
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q): %v", schedule, err)
+	}
+	return faultinject.New(sch)
+}
+
+// TestInjectedQueueFull checks a service.queue_full fault makes Submit
+// reject exactly like real backpressure — ErrQueueFull, counted — while the
+// next submission goes through untouched.
+func TestInjectedQueueFull(t *testing.T) {
+	svc := service.New(service.Config{
+		Workers:  1,
+		Pipeline: core.Config{Faults: injector(t, "service.queue_full:nth=1")},
+	})
+	defer svc.Shutdown(context.Background())
+
+	if _, err := svc.Submit(corpus.ByIdx(1).Pair); !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("first submit returned %v, want ErrQueueFull", err)
+	}
+	if st := svc.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", st.Rejected)
+	}
+	job, err := svc.Submit(corpus.ByIdx(1).Pair)
+	if err != nil {
+		t.Fatalf("second submit: %v", err)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatalf("job after injected rejection: %v", err)
+	}
+}
+
+// TestInjectedJobDeadline checks a service.job_deadline fault expires the
+// job's context as if a real deadline had passed: the job ends cancelled
+// with a deadline error, and the pool moves on to the next job.
+func TestInjectedJobDeadline(t *testing.T) {
+	svc := service.New(service.Config{
+		Workers:  1,
+		Pipeline: core.Config{Faults: injector(t, "service.job_deadline:nth=1")},
+	})
+	defer svc.Shutdown(context.Background())
+
+	job, err := svc.Submit(slowPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := job.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-faulted job returned %v, want DeadlineExceeded", err)
+	}
+	if st := job.State(); st != service.JobCancelled {
+		t.Errorf("state = %v, want cancelled", st)
+	}
+
+	// The fault was one-shot: the pool is healthy for the next job.
+	ok, err := svc.Submit(corpus.ByIdx(1).Pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ok.Wait(context.Background()); err != nil {
+		t.Fatalf("follow-up job: %v", err)
+	}
+}
+
+// TestJobRunnerPanicContained checks a panic escaping the pipeline inside a
+// worker becomes a structured job failure — the worker survives and keeps
+// serving jobs, and nothing leaks.
+func TestJobRunnerPanicContained(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+
+	svc := service.New(service.Config{Workers: 1})
+	defer svc.Shutdown(context.Background())
+
+	// A poisoned pair: a nil S program makes the P1 interpreter dereference
+	// nil — a genuine bug-shaped panic, not an injected one.
+	good := corpus.ByIdx(1).Pair
+	bad := *good
+	bad.Name = "poisoned"
+	bad.S = nil
+
+	job, err := svc.Submit(&bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := job.Wait(context.Background()); err == nil {
+		t.Fatal("poisoned job returned nil error")
+	}
+	var pe *faultinject.PanicError
+	if !errors.As(job.Err(), &pe) {
+		t.Fatalf("job error = %v, want *PanicError", job.Err())
+	}
+	if st := job.State(); st != service.JobFailed {
+		t.Errorf("state = %v, want failed", st)
+	}
+
+	// The same worker still verifies real pairs.
+	next, err := svc.Submit(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := next.Wait(context.Background())
+	if err != nil {
+		t.Fatalf("job after contained panic: %v", err)
+	}
+	if rep.Verdict != core.VerdictTriggered {
+		t.Errorf("verdict after contained panic = %v, want Triggered", rep.Verdict)
+	}
+}
+
+// TestHandlerPanic500 checks the HTTP recover middleware converts injected
+// handler panics into 500 responses without killing the server, and that
+// subsequent requests succeed.
+func TestHandlerPanic500(t *testing.T) {
+	in := injector(t, "service.handler_panic:nth=1|2")
+	svc := service.New(service.Config{
+		Workers:  1,
+		Pipeline: core.Config{Faults: in},
+	})
+	defer svc.Shutdown(context.Background())
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Errorf("request %d: status %d, want 500", i, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-panic status %d, want 200", resp.StatusCode)
+	}
+	if in.RecoveredCount() != 2 {
+		t.Errorf("RecoveredCount = %d, want 2", in.RecoveredCount())
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"octopocs/internal/asm"
 	"octopocs/internal/core"
 	"octopocs/internal/corpus"
+	"octopocs/internal/faultinject"
 )
 
 // maxSubmitBytes bounds a submission body: two assembled MIR programs plus
@@ -146,7 +147,29 @@ func (s *Service) Handler() http.Handler {
 		j.Cancel()
 		writeJSON(w, http.StatusOK, j.Snapshot())
 	}))
-	return mux
+	return s.recoverMiddleware(mux)
+}
+
+// recoverMiddleware is the HTTP-layer panic containment boundary: a panic
+// in any handler (or an injected one) answers 500 and keeps the server
+// alive instead of killing the connection's serve goroutine with a stack
+// dump. Panics after the handler started writing cannot be converted to a
+// clean 500 — the reply is already on the wire — but they are still
+// contained and counted.
+func (s *Service) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.faults().CountRecovered()
+				s.log.Error("panic recovered in HTTP handler",
+					"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(rec))
+				writeErr(w, http.StatusInternalServerError,
+					errors.New("internal error: handler panicked"))
+			}
+		}()
+		s.faults().Panic(faultinject.ServiceHandlerPanic)
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {

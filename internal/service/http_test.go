@@ -13,6 +13,7 @@ import (
 	"octopocs/internal/asm"
 	"octopocs/internal/corpus"
 	"octopocs/internal/service"
+	"octopocs/internal/testutil"
 )
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -68,8 +69,7 @@ func TestHandlerInlineSubmission(t *testing.T) {
 	}
 
 	// Poll until terminal.
-	deadline := time.Now().Add(30 * time.Second)
-	for {
+	testutil.WaitFor(t, func() bool {
 		r, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
 		if err != nil {
 			t.Fatal(err)
@@ -78,14 +78,8 @@ func TestHandlerInlineSubmission(t *testing.T) {
 			t.Fatal(err)
 		}
 		r.Body.Close()
-		if st.State == "done" || st.State == "failed" || st.State == "cancelled" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job stuck in state %q", st.State)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+		return st.State == "done" || st.State == "failed" || st.State == "cancelled"
+	}, 30*time.Second, "job %s did not reach a terminal state", st.ID)
 	if st.State != "done" || st.Verdict != "triggered" {
 		t.Fatalf("job finished as %+v, want done/triggered", st)
 	}

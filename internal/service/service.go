@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"octopocs/internal/core"
+	"octopocs/internal/faultinject"
 	"octopocs/internal/telemetry"
 )
 
@@ -239,12 +240,25 @@ func (s *Service) Submit(pair *core.Pair) (*Job, error) {
 		s.met.rejected.Inc()
 		return nil, ErrShutdown
 	}
+	// Injected capacity burst: reject exactly as a full queue would, so
+	// clients exercise their backoff path under a deterministic schedule.
+	if s.faults().Fire(faultinject.ServiceQueueFull) {
+		s.ctr.rejected++
+		s.met.rejected.Inc()
+		return nil, ErrQueueFull
+	}
 	ctx := context.Background()
 	var cancel context.CancelFunc
 	if s.cfg.JobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
+	}
+	// Injected deadline expiry: collapse the job's deadline to effectively
+	// now, modelling a job that times out no matter what the work costs.
+	if s.faults().Fire(faultinject.ServiceJobDeadline) {
+		cancel()
+		ctx, cancel = context.WithTimeout(context.Background(), time.Millisecond)
 	}
 	s.nextID++
 	job := &Job{
@@ -323,6 +337,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() {
+		defer s.recoverToLog("shutdown.waiter")
 		s.wg.Wait()
 		close(done)
 	}()
@@ -372,12 +387,40 @@ func (s *Service) runJob(j *Job) {
 	jl.Info("job started", "queue_wait_ms", wait.Milliseconds())
 	ctx := telemetry.WithLogger(j.ctx, jl)
 	ctx = telemetry.WithTrace(ctx, tr)
-	rep, err := s.pl.VerifyContext(ctx, j.pair)
+	rep, err := s.verifyJob(ctx, j)
 
 	s.mu.Lock()
 	s.running--
 	s.mu.Unlock()
 	s.finishJob(j, rep, err)
+}
+
+// verifyJob is the panic containment boundary of a worker: a panic escaping
+// the pipeline becomes a structured job error instead of terminating the
+// process, so one poisoned pair cannot take down the service or its queue.
+func (s *Service) verifyJob(ctx context.Context, j *Job) (rep *core.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe := faultinject.Recovered("service.job", r)
+			s.faults().CountRecovered()
+			s.log.Error("panic recovered in job runner",
+				"job", j.id, "pair", j.pair.Name, "panic", fmt.Sprint(r))
+			rep, err = nil, pe
+		}
+	}()
+	return s.pl.VerifyContext(ctx, j.pair)
+}
+
+// faults is the nil-tolerant accessor for the configured injector.
+func (s *Service) faults() *faultinject.Injector { return s.cfg.Pipeline.Faults }
+
+// recoverToLog contains a panic on an internal service goroutine, logging it
+// instead of crashing the process.
+func (s *Service) recoverToLog(site string) {
+	if r := recover(); r != nil {
+		s.faults().CountRecovered()
+		s.log.Error("panic recovered", "site", site, "panic", fmt.Sprint(r))
+	}
 }
 
 func (s *Service) finishJob(j *Job, rep *core.Report, err error) {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"reflect"
-	"runtime"
 	"testing"
 	"time"
 
@@ -13,6 +12,7 @@ import (
 	"octopocs/internal/corpus"
 	"octopocs/internal/isa"
 	"octopocs/internal/service"
+	"octopocs/internal/testutil"
 )
 
 // crashingS builds a tiny S: main checks a two-byte magic, then the shared
@@ -72,14 +72,8 @@ func slowPair() *core.Pair {
 // waitRunning blocks until the job leaves the queue.
 func waitRunning(t *testing.T, j *service.Job) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
-		if j.State() != service.JobQueued {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("job %s still queued after 10s", j.ID())
+	testutil.WaitFor(t, func() bool { return j.State() != service.JobQueued },
+		10*time.Second, "job %s still queued", j.ID())
 }
 
 func TestSubmitWaitMatchesDirectVerify(t *testing.T) {
@@ -176,7 +170,7 @@ func TestCacheHitByteIdenticalReports(t *testing.T) {
 // TestCancelMidP2 checks that cancelling a job stuck in symbolic execution
 // returns promptly with a context error and leaves no goroutines behind.
 func TestCancelMidP2(t *testing.T) {
-	before := runtime.NumGoroutine()
+	testutil.CheckGoroutineLeaks(t)
 
 	svc := service.New(service.Config{Workers: 2})
 	job, err := svc.Submit(slowPair())
@@ -205,16 +199,7 @@ func TestCancelMidP2(t *testing.T) {
 	if err := svc.Shutdown(context.Background()); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
-
-	// All workers exited; the goroutine count settles back to baseline.
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	t.Errorf("goroutines did not settle: before=%d now=%d", before, runtime.NumGoroutine())
+	// CheckGoroutineLeaks verifies the workers exited once the test returns.
 }
 
 func TestJobTimeout(t *testing.T) {

@@ -1,0 +1,88 @@
+package solver_test
+
+import (
+	"errors"
+	"testing"
+
+	"octopocs/internal/expr"
+	"octopocs/internal/faultinject"
+	"octopocs/internal/solver"
+)
+
+func injector(t *testing.T, schedule string) *faultinject.Injector {
+	t.Helper()
+	sch, err := faultinject.ParseSchedule(schedule)
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q): %v", schedule, err)
+	}
+	return faultinject.New(sch)
+}
+
+// TestSatTransientFault checks an injected solver.sat fault surfaces as a
+// classified transient error and that the very next call — the retry —
+// produces the fault-free verdict.
+func TestSatTransientFault(t *testing.T) {
+	cs := []*expr.Expr{expr.Bin(expr.OpEq, expr.Sym(0), expr.Const(7))}
+	s := solver.Solver{Faults: injector(t, "solver.sat:nth=1")}
+	if _, err := s.Sat(cs); !faultinject.IsTransient(err) {
+		t.Fatalf("first Sat err = %v, want transient fault", err)
+	}
+	ok, err := s.Sat(cs)
+	if err != nil || !ok {
+		t.Fatalf("retried Sat = %v, %v; want true, nil", ok, err)
+	}
+}
+
+// TestSolveTransientFault checks an injected solver.timeout fault fails
+// Solve transiently without corrupting later calls.
+func TestSolveTransientFault(t *testing.T) {
+	cs := []*expr.Expr{expr.Bin(expr.OpEq, expr.Sym(0), expr.Const(7))}
+	s := solver.Solver{Faults: injector(t, "solver.timeout:nth=1")}
+	if _, err := s.Solve(cs); !faultinject.IsTransient(err) {
+		t.Fatalf("first Solve err = %v, want transient fault", err)
+	}
+	m, err := s.Solve(cs)
+	if err != nil || m[0] != 7 {
+		t.Fatalf("retried Solve = %v, %v; want model with sym0=7", m, err)
+	}
+	// The real error taxonomy is untouched: unsat is still unsat, not a
+	// fault.
+	unsat := []*expr.Expr{
+		expr.Bin(expr.OpEq, expr.Sym(0), expr.Const(1)),
+		expr.Bin(expr.OpEq, expr.Sym(0), expr.Const(2)),
+	}
+	if _, err := s.Solve(unsat); !errors.Is(err, solver.ErrUnsat) || faultinject.IsTransient(err) {
+		t.Fatalf("unsat Solve err = %v, want plain ErrUnsat", err)
+	}
+}
+
+// TestCacheBypassDegradation checks an injected solver.cache fault makes
+// Sat solve uncached — same verdict, no cache traffic — and counts as a
+// degradation, not an error.
+func TestCacheBypassDegradation(t *testing.T) {
+	cs := []*expr.Expr{expr.Bin(expr.OpEq, expr.Sym(0), expr.Const(7))}
+	cache := solver.NewCache(64)
+	in := injector(t, "solver.cache:rate=1")
+	s := solver.Solver{Cache: cache, Faults: in}
+	for i := 0; i < 3; i++ {
+		ok, err := s.Sat(cs)
+		if err != nil || !ok {
+			t.Fatalf("bypassed Sat #%d = %v, %v; want true, nil", i, ok, err)
+		}
+	}
+	if st := cache.Stats(); st.Hits != 0 {
+		t.Errorf("cache hits = %d under full bypass, want 0", st.Hits)
+	}
+	if in.DegradedCount() != 3 {
+		t.Errorf("DegradedCount = %d, want 3", in.DegradedCount())
+	}
+	// With the injector consumed to a nil one, the cache works again.
+	s2 := solver.Solver{Cache: cache}
+	s2.Sat(cs)
+	if ok, err := s2.Sat(cs); err != nil || !ok {
+		t.Fatalf("cached Sat = %v, %v", ok, err)
+	}
+	if st := cache.Stats(); st.Hits == 0 {
+		t.Error("cache never hit once the bypass fault was gone")
+	}
+}

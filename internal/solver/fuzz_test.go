@@ -1,0 +1,69 @@
+package solver_test
+
+import (
+	"errors"
+	"testing"
+
+	"octopocs/internal/expr"
+	"octopocs/internal/solver"
+)
+
+// fuzzSystem decodes fuzz bytes into a small constraint system: each
+// 4-byte chunk becomes one constraint (sym ⊕ k) cmp c over a handful of
+// arithmetic and comparison operators. The decoding is total — any input
+// yields a system — so the mutator explores the solver, not the decoder.
+func fuzzSystem(data []byte) []*expr.Expr {
+	arith := []expr.Op{expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpAnd, expr.OpOr, expr.OpXor}
+	cmp := []expr.Op{expr.OpEq, expr.OpNe, expr.OpLt, expr.OpLe}
+	var cs []*expr.Expr
+	for i := 0; i+4 <= len(data) && len(cs) < 6; i += 4 {
+		sym := int(data[i] % 8)
+		lhs := expr.Bin(arith[int(data[i+1])%len(arith)], expr.Sym(sym), expr.Const(uint64(data[i+2])))
+		cs = append(cs, expr.Bin(cmp[int(data[i+1]>>4)%len(cmp)], lhs, expr.Const(uint64(data[i+3]))))
+	}
+	return cs
+}
+
+// FuzzSolverRoundTrip checks the solver's two contracts on arbitrary
+// constraint systems: a returned model actually satisfies every constraint
+// (verified independently by concrete evaluation), and Sat agrees with
+// Solve on satisfiability. The solver sits under every feasibility check in
+// the pipeline, so a model that does not evaluate true would silently
+// corrupt poc' reform.
+func FuzzSolverRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{1, 0x10, 5, 5, 1, 0x10, 5, 6})     // sym1+5==5 ∧ sym1+5==6: unsat
+	f.Add([]byte{2, 0x21, 3, 200, 3, 0x35, 7, 100}) // mixed ops
+	f.Add([]byte{7, 0xF2, 0xFF, 0x00, 7, 0x43, 1, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cs := fuzzSystem(data)
+		if len(cs) == 0 {
+			return
+		}
+		s := solver.Solver{Budget: 1 << 16}
+		model, err := s.Solve(cs)
+		switch {
+		case err == nil:
+			input := model.Fill(8, 0)
+			for i, c := range cs {
+				if c.EvalConcrete(input) == 0 {
+					t.Fatalf("model %v violates constraint %d: %v", model, i, c)
+				}
+			}
+			ok, serr := s.Sat(cs)
+			if serr == nil && !ok {
+				t.Fatalf("Solve found a model but Sat says unsat: %v", cs)
+			}
+		case errors.Is(err, solver.ErrUnsat):
+			ok, serr := s.Sat(cs)
+			if serr == nil && ok {
+				t.Fatalf("Solve says unsat but Sat found the system satisfiable: %v", cs)
+			}
+		case errors.Is(err, solver.ErrBudget):
+			// Budget exhaustion is a legitimate, explicit outcome.
+		default:
+			t.Fatalf("Solve returned unclassified error: %v", err)
+		}
+	})
+}

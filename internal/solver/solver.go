@@ -29,6 +29,7 @@ import (
 	"math/bits"
 
 	"octopocs/internal/expr"
+	"octopocs/internal/faultinject"
 )
 
 // Errors returned by Solve.
@@ -74,6 +75,9 @@ type Solver struct {
 	// not canonical. Sharing one Cache between solvers (and between jobs) is
 	// safe and is the intended configuration.
 	Cache *Cache
+	// Faults, when non-nil, injects scheduled solver faults: transient Sat
+	// and Solve failures and cache-bypass degradations. Nil in production.
+	Faults *faultinject.Injector
 }
 
 // domain is a 256-bit set of candidate byte values.
@@ -150,6 +154,10 @@ func (st *state) unassign(si int) {
 // Solve returns a model satisfying every constraint (each must evaluate to
 // a non-zero value), ErrUnsat, or ErrBudget.
 func (s *Solver) Solve(constraints []*expr.Expr) (Model, error) {
+	if err := s.Faults.Err(faultinject.SolverTimeout); err != nil {
+		s.Metrics.observe(err)
+		return nil, err
+	}
 	model, err := s.solve(constraints)
 	s.Metrics.observe(err)
 	return model, err
@@ -539,10 +547,20 @@ func (st *state) verifyAll() error {
 // definite sat/unsat answers are memoized, so cached and fresh verdicts
 // always agree for solvers sharing a budget.
 func (s *Solver) Sat(constraints []*expr.Expr) (bool, error) {
+	if err := s.Faults.Err(faultinject.SolverSat); err != nil {
+		return false, fmt.Errorf("sat check: %w", err)
+	}
+	// An injected cache fault degrades this one check to uncached solving:
+	// cached and fresh verdicts are always identical, so only the work
+	// changes, never the answer.
+	cache := s.Cache
+	if cache != nil && s.Faults.Fire(faultinject.SolverCache) {
+		cache = nil
+	}
 	var key CacheKey
-	if s.Cache != nil {
+	if cache != nil {
 		key = SatKey(constraints)
-		if sat, ok := s.Cache.Lookup(key); ok {
+		if sat, ok := cache.Lookup(key); ok {
 			s.Metrics.observeCache(true)
 			return sat, nil
 		}
@@ -550,11 +568,11 @@ func (s *Solver) Sat(constraints []*expr.Expr) (bool, error) {
 	}
 	_, err := s.Solve(constraints)
 	if err == nil {
-		s.Cache.Store(key, true)
+		cache.Store(key, true)
 		return true, nil
 	}
 	if errors.Is(err, ErrUnsat) {
-		s.Cache.Store(key, false)
+		cache.Store(key, false)
 		return false, nil
 	}
 	return false, fmt.Errorf("sat check: %w", err)

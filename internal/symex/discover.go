@@ -3,6 +3,7 @@ package symex
 import (
 	"errors"
 
+	"octopocs/internal/faultinject"
 	"octopocs/internal/isa"
 )
 
@@ -21,8 +22,11 @@ type IndirectEdge struct {
 // transformation the executor must concretize (say, a memory-table lookup
 // keyed by input bytes) only reveals the edges of the concretized paths —
 // the faithful analog of the angr CFG defect behind the paper's Idx-15
-// failure case. Budget exhaustion is expected and non-fatal.
-func Discover(prog *isa.Program, cfg NaiveConfig) []IndirectEdge {
+// failure case. Budget exhaustion is expected and non-fatal. The one error
+// Discover does surface is an injected transient fault: absorbing it would
+// silently yield a different dynamic CFG than the fault-free run, so the
+// caller must retry instead of using the partial edge set.
+func Discover(prog *isa.Program, cfg NaiveConfig) ([]IndirectEdge, error) {
 	if cfg.MaxStates <= 0 {
 		cfg.MaxStates = 128
 	}
@@ -47,9 +51,12 @@ func Discover(prog *isa.Program, cfg NaiveConfig) []IndirectEdge {
 	res, err := runNaive(prog, cfg, collector)
 	_ = res
 	if err != nil && !errors.Is(err, ErrMemBudget) {
+		if faultinject.IsTransient(err) {
+			return edges, err
+		}
 		// Solver budget blowups etc. leave partial discovery; that is
 		// the intended degradation.
-		return edges
+		return edges, nil
 	}
-	return edges
+	return edges, nil
 }

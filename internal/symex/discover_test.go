@@ -46,7 +46,10 @@ func dispatchProg(t *testing.T, viaMemoryTable bool) *isa.Program {
 
 func TestDiscoverFindsAllDirectDispatchTargets(t *testing.T) {
 	prog := dispatchProg(t, false)
-	edges := symex.Discover(prog, symex.NaiveConfig{InputSize: 8})
+	edges, err := symex.Discover(prog, symex.NaiveConfig{InputSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	targets := map[string]bool{}
 	for _, e := range edges {
 		targets[e.Callee] = true
@@ -63,7 +66,10 @@ func TestDiscoverPartialThroughMemoryTable(t *testing.T) {
 	// the slot of the concretized path is discovered — the Idx-15
 	// failure ingredient.
 	prog := dispatchProg(t, true)
-	edges := symex.Discover(prog, symex.NaiveConfig{InputSize: 8})
+	edges, err := symex.Discover(prog, symex.NaiveConfig{InputSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	targets := map[string]bool{}
 	for _, e := range edges {
 		targets[e.Callee] = true
@@ -78,7 +84,10 @@ func TestDiscoverPartialThroughMemoryTable(t *testing.T) {
 
 func TestDiscoverDeduplicatesEdges(t *testing.T) {
 	prog := dispatchProg(t, false)
-	edges := symex.Discover(prog, symex.NaiveConfig{InputSize: 8, MaxStates: 512})
+	edges, err := symex.Discover(prog, symex.NaiveConfig{InputSize: 8, MaxStates: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
 	seen := map[symex.IndirectEdge]bool{}
 	for _, e := range edges {
 		if seen[e] {
@@ -91,7 +100,10 @@ func TestDiscoverDeduplicatesEdges(t *testing.T) {
 func TestDiscoverHonorsBudgets(t *testing.T) {
 	prog := dispatchProg(t, false)
 	// A one-state budget cannot reach the dispatch.
-	edges := symex.Discover(prog, symex.NaiveConfig{InputSize: 8, MaxStates: 1})
+	edges, err := symex.Discover(prog, symex.NaiveConfig{InputSize: 8, MaxStates: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(edges) != 0 {
 		t.Errorf("edges = %v with a one-state budget", edges)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"octopocs/internal/cfg"
 	"octopocs/internal/expr"
+	"octopocs/internal/faultinject"
 	"octopocs/internal/isa"
 	"octopocs/internal/solver"
 	"octopocs/internal/telemetry"
@@ -84,6 +85,10 @@ type Config struct {
 	// Logger receives structured diagnostics (dead-state context,
 	// backtrack exhaustion); nil means discard.
 	Logger *slog.Logger
+	// Faults, when non-nil, injects scheduled faults at the step-loop
+	// checkpoints (worker panic, frontier stall, forced cancellation) and
+	// into the executor's solver. Nil in production.
+	Faults *faultinject.Injector
 }
 
 // DefaultMaxBacktracks bounds how many decision reversals directed
@@ -219,7 +224,7 @@ func normalize(cfg Config) Config {
 func New(prog *isa.Program, cfg Config) *Executor {
 	cfg = normalize(cfg)
 	e := &Executor{prog: prog, cfg: cfg}
-	e.sol = solver.Solver{Budget: cfg.SatBudget, Cache: cfg.SolverCache}
+	e.sol = solver.Solver{Budget: cfg.SatBudget, Cache: cfg.SolverCache, Faults: cfg.Faults}
 	if cfg.Metrics != nil {
 		e.sol.Metrics = cfg.Metrics.Solver
 	}
@@ -325,8 +330,15 @@ func (e *Executor) run(visitor Visitor) (*Result, error) {
 	var firstDeath *State
 	for {
 		for st.kind == KindActive {
-			if st.steps&stopCheckMask == 0 && e.stopHit() {
-				return nil, ErrStopped
+			if st.steps&stopCheckMask == 0 {
+				if e.stopHit() {
+					return nil, ErrStopped
+				}
+				// An injected forced cancellation is indistinguishable
+				// from the Stop channel closing mid-step.
+				if e.cfg.Faults.Fire(faultinject.SymexCancel) {
+					return nil, ErrStopped
+				}
 			}
 			if st.steps >= e.cfg.MaxSteps {
 				st.die(KindHung, fmt.Sprintf("step budget exhausted at %s", st.loc()))

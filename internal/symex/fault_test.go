@@ -1,0 +1,138 @@
+package symex_test
+
+import (
+	"errors"
+	"testing"
+
+	"octopocs/internal/cfg"
+	"octopocs/internal/faultinject"
+	"octopocs/internal/isa"
+	"octopocs/internal/symex"
+	"octopocs/internal/testutil"
+)
+
+func injector(t *testing.T, schedule string) *faultinject.Injector {
+	t.Helper()
+	sch, err := faultinject.ParseSchedule(schedule)
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q): %v", schedule, err)
+	}
+	return faultinject.New(sch)
+}
+
+func directedConfig(prog *isa.Program, workers int, in *faultinject.Injector) symex.Config {
+	g := cfg.Build(prog)
+	return symex.Config{
+		Target:    "ep",
+		InputSize: 64,
+		Distances: g.DistancesTo("ep"),
+		Workers:   workers,
+		Faults:    in,
+	}
+}
+
+// TestWorkerPanicContained checks an injected frontier-worker panic is
+// recovered into a structured transient error — the process survives, no
+// worker wedges — and a retry with the consumed schedule reproduces the
+// fault-free result exactly.
+func TestWorkerPanicContained(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	prog := branchyProg(t, 10)
+	base := runFrontierDirected(t, prog, symex.Config{Target: "ep", InputSize: 64}, 4, stopAtFirst)
+
+	in := injector(t, "symex.worker_panic:nth=1")
+	c := directedConfig(prog, 4, in)
+	_, err := symex.New(prog, c).Run(stopAtFirst)
+	if err == nil {
+		t.Fatal("Run with injected panic returned nil error")
+	}
+	var pe *faultinject.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if !faultinject.IsTransient(err) {
+		t.Errorf("injected panic not classified transient: %v", err)
+	}
+	if in.RecoveredCount() != 1 {
+		t.Errorf("RecoveredCount = %d, want 1", in.RecoveredCount())
+	}
+
+	// The schedule's single ordinal is consumed: the retry runs clean and
+	// must commit the identical result.
+	res, err := symex.New(prog, c).Run(stopAtFirst)
+	if err != nil {
+		t.Fatalf("retry Run: %v", err)
+	}
+	if got := resultIdentity(res); got != resultIdentity(base) {
+		t.Errorf("post-panic retry differs from fault-free run:\n%s\nvs\n%s", got, resultIdentity(base))
+	}
+}
+
+// TestRealPanicSurfaces checks a genuine bug — a visitor panicking inside a
+// worker — is contained into a *PanicError that is NOT transient: callers
+// must fail the job, not retry a deterministic crash.
+func TestRealPanicSurfaces(t *testing.T) {
+	prog := headerProg(t)
+	boom := func(symex.EpEntry, *symex.State) (symex.Decision, error) {
+		panic("visitor bug")
+	}
+	_, err := symex.New(prog, directedConfig(prog, 4, nil)).Run(boom)
+	if err == nil {
+		t.Fatal("Run with panicking visitor returned nil error")
+	}
+	var pe *faultinject.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if faultinject.IsTransient(err) || faultinject.IsDegraded(err) {
+		t.Errorf("real panic misclassified as injectable fault: %v", err)
+	}
+}
+
+// TestInjectedCancel checks a symex.cancel fault is indistinguishable from
+// the Stop channel closing, on both engines.
+func TestInjectedCancel(t *testing.T) {
+	prog := branchyProg(t, 10)
+	for _, workers := range []int{0, 4} {
+		in := injector(t, "symex.cancel:nth=1")
+		_, err := symex.New(prog, directedConfig(prog, workers, in)).Run(stopAtFirst)
+		if !errors.Is(err, symex.ErrStopped) {
+			t.Errorf("workers=%d: err = %v, want ErrStopped", workers, err)
+		}
+	}
+}
+
+// TestFrontierStallOnlyDelays checks a stall fault changes timing but not
+// the committed result.
+func TestFrontierStallOnlyDelays(t *testing.T) {
+	prog := branchyProg(t, 8)
+	base := runFrontierDirected(t, prog, symex.Config{Target: "ep", InputSize: 64}, 4, stopAtFirst)
+	in := injector(t, "symex.frontier_stall:nth=1|3,delay=2ms")
+	res, err := symex.New(prog, directedConfig(prog, 4, in)).Run(stopAtFirst)
+	if err != nil {
+		t.Fatalf("stalled Run: %v", err)
+	}
+	if got := resultIdentity(res); got != resultIdentity(base) {
+		t.Errorf("stalled run differs from fault-free run:\n%s\nvs\n%s", got, resultIdentity(base))
+	}
+	if in.Injected() == 0 {
+		t.Error("stall schedule never fired")
+	}
+}
+
+// TestDiscoverSurfacesTransient checks dynamic-CFG discovery propagates an
+// injected solver fault instead of silently returning a partial edge set.
+func TestDiscoverSurfacesTransient(t *testing.T) {
+	prog := branchyProg(t, 6)
+	_, err := symex.Discover(prog, symex.NaiveConfig{
+		InputSize: 64,
+		Faults:    injector(t, "solver.sat:nth=1"),
+	})
+	if !faultinject.IsTransient(err) {
+		t.Fatalf("Discover err = %v, want transient fault", err)
+	}
+	// And without faults the same discovery is clean.
+	if _, err := symex.Discover(prog, symex.NaiveConfig{InputSize: 64}); err != nil {
+		t.Fatalf("fault-free Discover: %v", err)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"octopocs/internal/expr"
+	"octopocs/internal/faultinject"
 	"octopocs/internal/isa"
 )
 
@@ -248,13 +249,31 @@ func (w *fWorker) loop() {
 		if nd == nil {
 			return
 		}
-		st, ok := w.materialize(nd)
-		if ok {
-			f.commitTake(nd)
-			w.run(st)
-		}
-		f.done()
+		w.runNode(nd)
 	}
+}
+
+// runNode materializes and runs one popped node, always retiring the
+// in-flight slot. A panic while materializing or stepping — injected or
+// real — must not strand the other workers: pop's termination condition
+// waits on active == 0, so the deferred done keeps the accounting
+// consistent while the deferred recover converts the panic into the run's
+// hard error instead of tearing the process down.
+func (w *fWorker) runNode(nd *node) {
+	f := w.f
+	defer f.done()
+	defer func() {
+		if r := recover(); r != nil {
+			f.fail(faultinject.Recovered("symex.worker", r))
+			w.ex.cfg.Faults.CountRecovered()
+		}
+	}()
+	st, ok := w.materialize(nd)
+	if !ok {
+		return
+	}
+	f.commitTake(nd)
+	w.run(st)
 }
 
 // pop blocks until a runnable node is available or the exploration is over,
@@ -345,6 +364,14 @@ func (w *fWorker) run(st *State) {
 				return
 			}
 			if f.abandoned(st.path) {
+				return
+			}
+			// Scheduled chaos, in escalating order: a worker panic
+			// (recovered by runNode), a stall, a forced cancellation.
+			e.cfg.Faults.Panic(faultinject.SymexWorkerPanic)
+			e.cfg.Faults.Sleep(faultinject.SymexFrontierStall)
+			if e.cfg.Faults.Fire(faultinject.SymexCancel) {
+				f.fail(ErrStopped)
 				return
 			}
 		}

@@ -6,6 +6,7 @@ import (
 
 	"octopocs/internal/cfg"
 	"octopocs/internal/expr"
+	"octopocs/internal/faultinject"
 	"octopocs/internal/isa"
 	"octopocs/internal/solver"
 )
@@ -57,6 +58,9 @@ type NaiveConfig struct {
 	// as in Config.Prune; the fork set is unchanged because a pruned
 	// direction is infeasible and would be dropped by its SAT check.
 	Prune cfg.Pruner
+	// Faults, when non-nil, injects scheduled faults exactly as in
+	// Config.Faults. Nil in production.
+	Faults *faultinject.Injector
 }
 
 // RunNaive explores the program breadth-first, forking at every feasible
@@ -102,6 +106,7 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 			Workers:     cfg.Workers,
 			SolverCache: cfg.SolverCache,
 			Prune:       cfg.Prune,
+			Faults:      cfg.Faults,
 		}, stopVisitor, frontierBudgets{mem: cfg.MemBudget, states: cfg.MaxStates}, nil)
 	}
 	e := New(prog, Config{
@@ -113,6 +118,7 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 		Stop:      cfg.Stop,
 		Metrics:   cfg.Metrics,
 		Prune:     cfg.Prune,
+		Faults:    cfg.Faults,
 	})
 	e.onResolve = onResolve
 	defer func() {

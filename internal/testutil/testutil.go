@@ -1,0 +1,70 @@
+// Package testutil holds the shared test helpers of the repository's
+// concurrency-heavy suites: condition polling with a deadline (WaitFor)
+// and goroutine-leak detection (CheckGoroutineLeaks). The service worker
+// pool around phases P1–P4, the P2 frontier explorers, and the chaos
+// harness all assert "eventually X, and no goroutine outlives the test"
+// — these helpers are that assertion, written once.
+//
+// Concurrency: the helpers only poll runtime state from the test
+// goroutine; they create no goroutines and hold no locks, so tests using
+// them may run in parallel.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// pollInterval is the sleep between condition checks.
+const pollInterval = 2 * time.Millisecond
+
+// WaitFor polls cond until it returns true or the timeout elapses, failing
+// the test fatally in the latter case with the formatted message.
+func WaitFor(t testing.TB, cond func() bool, timeout time.Duration, format string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("WaitFor: condition not met within %v: "+format, append([]any{timeout}, args...)...)
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+// leakSettleTimeout bounds how long CheckGoroutineLeaks waits for stray
+// goroutines to exit before declaring a leak. Worker pools and HTTP test
+// servers wind down asynchronously after Shutdown/Close returns, so the
+// check polls instead of snapshotting once.
+const leakSettleTimeout = 10 * time.Second
+
+// CheckGoroutineLeaks snapshots the goroutine count and registers a cleanup
+// that fails the test if, after everything the test deferred has run, more
+// goroutines remain than at the snapshot (with time for asynchronous
+// teardown to settle). Register it first thing in the test — cleanups run
+// LIFO after all defers, so the check observes the fully torn-down state.
+func CheckGoroutineLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakSettleTimeout)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(pollInterval)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d goroutines before the test, %d after settling %v\n%s",
+			before, now, leakSettleTimeout, buf[:n])
+	})
+}
