@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"octopocs/internal/corpus"
+	"octopocs/internal/service"
+)
+
+// CloneBenchCand is one ranked candidate of a clone-detection scan, with
+// its verification outcome.
+type CloneBenchCand struct {
+	Rank     int     `json:"rank"`
+	Target   string  `json:"target"`
+	Score    float64 `json:"score"`
+	InFamily bool    `json:"in_family"`
+	Verdict  string  `json:"verdict,omitempty"`
+	Type     string  `json:"type,omitempty"`
+	// Confirmed: verification produced a reformed PoC triggering the
+	// vulnerability in this target.
+	Confirmed bool `json:"confirmed,omitempty"`
+	// ExpectTriggered is the ground-truth expectation for this target's own
+	// corpus row; a confirmed candidate with this false is a false
+	// "triggerable" — soundness failure, never observed.
+	ExpectTriggered bool   `json:"expect_triggered"`
+	Error           string `json:"error,omitempty"`
+}
+
+// CloneBenchRow is one source CVE scanned across the 17-target index.
+type CloneBenchRow struct {
+	Idx    int    `json:"idx"`
+	Source string `json:"source"`
+	Family string `json:"family"`
+	// DiagonalRank is the 1-based rank of the source's own propagation
+	// target in the candidate list (0 = not retrieved — recall failure).
+	DiagonalRank int `json:"diagonal_rank"`
+	// DiagonalConfirmed / ExpectTriggered compare verification of the true
+	// pair against Table II's poc' column.
+	DiagonalConfirmed bool `json:"diagonal_confirmed"`
+	ExpectTriggered   bool `json:"expect_triggered"`
+	// Precision and Recall measure retrieval against the family truth:
+	// in-family candidates over all candidates, and over the family size.
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	// Verification outcome counts across the candidates.
+	Confirmed  int              `json:"confirmed"`
+	Refuted    int              `json:"refuted"`
+	WallMs     float64          `json:"wall_ms"`
+	Candidates []CloneBenchCand `json:"candidates"`
+}
+
+// cloneBenchTotals is the headline aggregate.
+type cloneBenchTotals struct {
+	Sources    int `json:"sources"`
+	Candidates int `json:"candidates"`
+	// MeanPrecision/MeanRecall are macro-averages over sources; MRR is the
+	// mean reciprocal rank of the true pair.
+	MeanPrecision float64 `json:"mean_precision"`
+	MeanRecall    float64 `json:"mean_recall"`
+	MRR           float64 `json:"mrr"`
+	Confirmed     int     `json:"confirmed"`
+	Refuted       int     `json:"refuted"`
+	// DiagonalMisses counts sources whose true pair was not retrieved;
+	// DiagonalMismatches counts true pairs whose verification verdict
+	// contradicts Table II; FalseTriggered counts confirmed candidates whose
+	// target row is not triggerable. All three must be zero.
+	DiagonalMisses     int `json:"diagonal_misses"`
+	DiagonalMismatches int `json:"diagonal_mismatches"`
+	FalseTriggered     int `json:"false_triggered"`
+}
+
+// cloneBenchFile is the BENCH_clonedet.json document.
+type cloneBenchFile struct {
+	Note       string           `json:"note"`
+	Totals     cloneBenchTotals `json:"totals"`
+	Benchmarks []CloneBenchRow  `json:"benchmarks"`
+}
+
+// benchClonedet fans every corpus CVE through the batch scan path — the
+// same StartScan flow behind POST /v1/scan — against the full 17-target
+// index, verifying every ranked candidate, and writes retrieval quality
+// (precision/recall/rank) plus verification outcomes to path. It fails if
+// any true clone pair is missed by retrieval, if the true pair's verdict
+// contradicts Table II, or if any candidate is falsely confirmed.
+func benchClonedet(path string, workers int) error {
+	if workers <= 0 {
+		workers = 2
+	}
+	out := cloneBenchFile{
+		Note: "each corpus CVE is scanned against the 17-target fingerprint index via the " +
+			"service batch-scan path; every ranked candidate is verified end to end. " +
+			"precision/recall score retrieval against the clone-family ground truth " +
+			"(corpus.CloneTruth); confirmed/refuted are pipeline verdicts. " +
+			"false_triggered and diagonal_misses must be zero.",
+	}
+	svc := service.New(service.Config{Workers: workers, QueueDepth: 17 * 17})
+	defer svc.Shutdown(context.Background())
+
+	truthRows := corpus.CloneTruth()
+	var sumP, sumR, sumRR float64
+	for _, truth := range truthRows {
+		start := time.Now()
+		sc, err := svc.StartScan(&service.ScanRequest{
+			CorpusIdx:     truth.Idx,
+			CorpusTargets: true,
+		})
+		if err != nil {
+			return fmt.Errorf("scan source %d: %w", truth.Idx, err)
+		}
+		if err := sc.Wait(context.Background()); err != nil {
+			return err
+		}
+		st := sc.Snapshot()
+		row := CloneBenchRow{
+			Idx:             truth.Idx,
+			Source:          truth.Source,
+			Family:          truth.Family,
+			ExpectTriggered: truth.ExpectTriggered,
+			WallMs:          float64(time.Since(start).Microseconds()) / 1e3,
+		}
+		family := map[string]bool{}
+		for _, idx := range corpus.FamilyTargets(truth.Family) {
+			family[fmt.Sprintf("corpus/%02d", idx)] = true
+		}
+		diagonal := fmt.Sprintf("corpus/%02d", truth.Idx)
+		inFamily := 0
+		for rank, c := range st.Candidates {
+			cand := CloneBenchCand{
+				Rank:      rank + 1,
+				Target:    c.Target,
+				Score:     c.Score,
+				InFamily:  family[c.Target],
+				Verdict:   c.Verdict,
+				Type:      c.Type,
+				Confirmed: c.Confirmed,
+				Error:     c.Error,
+			}
+			var targetIdx int
+			if _, err := fmt.Sscanf(c.Target, "corpus/%d", &targetIdx); err == nil {
+				if tt := corpus.CloneTruthByIdx(targetIdx); tt != nil {
+					cand.ExpectTriggered = tt.ExpectTriggered
+				}
+			}
+			if cand.InFamily {
+				inFamily++
+			}
+			if c.Target == diagonal {
+				row.DiagonalRank = rank + 1
+				row.DiagonalConfirmed = c.Confirmed
+			}
+			if c.Confirmed {
+				row.Confirmed++
+				if !cand.ExpectTriggered {
+					out.Totals.FalseTriggered++
+				}
+			}
+			if c.Verdict == "not-triggerable" {
+				row.Refuted++
+			}
+			row.Candidates = append(row.Candidates, cand)
+		}
+		if n := len(st.Candidates); n > 0 {
+			row.Precision = float64(inFamily) / float64(n)
+		}
+		row.Recall = float64(inFamily) / float64(len(family))
+		if row.DiagonalRank == 0 {
+			out.Totals.DiagonalMisses++
+		} else {
+			sumRR += 1 / float64(row.DiagonalRank)
+		}
+		if row.DiagonalConfirmed != truth.ExpectTriggered {
+			out.Totals.DiagonalMismatches++
+		}
+		sumP += row.Precision
+		sumR += row.Recall
+		out.Totals.Candidates += len(row.Candidates)
+		out.Totals.Confirmed += row.Confirmed
+		out.Totals.Refuted += row.Refuted
+		out.Benchmarks = append(out.Benchmarks, row)
+		fmt.Printf("[%2d] %-14s family %-8s rank %d  P %.2f R %.2f  %d confirmed %d refuted  %7.1f ms\n",
+			row.Idx, row.Source, row.Family, row.DiagonalRank,
+			row.Precision, row.Recall, row.Confirmed, row.Refuted, row.WallMs)
+	}
+	n := float64(len(truthRows))
+	out.Totals.Sources = len(truthRows)
+	out.Totals.MeanPrecision = sumP / n
+	out.Totals.MeanRecall = sumR / n
+	out.Totals.MRR = sumRR / n
+	fmt.Printf("totals: P %.3f R %.3f MRR %.3f, %d confirmed, %d refuted, %d false-triggered, %d misses, %d mismatches\n",
+		out.Totals.MeanPrecision, out.Totals.MeanRecall, out.Totals.MRR,
+		out.Totals.Confirmed, out.Totals.Refuted,
+		out.Totals.FalseTriggered, out.Totals.DiagonalMisses, out.Totals.DiagonalMismatches)
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("benchmark results written to %s\n", path)
+
+	switch {
+	case out.Totals.DiagonalMisses > 0:
+		return fmt.Errorf("retrieval missed %d true clone pair(s)", out.Totals.DiagonalMisses)
+	case out.Totals.DiagonalMismatches > 0:
+		return fmt.Errorf("%d true pair(s) verified contrary to Table II", out.Totals.DiagonalMismatches)
+	case out.Totals.FalseTriggered > 0:
+		return fmt.Errorf("%d candidate(s) falsely confirmed triggerable", out.Totals.FalseTriggered)
+	}
+	return nil
+}

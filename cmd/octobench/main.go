@@ -44,6 +44,8 @@ func run(args []string) error {
 		staticOut = fs.String("bench-static-out", "BENCH_static.json", "with -bench-static: output file")
 		doFaults  = fs.Bool("bench-faults", false, "run the fault-injection overhead benchmark (all pairs, clean vs canned chaos schedule)")
 		faultsOut = fs.String("bench-faults-out", "BENCH_faults.json", "with -bench-faults: output file")
+		doClone   = fs.Bool("bench-clonedet", false, "run the clone-detection benchmark (every corpus CVE scanned and verified against the 17-target index)")
+		cloneOut  = fs.String("bench-clonedet-out", "BENCH_clonedet.json", "with -bench-clonedet: output file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,9 +62,12 @@ func run(args []string) error {
 	if *doFaults {
 		return benchFaults(*faultsOut)
 	}
+	if *doClone {
+		return benchClonedet(*cloneOut, *workers)
+	}
 	if !*all && *table == 0 && !*doSurvey && !*doLatest && !*doSweeps {
 		fs.Usage()
-		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, -bench-static, or -bench-faults")
+		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, -bench-static, -bench-faults, or -bench-clonedet")
 	}
 
 	want := func(n int) bool { return *all || *table == n }

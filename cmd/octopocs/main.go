@@ -11,6 +11,8 @@
 //	octopocs -pair 3 -context-free  ablation: disable context-aware taint
 //	octopocs -pair 8 -static-cfg    ablation: static CFG only
 //	octopocs -pair 16 -static       static pre-analysis: verify, fold, prune
+//	octopocs scan -source 7       discover row 7's clones, verify candidates
+//	octopocs scan -all-sources    batch-scan every corpus CVE (see scan.go)
 package main
 
 import (
@@ -40,6 +42,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "scan" {
+		return runScan(args[1:])
+	}
 	fs := flag.NewFlagSet("octopocs", flag.ContinueOnError)
 	var (
 		all         = fs.Bool("all", false, "verify every corpus pair")

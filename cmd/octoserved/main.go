@@ -1,7 +1,10 @@
 // Command octoserved exposes the OCTOPOCS verification pipeline as an HTTP
 // service: submit (S, T, poc) pairs, poll job status, fetch reports, reformed
-// PoCs and per-job phase traces, and watch queue/cache statistics. Metrics
-// are served in Prometheus text form at /metrics; an optional debug listener
+// PoCs and per-job phase traces, and watch queue/cache statistics. POST
+// /v1/scan additionally runs the clone-detection front end: one source CVE is
+// matched against an indexed target corpus and every ranked candidate is
+// fanned out as a verification job (see internal/clonedet). Metrics are
+// served in Prometheus text form at /metrics; an optional debug listener
 // exposes net/http/pprof.
 //
 // Usage:

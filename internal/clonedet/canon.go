@@ -1,0 +1,201 @@
+// Package clonedet is the clone-detection front end of the pipeline: it
+// discovers the shared function set ℓ instead of requiring it as an input.
+// The paper assumes a vulnerable-clone detector (VUDDY) has already produced
+// the (S, T, ℓ) triple; this package supplies that step over MIR, in the
+// retrieval-plus-validation style of VulCoCo: every function is normalized
+// into canonical instruction shingles, hashed into a per-function
+// fingerprint set, and indexed, so the vulnerable functions of a source
+// program can be matched against a target corpus by weighted
+// Jaccard/containment similarity refined with callgraph-context and
+// CFG-shape signals. Matches are ranked and emitted as candidate (T, ℓ, ep)
+// tuples that flow directly into the P1–P4 verification pipeline of
+// internal/core — retrieval provides recall, OCTOPOCS verification restores
+// precision by confirming or refuting every candidate.
+//
+// Canonicalization makes fingerprints invariant under the two rewrites a
+// compiler (or a copy-pasting maintainer) applies most freely: registers are
+// renamed to first-use ordinals, so any bijective register renaming yields
+// the same shingles, and immediates are abstracted to magnitude classes, so
+// re-encoding a constant at a different width within its class does not
+// perturb the fingerprint. Function and block names never enter a shingle —
+// only ℓ membership (which the pipeline resolves by name) requires the
+// propagated code to keep its symbol names.
+//
+// Concurrency: an Index is built by one goroutine (NewIndex/Add are not
+// safe to interleave with Scan); Config.Workers only parallelizes the
+// inside of Add and Scan, and any worker count produces byte-identical
+// candidate rankings. A fully built Index is immutable during Scan, so many
+// goroutines may Scan one Index concurrently. The optional Metrics sink is
+// internally synchronized and flushed once per Add/Scan call.
+package clonedet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+
+	"octopocs/internal/isa"
+)
+
+// DefaultK is the shingle width in instructions. Four-instruction windows
+// are long enough that boilerplate prologue patterns rarely collide and
+// short enough that an inserted patch only invalidates the shingles that
+// overlap it.
+const DefaultK = 4
+
+// canonRegs assigns canonical ordinals to registers in first-use order over
+// the serialized operand visit order (Dst, A, B, Args). Any bijective
+// renaming of the register file preserves first-use order and therefore the
+// canonical stream.
+type canonRegs struct {
+	ids  map[isa.Reg]int
+	next int
+}
+
+func (c *canonRegs) of(r isa.Reg) int {
+	if id, ok := c.ids[r]; ok {
+		return id
+	}
+	c.ids[r] = c.next
+	c.next++
+	return c.ids[r]
+}
+
+// constClass buckets an immediate by the magnitude of its unsigned
+// encoding: z for zero, then 8/16/32/64-bit classes. Two constants in the
+// same class canonicalize to the same token, which is exactly the
+// "constant-width re-encoding" invariance the fuzz target pins.
+func constClass(v int64) string {
+	u := uint64(v)
+	switch l := bits.Len64(u); {
+	case l == 0:
+		return "z"
+	case l <= 8:
+		return "k8"
+	case l <= 16:
+		return "k16"
+	case l <= 32:
+		return "k32"
+	default:
+		return "k64"
+	}
+}
+
+// CanonTokens serializes a function into its canonical token stream: one
+// token per instruction, blocks in definition order with a boundary marker.
+// Callee and block names are abstracted away (call arity and syscall
+// numbers stay, since they are semantic); registers become first-use
+// ordinals and immediates become magnitude classes.
+func CanonTokens(f *isa.Function) []string {
+	regs := &canonRegs{ids: make(map[isa.Reg]int)}
+	var out []string
+	for _, b := range f.Blocks {
+		out = append(out, "|")
+		for i := range b.Insts {
+			out = append(out, canonInst(&b.Insts[i], regs))
+		}
+	}
+	return out
+}
+
+// canonInst renders one instruction's canonical token.
+func canonInst(in *isa.Inst, regs *canonRegs) string {
+	r := regs.of
+	switch in.Op {
+	case isa.OpConst:
+		return fmt.Sprintf("c %d %s", r(in.Dst), constClass(in.Imm))
+	case isa.OpMov:
+		return fmt.Sprintf("m %d %d", r(in.Dst), r(in.A))
+	case isa.OpBin:
+		return fmt.Sprintf("b%d %d %d %d", in.Bin, r(in.Dst), r(in.A), r(in.B))
+	case isa.OpBinImm:
+		return fmt.Sprintf("bi%d %d %d %s", in.Bin, r(in.Dst), r(in.A), constClass(in.Imm))
+	case isa.OpCmp:
+		return fmt.Sprintf("p%d %d %d %d", in.Cmp, r(in.Dst), r(in.A), r(in.B))
+	case isa.OpCmpImm:
+		return fmt.Sprintf("pi%d %d %d %s", in.Cmp, r(in.Dst), r(in.A), constClass(in.Imm))
+	case isa.OpLoad:
+		return fmt.Sprintf("ld%d %d %d %s", in.Size, r(in.Dst), r(in.A), constClass(in.Imm))
+	case isa.OpStore:
+		return fmt.Sprintf("st%d %d %d %s", in.Size, r(in.A), r(in.B), constClass(in.Imm))
+	case isa.OpJmp:
+		return "j"
+	case isa.OpBr:
+		return fmt.Sprintf("br %d", r(in.A))
+	case isa.OpCall:
+		return fmt.Sprintf("call/%d %d%s", len(in.Args), r(in.Dst), canonArgs(in.Args, regs))
+	case isa.OpCallInd:
+		return fmt.Sprintf("calli/%d %d %d%s", len(in.Args), r(in.Dst), r(in.A), canonArgs(in.Args, regs))
+	case isa.OpRet:
+		return fmt.Sprintf("ret %d", r(in.A))
+	case isa.OpSyscall:
+		return fmt.Sprintf("sys%d/%d %d%s", in.Sys, len(in.Args), r(in.Dst), canonArgs(in.Args, regs))
+	case isa.OpTrap:
+		return fmt.Sprintf("trap %s", constClass(in.Imm))
+	default:
+		return fmt.Sprintf("op%d", in.Op)
+	}
+}
+
+func canonArgs(args []isa.Reg, regs *canonRegs) string {
+	s := ""
+	for _, a := range args {
+		s += fmt.Sprintf(" %d", regs.of(a))
+	}
+	return s
+}
+
+// FingerprintFn hashes a function's canonical token stream into its shingle
+// fingerprint: the sorted, deduplicated FNV-64 hashes of every k-token
+// window. Streams shorter than k contribute a single whole-stream shingle,
+// so even tiny helpers are matchable.
+func FingerprintFn(f *isa.Function, k int) []uint64 {
+	if k <= 0 {
+		k = DefaultK
+	}
+	tokens := CanonTokens(f)
+	if len(tokens) == 0 {
+		return nil
+	}
+	n := len(tokens) - k + 1
+	if n < 1 {
+		n = 1
+	}
+	set := make(map[uint64]struct{}, n)
+	for i := 0; i < n; i++ {
+		h := fnv.New64a()
+		for j := i; j < i+k && j < len(tokens); j++ {
+			h.Write([]byte(tokens[j]))
+			h.Write([]byte{0x1f})
+		}
+		set[h.Sum64()] = struct{}{}
+	}
+	out := make([]uint64, 0, len(set))
+	for h := range set {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// mergeSorted unions two sorted hash slices into a fresh sorted slice.
+func mergeSorted(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default: // equal
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

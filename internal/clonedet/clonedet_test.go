@@ -1,0 +1,356 @@
+package clonedet
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/corpus"
+	"octopocs/internal/isa"
+	"octopocs/internal/telemetry"
+)
+
+// rawSampleFn builds one hand-written function through a register transform
+// and an immediate transform, so tests can compare the fingerprint of the
+// identity build against rewritten builds.
+func rawSampleFn(p func(isa.Reg) isa.Reg, imm func(int64) int64) *isa.Function {
+	return &isa.Function{
+		Name: "sample",
+		Blocks: []*isa.Block{
+			{Name: "b0", Insts: []isa.Inst{
+				{Op: isa.OpConst, Dst: p(3), Imm: imm(40)},
+				{Op: isa.OpBinImm, Bin: isa.Add, Dst: p(4), A: p(3), Imm: imm(300)},
+				{Op: isa.OpCmpImm, Cmp: isa.Lt, Dst: p(5), A: p(4), Imm: imm(100000)},
+				{Op: isa.OpBr, A: p(5), Then: "b1", Else: "b2"},
+			}},
+			{Name: "b1", Insts: []isa.Inst{
+				{Op: isa.OpCall, Dst: p(6), Callee: "helper", Args: []isa.Reg{p(3), p(4)}},
+				{Op: isa.OpLoad, Size: 4, Dst: p(7), A: p(6), Imm: imm(8)},
+				{Op: isa.OpStore, Size: 4, A: p(6), B: p(7), Imm: imm(16)},
+				{Op: isa.OpBin, Bin: isa.Mul, Dst: p(9), A: p(7), B: p(4)},
+				{Op: isa.OpCmp, Cmp: isa.Eq, Dst: p(10), A: p(9), B: p(3)},
+				{Op: isa.OpJmp, Then: "b2"},
+			}},
+			{Name: "b2", Insts: []isa.Inst{
+				{Op: isa.OpMov, Dst: p(11), A: p(4)},
+				{Op: isa.OpSyscall, Sys: isa.SysExit, Dst: p(12), Args: []isa.Reg{p(11)}},
+				{Op: isa.OpRet, A: p(12)},
+			}},
+		},
+	}
+}
+
+func ident(r isa.Reg) isa.Reg   { return r }
+func identImm(v int64) int64    { return v }
+func permute(r isa.Reg) isa.Reg { return isa.Reg((int(r)*17 + 5) % isa.NumRegs) }
+
+// classRepr maps an immediate to a fixed representative of its magnitude
+// class — a different value, same class.
+func classRepr(v int64) int64 {
+	switch constClass(v) {
+	case "z":
+		return 0
+	case "k8":
+		return 171
+	case "k16":
+		return 0x1234
+	case "k32":
+		return 0x12345678
+	default:
+		return -1
+	}
+}
+
+// TestFingerprintRegisterRenamingInvariance: any bijective register renaming
+// yields byte-identical fingerprints.
+func TestFingerprintRegisterRenamingInvariance(t *testing.T) {
+	base := FingerprintFn(rawSampleFn(ident, identImm), 0)
+	ren := FingerprintFn(rawSampleFn(permute, identImm), 0)
+	if len(base) == 0 {
+		t.Fatal("empty fingerprint for sample function")
+	}
+	if !reflect.DeepEqual(base, ren) {
+		t.Errorf("fingerprint changed under register renaming:\n base %v\n renamed %v", base, ren)
+	}
+	for _, k := range []int{1, 2, 3, 7} {
+		if !reflect.DeepEqual(FingerprintFn(rawSampleFn(ident, identImm), k), FingerprintFn(rawSampleFn(permute, identImm), k)) {
+			t.Errorf("k=%d: fingerprint changed under register renaming", k)
+		}
+	}
+}
+
+// TestFingerprintConstReencodingInvariance: re-encoding every immediate
+// within its magnitude class preserves the fingerprint; moving one constant
+// across classes perturbs it.
+func TestFingerprintConstReencodingInvariance(t *testing.T) {
+	base := FingerprintFn(rawSampleFn(ident, identImm), 0)
+	reenc := FingerprintFn(rawSampleFn(ident, classRepr), 0)
+	if !reflect.DeepEqual(base, reenc) {
+		t.Errorf("fingerprint changed under in-class constant re-encoding:\n base %v\n reenc %v", base, reenc)
+	}
+	crossClass := FingerprintFn(rawSampleFn(ident, func(v int64) int64 {
+		if v == 40 {
+			return 300 // k8 -> k16
+		}
+		return v
+	}), 0)
+	if reflect.DeepEqual(base, crossClass) {
+		t.Error("fingerprint did not change when a constant crossed magnitude classes")
+	}
+	// Both rewrites together still match the base.
+	both := FingerprintFn(rawSampleFn(permute, classRepr), 0)
+	if !reflect.DeepEqual(base, both) {
+		t.Error("fingerprint changed under combined renaming + re-encoding")
+	}
+}
+
+// TestConstClass pins the magnitude buckets.
+func TestConstClass(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want string
+	}{
+		{0, "z"}, {1, "k8"}, {255, "k8"}, {256, "k16"}, {65535, "k16"},
+		{65536, "k32"}, {1 << 31, "k32"}, {1 << 32, "k64"}, {-1, "k64"}, {-300, "k64"},
+	}
+	for _, c := range cases {
+		if got := constClass(c.v); got != c.want {
+			t.Errorf("constClass(%d) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// corpusIndex builds the standard test index over all 17 corpus targets,
+// keyed tNN.
+func corpusIndex(t *testing.T, cfg Config) (*Index, []*corpus.PairSpec) {
+	t.Helper()
+	specs := append(corpus.All(), corpus.StaticSet()...)
+	ix := NewIndex(cfg)
+	var ts []Target
+	for _, s := range specs {
+		ts = append(ts, Target{Key: targetKey(s.Idx), Prog: s.Pair.T})
+	}
+	if err := ix.AddAll(ts); err != nil {
+		t.Fatalf("AddAll: %v", err)
+	}
+	return ix, specs
+}
+
+func targetKey(idx int) string { return fmt.Sprintf("t%02d", idx) }
+
+// TestCorpusRetrieval is the acceptance check for the retrieval stage:
+// scanning every source against the full 17-target index must place the true
+// clone pair (its own row's target, including the Type-variant rows 13, 14,
+// 16, 17) in the candidate set with the full ℓ recovered, and on this corpus
+// must return no cross-family candidates at all.
+func TestCorpusRetrieval(t *testing.T) {
+	ix, specs := corpusIndex(t, Config{})
+	for _, spec := range specs {
+		truth := corpus.CloneTruthByIdx(spec.Idx)
+		if truth == nil {
+			t.Fatalf("row %d: no clone truth", spec.Idx)
+		}
+		cands, err := ix.Scan(Source{Name: spec.SName, Prog: spec.Pair.S, Vuln: truth.Lib})
+		if err != nil {
+			t.Fatalf("row %d: Scan: %v", spec.Idx, err)
+		}
+		family := map[string]bool{}
+		for _, idx := range corpus.FamilyTargets(truth.Family) {
+			family[targetKey(idx)] = true
+		}
+		var diag *Candidate
+		for i := range cands {
+			c := &cands[i]
+			if !family[c.Target] {
+				t.Errorf("row %d: cross-family candidate %s (score %.3f)", spec.Idx, c.Target, c.Score)
+			}
+			if c.Target == targetKey(spec.Idx) {
+				diag = c
+			}
+		}
+		if diag == nil {
+			t.Errorf("row %d (%s): true pair %s not retrieved", spec.Idx, spec.Label(), targetKey(spec.Idx))
+			continue
+		}
+		if !reflect.DeepEqual(diag.Lib, truth.Lib) {
+			t.Errorf("row %d: discovered ℓ %v, want %v", spec.Idx, diag.Lib, truth.Lib)
+		}
+		if diag.Coverage != 1 {
+			t.Errorf("row %d: coverage %.2f, want 1.00", spec.Idx, diag.Coverage)
+		}
+		for _, m := range diag.Funcs {
+			if m.Renamed {
+				t.Errorf("row %d: unexpected renamed match %s->%s on the true pair", spec.Idx, m.SrcFn, m.DstFn)
+			}
+		}
+	}
+}
+
+// epPrograms builds a three-program fixture: a source whose ℓ is
+// {lib_decode, lib_skip} with lib_decode as entry point, a full clone
+// carrying both functions, and a partial clone carrying only lib_skip.
+func epPrograms() (src, full, partial *isa.Program) {
+	build := func(name string, withDecode bool) *isa.Program {
+		b := asm.NewBuilder(name)
+		sk := b.Function("lib_skip", 2)
+		n := sk.Param(1)
+		pos := sk.Sys(isa.SysTell, sk.Param(0))
+		sk.Sys(isa.SysSeek, sk.Param(0), sk.Add(pos, n))
+		sk.Ret(n)
+		if withDecode {
+			de := b.Function("lib_decode", 2)
+			fd, length := de.Param(0), de.Param(1)
+			buf := de.Sys(isa.SysAlloc, de.Const(64))
+			de.Sys(isa.SysRead, fd, buf, length)
+			de.Call("lib_skip", fd, length)
+			de.Ret(de.Load(1, buf, 0))
+		}
+		m := b.Function("main", 0)
+		fd := m.Const(0)
+		if withDecode {
+			m.Call("lib_decode", fd, m.Const(16))
+		}
+		m.Call("lib_skip", fd, m.Const(4))
+		m.Exit(0)
+		b.Entry("main")
+		return b.MustBuild()
+	}
+	return build("ep_src", true), build("ep_full", true), build("ep_partial", false)
+}
+
+// TestEpAnchoring: when the source entry point is known, a target without a
+// match for the entry-point function must not qualify, however well the
+// other ℓ functions match.
+func TestEpAnchoring(t *testing.T) {
+	src, full, partial := epPrograms()
+	ix := NewIndex(Config{})
+	if err := ix.AddAll([]Target{{Key: "full", Prog: full}, {Key: "partial", Prog: partial}}); err != nil {
+		t.Fatalf("AddAll: %v", err)
+	}
+	vuln := []string{"lib_decode", "lib_skip"}
+
+	free, err := ix.Scan(Source{Name: "src", Prog: src, Vuln: vuln})
+	if err != nil {
+		t.Fatalf("Scan (no ep): %v", err)
+	}
+	if got := candTargets(free); !reflect.DeepEqual(got, []string{"full", "partial"}) {
+		t.Fatalf("unanchored scan candidates = %v, want [full partial]", got)
+	}
+
+	anchored, err := ix.Scan(Source{Name: "src", Prog: src, Vuln: vuln, Ep: "lib_decode"})
+	if err != nil {
+		t.Fatalf("Scan (ep): %v", err)
+	}
+	if got := candTargets(anchored); !reflect.DeepEqual(got, []string{"full"}) {
+		t.Fatalf("anchored scan candidates = %v, want [full]", got)
+	}
+	if anchored[0].Ep != "lib_decode" {
+		t.Errorf("anchored candidate Ep = %q, want lib_decode", anchored[0].Ep)
+	}
+}
+
+func candTargets(cands []Candidate) []string {
+	var out []string
+	for _, c := range cands {
+		out = append(out, c.Target)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestScanAndIndexErrors covers the validation surface.
+func TestScanAndIndexErrors(t *testing.T) {
+	src, full, _ := epPrograms()
+	ix := NewIndex(Config{})
+	if err := ix.Add("full", full); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := ix.Add("full", full); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate key: err = %v", err)
+	}
+	if err := ix.Add("", full); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := ix.Add("nilprog", nil); err == nil {
+		t.Error("nil program accepted")
+	}
+	for _, bad := range []Source{
+		{Name: "no-prog", Vuln: []string{"lib_skip"}},
+		{Name: "no-vuln", Prog: src},
+		{Name: "missing-fn", Prog: src, Vuln: []string{"no_such_fn"}},
+		{Name: "missing-ep", Prog: src, Vuln: []string{"lib_skip"}, Ep: "no_such_fn"},
+	} {
+		if _, err := ix.Scan(bad); err == nil {
+			t.Errorf("source %q: Scan accepted invalid input", bad.Name)
+		}
+	}
+}
+
+// TestTopKAndMinScore: TopK truncates the ranking; a prohibitive MinScore
+// empties it.
+func TestTopKAndMinScore(t *testing.T) {
+	specs := append(corpus.All(), corpus.StaticSet()...)
+	spec := specs[6] // row 7, j2k family: three targets match
+	truth := corpus.CloneTruthByIdx(spec.Idx)
+
+	ix, _ := corpusIndex(t, Config{TopK: 1})
+	cands, err := ix.Scan(Source{Name: spec.SName, Prog: spec.Pair.S, Vuln: truth.Lib})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(cands) != 1 {
+		t.Fatalf("TopK=1: got %d candidates", len(cands))
+	}
+
+	strict, _ := corpusIndex(t, Config{MinScore: 0.999999})
+	cands, err = strict.Scan(Source{Name: spec.SName, Prog: spec.Pair.S, Vuln: truth.Lib})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	for _, c := range cands {
+		for _, m := range c.Funcs {
+			if m.Score < 0.999999 {
+				t.Errorf("MinScore: candidate %s carries match below threshold (%.3f)", c.Target, m.Score)
+			}
+		}
+	}
+}
+
+// TestMetricsFlush checks the flush-once counter contract across Add, Scan
+// and ObserveVerdict.
+func TestMetricsFlush(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMetrics(reg)
+	src, full, partial := epPrograms()
+	ix := NewIndex(Config{Metrics: m})
+	if err := ix.AddAll([]Target{{Key: "full", Prog: full}, {Key: "partial", Prog: partial}}); err != nil {
+		t.Fatalf("AddAll: %v", err)
+	}
+	if got := m.FunctionsIndexed.Value(); got != 5 {
+		t.Errorf("FunctionsIndexed = %d, want 5", got)
+	}
+	cands, err := ix.Scan(Source{Name: "src", Prog: src, Vuln: []string{"lib_decode", "lib_skip"}})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if got := m.Scans.Value(); got != 1 {
+		t.Errorf("Scans = %d, want 1", got)
+	}
+	if got := m.CandidatesRanked.Value(); got != uint64(len(cands)) {
+		t.Errorf("CandidatesRanked = %d, want %d", got, len(cands))
+	}
+	m.ObserveVerdict(true)
+	m.ObserveVerdict(false)
+	m.ObserveVerdict(false)
+	if m.Confirmed.Value() != 1 || m.Refuted.Value() != 2 {
+		t.Errorf("verdict counters = %d/%d, want 1/2", m.Confirmed.Value(), m.Refuted.Value())
+	}
+	// A nil bundle is a valid sink.
+	var nilM *Metrics
+	nilM.observeIndexed(3)
+	nilM.observeScan(1)
+	nilM.ObserveVerdict(true)
+}

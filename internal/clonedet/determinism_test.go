@@ -1,0 +1,53 @@
+package clonedet
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"octopocs/internal/corpus"
+)
+
+// TestScanDeterministicAcrossWorkers is the determinism contract of the
+// package doc: building the index and scanning the full corpus must produce
+// byte-identical candidate rankings for any worker count, and across
+// repeated runs.
+func TestScanDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	for run := 0; run < 2; run++ {
+		for _, workers := range []int{0, 1, 4, 9} {
+			got := scanCorpusJSON(t, workers)
+			if want == nil {
+				want = got
+				continue
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("run %d workers=%d: scan output differs from baseline\n got %d bytes\nwant %d bytes",
+					run, workers, len(got), len(want))
+			}
+		}
+	}
+}
+
+// scanCorpusJSON indexes all 17 targets and scans all 17 sources with the
+// given worker count, returning the JSON rendering of every ranking.
+func scanCorpusJSON(t *testing.T, workers int) []byte {
+	t.Helper()
+	ix, specs := corpusIndex(t, Config{Workers: workers})
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(ix.Stats()); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range specs {
+		truth := corpus.CloneTruthByIdx(spec.Idx)
+		cands, err := ix.Scan(Source{Name: spec.SName, Prog: spec.Pair.S, Vuln: truth.Lib})
+		if err != nil {
+			t.Fatalf("row %d: Scan: %v", spec.Idx, err)
+		}
+		if err := enc.Encode(cands); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}

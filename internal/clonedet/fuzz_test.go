@@ -1,0 +1,134 @@
+package clonedet
+
+import (
+	"reflect"
+	"testing"
+
+	"octopocs/internal/isa"
+)
+
+// decodeFuzzFn interprets an arbitrary byte stream as a MIR function, four
+// bytes per instruction (opcode selector, then three operand bytes). Every
+// input decodes to something; validity does not matter because
+// canonicalization never executes the code.
+func decodeFuzzFn(data []byte) *isa.Function {
+	f := &isa.Function{Name: "fuzz"}
+	blk := &isa.Block{Name: "b0"}
+	f.Blocks = []*isa.Block{blk}
+	sizes := [4]uint8{1, 2, 4, 8}
+	for i := 0; i+4 <= len(data); i += 4 {
+		op, x, y, z := data[i], data[i+1], data[i+2], data[i+3]
+		dst := isa.Reg(x % isa.NumRegs)
+		a := isa.Reg(y % isa.NumRegs)
+		b := isa.Reg(z % isa.NumRegs)
+		// Spread immediates across every magnitude class, negatives included.
+		imm := (int64(x) << (y % 60)) - int64(z)
+		var in isa.Inst
+		switch op % 15 {
+		case 0:
+			in = isa.Inst{Op: isa.OpConst, Dst: dst, Imm: imm}
+		case 1:
+			in = isa.Inst{Op: isa.OpMov, Dst: dst, A: a}
+		case 2:
+			in = isa.Inst{Op: isa.OpBin, Bin: isa.BinOp(z % 8), Dst: dst, A: a, B: b}
+		case 3:
+			in = isa.Inst{Op: isa.OpBinImm, Bin: isa.BinOp(z % 8), Dst: dst, A: a, Imm: imm}
+		case 4:
+			in = isa.Inst{Op: isa.OpCmp, Cmp: isa.CmpOp(z % 6), Dst: dst, A: a, B: b}
+		case 5:
+			in = isa.Inst{Op: isa.OpCmpImm, Cmp: isa.CmpOp(z % 6), Dst: dst, A: a, Imm: imm}
+		case 6:
+			in = isa.Inst{Op: isa.OpLoad, Size: sizes[z%4], Dst: dst, A: a, Imm: imm}
+		case 7:
+			in = isa.Inst{Op: isa.OpStore, Size: sizes[z%4], A: a, B: b, Imm: imm}
+		case 8:
+			in = isa.Inst{Op: isa.OpJmp, Then: "b0"}
+		case 9:
+			in = isa.Inst{Op: isa.OpBr, A: a, Then: "b0", Else: "b0"}
+		case 10:
+			in = isa.Inst{Op: isa.OpCall, Dst: dst, Callee: "callee", Args: []isa.Reg{a, b}}
+		case 11:
+			in = isa.Inst{Op: isa.OpCallInd, Dst: dst, A: a, Args: []isa.Reg{b}}
+		case 12:
+			in = isa.Inst{Op: isa.OpRet, A: a}
+		case 13:
+			in = isa.Inst{Op: isa.OpSyscall, Sys: isa.Sys(z % 12), Dst: dst, Args: []isa.Reg{a, b}}
+		default:
+			// Block boundary.
+			blk = &isa.Block{Name: "b"}
+			f.Blocks = append(f.Blocks, blk)
+			continue
+		}
+		blk.Insts = append(blk.Insts, in)
+	}
+	return f
+}
+
+// mapRegs deep-copies f with every register operand passed through pi.
+func mapRegs(f *isa.Function, pi func(isa.Reg) isa.Reg) *isa.Function {
+	out := &isa.Function{Name: f.Name, NParams: f.NParams}
+	for _, b := range f.Blocks {
+		nb := &isa.Block{Name: b.Name, Insts: append([]isa.Inst(nil), b.Insts...)}
+		for i := range nb.Insts {
+			in := &nb.Insts[i]
+			in.Dst, in.A, in.B = pi(in.Dst), pi(in.A), pi(in.B)
+			if len(in.Args) > 0 {
+				args := make([]isa.Reg, len(in.Args))
+				for j, r := range in.Args {
+					args[j] = pi(r)
+				}
+				in.Args = args
+			}
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	return out
+}
+
+// mapImms deep-copies f with every immediate passed through fn.
+func mapImms(f *isa.Function, fn func(int64) int64) *isa.Function {
+	out := &isa.Function{Name: f.Name, NParams: f.NParams}
+	for _, b := range f.Blocks {
+		nb := &isa.Block{Name: b.Name, Insts: append([]isa.Inst(nil), b.Insts...)}
+		for i := range nb.Insts {
+			nb.Insts[i].Imm = fn(nb.Insts[i].Imm)
+		}
+		out.Blocks = append(out.Blocks, nb)
+	}
+	return out
+}
+
+// FuzzShingleCanon pins the two canonicalization invariants on arbitrary
+// decoded functions: fingerprints are unchanged by any bijective register
+// renaming and by re-encoding every immediate within its magnitude class —
+// and the combination of both.
+func FuzzShingleCanon(f *testing.F) {
+	f.Add([]byte{})
+	// One instruction of every opcode selector.
+	var all []byte
+	for op := byte(0); op < 15; op++ {
+		all = append(all, op, 3, 5, 7)
+	}
+	f.Add(all)
+	f.Add([]byte{10, 1, 2, 3, 0, 255, 16, 32, 14, 0, 0, 0, 6, 68, 85, 102, 9, 17, 34, 51})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fn := decodeFuzzFn(data)
+		base := FingerprintFn(fn, 0)
+
+		shift := 1
+		if len(data) > 0 {
+			shift = int(data[0]) % isa.NumRegs
+		}
+		// r -> 17r+shift mod 224 is bijective (gcd(17, 224) = 1).
+		pi := func(r isa.Reg) isa.Reg { return isa.Reg((int(r)*17 + shift) % isa.NumRegs) }
+		if got := FingerprintFn(mapRegs(fn, pi), 0); !reflect.DeepEqual(base, got) {
+			t.Fatalf("fingerprint not invariant under register renaming (shift %d)", shift)
+		}
+		if got := FingerprintFn(mapImms(fn, classRepr), 0); !reflect.DeepEqual(base, got) {
+			t.Fatal("fingerprint not invariant under in-class constant re-encoding")
+		}
+		if got := FingerprintFn(mapImms(mapRegs(fn, pi), classRepr), 0); !reflect.DeepEqual(base, got) {
+			t.Fatal("fingerprint not invariant under combined rewrite")
+		}
+	})
+}

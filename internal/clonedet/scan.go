@@ -1,0 +1,198 @@
+package clonedet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"octopocs/internal/isa"
+)
+
+// Source is the scan query: a vulnerable program and the advisory's
+// vulnerable function names (the ℓ functions on the S side). Ep, when
+// known (the pipeline's FindEp reports it from the S crash backtrace),
+// anchors candidates: a target only qualifies when the entry-point function
+// itself has a match there.
+type Source struct {
+	// Name labels the source in candidates and logs.
+	Name string
+	// Prog is the linked source program S.
+	Prog *isa.Program
+	// Vuln lists the vulnerable (ℓ-side) function names of S.
+	Vuln []string
+	// Ep is the entry-point function of ℓ, or "" when unknown.
+	Ep string
+}
+
+// FuncMatch is one source-function-to-target-function match.
+type FuncMatch struct {
+	SrcFn string `json:"src_fn"`
+	DstFn string `json:"dst_fn"`
+	// Renamed marks a best match whose target function name differs from
+	// the source name. Renamed matches are diagnostics only: the
+	// verification pipeline resolves ℓ by name, so they never enter Lib.
+	Renamed bool `json:"renamed,omitempty"`
+	// Containment is the weighted fraction of source shingles present in
+	// the target function; Jaccard the symmetric variant.
+	Containment float64 `json:"containment"`
+	Jaccard     float64 `json:"jaccard"`
+	// Context is the callgraph-context signal (callee/caller neighborhood
+	// similarity); Shape the CFG-shape signal.
+	Context float64 `json:"context"`
+	Shape   float64 `json:"shape"`
+	// Score is the combined ranking score.
+	Score float64 `json:"score"`
+}
+
+// Candidate is one ranked (T, ℓ, ep) tuple: a target program that appears
+// to contain clones of the source's vulnerable functions, ready to be
+// confirmed or refuted by the verification pipeline.
+type Candidate struct {
+	// Target is the index key of the matched program.
+	Target string `json:"target"`
+	// Score ranks the candidate: coverage times the mean matched-function
+	// score.
+	Score float64 `json:"score"`
+	// Lib is the discovered shared function set ℓ — the name-preserving
+	// matches — sorted.
+	Lib []string `json:"lib"`
+	// Ep echoes the source entry point when it is part of Lib.
+	Ep string `json:"ep,omitempty"`
+	// Coverage is the fraction of source vulnerable functions matched.
+	Coverage float64 `json:"coverage"`
+	// Funcs details every function match, in source Vuln order.
+	Funcs []FuncMatch `json:"funcs"`
+}
+
+// Scan matches the source's vulnerable functions against every indexed
+// target and returns ranked candidates. A target qualifies when at least
+// one vulnerable function has a name-preserving match above MinScore and,
+// if the source entry point is known, the entry point is among them.
+// Candidates are ordered by descending score with the target key as the
+// deterministic tie-break; any Workers count produces identical output.
+func (ix *Index) Scan(src Source) ([]Candidate, error) {
+	if src.Prog == nil {
+		return nil, errors.New("clonedet: source has no program")
+	}
+	if len(src.Vuln) == 0 {
+		return nil, errors.New("clonedet: source has no vulnerable functions")
+	}
+	sfp := fingerprintProgram(src.Prog, ix.cfg.k())
+	vuln := append([]string(nil), src.Vuln...)
+	sort.Strings(vuln)
+	for _, fn := range vuln {
+		if sfp.byFn[fn] == nil {
+			return nil, fmt.Errorf("clonedet: vulnerable function %q not in source program %s", fn, src.Prog.Name)
+		}
+	}
+	if src.Ep != "" && sfp.byFn[src.Ep] == nil {
+		return nil, fmt.Errorf("clonedet: entry point %q not in source program %s", src.Ep, src.Prog.Name)
+	}
+
+	results := make([]*Candidate, len(ix.targets))
+	ix.parallel(len(ix.targets), func(i int) {
+		results[i] = ix.matchTarget(sfp, vuln, src.Ep, ix.targets[i])
+	})
+	var out []Candidate
+	for _, c := range results {
+		if c != nil {
+			out = append(out, *c)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Target < out[j].Target
+	})
+	if ix.cfg.TopK > 0 && len(out) > ix.cfg.TopK {
+		out = out[:ix.cfg.TopK]
+	}
+	ix.cfg.Metrics.observeScan(len(out))
+	return out, nil
+}
+
+// matchTarget scores one target against the source's vulnerable functions,
+// returning nil when the target does not qualify.
+func (ix *Index) matchTarget(sfp *progFP, vuln []string, ep string, t *target) *Candidate {
+	cand := &Candidate{Target: t.key}
+	var scoreSum float64
+	for _, fn := range vuln {
+		s := sfp.byFn[fn]
+		best, bestScore := ix.bestMatch(s, t)
+		if best == nil || bestScore < ix.cfg.minScore() {
+			continue
+		}
+		m := ix.matchDetail(s, best)
+		if !m.Renamed {
+			cand.Lib = append(cand.Lib, fn)
+			scoreSum += m.Score
+		}
+		cand.Funcs = append(cand.Funcs, m)
+	}
+	if len(cand.Lib) == 0 {
+		return nil
+	}
+	if ep != "" {
+		found := false
+		for _, fn := range cand.Lib {
+			if fn == ep {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Without the entry point the pipeline has nothing to verify
+			// against; the remaining matches alone cannot carry a crash.
+			return nil
+		}
+		cand.Ep = ep
+	}
+	cand.Coverage = float64(len(cand.Lib)) / float64(len(vuln))
+	cand.Score = cand.Coverage * (scoreSum / float64(len(cand.Lib)))
+	return cand
+}
+
+// bestMatch finds the highest-scoring target function for one source
+// function, preferring the name-preserving match when it ties the best
+// score (propagated code usually keeps its symbols; a tie must not rank a
+// coincidental twin above the real clone).
+func (ix *Index) bestMatch(s *fnFP, t *target) (*fnFP, float64) {
+	var best *fnFP
+	var bestScore float64
+	for _, d := range t.fp.fns {
+		score := ix.score(s, d)
+		switch {
+		case best == nil || score > bestScore:
+			best, bestScore = d, score
+		case score == bestScore && d.name == s.name && best.name != s.name:
+			best = d
+		}
+	}
+	return best, bestScore
+}
+
+// score combines the three ranking signals for one function pair.
+func (ix *Index) score(s, d *fnFP) float64 {
+	containment, _ := ix.similarity(s.hashes, d.hashes)
+	if containment == 0 {
+		return 0
+	}
+	ctx := 0.5*ix.containOrVacuous(s.calleeU, d.calleeU) + 0.5*ix.containOrVacuous(s.callerU, d.callerU)
+	return weightContainment*containment + weightContext*ctx + weightShape*shapeSim(s.shape, d.shape)
+}
+
+// matchDetail expands one accepted match into its reported form.
+func (ix *Index) matchDetail(s, d *fnFP) FuncMatch {
+	containment, jaccard := ix.similarity(s.hashes, d.hashes)
+	return FuncMatch{
+		SrcFn:       s.name,
+		DstFn:       d.name,
+		Renamed:     s.name != d.name,
+		Containment: containment,
+		Jaccard:     jaccard,
+		Context:     0.5*ix.containOrVacuous(s.calleeU, d.calleeU) + 0.5*ix.containOrVacuous(s.callerU, d.callerU),
+		Shape:       shapeSim(s.shape, d.shape),
+		Score:       ix.score(s, d),
+	}
+}

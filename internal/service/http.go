@@ -116,6 +116,9 @@ type ReportResponse struct {
 //	GET  /v1/jobs/{id}/poc     reformed PoC bytes
 //	GET  /v1/jobs/{id}/trace   phase/sub-step span tree (JSON)
 //	POST /v1/jobs/{id}/cancel  cooperative cancellation
+//	POST /v1/scan              batch clone scan (?wait=1 blocks until done)
+//	GET  /v1/scans             list all scans
+//	GET  /v1/scans/{id}        scan status with per-candidate verdicts
 //	GET  /v1/stats             queue/worker/latency/cache counters
 //	GET  /metrics              Prometheus text exposition
 //	GET  /healthz              liveness (503 while draining)
@@ -147,6 +150,18 @@ func (s *Service) Handler() http.Handler {
 		j.Cancel()
 		writeJSON(w, http.StatusOK, j.Snapshot())
 	}))
+	mux.HandleFunc("POST /v1/scan", s.handleScan)
+	mux.HandleFunc("GET /v1/scans", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Scans())
+	})
+	mux.HandleFunc("GET /v1/scans/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sc, ok := s.ScanByID(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown scan %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, sc.Snapshot())
+	})
 	return s.recoverMiddleware(mux)
 }
 
@@ -208,6 +223,38 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+// handleScan answers POST /v1/scan: retrieval runs synchronously (bad
+// requests fail with 400 before anything is enqueued), candidate
+// verifications fan out on the job queue. With ?wait=1 the reply blocks
+// until every candidate is resolved.
+func (s *Service) handleScan(w http.ResponseWriter, r *http.Request) {
+	var req ScanRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxSubmitBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	sc, err := s.StartScan(&req)
+	switch {
+	case errors.Is(err, ErrShutdown):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+		if err := sc.Wait(r.Context()); err != nil {
+			writeErr(w, http.StatusRequestTimeout, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sc.Snapshot())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sc.Snapshot())
 }
 
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request, j *Job) {

@@ -97,13 +97,16 @@ type Service struct {
 	traces *telemetry.TraceRing
 	met    *serviceMetrics
 
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	order   []string
-	nextID  uint64
-	closed  bool
-	running int
-	ctr     counters
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	order      []string
+	nextID     uint64
+	scans      map[string]*Scan
+	scanOrder  []string
+	nextScanID uint64
+	closed     bool
+	running    int
+	ctr        counters
 }
 
 // counters aggregates lifecycle and latency accounting; guarded by
@@ -153,6 +156,7 @@ func New(cfg Config) *Service {
 		log:   cfg.Logger,
 		queue: make(chan *Job, cfg.QueueDepth),
 		jobs:  make(map[string]*Job),
+		scans: make(map[string]*Scan),
 	}
 	if cfg.TraceCapacity >= 0 {
 		s.traces = telemetry.NewTraceRing(cfg.TraceCapacity)

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"octopocs/internal/clonedet"
 	"octopocs/internal/core"
 	"octopocs/internal/telemetry"
 )
@@ -25,6 +26,9 @@ type serviceMetrics struct {
 	types    map[core.ResultType]*telemetry.Counter
 
 	engines *core.Metrics
+	// clonedet is the retrieval counter family; batch scans thread it into
+	// their per-request index and report candidate verdicts through it.
+	clonedet *clonedet.Metrics
 }
 
 // newServiceMetrics registers every service-level family on reg. The verdict
@@ -95,6 +99,7 @@ func newServiceMetrics(s *Service, reg *telemetry.Registry) *serviceMetrics {
 	}
 
 	m.engines = core.NewMetrics(reg)
+	m.clonedet = clonedet.NewMetrics(reg)
 	return m
 }
 
