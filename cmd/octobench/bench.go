@@ -28,6 +28,7 @@ type BenchResult struct {
 
 // benchFile is the BENCH_telemetry.json document.
 type benchFile struct {
+	Host       hostMeta      `json:"host"`
 	Batch      []int         `json:"batch_corpus_idxs"`
 	Benchmarks []BenchResult `json:"benchmarks"`
 }
@@ -63,7 +64,7 @@ func benchTelemetry(path string) error {
 			MsPerOp:     float64(r.NsPerOp()) / 1e6,
 		}
 	}
-	out := benchFile{Batch: benchIdxs}
+	out := benchFile{Host: currentHost(), Batch: benchIdxs}
 
 	// Cold: caching disabled, every iteration recomputes all artifacts.
 	cold := testing.Benchmark(func(b *testing.B) {

@@ -75,6 +75,7 @@ type cloneBenchTotals struct {
 
 // cloneBenchFile is the BENCH_clonedet.json document.
 type cloneBenchFile struct {
+	Host       hostMeta         `json:"host"`
 	Note       string           `json:"note"`
 	Totals     cloneBenchTotals `json:"totals"`
 	Benchmarks []CloneBenchRow  `json:"benchmarks"`
@@ -91,6 +92,7 @@ func benchClonedet(path string, workers int) error {
 		workers = 2
 	}
 	out := cloneBenchFile{
+		Host: currentHost(),
 		Note: "each corpus CVE is scanned against the 17-target fingerprint index via the " +
 			"service batch-scan path; every ranked candidate is verified end to end. " +
 			"precision/recall score retrieval against the clone-family ground truth " +

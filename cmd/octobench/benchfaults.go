@@ -52,6 +52,7 @@ type faultBenchTotals struct {
 
 // faultBenchFile is the BENCH_faults.json document.
 type faultBenchFile struct {
+	Host       hostMeta         `json:"host"`
 	Note       string           `json:"note"`
 	Schedule   string           `json:"schedule"`
 	Pairs      int              `json:"pairs"`
@@ -67,6 +68,7 @@ type faultBenchFile struct {
 // numbers for an unsound pipeline are worthless.
 func benchFaults(path string) error {
 	out := faultBenchFile{
+		Host: currentHost(),
 		Note: "each pair is verified twice by a fresh pipeline: faults=false is the clean " +
 			"baseline, faults=true replays the canned schedule through a fresh injector. " +
 			"All scheduled faults are transient or degraded, so verdict_stable must be true " +

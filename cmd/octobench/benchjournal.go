@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/journal"
+)
+
+// JournalBenchRow is one (mode) measurement of BENCH_journal.json: the cost
+// of verifying the full corpus with the provenance journal off, on at
+// summary verbosity, or on at verbose verbosity.
+type JournalBenchRow struct {
+	Mode        string  `json:"mode"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Events is the journal volume of the last iteration, summed across
+	// pairs; zero in the off mode.
+	Events int `json:"events,omitempty"`
+	// OverheadPct is this mode's ns/op relative to the off baseline, as a
+	// percentage (e.g. 2.5 means 2.5% slower).
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// journalBenchFile is the BENCH_journal.json document.
+type journalBenchFile struct {
+	Host       hostMeta          `json:"host"`
+	Note       string            `json:"note"`
+	Pairs      int               `json:"pairs"`
+	Benchmarks []JournalBenchRow `json:"benchmarks"`
+}
+
+// benchJournalSweep verifies every corpus pair once with the given journal
+// options (nil = journaling off) and returns the total event count.
+func benchJournalSweep(b *testing.B, specs []*corpus.PairSpec, opts *journal.Options) int {
+	events := 0
+	for _, spec := range specs {
+		pl := core.New(core.Config{StaticPrune: true})
+		ctx := context.Background()
+		var rec *journal.Recorder
+		if opts != nil {
+			rec = journal.New(fmt.Sprintf("pair-%d", spec.Idx), *opts)
+			ctx = journal.With(ctx, rec)
+		}
+		if _, err := pl.VerifyContext(ctx, spec.Pair); err != nil {
+			b.Fatal(err)
+		}
+		if rec != nil {
+			rec.Close()
+			events += rec.Len()
+		}
+	}
+	return events
+}
+
+// benchJournal measures the provenance journal's verification overhead: the
+// full corpus is verified with journaling off, on at the default summary
+// verbosity (the service default), and on at verbose verbosity (every fork,
+// prune, and commit recorded). The journal's contract is that recording is
+// observability, not behavior — the off/on wall-clock gap is the price of
+// explainability and is expected to stay within a few percent.
+func benchJournal(path string) error {
+	specs := append(corpus.All(), corpus.StaticSet()...)
+	out := journalBenchFile{
+		Host: currentHost(),
+		Note: "each mode verifies the full corpus per iteration with a fresh pipeline; " +
+			"overhead_pct compares against the journal-off baseline. summary is the " +
+			"service default; verbose additionally records per-state symex and solver " +
+			"events.",
+		Pairs: len(specs),
+	}
+
+	modes := []struct {
+		name string
+		opts *journal.Options
+	}{
+		{"off", nil},
+		{"summary", &journal.Options{}},
+		{"verbose", &journal.Options{Verbosity: journal.VerbVerbose}},
+	}
+	var baseline int64
+	for _, mode := range modes {
+		mode := mode
+		events := 0
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				events = benchJournalSweep(b, specs, mode.opts)
+			}
+		})
+		row := JournalBenchRow{
+			Mode:        mode.name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			MsPerOp:     float64(r.NsPerOp()) / 1e6,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Events:      events,
+		}
+		if mode.opts == nil {
+			baseline = r.NsPerOp()
+		} else if baseline > 0 {
+			row.OverheadPct = (float64(r.NsPerOp())/float64(baseline) - 1) * 100
+		}
+		out.Benchmarks = append(out.Benchmarks, row)
+		fmt.Printf("journal=%-8s %8d iters  %10.3f ms/op  %8d allocs/op  %6d events  %+.2f%%\n",
+			mode.name, row.Iterations, row.MsPerOp, row.AllocsPerOp, row.Events, row.OverheadPct)
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
+}

@@ -45,6 +45,7 @@ type staticBenchTotals struct {
 
 // staticBenchFile is the BENCH_static.json document.
 type staticBenchFile struct {
+	Host       hostMeta          `json:"host"`
 	Note       string            `json:"note"`
 	Pairs      int               `json:"pairs"`
 	Totals     staticBenchTotals `json:"totals"`
@@ -60,6 +61,7 @@ type staticBenchFile struct {
 // statically-unreachable without any symbolic execution at all.
 func benchStatic(path string) error {
 	out := staticBenchFile{
+		Host: currentHost(),
 		Note: "each pair is verified twice by a fresh pipeline: static=false is the " +
 			"symex-only baseline, static=true adds the pre-P2 verifier/fold/prune pass. " +
 			"Verdicts and poc' bytes match between modes; symex_steps and sat_checks show " +

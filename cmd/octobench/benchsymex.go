@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 
 	"octopocs/internal/cfg"
@@ -46,7 +45,7 @@ type SymexBenchRow struct {
 
 // symexBenchFile is the BENCH_symex.json document.
 type symexBenchFile struct {
-	GoMaxProcs int `json:"go_max_procs"`
+	Host hostMeta `json:"host"`
 	// Note spells out how to read the two speedup columns on this host.
 	Note       string          `json:"note"`
 	Specs      []symexSpecMeta `json:"specs"`
@@ -88,8 +87,8 @@ func benchSymexRun(spec *corpus.SymexBenchSpec, workers int, cache *solver.Cache
 // they measure the steady state a long-lived service converges to when jobs
 // re-explore the same program.
 func benchSymex(path string) error {
-	out := symexBenchFile{GoMaxProcs: runtime.GOMAXPROCS(0)}
-	if out.GoMaxProcs > 1 {
+	out := symexBenchFile{Host: currentHost()}
+	if out.Host.GoMaxProcs > 1 {
 		out.Note = "speedup_vs_1_worker is the parallel-scaling axis; " +
 			"speedup_vs_cold_1_worker folds in the memoized SAT cache."
 	} else {
@@ -97,7 +96,7 @@ func benchSymex(path string) error {
 			"speedup_vs_1_worker measures scheduling overhead only (expect ~1.0x); "+
 			"speedup_vs_cold_1_worker shows the memoized-SAT-cache speedup, which is "+
 			"CPU-count independent. Re-run on a multicore host for the scaling ladder.",
-			out.GoMaxProcs)
+			out.Host.GoMaxProcs)
 	}
 	specs := corpus.SymexBench()
 	for _, s := range specs {

@@ -1,0 +1,26 @@
+package main
+
+import "runtime"
+
+// hostMeta stamps every BENCH_*.json document with the execution
+// environment, so results recorded on different machines are never diffed
+// as if they came from the same one. All fields come from the runtime
+// package — no syscalls, no platform branches.
+type hostMeta struct {
+	GoMaxProcs int    `json:"go_max_procs"`
+	NumCPU     int    `json:"num_cpu"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+}
+
+// currentHost snapshots the running process's environment.
+func currentHost() hostMeta {
+	return hostMeta{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+	}
+}

@@ -28,24 +28,26 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("octobench", flag.ContinueOnError)
 	var (
-		all       = fs.Bool("all", false, "regenerate every table and the survey")
-		table     = fs.Int("table", 0, "regenerate one table (2-5)")
-		doSurvey  = fs.Bool("survey", false, "run the § II-A PoC-type survey")
-		doLatest  = fs.Bool("latest", false, "run the § V-B latest-version verifications")
-		doSweeps  = fs.Bool("sweeps", false, "run the θ and naive-SE-memory parameter sweeps")
-		execs     = fs.Int64("execs", 300_000, "fuzzing execution budget for Table V")
-		memBudget = fs.Int64("mem", 0, "naive-SE memory budget in bytes for Table IV (0 = default)")
-		workers   = fs.Int("workers", 0, "verify Table II pairs with a worker pool of this size (0 = sequential)")
-		doBench   = fs.Bool("bench-telemetry", false, "run the cold/warm service benchmarks and write machine-readable results")
-		benchOut  = fs.String("bench-out", "BENCH_telemetry.json", "with -bench-telemetry: output file")
-		doSymex   = fs.Bool("bench-symex", false, "run the parallel symbolic-execution scaling benchmarks")
-		symexOut  = fs.String("bench-symex-out", "BENCH_symex.json", "with -bench-symex: output file")
-		doStatic  = fs.Bool("bench-static", false, "run the static-prune pipeline benchmark (all pairs, pruning off vs on)")
-		staticOut = fs.String("bench-static-out", "BENCH_static.json", "with -bench-static: output file")
-		doFaults  = fs.Bool("bench-faults", false, "run the fault-injection overhead benchmark (all pairs, clean vs canned chaos schedule)")
-		faultsOut = fs.String("bench-faults-out", "BENCH_faults.json", "with -bench-faults: output file")
-		doClone   = fs.Bool("bench-clonedet", false, "run the clone-detection benchmark (every corpus CVE scanned and verified against the 17-target index)")
-		cloneOut  = fs.String("bench-clonedet-out", "BENCH_clonedet.json", "with -bench-clonedet: output file")
+		all        = fs.Bool("all", false, "regenerate every table and the survey")
+		table      = fs.Int("table", 0, "regenerate one table (2-5)")
+		doSurvey   = fs.Bool("survey", false, "run the § II-A PoC-type survey")
+		doLatest   = fs.Bool("latest", false, "run the § V-B latest-version verifications")
+		doSweeps   = fs.Bool("sweeps", false, "run the θ and naive-SE-memory parameter sweeps")
+		execs      = fs.Int64("execs", 300_000, "fuzzing execution budget for Table V")
+		memBudget  = fs.Int64("mem", 0, "naive-SE memory budget in bytes for Table IV (0 = default)")
+		workers    = fs.Int("workers", 0, "verify Table II pairs with a worker pool of this size (0 = sequential)")
+		doBench    = fs.Bool("bench-telemetry", false, "run the cold/warm service benchmarks and write machine-readable results")
+		benchOut   = fs.String("bench-out", "BENCH_telemetry.json", "with -bench-telemetry: output file")
+		doSymex    = fs.Bool("bench-symex", false, "run the parallel symbolic-execution scaling benchmarks")
+		symexOut   = fs.String("bench-symex-out", "BENCH_symex.json", "with -bench-symex: output file")
+		doStatic   = fs.Bool("bench-static", false, "run the static-prune pipeline benchmark (all pairs, pruning off vs on)")
+		staticOut  = fs.String("bench-static-out", "BENCH_static.json", "with -bench-static: output file")
+		doFaults   = fs.Bool("bench-faults", false, "run the fault-injection overhead benchmark (all pairs, clean vs canned chaos schedule)")
+		faultsOut  = fs.String("bench-faults-out", "BENCH_faults.json", "with -bench-faults: output file")
+		doClone    = fs.Bool("bench-clonedet", false, "run the clone-detection benchmark (every corpus CVE scanned and verified against the 17-target index)")
+		cloneOut   = fs.String("bench-clonedet-out", "BENCH_clonedet.json", "with -bench-clonedet: output file")
+		doJournal  = fs.Bool("bench-journal", false, "run the provenance-journal overhead benchmark (all pairs, journal off vs summary vs verbose)")
+		journalOut = fs.String("bench-journal-out", "BENCH_journal.json", "with -bench-journal: output file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,9 +67,12 @@ func run(args []string) error {
 	if *doClone {
 		return benchClonedet(*cloneOut, *workers)
 	}
+	if *doJournal {
+		return benchJournal(*journalOut)
+	}
 	if !*all && *table == 0 && !*doSurvey && !*doLatest && !*doSweeps {
 		fs.Usage()
-		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, -bench-static, -bench-faults, or -bench-clonedet")
+		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, -bench-static, -bench-faults, -bench-clonedet, or -bench-journal")
 	}
 
 	want := func(n int) bool { return *all || *table == n }

@@ -1,6 +1,7 @@
 // Command octolint runs the repository's lint suite (internal/lint): the
-// phasedoc package-documentation contract and the ctxloop goroutine-
-// cancellation check.
+// phasedoc package-documentation contract, the ctxloop goroutine-
+// cancellation check, the panicguard recover-boundary check, and the
+// journaldoc event-schema check.
 //
 // It speaks the `go vet -vettool` protocol, so CI runs it as
 //

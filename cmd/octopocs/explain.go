@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+
+	"octopocs/internal/journal"
+)
+
+// runExplain implements the `octopocs explain` mode: render a verdict
+// provenance journal — the causal chain of events behind a verification
+// verdict — as an indented human-readable narrative. The argument is
+// either a JSONL journal file (written by `octopocs -pair N -journal F` or
+// fetched from a server) or a job id resolved against a running octoserved
+// instance.
+//
+//	octopocs explain journal.jsonl           render a saved journal
+//	octopocs explain -addr http://host:8344 job-3   fetch and render a job
+//	octopocs explain -all journal.jsonl      include nondeterministic events
+//	octopocs explain -json journal.jsonl     print the raw events as JSON
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("octopocs explain", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", "http://localhost:8344", "octoserved base URL for job-id arguments")
+		asJSON = fs.Bool("json", false, "print the raw events as indented JSON instead of the narrative")
+		all    = fs.Bool("all", false, "include nondeterministic events (worker-attributed frontier traffic, schedule stats)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target := fs.Arg(0)
+	if target == "" {
+		fs.Usage()
+		return fmt.Errorf("pass a journal JSONL file or a job id")
+	}
+	events, err := loadJournal(target, *addr)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(events)
+	}
+	fmt.Print(journal.Render(events, journal.RenderOptions{All: *all}))
+	return nil
+}
+
+// loadJournal resolves the explain target: an existing file is decoded as
+// JSONL; anything else is treated as a job id and fetched from the server's
+// events endpoint.
+func loadJournal(target, addr string) ([]journal.Event, error) {
+	if data, err := os.ReadFile(target); err == nil {
+		events, derr := journal.DecodeJSONL(data)
+		if derr != nil {
+			return nil, fmt.Errorf("decode %s: %w", target, derr)
+		}
+		return events, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return fetchJournal(target, addr)
+}
+
+// fetchJournal retrieves a job's journal from octoserved's events endpoint
+// (JSON page mode, no cursor: the full retained journal).
+func fetchJournal(jobID, addr string) ([]journal.Event, error) {
+	u := strings.TrimSuffix(addr, "/") + "/v1/jobs/" + url.PathEscape(jobID) + "/events"
+	resp, err := http.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("fetch %s: %w (pass a JSONL file, or -addr of a running octoserved)", u, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return nil, fmt.Errorf("fetch %s: %s", u, apiErr.Error)
+		}
+		return nil, fmt.Errorf("fetch %s: HTTP %d", u, resp.StatusCode)
+	}
+	var page struct {
+		Events []journal.Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, fmt.Errorf("decode events response: %w", err)
+	}
+	return page.Events, nil
+}

@@ -13,9 +13,13 @@
 //	octopocs -pair 16 -static       static pre-analysis: verify, fold, prune
 //	octopocs scan -source 7       discover row 7's clones, verify candidates
 //	octopocs scan -all-sources    batch-scan every corpus CVE (see scan.go)
+//	octopocs -pair 8 -journal j.jsonl  save the verdict provenance journal
+//	octopocs explain j.jsonl      render a journal as a narrative (explain.go)
+//	octopocs explain job-3 -addr http://host:8344  fetch and render a job
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -28,6 +32,7 @@ import (
 	"octopocs/internal/core"
 	"octopocs/internal/corpus"
 	"octopocs/internal/faultinject"
+	"octopocs/internal/journal"
 	"octopocs/internal/service"
 	"octopocs/internal/telemetry"
 	"octopocs/internal/trace"
@@ -45,6 +50,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "scan" {
 		return runScan(args[1:])
 	}
+	if len(args) > 0 && args[0] == "explain" {
+		return runExplain(args[1:])
+	}
 	fs := flag.NewFlagSet("octopocs", flag.ContinueOnError)
 	var (
 		all         = fs.Bool("all", false, "verify every corpus pair")
@@ -59,6 +67,8 @@ func run(args []string) error {
 		prioritize  = fs.Bool("prioritize", false, "verify all pairs and print a patch-priority list (§ VII practical usage)")
 		explain     = fs.Bool("explain", false, "with -pair: show the S-on-poc and T-on-poc' traces and the preserved ℓ path")
 		withTrace   = fs.Bool("trace", false, "dump each job's phase/sub-step span tree as JSON after its report")
+		journalOut  = fs.String("journal", "", "write the verdict provenance journal(s) as JSONL to this file; render with `octopocs explain`")
+		journalVerb = fs.Bool("journal-verbose", false, "with -journal: also record per-state frontier and per-call solver events")
 		logLevel    = fs.String("log-level", "warn", "log level: debug, info, warn, error")
 		logFormat   = fs.String("log-format", "text", "log format: text or json")
 		faultSched  = fs.String("fault-schedule", "", "deterministic fault-injection schedule, e.g. 'seed=42;solver.sat:nth=2|5' (chaos testing; off by default)")
@@ -97,7 +107,14 @@ func run(args []string) error {
 		specs = []*corpus.PairSpec{spec}
 	}
 
-	reports, traces, err := verifyAll(specs, cfg, *workers, *symexWork, logger, *withTrace)
+	var jopts *journal.Options
+	if *journalOut != "" {
+		jopts = &journal.Options{}
+		if *journalVerb {
+			jopts.Verbosity = journal.VerbVerbose
+		}
+	}
+	reports, traces, journals, err := verifyAll(specs, cfg, *workers, *symexWork, logger, *withTrace, jopts)
 	if err != nil {
 		return err
 	}
@@ -120,6 +137,30 @@ func run(args []string) error {
 			fmt.Printf("  reformed PoC written to %s (%d bytes)\n", *pocOut, len(rep.PoCPrime))
 		}
 	}
+	if *journalOut != "" {
+		if err := writeJournals(*journalOut, journals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeJournals concatenates the per-pair journals into one JSONL file; the
+// job.start/verdict events delimit each pair's chain when rendered.
+func writeJournals(path string, journals [][]journal.Event) error {
+	var buf bytes.Buffer
+	total := 0
+	for _, evs := range journals {
+		if err := journal.EncodeJSONL(&buf, evs); err != nil {
+			return fmt.Errorf("encode journal: %w", err)
+		}
+		total += len(evs)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("write journal: %w", err)
+	}
+	fmt.Printf("journal written to %s (%d events); render with `octopocs explain %s`\n",
+		path, total, path)
 	return nil
 }
 
@@ -148,13 +189,14 @@ func symexBudget(flagVal int) int {
 }
 
 // verifyAll collects one report per spec, in spec order, plus the span
-// trace of each run when withTrace is set (nil entries otherwise). With
-// workers > 0 the pairs run concurrently through a service worker pool
-// (sharing phase artifacts via its cache); otherwise a single pipeline runs
-// them in turn.
-func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers, symexWorkers int, logger *slog.Logger, withTrace bool) ([]*core.Report, []*telemetry.Trace, error) {
+// trace of each run when withTrace is set and the provenance journal of
+// each run when jopts is non-nil (nil entries otherwise). With workers > 0
+// the pairs run concurrently through a service worker pool (sharing phase
+// artifacts via its cache); otherwise a single pipeline runs them in turn.
+func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers, symexWorkers int, logger *slog.Logger, withTrace bool, jopts *journal.Options) ([]*core.Report, []*telemetry.Trace, [][]journal.Event, error) {
 	reports := make([]*core.Report, len(specs))
 	traces := make([]*telemetry.Trace, len(specs))
+	journals := make([][]journal.Event, len(specs))
 	if workers > 0 {
 		traceCap := -1
 		if withTrace {
@@ -163,32 +205,40 @@ func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers, symexWorkers 
 		// The raw flag goes to the service, which auto-budgets 0 to
 		// GOMAXPROCS/Workers so pairs-in-parallel and frontier goroutines
 		// don't multiply against each other.
-		svc := service.New(service.Config{
+		svcCfg := service.Config{
 			Workers:       workers,
 			QueueDepth:    len(specs),
 			Pipeline:      cfg,
 			Logger:        logger,
 			TraceCapacity: traceCap,
 			SymexWorkers:  symexWorkers,
-		})
+		}
+		if jopts != nil {
+			svcCfg.JournalCapacity = jopts.Capacity
+			svcCfg.JournalVerbose = jopts.Verbosity >= journal.VerbVerbose
+		}
+		svc := service.New(svcCfg)
 		defer svc.Shutdown(context.Background())
 		jobs := make([]*service.Job, len(specs))
 		for i, spec := range specs {
 			job, err := svc.Submit(spec.Pair)
 			if err != nil {
-				return nil, nil, fmt.Errorf("pair %d: %w", spec.Idx, err)
+				return nil, nil, nil, fmt.Errorf("pair %d: %w", spec.Idx, err)
 			}
 			jobs[i] = job
 		}
 		for i, job := range jobs {
 			rep, err := job.Wait(context.Background())
 			if err != nil {
-				return nil, nil, fmt.Errorf("pair %d: %w", specs[i].Idx, err)
+				return nil, nil, nil, fmt.Errorf("pair %d: %w", specs[i].Idx, err)
 			}
 			reports[i] = rep
 			traces[i], _ = svc.Trace(job.ID())
+			if jopts != nil {
+				journals[i], _ = svc.JournalEvents(job.ID(), 0)
+			}
 		}
-		return reports, traces, nil
+		return reports, traces, journals, nil
 	}
 	pipeline := core.New(cfg)
 	for i, spec := range specs {
@@ -197,14 +247,21 @@ func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers, symexWorkers 
 			traces[i] = telemetry.NewTrace(fmt.Sprintf("pair-%d", spec.Idx), "verify")
 			ctx = telemetry.WithTrace(ctx, traces[i])
 		}
+		var rec *journal.Recorder
+		if jopts != nil {
+			rec = journal.New(fmt.Sprintf("pair-%d", spec.Idx), *jopts)
+			ctx = journal.With(ctx, rec)
+		}
 		rep, err := pipeline.VerifyContext(ctx, spec.Pair)
 		traces[i].Finish()
+		rec.Close()
 		if err != nil {
-			return nil, nil, fmt.Errorf("pair %d: %w", spec.Idx, err)
+			return nil, nil, nil, fmt.Errorf("pair %d: %w", spec.Idx, err)
 		}
 		reports[i] = rep
+		journals[i] = rec.Events()
 	}
-	return reports, traces, nil
+	return reports, traces, journals, nil
 }
 
 // dumpTrace writes the span tree as indented JSON, matching the shape of

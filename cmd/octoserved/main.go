@@ -11,7 +11,13 @@
 //
 //	octoserved [-addr :8344] [-workers N] [-symex-workers N] [-queue N]
 //	           [-cache N] [-timeout D] [-traces N] [-drain D] [-static]
+//	           [-journal N] [-journal-verbose]
 //	           [-log-level info] [-log-format text] [-debug-addr ADDR]
+//
+// Every job records a verdict provenance journal served at GET
+// /v1/jobs/{id}/events (JSON pages via ?after=, live following via
+// ?stream=1 or Accept: text/event-stream); `octopocs explain job-N -addr`
+// renders it as a narrative.
 //
 // The server drains in-flight verifications on SIGINT/SIGTERM before
 // exiting; a second signal aborts them cooperatively. While draining,
@@ -56,6 +62,8 @@ func run(args []string, logOut *os.File) error {
 	drain := fs.Duration("drain", 30*time.Second, "max time to drain in-flight jobs on shutdown")
 	traces := fs.Int("traces", 0, "retained finished job traces (0 = default, negative disables)")
 	static := fs.Bool("static", false, "enable the static pre-analysis for all jobs (per-job \"static\" field overrides)")
+	journalCap := fs.Int("journal", 0, "events retained per job provenance journal (0 = default, negative disables journaling)")
+	journalVerbose := fs.Bool("journal-verbose", false, "retain per-state frontier and per-call solver events in job journals")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
 	debugAddr := fs.String("debug-addr", "", "optional second listener serving net/http/pprof (e.g. 127.0.0.1:8345)")
@@ -85,14 +93,16 @@ func run(args []string, logOut *os.File) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	return serve(ctx, ln, debugLn, service.Config{
-		Workers:       *workers,
-		QueueDepth:    *queue,
-		CacheEntries:  *cache,
-		JobTimeout:    *timeout,
-		TraceCapacity: *traces,
-		SymexWorkers:  *symexWorkers,
-		Pipeline:      core.Config{StaticPrune: *static, Faults: faultinject.New(faultSchedule)},
-		Logger:        logger,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheEntries:    *cache,
+		JobTimeout:      *timeout,
+		TraceCapacity:   *traces,
+		SymexWorkers:    *symexWorkers,
+		JournalCapacity: *journalCap,
+		JournalVerbose:  *journalVerbose,
+		Pipeline:        core.Config{StaticPrune: *static, Faults: faultinject.New(faultSchedule)},
+		Logger:          logger,
 	}, *drain, logger)
 }
 

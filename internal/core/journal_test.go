@@ -1,0 +1,124 @@
+package core_test
+
+// Journal determinism and completeness over the built-in corpus: the
+// default explain rendering must be byte-identical for any frontier worker
+// count (the deterministic event classes are emitted from the job's own
+// goroutine and the commit protocol fixes the reported path), and every
+// verdict must link a non-empty deterministic evidence chain.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/journal"
+)
+
+// runJournaled verifies one corpus pair with journaling attached and
+// returns the closed journal plus the report.
+func runJournaled(t *testing.T, spec *corpus.PairSpec, workers int, opts journal.Options) ([]journal.Event, *core.Report) {
+	t.Helper()
+	pl := core.New(core.Config{SymexWorkers: workers, StaticPrune: true})
+	rec := journal.New(fmt.Sprintf("pair-%d", spec.Idx), opts)
+	ctx := journal.With(context.Background(), rec)
+	rep, err := pl.VerifyContext(ctx, spec.Pair)
+	if err != nil {
+		t.Fatalf("pair %d: %v", spec.Idx, err)
+	}
+	rec.Close()
+	return rec.Events(), rep
+}
+
+// TestJournalReplayByteIdentical runs every corpus pair under 1, 2 and 4
+// frontier workers at verbose verbosity — so workers race to emit
+// interleaved fork/prune/commit events — and requires the default
+// rendering to stay byte-identical to the single-worker run.
+func TestJournalReplayByteIdentical(t *testing.T) {
+	specs := append(corpus.All(), corpus.StaticSet()...)
+	for _, spec := range specs {
+		t.Run(fmt.Sprintf("pair-%02d", spec.Idx), func(t *testing.T) {
+			t.Parallel()
+			ev1, _ := runJournaled(t, spec, 1, journal.Options{Verbosity: journal.VerbVerbose})
+			base := journal.Render(ev1, journal.RenderOptions{})
+			for _, workers := range []int{2, 4} {
+				evN, _ := runJournaled(t, spec, workers, journal.Options{Verbosity: journal.VerbVerbose})
+				if got := journal.Render(evN, journal.RenderOptions{}); got != base {
+					t.Errorf("workers=%d rendering differs\n--- workers=1 ---\n%s--- workers=%d ---\n%s",
+						workers, base, workers, got)
+				}
+			}
+		})
+	}
+}
+
+// TestExplainAllPairs checks the full evidence chain for all 17 corpus
+// pairs: the journal ends in a verdict event whose evidence links only
+// retained deterministic events, the rendering names the report's verdict,
+// and the JSONL round trip reproduces the rendering byte for byte.
+func TestExplainAllPairs(t *testing.T) {
+	specs := append(corpus.All(), corpus.StaticSet()...)
+	for _, spec := range specs {
+		t.Run(fmt.Sprintf("pair-%02d", spec.Idx), func(t *testing.T) {
+			t.Parallel()
+			events, rep := runJournaled(t, spec, 1, journal.Options{})
+			if len(events) == 0 {
+				t.Fatal("empty journal")
+			}
+			last := events[len(events)-1]
+			if last.Type != journal.EvVerdict {
+				t.Fatalf("journal ends in %s, want %s", last.Type, journal.EvVerdict)
+			}
+			if got, want := last.Attrs["verdict"], rep.Verdict.String(); got != want {
+				t.Fatalf("verdict event says %v, report says %s", got, want)
+			}
+			det := make(map[uint64]bool)
+			for _, ev := range events[:len(events)-1] {
+				if ev.Det {
+					det[ev.Seq] = true
+				}
+			}
+			evidence, ok := last.Attrs["evidence"].([]uint64)
+			if !ok || len(evidence) == 0 {
+				t.Fatalf("verdict carries no evidence chain: %v", last.Attrs["evidence"])
+			}
+			if len(evidence) != len(det) {
+				t.Fatalf("evidence links %d events, journal retains %d deterministic ones",
+					len(evidence), len(det))
+			}
+			for _, seq := range evidence {
+				if !det[seq] {
+					t.Fatalf("evidence seq %d is not a retained deterministic event", seq)
+				}
+			}
+
+			rendered := journal.Render(events, journal.RenderOptions{})
+			if want := "verdict: " + rep.Verdict.String(); !containsLine(rendered, want) {
+				t.Fatalf("rendering lacks %q:\n%s", want, rendered)
+			}
+			data, err := journal.MarshalJSONL(events)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			decoded, err := journal.DecodeJSONL(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if got := journal.Render(decoded, journal.RenderOptions{}); got != rendered {
+				t.Fatalf("persisted rendering differs\n--- live ---\n%s--- decoded ---\n%s", rendered, got)
+			}
+		})
+	}
+}
+
+// containsLine reports whether any rendered line starts with prefix.
+func containsLine(s, prefix string) bool {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -10,6 +10,7 @@ import (
 	"octopocs/internal/expr"
 	"octopocs/internal/faultinject"
 	"octopocs/internal/isa"
+	"octopocs/internal/journal"
 	"octopocs/internal/mirstatic"
 	"octopocs/internal/solver"
 	"octopocs/internal/symex"
@@ -142,7 +143,35 @@ func (p *Pipeline) Verify(pair *Pair) (*Report, error) {
 // cooperatively mid-phase — the stop signal is threaded through the
 // concrete VM, the taint run, and every symbolic step loop — and the
 // method returns the context's error.
+//
+// When ctx carries a journal.Recorder (journal.With), every phase emits
+// its decision events into it and the run closes with a verdict (or
+// job.error) event whose evidence attribute links the verdict to the
+// deterministic events that produced it.
 func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, error) {
+	rec := journal.FromContext(ctx)
+	rec.Emit(journal.EvJobStart, journal.Attrs{"pair": pair.Name})
+	rep, err := p.verifyCtx(ctx, pair, rec)
+	if err != nil {
+		rec.EmitFinal(journal.EvJobError, journal.Attrs{"err": err.Error()})
+		return rep, err
+	}
+	attrs := journal.Attrs{"verdict": rep.Verdict.String(), "type": rep.Type.String()}
+	if rep.Reason != ReasonNone {
+		attrs["reason"] = string(rep.Reason)
+	}
+	if rep.Verdict == VerdictTriggered {
+		attrs["poc_bytes"] = len(rep.PoCPrime)
+		attrs["guiding_same"] = rep.GuidingSame
+	}
+	rec.EmitFinal(journal.EvVerdict, attrs)
+	return rep, nil
+}
+
+// verifyCtx is the phase body of VerifyContext; the wrapper owns the
+// journal's terminal event so every return path below is linked to its
+// evidence at exactly one place.
+func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recorder) (*Report, error) {
 	rep := &Report{Pair: pair.Name}
 	tr := telemetry.TraceFrom(ctx)
 	root := tr.Start("verify", nil)
@@ -171,6 +200,7 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	ep := p1.Ep
 	rep.Ep = ep
 	rep.Bunches = p1.Bunches
+	rec.Emit(journal.EvP1Done, journal.Attrs{"ep": ep, "bunches": len(p1.Bunches), "cached": p1Cached})
 
 	// ep must exist in T at all (ℓ is shared, but be defensive).
 	if pair.T.Func(ep) == nil {
@@ -187,7 +217,7 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 		t0 = time.Now()
 		ssp := tr.Start("static", root)
 		var staticCached bool
-		sa, staticCached, err = p.phaseStatic(pair)
+		sa, staticCached, err = p.phaseStatic(ctx, pair)
 		ssp.SetAttr("cached", staticCached)
 		if sa != nil {
 			ssp.SetAttr("dead_blocks", sa.Summary.DeadBlocks)
@@ -206,12 +236,26 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 			// unchanged; only Timings and the pruned-branch counters differ.
 			telemetry.Logger(ctx).Warn("static pre-analysis degraded; continuing unpruned",
 				"pair", pair.Name, "err", err.Error())
+			attrs := journal.Attrs{"phase": "static", "fallback": "unpruned-cfg"}
+			if point, _, ok := faultinject.Describe(err); ok {
+				attrs["point"] = string(point)
+			}
+			rec.Emit(journal.EvFaultDegraded, attrs)
 			sa = nil
 		}
 		if sa != nil {
 			rep.Static = &sa.Summary
+			rec.Emit(journal.EvStaticDone, journal.Attrs{
+				"cached":      staticCached,
+				"dead_blocks": sa.Summary.DeadBlocks,
+				"folded":      sa.Summary.FoldedBranches,
+				"regions":     sa.Summary.DeadRegions,
+				"reachable":   sa.Summary.ReachableFuncs,
+			})
+			mirstatic.RecordProofs(rec, sa)
 			if sa.EpUnreachable(ep) {
 				p.cfg.Metrics.staticShortCircuit()
+				rec.Emit(journal.EvStaticShortCircuit, journal.Attrs{"ep": ep})
 				rep.Verdict, rep.Type, rep.Reason = VerdictNotTriggerable, TypeIII, ReasonStaticUnreachable
 				return rep, nil
 			}
@@ -241,6 +285,7 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	if err != nil {
 		return nil, err
 	}
+	rec.Emit(journal.EvP2Done, journal.Attrs{"cached": p2Cached, "reachable": prep.Dist != nil})
 	if prep.Dist == nil {
 		if err := prep.Graph.CheckResolvable(ep); err != nil {
 			// The Idx-15 case: the CFG tool cannot rule reachability
@@ -254,6 +299,7 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	}
 
 	// P2 + P3: directed symbolic execution with bunch placement.
+	rec.Emit(journal.EvSymexStart, journal.Attrs{"ep": ep, "input_size": p.symInputSize(pair)})
 	t0 = time.Now()
 	sp = tr.Start("reform", root)
 	var pocPrime []byte
@@ -290,6 +336,11 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	if tOut.Status == vm.StatusStopped {
 		return nil, ctxErr(ctx)
 	}
+	rec.Emit(journal.EvP4Verify, journal.Attrs{
+		"crashed": tOut.Crashed(),
+		"in_lib":  tOut.Crashed() && tOut.CrashedIn(pair.Lib),
+		"bytes":   len(pocPrime),
+	})
 	if !tOut.Crashed() || !tOut.CrashedIn(pair.Lib) {
 		rep.Verdict, rep.Type, rep.Reason = VerdictFailure, TypeFailure, ReasonNoCrash
 		return rep, nil
@@ -301,9 +352,11 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	// is re-verified concretely, so minimization cannot invalidate the
 	// verdict.
 	msp := tr.Start("minimize", p4)
+	before := len(rep.PoCPrime)
 	rep.PoCPrime = p.minimize(ctx, pair, rep.PoCPrime, tOut.Crash)
 	msp.SetAttr("bytes", len(rep.PoCPrime))
 	msp.End()
+	rec.Emit(journal.EvP4Minimize, journal.Attrs{"from": before, "to": len(rep.PoCPrime)})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -322,6 +375,7 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	} else {
 		rep.Type = TypeII
 	}
+	rec.Emit(journal.EvP4Classify, journal.Attrs{"guiding_same": rep.GuidingSame})
 	return rep, nil
 }
 
@@ -332,7 +386,10 @@ func (p *Pipeline) phase1(ctx context.Context, pair *Pair, parent *telemetry.Spa
 	var key string
 	if p.p1Cache != nil {
 		key = p.p1Key(pair)
-		if v, ok := p.cacheGet(p.p1Cache, key); ok {
+		v, hit := p.cacheGet(p.p1Cache, key)
+		journal.FromContext(ctx).Emit(journal.EvCacheProbe,
+			journal.Attrs{"phase": "p1", "key": key, "hit": hit})
+		if hit {
 			if art, ok := v.(*P1Artifact); ok {
 				return art, true, nil
 			}
@@ -375,7 +432,10 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mi
 	var key string
 	if p.p2Cache != nil {
 		key = p.p2Key(pair, ep, sa != nil)
-		if v, ok := p.cacheGet(p.p2Cache, key); ok {
+		v, hit := p.cacheGet(p.p2Cache, key)
+		journal.FromContext(ctx).Emit(journal.EvCacheProbe,
+			journal.Attrs{"phase": "p2_prep", "key": key, "hit": hit})
+		if hit {
 			if art, ok := v.(*P2Artifact); ok {
 				return art, true, nil
 			}
@@ -485,6 +545,33 @@ func (p *Pipeline) runConcrete(ctx context.Context, prog *isa.Program, input []b
 	return m.Run()
 }
 
+// journalSymexDone records the committed exploration outcome — kind, why
+// and the committed frontier path, all deterministic for any worker count
+// N >= 1 by the commit protocol — plus, as a separate nondeterministic
+// event, the schedule-dependent resource counters.
+func journalSymexDone(rec *journal.Recorder, res *symex.Result) {
+	if rec == nil {
+		return
+	}
+	attrs := journal.Attrs{"kind": res.Kind.String(), "entries": len(res.Entries)}
+	if res.Why != "" {
+		attrs["why"] = res.Why
+	}
+	if ps := symex.PathString(res.Path); ps != "" {
+		attrs["path"] = ps
+	}
+	rec.Emit(journal.EvSymexDone, attrs)
+	rec.Emit(journal.EvSymexStats, journal.Attrs{
+		"steps":      res.Stats.Steps,
+		"sat_checks": res.Stats.SatChecks,
+		"states":     res.Stats.States,
+		"backtracks": res.Stats.Backtracks,
+		"pruned":     res.Stats.PrunedBranches,
+		"workers":    res.Stats.Workers,
+		"steals":     res.Stats.Steals,
+	})
+}
+
 // ctxErr maps an observed stop back to the context's error, defaulting to
 // context.Canceled for the (theoretical) race where the stop fired before
 // the context recorded its error.
@@ -534,6 +621,7 @@ func (p *Pipeline) extractPrimitives(ctx context.Context, pair *Pair, ep string)
 func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes, prune cfg.Pruner, parent *telemetry.Span) ([]byte, symex.Stats, Reason, error) {
 	inputSize := p.symInputSize(pair)
 	tr := telemetry.TraceFrom(ctx)
+	rec := journal.FromContext(ctx)
 	ex := symex.New(pair.T, symex.Config{
 		InputSize:   inputSize,
 		MaxSteps:    p.maxSteps(pair),
@@ -548,12 +636,13 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 		SolverCache: p.satCache,
 		Prune:       prune,
 		Faults:      p.cfg.Faults,
+		Journal:     rec,
 	})
 
 	// The visitor below runs concurrently when SymexWorkers > 1; it only
 	// touches state-local data, mutex-guarded trace spans, and placeSol,
 	// whose Sat is safe for concurrent use.
-	placeSol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink(), Cache: p.satCache, Faults: p.cfg.Faults}
+	placeSol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink(), Cache: p.satCache, Faults: p.cfg.Faults, Journal: rec}
 	visitor := func(entry symex.EpEntry, st *symex.State) (symex.Decision, error) {
 		esp := tr.Start("ep_entry", parent)
 		defer esp.End()
@@ -628,6 +717,7 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 			"pair", pair.Name, "err", err.Error())
 		return nil, symex.Stats{}, ReasonBudget, nil
 	}
+	journalSymexDone(rec, res)
 	if !res.Reached() {
 		switch res.Kind {
 		case symex.KindInfeasible:
@@ -646,18 +736,21 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 	// P3.3: solve everything into concrete bytes.
 	ssp := tr.Start("solve", parent)
 	ssp.SetAttr("constraints", len(res.Constraints))
-	sol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink(), Faults: p.cfg.Faults}
+	sol := solver.Solver{Budget: p.cfg.SatBudget, Metrics: p.cfg.Metrics.solverSink(), Faults: p.cfg.Faults, Journal: rec}
 	model, err := sol.Solve(res.Constraints)
 	ssp.End()
 	if err != nil {
 		if errors.Is(err, solver.ErrUnsat) {
+			rec.Emit(journal.EvSolverSolve, journal.Attrs{"constraints": len(res.Constraints), "status": "unsat"})
 			return nil, res.Stats, ReasonUnsat, nil
 		}
 		if faultinject.IsTransient(err) {
 			return nil, res.Stats, ReasonNone, err
 		}
+		rec.Emit(journal.EvSolverSolve, journal.Attrs{"constraints": len(res.Constraints), "status": "budget"})
 		return nil, res.Stats, ReasonBudget, nil
 	}
+	rec.Emit(journal.EvSolverSolve, journal.Attrs{"constraints": len(res.Constraints), "status": "sat"})
 	// The reformed PoC keeps its full symbolic length: trailing padding
 	// may still be consumed by ℓ past the final ep entry (the symbolic
 	// run stops there, so nothing constrains those bytes — but a

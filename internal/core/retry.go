@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"octopocs/internal/faultinject"
+	"octopocs/internal/journal"
 	"octopocs/internal/telemetry"
 )
 
@@ -72,6 +73,15 @@ func (p *Pipeline) retryTransient(ctx context.Context, phase string, fn func() e
 		}
 		p.cfg.Faults.CountRetried()
 		delay := backoffDelay(base, attempt, phase)
+		if rec := journal.FromContext(ctx); rec != nil {
+			attrs := journal.Attrs{"phase": phase}
+			if point, class, ok := faultinject.Describe(err); ok {
+				attrs["point"] = string(point)
+				attrs["class"] = int(class)
+			}
+			rec.Emit(journal.EvFaultTransient, attrs)
+			rec.Emit(journal.EvFaultRetry, journal.Attrs{"phase": phase, "attempt": attempt + 1})
+		}
 		telemetry.Logger(ctx).Warn("transient fault; retrying phase",
 			"phase", phase, "attempt", attempt+1, "delay", delay.String(), "err", err.Error())
 		t := time.NewTimer(delay)

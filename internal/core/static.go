@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"octopocs/internal/asm"
 	"octopocs/internal/cfg"
 	"octopocs/internal/faultinject"
+	"octopocs/internal/journal"
 	"octopocs/internal/mirstatic"
 )
 
@@ -36,11 +38,14 @@ func staticKey(pair *Pair) string {
 // and the may-call-anything reachability closure. The boolean result reports
 // a cache hit. A verifier rejection is a hard error — a malformed T cannot
 // be verified soundly by any later phase either.
-func (p *Pipeline) phaseStatic(pair *Pair) (*mirstatic.Analysis, bool, error) {
+func (p *Pipeline) phaseStatic(ctx context.Context, pair *Pair) (*mirstatic.Analysis, bool, error) {
 	var key string
 	if p.p2Cache != nil {
 		key = staticKey(pair)
-		if v, ok := p.cacheGet(p.p2Cache, key); ok {
+		v, hit := p.cacheGet(p.p2Cache, key)
+		journal.FromContext(ctx).Emit(journal.EvCacheProbe,
+			journal.Attrs{"phase": "static", "key": key, "hit": hit})
+		if hit {
 			if sa, ok := v.(*mirstatic.Analysis); ok {
 				return sa, true, nil
 			}

@@ -168,6 +168,18 @@ func (p *PanicError) Unwrap() error {
 	return nil
 }
 
+// Describe extracts the injected fault carried by err (including one
+// thrown as a panic and recovered): the point it fired at and its class.
+// ok is false when err carries no injected fault. Observability layers use
+// it to attribute retries and degradations to their injection site.
+func Describe(err error) (p Point, c Class, ok bool) {
+	var f *Fault
+	if !errors.As(err, &f) {
+		return "", 0, false
+	}
+	return f.Point, f.Point.Class(), true
+}
+
 // IsTransient reports whether err carries an injected fault that is safe to
 // retry (including one thrown as a panic and recovered).
 func IsTransient(err error) bool {

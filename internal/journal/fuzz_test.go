@@ -1,0 +1,36 @@
+package journal
+
+import "testing"
+
+// FuzzJournalDecode holds DecodeJSONL to its contract: arbitrary input
+// never panics, and anything it accepts survives a re-encode/decode
+// round trip with the same rendering.
+func FuzzJournalDecode(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"seq":1,"tus":2,"type":"job.start","det":true,"attrs":{"pair":"demo"}}` + "\n"))
+	f.Add([]byte(`{"seq":1,"type":"verdict","det":true,"attrs":{"verdict":"triggered","type":"Type-I","evidence":[1,2]}}` + "\n"))
+	f.Add([]byte(`{"seq":9007199254740993,"type":"symex.stats","attrs":{"forks":1.5,"deep":[{"a":null}]}}` + "\n"))
+	f.Add([]byte(`{"seq":1,"type":"no.such.type","attrs":{"x":true}}` + "\n"))
+	f.Add([]byte("{not json}\n"))
+	f.Add([]byte(`{"seq":"one"}` + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := DecodeJSONL(data)
+		if err != nil {
+			return
+		}
+		// Accepted journals must re-encode and render without panicking,
+		// and the re-decoded copy must render identically.
+		out, err := MarshalJSONL(evs)
+		if err != nil {
+			t.Fatalf("re-encode of accepted journal failed: %v", err)
+		}
+		again, err := DecodeJSONL(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if Render(again, RenderOptions{All: true}) != Render(evs, RenderOptions{All: true}) {
+			t.Fatalf("rendering not stable across round trip")
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package journal
+
+import "sort"
+
+// Type names one journal event class. Every Type emitted anywhere in the
+// tree must be declared in the registry below; the journaldoc analyzer in
+// cmd/octolint enforces both directions of that contract.
+type Type string
+
+// Event types, grouped by pipeline stage. The registry entry for each
+// classifies it as deterministic (fixed order and payload for a given
+// pair/config, independent of symex worker count) or not, and by the
+// verbosity level that retains it.
+const (
+	// EvJobStart opens every journal: the pair under verification.
+	EvJobStart Type = "job.start"
+	// EvJobError closes a journal whose verification returned an error.
+	EvJobError Type = "job.error"
+
+	// EvCacheProbe records one artifact-cache lookup: phase, key, hit.
+	EvCacheProbe Type = "cache.probe"
+
+	// EvP1Done summarizes phase P1: crash primitives and bunches extracted
+	// from (S, poc).
+	EvP1Done Type = "p1.done"
+
+	// EvStaticDone summarizes the pre-P2 static analysis of T.
+	EvStaticDone Type = "static.done"
+	// EvStaticProof records one function's dominator-proved dead regions.
+	EvStaticProof Type = "static.proof"
+	// EvStaticShortCircuit records a statically-unreachable verdict proof.
+	EvStaticShortCircuit Type = "static.short_circuit"
+
+	// EvFaultDegraded records an injected degradable fault the pipeline
+	// absorbed by falling back (cache or static analysis disabled).
+	EvFaultDegraded Type = "fault.degraded"
+	// EvFaultTransient records an injected transient fault in a phase.
+	EvFaultTransient Type = "fault.transient"
+	// EvFaultRetry records the retry that followed a transient fault.
+	EvFaultRetry Type = "fault.retry"
+
+	// EvP2Done summarizes P2 preparation: CFG and distance maps for ep.
+	EvP2Done Type = "p2.done"
+
+	// EvSymexStart opens the directed symbolic execution toward ep.
+	EvSymexStart Type = "symex.start"
+	// EvSymexFork records one frontier emission (worker-attributed).
+	EvSymexFork Type = "symex.fork"
+	// EvSymexPrune records a frontier node discarded before execution.
+	EvSymexPrune Type = "symex.prune"
+	// EvSymexCommit records a worker committing a reached/terminal state.
+	EvSymexCommit Type = "symex.commit"
+	// EvSymexDone records the committed outcome: kind, path, why.
+	EvSymexDone Type = "symex.done"
+	// EvSymexStats carries the schedule-dependent exploration counters.
+	EvSymexStats Type = "symex.stats"
+
+	// EvSolverSatCache records one SAT-memo lookup (worker-attributed).
+	EvSolverSatCache Type = "solver.sat_cache"
+	// EvSolverComplement records a complement-pair UNSAT short-circuit.
+	EvSolverComplement Type = "solver.complement"
+	// EvSolverSolve records the final model solve over the reformed
+	// constraint set.
+	EvSolverSolve Type = "solver.solve"
+
+	// EvP4Verify records the concrete execution of poc' against T.
+	EvP4Verify Type = "p4.verify"
+	// EvP4Minimize records the poc' minimization outcome.
+	EvP4Minimize Type = "p4.minimize"
+	// EvP4Classify records the Type-I/Type-II classification evidence.
+	EvP4Classify Type = "p4.classify"
+
+	// EvVerdict closes every successful journal: the verdict plus the
+	// evidence links.
+	EvVerdict Type = "verdict"
+)
+
+// Spec describes one event type's schema entry.
+type Spec struct {
+	// Det marks types whose order and payload are deterministic for a
+	// given pair and configuration — emitted from the job goroutine, never
+	// carrying worker- or schedule-dependent data. The default explain
+	// rendering includes exactly these.
+	Det bool
+	// Verb is the minimum verbosity that retains the type.
+	Verb Verbosity
+	// Phase groups the type for rendering.
+	Phase string
+	// Doc is a one-line description.
+	Doc string
+}
+
+// registry declares every event type. journaldoc checks that the Ev*
+// constants above and the keys here coincide exactly, and that no other
+// package emits a type not declared here.
+var registry = map[Type]Spec{
+	EvJobStart:           {Det: true, Verb: VerbSummary, Phase: "job", Doc: "pair under verification"},
+	EvJobError:           {Det: true, Verb: VerbSummary, Phase: "job", Doc: "verification returned an error"},
+	EvCacheProbe:         {Det: true, Verb: VerbSummary, Phase: "cache", Doc: "artifact-cache lookup"},
+	EvP1Done:             {Det: true, Verb: VerbSummary, Phase: "p1", Doc: "crash primitives and bunches extracted"},
+	EvStaticDone:         {Det: true, Verb: VerbSummary, Phase: "static", Doc: "static pre-analysis summary"},
+	EvStaticProof:        {Det: true, Verb: VerbSummary, Phase: "static", Doc: "dominator-proved dead regions"},
+	EvStaticShortCircuit: {Det: true, Verb: VerbSummary, Phase: "static", Doc: "statically-unreachable proof"},
+	EvFaultDegraded:      {Det: true, Verb: VerbSummary, Phase: "fault", Doc: "degradable fault absorbed by fallback"},
+	EvFaultTransient:     {Det: true, Verb: VerbSummary, Phase: "fault", Doc: "transient fault injected"},
+	EvFaultRetry:         {Det: true, Verb: VerbSummary, Phase: "fault", Doc: "phase retried after transient fault"},
+	EvP2Done:             {Det: true, Verb: VerbSummary, Phase: "p2", Doc: "CFG and distance preparation"},
+	EvSymexStart:         {Det: true, Verb: VerbSummary, Phase: "symex", Doc: "directed exploration started"},
+	EvSymexFork:          {Det: false, Verb: VerbVerbose, Phase: "symex", Doc: "frontier emission"},
+	EvSymexPrune:         {Det: false, Verb: VerbVerbose, Phase: "symex", Doc: "frontier node discarded"},
+	EvSymexCommit:        {Det: false, Verb: VerbVerbose, Phase: "symex", Doc: "worker committed a state"},
+	EvSymexDone:          {Det: true, Verb: VerbSummary, Phase: "symex", Doc: "committed exploration outcome"},
+	EvSymexStats:         {Det: false, Verb: VerbSummary, Phase: "symex", Doc: "schedule-dependent exploration counters"},
+	EvSolverSatCache:     {Det: false, Verb: VerbVerbose, Phase: "solver", Doc: "SAT-memo lookup"},
+	EvSolverComplement:   {Det: false, Verb: VerbVerbose, Phase: "solver", Doc: "complement-pair UNSAT short-circuit"},
+	EvSolverSolve:        {Det: true, Verb: VerbSummary, Phase: "solver", Doc: "final model solve"},
+	EvP4Verify:           {Det: true, Verb: VerbSummary, Phase: "p4", Doc: "concrete execution of poc'"},
+	EvP4Minimize:         {Det: true, Verb: VerbSummary, Phase: "p4", Doc: "poc' minimization"},
+	EvP4Classify:         {Det: true, Verb: VerbSummary, Phase: "p4", Doc: "Type-I/Type-II classification"},
+	EvVerdict:            {Det: true, Verb: VerbSummary, Phase: "verdict", Doc: "final verdict and evidence links"},
+}
+
+// SpecOf returns the schema entry for t.
+func SpecOf(t Type) (Spec, bool) {
+	s, ok := registry[t]
+	return s, ok
+}
+
+// Types returns every declared event type, sorted.
+func Types() []Type {
+	out := make([]Type, 0, len(registry))
+	for t := range registry {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

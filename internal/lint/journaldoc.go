@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// journalImportPath identifies the journal package in import declarations.
+const journalImportPath = "octopocs/internal/journal"
+
+// JournalDoc enforces the journal schema contract in both directions.
+// Inside internal/journal it requires the Ev* event-type constants and the
+// keys of the schema registry literal to coincide exactly — an event type
+// without a registry entry would silently default to nondeterministic and
+// vanish from the explain rendering. In every other package it requires the
+// first argument of each Emit/EmitFinal call to be a journal.Ev* selector:
+// a string literal or a computed value would bypass the schema entirely,
+// producing events no rendering or determinism contract covers.
+var JournalDoc = &Analyzer{
+	Name: "journaldoc",
+	Doc: "check that every emitted journal event type is an Ev* constant " +
+		"declared in the schema registry, and that the registry covers " +
+		"exactly the declared constants",
+	Run: runJournalDoc,
+}
+
+func runJournalDoc(pass *Pass) error {
+	if strings.HasSuffix(pass.ImportPath, journalImportPath) {
+		checkJournalSchema(pass)
+		return nil
+	}
+	checkJournalEmitters(pass)
+	return nil
+}
+
+// checkJournalSchema verifies the Ev* constant set and the registry
+// literal's key set are identical inside the journal package itself.
+func checkJournalSchema(pass *Pass) {
+	consts := map[string]ast.Node{}
+	registry := map[string]ast.Node{}
+	var registryLit ast.Node
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				if id, ok := vs.Type.(*ast.Ident); ok && id.Name == "Type" && gd.Tok == token.CONST {
+					for _, name := range vs.Names {
+						if strings.HasPrefix(name.Name, "Ev") {
+							consts[name.Name] = name
+						}
+					}
+				}
+				for i, name := range vs.Names {
+					if name.Name != "registry" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						pass.Reportf(name.Pos(), "registry is not a composite literal; journaldoc cannot audit the schema")
+						continue
+					}
+					registryLit = name
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							registry[key.Name] = kv.Key
+						}
+					}
+				}
+			}
+		}
+	}
+	if registryLit == nil {
+		if len(consts) > 0 {
+			for _, n := range []ast.Node{firstNode(consts)} {
+				pass.Reportf(n.Pos(), "journal package declares Ev* types but no registry literal")
+			}
+		}
+		return
+	}
+	for _, name := range sortedKeys(consts) {
+		if _, ok := registry[name]; !ok {
+			pass.Reportf(consts[name].Pos(), "event type %s has no schema registry entry", name)
+		}
+	}
+	for _, name := range sortedKeys(registry) {
+		if _, ok := consts[name]; !ok {
+			pass.Reportf(registry[name].Pos(), "registry key %s is not a declared Ev* event type", name)
+		}
+	}
+}
+
+// checkJournalEmitters verifies that Emit/EmitFinal calls outside the
+// journal package name their event type via a journal.Ev* selector.
+func checkJournalEmitters(pass *Pass) {
+	for _, f := range pass.Files {
+		local := journalImportName(f)
+		if local == "" {
+			continue // package does not import the journal; nothing to emit
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Emit" && sel.Sel.Name != "EmitFinal") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			arg, ok := call.Args[0].(*ast.SelectorExpr)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"%s call does not name its event type as %s.Ev*; "+
+						"undeclared types bypass the journal schema", sel.Sel.Name, local)
+				return true
+			}
+			pkg, ok := arg.X.(*ast.Ident)
+			if !ok || pkg.Name != local || !strings.HasPrefix(arg.Sel.Name, "Ev") {
+				pass.Reportf(arg.Pos(),
+					"%s event type must be a %s.Ev* constant, got %s.%s",
+					sel.Sel.Name, local, exprName(arg.X), arg.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// journalImportName returns the file-local name of the journal import, or
+// "" when the file does not import it.
+func journalImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		if path != journalImportPath {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return "journal"
+	}
+	return ""
+}
+
+func sortedKeys(m map[string]ast.Node) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func firstNode(m map[string]ast.Node) ast.Node {
+	keys := sortedKeys(m)
+	return m[keys[0]]
+}
+
+// exprName renders a selector base for a diagnostic.
+func exprName(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "<expr>"
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestJournalDocSchemaBijection checks the intra-journal-package rule: the
+// Ev* constants of type Type and the registry literal's keys must coincide
+// exactly, in both directions.
+func TestJournalDocSchemaBijection(t *testing.T) {
+	clean := `package journal
+type Type string
+type Spec struct{ Det bool }
+const (
+	EvAlpha Type = "alpha"
+	EvBeta  Type = "beta"
+)
+var registry = map[Type]Spec{
+	EvAlpha: {Det: true},
+	EvBeta:  {},
+}
+`
+	if diags := runFixture(t, "octopocs/internal/journal", clean, []*Analyzer{JournalDoc}); len(diags) != 0 {
+		t.Errorf("clean schema flagged: %v", diags)
+	}
+
+	missingEntry := `package journal
+type Type string
+type Spec struct{ Det bool }
+const (
+	EvAlpha Type = "alpha"
+	EvBeta  Type = "beta"
+)
+var registry = map[Type]Spec{
+	EvAlpha: {Det: true},
+}
+`
+	diags := runFixture(t, "octopocs/internal/journal", missingEntry, []*Analyzer{JournalDoc})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "EvBeta") ||
+		!strings.Contains(diags[0].Message, "no schema registry entry") {
+		t.Errorf("missing registry entry: got %v", diags)
+	}
+
+	strayKey := `package journal
+type Type string
+type Spec struct{ Det bool }
+const (
+	EvAlpha Type = "alpha"
+)
+var registry = map[Type]Spec{
+	EvAlpha: {Det: true},
+	EvGhost: {},
+}
+var EvGhost Type = "ghost"
+`
+	diags = runFixture(t, "octopocs/internal/journal", strayKey, []*Analyzer{JournalDoc})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "EvGhost") ||
+		!strings.Contains(diags[0].Message, "not a declared Ev* event type") {
+		t.Errorf("stray registry key: got %v", diags)
+	}
+}
+
+// TestJournalDocEmitters checks the cross-package rule: Emit/EmitFinal
+// calls must name their event type as a journal.Ev* selector, honoring a
+// renamed import, and packages that never import the journal are ignored.
+func TestJournalDocEmitters(t *testing.T) {
+	clean := `package p
+import "octopocs/internal/journal"
+func f(rec *journal.Recorder) {
+	rec.Emit(journal.EvAlpha, nil)
+	rec.EmitFinal(journal.EvBeta, nil)
+}
+`
+	if diags := runFixture(t, "octopocs/internal/core", clean, []*Analyzer{JournalDoc}); len(diags) != 0 {
+		t.Errorf("clean emitter flagged: %v", diags)
+	}
+
+	renamed := `package p
+import jr "octopocs/internal/journal"
+func f(rec *jr.Recorder) {
+	rec.Emit(jr.EvAlpha, nil)
+}
+`
+	if diags := runFixture(t, "octopocs/internal/core", renamed, []*Analyzer{JournalDoc}); len(diags) != 0 {
+		t.Errorf("renamed import flagged: %v", diags)
+	}
+
+	literal := `package p
+import "octopocs/internal/journal"
+func f(rec *journal.Recorder) {
+	rec.Emit("ad.hoc", nil)
+}
+`
+	diags := runFixture(t, "octopocs/internal/core", literal, []*Analyzer{JournalDoc})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "Ev*") {
+		t.Errorf("string-literal event type: got %v", diags)
+	}
+
+	foreign := `package p
+import (
+	"octopocs/internal/journal"
+	"octopocs/internal/other"
+)
+func f(rec *journal.Recorder) {
+	rec.Emit(other.EvSomething, nil)
+}
+`
+	diags = runFixture(t, "octopocs/internal/core", foreign, []*Analyzer{JournalDoc})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "other.EvSomething") {
+		t.Errorf("foreign selector event type: got %v", diags)
+	}
+
+	// A package that does not import the journal can define its own Emit
+	// with unrelated arguments; journaldoc must not touch it.
+	unrelated := `package p
+type bus struct{}
+func (bus) Emit(topic string, payload any) {}
+func f(b bus) { b.Emit("metrics", 1) }
+`
+	if diags := runFixture(t, "octopocs/internal/corpus", unrelated, []*Analyzer{JournalDoc}); len(diags) != 0 {
+		t.Errorf("non-journal Emit flagged: %v", diags)
+	}
+}
+
+// TestJournalDocRealSchema runs the analyzer over the shipped journal
+// package itself — the live schema must satisfy its own contract.
+func TestJournalDocRealSchema(t *testing.T) {
+	diags, err := RunDir("../journal", "octopocs/internal/journal", []*Analyzer{JournalDoc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("shipped journal schema has findings: %v", diags)
+	}
+}

@@ -1,11 +1,14 @@
 // Package lint is the repository's source-hygiene suite: a small,
-// dependency-free analyzer framework plus the project's two analyzers.
+// dependency-free analyzer framework plus the project's analyzers.
 // PhaseDoc enforces the documentation contract of the engine room — every
 // internal package must map itself to the paper phases P1–P4 and state its
-// concurrency contract — and CtxLoop guards the runtime packages against
-// goroutine loops that can neither be cancelled nor woken. The suite runs
-// three ways: as the doccheck test, as `go vet -vettool=octolint` in CI,
-// and directly via RunDir in tests.
+// concurrency contract — CtxLoop guards the runtime packages against
+// goroutine loops that can neither be cancelled nor woken, PanicGuard
+// requires every launched goroutine to sit behind a recover boundary, and
+// JournalDoc keeps the provenance journal's event schema closed: every
+// emitted event type must be an Ev* constant with a registry entry. The
+// suite runs three ways: as the doccheck test, as `go vet
+// -vettool=octolint` in CI, and directly via RunDir in tests.
 //
 // Concurrency: analyses are read-only over parsed ASTs and keep no shared
 // state; any number of Run calls may execute concurrently as long as each
@@ -63,7 +66,7 @@ type Analyzer struct {
 }
 
 // All is the suite: every analyzer octolint and the tests run.
-var All = []*Analyzer{PhaseDoc, CtxLoop, PanicGuard}
+var All = []*Analyzer{PhaseDoc, CtxLoop, PanicGuard, JournalDoc}
 
 // RunFiles runs the analyzers over an already-parsed package and returns
 // the findings sorted by position.

@@ -1,0 +1,45 @@
+package mirstatic
+
+import (
+	"sort"
+
+	"octopocs/internal/journal"
+)
+
+// RecordProofs journals the analysis's dominator-proved dead regions: one
+// static.proof event per function that has any, in sorted function order
+// so the emission sequence is deterministic. Each event carries the folded
+// branches and the proved-dead region block sets — the facts a reader
+// needs to audit why the pruned CFG (and any statically-unreachable
+// verdict) is sound. Nil-tolerant on both receivers.
+func RecordProofs(rec *journal.Recorder, a *Analysis) {
+	if rec == nil || a == nil {
+		return
+	}
+	names := make([]string, 0, len(a.Funcs))
+	for name, ff := range a.Funcs {
+		if len(ff.Regions) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ff := a.Funcs[name]
+		folded := 0
+		for _, t := range ff.Taken {
+			if t >= 0 {
+				folded++
+			}
+		}
+		blocks := 0
+		for _, r := range ff.Regions {
+			blocks += len(r)
+		}
+		rec.Emit(journal.EvStaticProof, journal.Attrs{
+			"fn":          name,
+			"folded":      folded,
+			"regions":     len(ff.Regions),
+			"dead_blocks": blocks,
+		})
+	}
+}

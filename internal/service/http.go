@@ -6,11 +6,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"octopocs/internal/asm"
 	"octopocs/internal/core"
 	"octopocs/internal/corpus"
 	"octopocs/internal/faultinject"
+	"octopocs/internal/journal"
 )
 
 // maxSubmitBytes bounds a submission body: two assembled MIR programs plus
@@ -115,6 +118,8 @@ type ReportResponse struct {
 //	GET  /v1/jobs/{id}/report  full verification report
 //	GET  /v1/jobs/{id}/poc     reformed PoC bytes
 //	GET  /v1/jobs/{id}/trace   phase/sub-step span tree (JSON)
+//	GET  /v1/jobs/{id}/events  provenance journal (?after=N pages; ?stream=1
+//	                           or Accept: text/event-stream follows live)
 //	POST /v1/jobs/{id}/cancel  cooperative cancellation
 //	POST /v1/scan              batch clone scan (?wait=1 blocks until done)
 //	GET  /v1/scans             list all scans
@@ -146,6 +151,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/report", s.withJob(s.handleReport))
 	mux.HandleFunc("GET /v1/jobs/{id}/poc", s.withJob(handlePoC))
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.withJob(s.handleTrace))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.withJob(s.handleEvents))
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.withJob(func(w http.ResponseWriter, r *http.Request, j *Job) {
 		j.Cancel()
 		writeJSON(w, http.StatusOK, j.Snapshot())
@@ -270,6 +276,135 @@ func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request, j *Job) {
 		return
 	}
 	writeJSON(w, http.StatusOK, tr.Snapshot())
+}
+
+// EventsResponse is the GET /v1/jobs/{id}/events body (JSON mode). Next is
+// the cursor for the follow-up ?after= request: the Seq of the last event
+// returned, or the request's own cursor when nothing new arrived.
+type EventsResponse struct {
+	ID      string          `json:"id"`
+	State   string          `json:"state"`
+	Next    uint64          `json:"next"`
+	Dropped uint64          `json:"dropped"`
+	Events  []journal.Event `json:"events"`
+}
+
+var errNoJournal = errors.New(
+	"no journal for this job (journaling disabled or artifact evicted)")
+
+// handleEvents answers GET /v1/jobs/{id}/events: one JSON page of journal
+// events after the ?after= cursor, or — with ?stream=1 or an SSE Accept
+// header — a live text/event-stream that follows the job to completion.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request, j *Job) {
+	var after uint64
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad after cursor %q: %w", v, err))
+			return
+		}
+		after = n
+	}
+	if q := r.URL.Query().Get("stream"); q == "1" || q == "true" ||
+		strings.Contains(r.Header.Get("Accept"), "text/event-stream") {
+		s.streamEvents(w, r, j, after)
+		return
+	}
+	rec, events, ok := s.jobJournal(j)
+	if !ok {
+		writeErr(w, http.StatusNotFound, errNoJournal)
+		return
+	}
+	if rec != nil {
+		events = rec.EventsAfter(after)
+	} else {
+		events = eventsAfter(events, after)
+	}
+	next := after
+	if n := len(events); n > 0 {
+		next = events[n-1].Seq
+	}
+	writeJSON(w, http.StatusOK, EventsResponse{
+		ID:      j.ID(),
+		State:   j.State().String(),
+		Next:    next,
+		Dropped: j.Snapshot().JournalDropped,
+		Events:  events,
+	})
+}
+
+// streamEvents serves the journal as server-sent events: every event is one
+// `data:` frame of its JSON encoding, and a final `event: done` frame
+// carries the job's terminal state. The Updated channel is taken before
+// each drain so no append between reads is missed.
+func (s *Service) streamEvents(w http.ResponseWriter, r *http.Request, j *Job, after uint64) {
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeErr(w, http.StatusNotImplemented, errors.New("response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	emit := func(events []journal.Event) {
+		for _, ev := range events {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "data: %s\n\n", data)
+			after = ev.Seq
+		}
+		if len(events) > 0 {
+			fl.Flush()
+		}
+	}
+	done := func() {
+		fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", j.State().String())
+		fl.Flush()
+	}
+	for {
+		rec, events, ok := s.jobJournal(j)
+		if !ok {
+			// Disabled or evicted: nothing will ever arrive on this job.
+			done()
+			return
+		}
+		if rec == nil {
+			// Finished and persisted: replay the artifact and end.
+			emit(eventsAfter(events, after))
+			done()
+			return
+		}
+		// Order matters: closed-check, then channel, then drain — a Close
+		// racing this sequence still fires the (already-closed) channel, so
+		// the next iteration observes it.
+		closed := rec.Closed()
+		ch := rec.Updated()
+		emit(rec.EventsAfter(after))
+		if closed {
+			done()
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// eventsAfter pages a decoded event slice by Seq cursor.
+func eventsAfter(events []journal.Event, after uint64) []journal.Event {
+	if after == 0 {
+		return events
+	}
+	i := 0
+	for i < len(events) && events[i].Seq <= after {
+		i++
+	}
+	return events[i:]
 }
 
 func handlePoC(w http.ResponseWriter, r *http.Request, j *Job) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"octopocs/internal/core"
+	"octopocs/internal/journal"
 	"octopocs/internal/telemetry"
 )
 
@@ -70,6 +71,13 @@ type Job struct {
 	// trace is the live span recorder while the job runs; on finish it
 	// moves to the service's bounded trace ring and this field is cleared.
 	trace *telemetry.Trace
+	// journal is the live provenance recorder while the job runs; on
+	// finish it is persisted as a JSONL artifact in the journal store and
+	// this field is cleared, leaving the key and counts behind.
+	journal        *journal.Recorder
+	journalKey     string
+	journalLen     int
+	journalDropped uint64
 }
 
 // ID returns the job identifier assigned at submission.
@@ -156,6 +164,12 @@ type JobStatus struct {
 	// Cache reuse observed by the finished run.
 	P1Cached bool `json:"p1_cached,omitempty"`
 	P2Cached bool `json:"p2_cached,omitempty"`
+	// Provenance journal accounting: retained event count, events the
+	// capacity bound discarded, and (once finished) the content address of
+	// the persisted JSONL artifact.
+	JournalEvents  int    `json:"journal_events,omitempty"`
+	JournalDropped uint64 `json:"journal_dropped,omitempty"`
+	JournalKey     string `json:"journal_key,omitempty"`
 }
 
 // Snapshot renders the job for status endpoints.
@@ -185,6 +199,15 @@ func (j *Job) Snapshot() JobStatus {
 		st.PoCBytes = len(j.report.PoCPrime)
 		st.P1Cached = j.report.Timings.P1Cached
 		st.P2Cached = j.report.Timings.P2Cached
+	}
+	switch {
+	case j.journal != nil:
+		st.JournalEvents = j.journal.Len()
+		st.JournalDropped = j.journal.Dropped()
+	default:
+		st.JournalEvents = j.journalLen
+		st.JournalDropped = j.journalDropped
+		st.JournalKey = j.journalKey
 	}
 	return st
 }

@@ -204,6 +204,10 @@ type ScanCandidate struct {
 	Confirmed bool `json:"confirmed,omitempty"`
 	// Error carries the enqueue or verification error, if any.
 	Error string `json:"error,omitempty"`
+	// JournalEvents/JournalDropped summarize the candidate job's provenance
+	// journal (see GET /v1/jobs/{id}/events for the events themselves).
+	JournalEvents  int    `json:"journal_events,omitempty"`
+	JournalDropped uint64 `json:"journal_dropped,omitempty"`
 }
 
 // Scan is one batch clone-scan: a retrieval pass plus the verification jobs
@@ -246,8 +250,12 @@ type ScanStatus struct {
 	Ep        string              `json:"ep,omitempty"`
 	Index     clonedet.IndexStats `json:"index"`
 	// Confirmed counts candidates verified triggered so far.
-	Confirmed  int             `json:"confirmed"`
-	Candidates []ScanCandidate `json:"candidates"`
+	Confirmed int `json:"confirmed"`
+	// JournalEvents/JournalDropped aggregate the per-candidate journal
+	// accounting across the scan.
+	JournalEvents  int             `json:"journal_events,omitempty"`
+	JournalDropped uint64          `json:"journal_dropped,omitempty"`
+	Candidates     []ScanCandidate `json:"candidates"`
 }
 
 // Snapshot renders the scan for status endpoints.
@@ -267,6 +275,8 @@ func (sc *Scan) Snapshot() ScanStatus {
 		if c.Confirmed {
 			st.Confirmed++
 		}
+		st.JournalEvents += c.JournalEvents
+		st.JournalDropped += c.JournalDropped
 	}
 	return st
 }
@@ -415,6 +425,7 @@ func (s *Service) watchScan(sc *Scan, jobs []*Job) {
 			continue
 		}
 		rep, err := job.Wait(context.Background())
+		snap := job.Snapshot()
 		sc.mu.Lock()
 		c := &sc.cands[i]
 		switch {
@@ -425,6 +436,8 @@ func (s *Service) watchScan(sc *Scan, jobs []*Job) {
 			c.Type = rep.Type.String()
 			c.Confirmed = rep.Verdict == core.VerdictTriggered
 		}
+		c.JournalEvents = snap.JournalEvents
+		c.JournalDropped = snap.JournalDropped
 		sc.mu.Unlock()
 		if err == nil && rep != nil && rep.Verdict != core.VerdictFailure {
 			s.met.clonedet.ObserveVerdict(rep.Verdict == core.VerdictTriggered)

@@ -29,6 +29,7 @@ import (
 
 	"octopocs/internal/core"
 	"octopocs/internal/faultinject"
+	"octopocs/internal/journal"
 	"octopocs/internal/telemetry"
 )
 
@@ -81,6 +82,17 @@ type Config struct {
 	// telemetry.DefaultTraceCapacity when 0, tracing disabled when
 	// negative.
 	TraceCapacity int
+	// JournalCapacity bounds the events retained per job journal:
+	// journal.DefaultCapacity when 0, journaling disabled when negative.
+	JournalCapacity int
+	// JournalVerbose additionally retains per-state frontier and per-call
+	// solver events in each journal (journal.VerbVerbose).
+	JournalVerbose bool
+	// JournalStore overrides the backend persisting finished-job journals
+	// as content-addressed JSONL artifacts; the default is an LRU sized
+	// like the artifact caches. Ignored when CacheEntries < 0 and no
+	// override is given, or when JournalCapacity < 0.
+	JournalStore Store
 }
 
 // Service owns a worker pool verifying submitted pairs. Create with New;
@@ -90,6 +102,7 @@ type Service struct {
 	pl     *core.Pipeline
 	p1c    Store
 	p2c    Store
+	jrc    Store
 	queue  chan *Job
 	wg     sync.WaitGroup
 	reg    *telemetry.Registry
@@ -172,6 +185,16 @@ func New(cfg Config) *Service {
 		}
 		if s.p2c == nil {
 			s.p2c = NewLRU(entries)
+		}
+	}
+	if cfg.JournalCapacity >= 0 {
+		s.jrc = cfg.JournalStore
+		if s.jrc == nil && cfg.CacheEntries >= 0 {
+			entries := cfg.CacheEntries
+			if entries == 0 {
+				entries = DefaultCacheEntries
+			}
+			s.jrc = NewLRU(entries)
 		}
 	}
 	// Metric registration must precede worker start so scrape-time
@@ -274,6 +297,9 @@ func (s *Service) Submit(pair *core.Pair) (*Job, error) {
 		state:     JobQueued,
 		submitted: time.Now(),
 	}
+	// The journal attaches at submission, not start, so streaming readers
+	// can already follow a queued job and observe its first event live.
+	job.journal = s.newJournal(job.id)
 	select {
 	case s.queue <- job:
 	default:
@@ -381,6 +407,7 @@ func (s *Service) runJob(j *Job) {
 		j.trace = telemetry.NewTrace(j.id, "verify")
 	}
 	tr := j.trace
+	rec := j.journal
 	j.mu.Unlock()
 	s.met.queueWait.Observe(wait.Seconds())
 	s.mu.Lock()
@@ -391,6 +418,7 @@ func (s *Service) runJob(j *Job) {
 	jl.Info("job started", "queue_wait_ms", wait.Milliseconds())
 	ctx := telemetry.WithLogger(j.ctx, jl)
 	ctx = telemetry.WithTrace(ctx, tr)
+	ctx = journal.With(ctx, rec)
 	rep, err := s.verifyJob(ctx, j)
 
 	s.mu.Lock()
@@ -445,10 +473,18 @@ func (s *Service) finishJob(j *Job, rep *core.Report, err error) {
 	// retains every job, the ring is what bounds trace memory.
 	tr := j.trace
 	j.trace = nil
+	rec := j.journal
 	j.mu.Unlock()
 	j.cancel() // release the deadline timer, if any
 	tr.Finish()
 	s.traces.Put(tr)
+	// Like traces, finished journals leave the job: they persist as
+	// content-addressed JSONL artifacts in the journal store, which is what
+	// bounds their memory. Must happen before close(j.done) so waiters
+	// observing completion can already read the persisted journal;
+	// persistJournal clears j.journal only once the key is recorded, so
+	// concurrent readers always see one of the two forms.
+	s.persistJournal(j, rec)
 
 	s.mu.Lock()
 	switch state {

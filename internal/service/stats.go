@@ -32,9 +32,11 @@ type Stats struct {
 	PhaseLatency map[string]PhaseLatency `json:"phase_latency"`
 
 	// P1Cache/P2Cache hold hit/miss counters when the backend supports
-	// accounting (the built-in LRU does); nil otherwise.
-	P1Cache *CacheCounters `json:"p1_cache,omitempty"`
-	P2Cache *CacheCounters `json:"p2_cache,omitempty"`
+	// accounting (the built-in LRU does); nil otherwise. JournalCache is
+	// the same for the persisted-journal artifact store.
+	P1Cache      *CacheCounters `json:"p1_cache,omitempty"`
+	P2Cache      *CacheCounters `json:"p2_cache,omitempty"`
+	JournalCache *CacheCounters `json:"journal_cache,omitempty"`
 }
 
 // Stats snapshots the service counters, queue occupancy, and cache
@@ -76,6 +78,7 @@ func (s *Service) Stats() Stats {
 	// back into the service.
 	st.P1Cache = cacheCounters(s.p1c)
 	st.P2Cache = cacheCounters(s.p2c)
+	st.JournalCache = cacheCounters(s.jrc)
 	s.mu.Unlock()
 	return st
 }

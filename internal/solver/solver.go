@@ -30,6 +30,7 @@ import (
 
 	"octopocs/internal/expr"
 	"octopocs/internal/faultinject"
+	"octopocs/internal/journal"
 )
 
 // Errors returned by Solve.
@@ -78,6 +79,9 @@ type Solver struct {
 	// Faults, when non-nil, injects scheduled solver faults: transient Sat
 	// and Solve failures and cache-bypass degradations. Nil in production.
 	Faults *faultinject.Injector
+	// Journal, when non-nil and verbose, receives per-call SAT-memo and
+	// complement-short-circuit events. Nil (no-op) in production.
+	Journal *journal.Recorder
 }
 
 // domain is a 256-bit set of candidate byte values.
@@ -200,6 +204,9 @@ func (s *Solver) solve(constraints []*expr.Expr) (Model, error) {
 		neg := expr.Not(c)
 		for _, o := range byFp[neg.Fingerprint()] {
 			if neg.Equal(o) {
+				if s.Journal.Verbose() {
+					s.Journal.Emit(journal.EvSolverComplement, journal.Attrs{"constraints": len(st.constraints)})
+				}
 				return nil, ErrUnsat
 			}
 		}
@@ -562,9 +569,15 @@ func (s *Solver) Sat(constraints []*expr.Expr) (bool, error) {
 		key = SatKey(constraints)
 		if sat, ok := cache.Lookup(key); ok {
 			s.Metrics.observeCache(true)
+			if s.Journal.Verbose() {
+				s.Journal.Emit(journal.EvSolverSatCache, journal.Attrs{"hit": true, "sat": sat})
+			}
 			return sat, nil
 		}
 		s.Metrics.observeCache(false)
+		if s.Journal.Verbose() {
+			s.Journal.Emit(journal.EvSolverSatCache, journal.Attrs{"hit": false})
+		}
 	}
 	_, err := s.Solve(constraints)
 	if err == nil {

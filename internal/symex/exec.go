@@ -9,6 +9,7 @@ import (
 	"octopocs/internal/expr"
 	"octopocs/internal/faultinject"
 	"octopocs/internal/isa"
+	"octopocs/internal/journal"
 	"octopocs/internal/solver"
 	"octopocs/internal/telemetry"
 )
@@ -89,6 +90,12 @@ type Config struct {
 	// checkpoints (worker panic, frontier stall, forced cancellation) and
 	// into the executor's solver. Nil in production.
 	Faults *faultinject.Injector
+	// Journal, when non-nil and verbose, receives per-node frontier events
+	// (fork/prune/commit) and the solver's cache events. These are
+	// worker-attributed and schedule-dependent, so they are verbose-class:
+	// the journal's deterministic rendering never includes them. Nil
+	// (no-op) in production.
+	Journal *journal.Recorder
 }
 
 // DefaultMaxBacktracks bounds how many decision reversals directed
@@ -168,12 +175,49 @@ type Result struct {
 	Constraints []*expr.Expr
 	// Entries lists the objective arrivals observed.
 	Entries []EpEntry
-	Stats   Stats
+	// Path is the committed state's frontier identity: the sequence of
+	// emission ordinals from the root. It is the same for every worker
+	// count N >= 1 by the commit protocol (nil under the sequential
+	// engine, which does not track paths).
+	Path  []uint32
+	Stats Stats
 }
 
 // Reached reports whether the run stopped at the objective by visitor
 // decision.
 func (r *Result) Reached() bool { return r.Kind == KindActive }
+
+// pathStringMax bounds PathString's rendered elements so journal events
+// stay small on pathological decision trees.
+const pathStringMax = 96
+
+// PathString renders a frontier path as dotted ordinals ("0.2.1"), "root"
+// for the empty path, and "" for nil (sequential engine). Long paths are
+// truncated with a trailing ellipsis.
+func PathString(path []uint32) string {
+	if path == nil {
+		return ""
+	}
+	if len(path) == 0 {
+		return "root"
+	}
+	n := len(path)
+	truncated := false
+	if n > pathStringMax {
+		n, truncated = pathStringMax, true
+	}
+	var b []byte
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b = append(b, '.')
+		}
+		b = fmt.Appendf(b, "%d", path[i])
+	}
+	if truncated {
+		b = append(b, "…"...)
+	}
+	return string(b)
+}
 
 // choice is a pending alternative at a past decision point: a snapshot of
 // the state with the program counter still at the deciding instruction,
@@ -224,7 +268,7 @@ func normalize(cfg Config) Config {
 func New(prog *isa.Program, cfg Config) *Executor {
 	cfg = normalize(cfg)
 	e := &Executor{prog: prog, cfg: cfg}
-	e.sol = solver.Solver{Budget: cfg.SatBudget, Cache: cfg.SolverCache, Faults: cfg.Faults}
+	e.sol = solver.Solver{Budget: cfg.SatBudget, Cache: cfg.SolverCache, Faults: cfg.Faults, Journal: cfg.Journal}
 	if cfg.Metrics != nil {
 		e.sol.Metrics = cfg.Metrics.Solver
 	}

@@ -42,6 +42,7 @@ import (
 	"octopocs/internal/expr"
 	"octopocs/internal/faultinject"
 	"octopocs/internal/isa"
+	"octopocs/internal/journal"
 )
 
 // node is one pending alternative in the shared frontier: a snapshot whose
@@ -290,6 +291,9 @@ func (f *frontier) pop(wid int) *node {
 		for len(f.heap) > 0 && f.best != nil && !pathLess(f.heap[0].path, f.best.path) {
 			nd := heapPop(&f.heap)
 			f.frontierMem -= nd.mem
+			if f.cfg.Journal.Verbose() {
+				f.cfg.Journal.Emit(journal.EvSymexPrune, journal.Attrs{"why": "beaten", "path": PathString(nd.path)})
+			}
 		}
 		if !f.draining && len(f.heap) > 0 {
 			if f.directed && f.backtracks >= f.cfg.MaxBacktracks {
@@ -328,6 +332,9 @@ func (w *fWorker) materialize(nd *node) (*State, bool) {
 			return nil, false
 		}
 		if !ok {
+			if w.f.cfg.Journal.Verbose() {
+				w.f.cfg.Journal.Emit(journal.EvSymexPrune, journal.Attrs{"why": "infeasible", "worker": w.id, "path": PathString(nd.path)})
+			}
 			return nil, false
 		}
 	}
@@ -411,6 +418,9 @@ func (f *frontier) emit(owner int, st *State, alts []*expr.Expr, dists []int64) 
 		}
 		nodes[i] = &node{snap: snap, alt: alt, dist: d, path: path, owner: owner, mem: mem}
 	}
+	if f.cfg.Journal.Verbose() {
+		f.cfg.Journal.Emit(journal.EvSymexFork, journal.Attrs{"worker": owner, "children": len(alts), "path": PathString(st.path)})
+	}
 	f.mu.Lock()
 	for _, nd := range nodes {
 		if f.best != nil && !pathLess(nd.path, f.best.path) {
@@ -450,6 +460,9 @@ func (f *frontier) commitSuccess(st *State) {
 	}
 	f.cond.Broadcast()
 	f.mu.Unlock()
+	if f.cfg.Journal.Verbose() {
+		f.cfg.Journal.Emit(journal.EvSymexCommit, journal.Attrs{"kind": "success", "path": PathString(st.path)})
+	}
 }
 
 // commitDeath records a dead terminal state, keeping the most diagnostic
@@ -471,6 +484,9 @@ func (f *frontier) commitDeath(st *State) {
 		f.peakMem = fp
 	}
 	f.mu.Unlock()
+	if f.cfg.Journal.Verbose() {
+		f.cfg.Journal.Emit(journal.EvSymexCommit, journal.Attrs{"kind": st.kind.String(), "path": PathString(st.path)})
+	}
 }
 
 // done retires a worker's in-flight slot and wakes poppers that may now
@@ -541,6 +557,7 @@ func (f *frontier) assemble(stat Stats) (*Result, error) {
 			Why:         st.why,
 			Constraints: st.constraints,
 			Entries:     entries,
+			Path:        st.path,
 			Stats:       stat,
 		}
 	}

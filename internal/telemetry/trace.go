@@ -13,14 +13,22 @@ import (
 // A trace is written by the single worker goroutine running the job, but
 // snapshotting may race with recording (a live trace listed over HTTP), so
 // every access takes the trace mutex.
+//
+// The span store is a fixed-capacity ring: once full, each new span
+// overwrites the oldest one (recent activity explains a stuck job better
+// than its distant past) and the dropped counter records the loss. A child
+// whose parent was evicted renders as a root in the snapshot.
 type Trace struct {
-	mu     sync.Mutex
-	id     string
-	name   string
-	start  time.Time
-	end    time.Time
-	spans  []*Span
-	nextID int
+	mu      sync.Mutex
+	id      string
+	name    string
+	start   time.Time
+	end     time.Time
+	spans   []*Span // circular once len == spanCap; head is the oldest
+	head    int
+	spanCap int
+	dropped uint64
+	nextID  int
 }
 
 // Span is one timed operation within a trace.
@@ -34,10 +42,25 @@ type Span struct {
 	attrs  map[string]any
 }
 
-// NewTrace starts a trace. id is the lookup key (the job id); name labels
-// the overall operation.
+// DefaultSpanCapacity bounds a trace's retained spans. A full corpus
+// verification opens a few dozen spans; the headroom covers pathological
+// jobs (deep symbolic exploration, heavy retry loops) without letting one
+// runaway job grow its trace without bound.
+const DefaultSpanCapacity = 4096
+
+// NewTrace starts a trace with the default span capacity. id is the lookup
+// key (the job id); name labels the overall operation.
 func NewTrace(id, name string) *Trace {
-	return &Trace{id: id, name: name, start: time.Now()}
+	return NewTraceWithCapacity(id, name, 0)
+}
+
+// NewTraceWithCapacity starts a trace retaining at most spans spans
+// (DefaultSpanCapacity when <= 0) before drop-oldest eviction begins.
+func NewTraceWithCapacity(id, name string, spans int) *Trace {
+	if spans <= 0 {
+		spans = DefaultSpanCapacity
+	}
+	return &Trace{id: id, name: name, start: time.Now(), spanCap: spans}
 }
 
 // ID returns the trace's lookup key.
@@ -61,7 +84,14 @@ func (t *Trace) Start(name string, parent *Span) *Span {
 		sp.parent = parent.id
 	}
 	t.nextID++
-	t.spans = append(t.spans, sp)
+	if t.spanCap > 0 && len(t.spans) >= t.spanCap {
+		// Ring is full: overwrite the oldest span and advance the head.
+		t.spans[t.head] = sp
+		t.head = (t.head + 1) % len(t.spans)
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, sp)
+	}
 	return sp
 }
 
@@ -115,12 +145,15 @@ type SpanSnapshot struct {
 // TraceSnapshot is the JSON form of a finished (or in-flight) trace: the
 // span tree served by GET /v1/jobs/{id}/trace.
 type TraceSnapshot struct {
-	ID         string          `json:"id"`
-	Name       string          `json:"name"`
-	Start      time.Time       `json:"start"`
-	DurationUS int64           `json:"duration_us"`
-	Finished   bool            `json:"finished"`
-	Spans      []*SpanSnapshot `json:"spans"`
+	ID         string    `json:"id"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationUS int64     `json:"duration_us"`
+	Finished   bool      `json:"finished"`
+	// DroppedSpans counts spans the fixed-capacity ring evicted
+	// (oldest-first) to make room for newer ones.
+	DroppedSpans uint64          `json:"dropped_spans,omitempty"`
+	Spans        []*SpanSnapshot `json:"spans"`
 }
 
 // Snapshot renders the span tree. An unfinished span or trace reports
@@ -133,10 +166,11 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	defer t.mu.Unlock()
 	now := time.Now()
 	snap := TraceSnapshot{
-		ID:       t.id,
-		Name:     t.name,
-		Start:    t.start,
-		Finished: !t.end.IsZero(),
+		ID:           t.id,
+		Name:         t.name,
+		Start:        t.start,
+		Finished:     !t.end.IsZero(),
+		DroppedSpans: t.dropped,
 	}
 	end := t.end
 	if end.IsZero() {
@@ -144,8 +178,14 @@ func (t *Trace) Snapshot() TraceSnapshot {
 	}
 	snap.DurationUS = end.Sub(t.start).Microseconds()
 
-	nodes := make(map[int]*SpanSnapshot, len(t.spans))
-	for _, sp := range t.spans {
+	// Walk the ring oldest-first so insertion order (and with it the
+	// children-after-parents property) survives wraparound.
+	ordered := make([]*Span, 0, len(t.spans))
+	for i := 0; i < len(t.spans); i++ {
+		ordered = append(ordered, t.spans[(t.head+i)%len(t.spans)])
+	}
+	nodes := make(map[int]*SpanSnapshot, len(ordered))
+	for _, sp := range ordered {
 		spEnd := sp.end
 		if spEnd.IsZero() {
 			spEnd = now
@@ -164,8 +204,9 @@ func (t *Trace) Snapshot() TraceSnapshot {
 		}
 		nodes[sp.id] = node
 	}
-	// Spans were appended in id order, so children attach after parents.
-	for _, sp := range t.spans {
+	// Children attach after parents; a child whose parent was evicted (or
+	// never recorded) becomes a root.
+	for _, sp := range ordered {
 		node := nodes[sp.id]
 		if parent, ok := nodes[sp.parent]; sp.parent >= 0 && ok {
 			parent.Children = append(parent.Children, node)

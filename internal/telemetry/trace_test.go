@@ -118,3 +118,55 @@ func TestTraceRingReplaceSameID(t *testing.T) {
 		t.Fatalf("len = %d, want 2 (same-ID put must not consume capacity)", got)
 	}
 }
+
+// TestSpanRingOverflow fills a trace past its span capacity and checks the
+// drop-oldest contract: the snapshot retains exactly the newest spans in
+// insertion order, counts every eviction, and promotes children of evicted
+// parents to roots.
+func TestSpanRingOverflow(t *testing.T) {
+	tr := NewTraceWithCapacity("job-ring", "verify", 4)
+	parent := tr.Start("p1", nil) // will be evicted
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	for _, n := range names {
+		tr.Start(n, parent).End()
+	}
+	parent.End()
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.DroppedSpans != 3 { // 7 started, capacity 4
+		t.Fatalf("dropped = %d, want 3", snap.DroppedSpans)
+	}
+	// p1, a and b were evicted; c..f survive as roots (their parent is
+	// gone) in insertion order.
+	var got []string
+	for _, sp := range snap.Spans {
+		got = append(got, sp.Name)
+	}
+	want := []string{"c", "d", "e", "f"}
+	if len(got) != len(want) {
+		t.Fatalf("retained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("retained %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSpanRingUnderCapacity checks that a trace below capacity drops
+// nothing and keeps the parent/child tree intact.
+func TestSpanRingUnderCapacity(t *testing.T) {
+	tr := NewTraceWithCapacity("job-small", "verify", 8)
+	parent := tr.Start("p1", nil)
+	tr.Start("child", parent).End()
+	parent.End()
+	tr.Finish()
+	snap := tr.Snapshot()
+	if snap.DroppedSpans != 0 {
+		t.Fatalf("dropped = %d, want 0", snap.DroppedSpans)
+	}
+	if len(snap.Spans) != 1 || len(snap.Spans[0].Children) != 1 {
+		t.Fatalf("tree shape wrong: %+v", snap.Spans)
+	}
+}
