@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"octopocs/internal/artifact"
+	"octopocs/internal/corpus"
+	"octopocs/internal/service"
+)
+
+// StoreBenchPhase is one measured pass of BENCH_store.json: the full corpus
+// verified through a service backed by the persistent artifact store.
+type StoreBenchPhase struct {
+	Phase string  `json:"phase"`
+	MS    float64 `json:"ms"`
+	// P1Cached/P2Cached count reports whose crash-primitive and
+	// T-preparation artifacts came from the store; Recomputed counts pairs
+	// that had to rebuild either one. A warm restart must report 0 here.
+	P1Cached   int `json:"p1_cached"`
+	P2Cached   int `json:"p2_cached"`
+	Recomputed int `json:"recomputed"`
+	// Stores snapshots the per-class store accounting after the pass.
+	Stores map[string]artifact.Counters `json:"stores"`
+}
+
+// storeBenchFile is the BENCH_store.json document.
+type storeBenchFile struct {
+	Host   hostMeta          `json:"host"`
+	Note   string            `json:"note"`
+	Pairs  int               `json:"pairs"`
+	Phases []StoreBenchPhase `json:"phases"`
+	// WarmSpeedup is cold wall-clock over warm-restart wall-clock.
+	WarmSpeedup float64 `json:"warm_speedup"`
+}
+
+// benchStorePass opens a store bundle over dir, verifies the whole corpus
+// through a fresh service, and reports the pass accounting. Each call
+// models one process lifetime: the bundle is closed before returning, so
+// the next pass replays the startup integrity scan like a real restart.
+func benchStorePass(phase, dir string, specs []*corpus.PairSpec, workers int) (StoreBenchPhase, error) {
+	row := StoreBenchPhase{Phase: phase}
+	st, err := service.OpenStores(service.StoreOptions{Dir: dir})
+	if err != nil {
+		return row, err
+	}
+	defer st.Close()
+	svc := service.New(service.Config{Workers: workers, QueueDepth: len(specs), Stores: st})
+	defer svc.Shutdown(context.Background())
+
+	start := time.Now()
+	jobs := make([]*service.Job, len(specs))
+	for i, spec := range specs {
+		if jobs[i], err = svc.Submit(spec.Pair); err != nil {
+			return row, fmt.Errorf("pair %d: %w", spec.Idx, err)
+		}
+	}
+	for i, job := range jobs {
+		rep, err := job.Wait(context.Background())
+		if err != nil {
+			return row, fmt.Errorf("pair %d: %w", specs[i].Idx, err)
+		}
+		if rep.Timings.P1Cached {
+			row.P1Cached++
+		}
+		if rep.Timings.P2Cached {
+			row.P2Cached++
+		}
+		if !rep.Timings.P1Cached || !rep.Timings.P2Cached {
+			row.Recomputed++
+		}
+	}
+	row.MS = float64(time.Since(start).Nanoseconds()) / 1e6
+	row.Stores = st.Counters()
+	return row, nil
+}
+
+// benchStore measures what the persistent artifact store buys across a
+// restart: a cold pass over the full corpus populates the disk tier, the
+// bundle is closed (the "process" exits), and a warm pass over a fresh
+// bundle re-verifies everything. The warm pass must recompute zero P1 and
+// P2-preparation artifacts — every one is decoded from disk — and its
+// wall-clock over the cold pass is the restart speedup operators should
+// expect (see OPERATIONS.md).
+func benchStore(path string, workers int) error {
+	if workers <= 0 {
+		workers = 4
+	}
+	dir, err := os.MkdirTemp("", "octobench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	specs := append(corpus.All(), corpus.StaticSet()...)
+	out := storeBenchFile{
+		Host: currentHost(),
+		Note: "cold populates an empty store; warm_restart reopens the same directory " +
+			"through a new store bundle and service, modeling a process restart. " +
+			"recomputed counts pairs whose P1 or P2-prep artifact was rebuilt instead " +
+			"of decoded from disk; a healthy warm restart reports 0.",
+		Pairs: len(specs),
+	}
+	for _, phase := range []string{"cold", "warm_restart"} {
+		row, err := benchStorePass(phase, dir, specs, workers)
+		if err != nil {
+			return fmt.Errorf("%s pass: %w", phase, err)
+		}
+		out.Phases = append(out.Phases, row)
+		fmt.Printf("%-13s %10.1f ms  p1_cached=%2d  p2_cached=%2d  recomputed=%2d\n",
+			phase, row.MS, row.P1Cached, row.P2Cached, row.Recomputed)
+	}
+	if warm := out.Phases[1].MS; warm > 0 {
+		out.WarmSpeedup = out.Phases[0].MS / warm
+		fmt.Printf("warm-restart speedup: %.2fx\n", out.WarmSpeedup)
+	}
+	if warm := out.Phases[1]; warm.Recomputed != 0 {
+		return fmt.Errorf("warm restart recomputed %d pair artifacts; expected 0", warm.Recomputed)
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
+}

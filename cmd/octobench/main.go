@@ -48,6 +48,8 @@ func run(args []string) error {
 		cloneOut   = fs.String("bench-clonedet-out", "BENCH_clonedet.json", "with -bench-clonedet: output file")
 		doJournal  = fs.Bool("bench-journal", false, "run the provenance-journal overhead benchmark (all pairs, journal off vs summary vs verbose)")
 		journalOut = fs.String("bench-journal-out", "BENCH_journal.json", "with -bench-journal: output file")
+		doStore    = fs.Bool("bench-store", false, "run the persistent-store warm-restart benchmark (all pairs cold, then reopened warm; fails if the warm pass recomputes anything)")
+		storeOut   = fs.String("bench-store-out", "BENCH_store.json", "with -bench-store: output file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,9 +72,12 @@ func run(args []string) error {
 	if *doJournal {
 		return benchJournal(*journalOut)
 	}
+	if *doStore {
+		return benchStore(*storeOut, *workers)
+	}
 	if !*all && *table == 0 && !*doSurvey && !*doLatest && !*doSweeps {
 		fs.Usage()
-		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, -bench-static, -bench-faults, -bench-clonedet, or -bench-journal")
+		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, -bench-static, -bench-faults, -bench-clonedet, -bench-journal, or -bench-store")
 	}
 
 	want := func(n int) bool { return *all || *table == n }

@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"os"
 	"strings"
+	"time"
 
 	"octopocs/internal/journal"
 )
@@ -67,11 +68,17 @@ func loadJournal(target, addr string) ([]journal.Event, error) {
 	return fetchJournal(target, addr)
 }
 
+// fetchClient bounds the whole fetch — dial, response, body — so an
+// unreachable or wedged server fails the CLI promptly instead of hanging
+// it; retained journals are small, so the generous cap only bites on
+// genuinely stuck connections.
+var fetchClient = &http.Client{Timeout: 30 * time.Second}
+
 // fetchJournal retrieves a job's journal from octoserved's events endpoint
 // (JSON page mode, no cursor: the full retained journal).
 func fetchJournal(jobID, addr string) ([]journal.Event, error) {
 	u := strings.TrimSuffix(addr, "/") + "/v1/jobs/" + url.PathEscape(jobID) + "/events"
-	resp, err := http.Get(u)
+	resp, err := fetchClient.Get(u)
 	if err != nil {
 		return nil, fmt.Errorf("fetch %s: %w (pass a JSONL file, or -addr of a running octoserved)", u, err)
 	}
@@ -81,6 +88,9 @@ func fetchJournal(jobID, addr string) ([]journal.Event, error) {
 			Error string `json:"error"`
 		}
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			if resp.StatusCode == http.StatusNotFound && strings.Contains(apiErr.Error, "journal") {
+				return nil, fmt.Errorf("fetch %s: %s\nthe server no longer holds this job's journal — it was evicted from the journal store or journaling is off; re-run the job, or give octoserved more room with -store-dir/-store-budget and -journal", u, apiErr.Error)
+			}
 			return nil, fmt.Errorf("fetch %s: %s", u, apiErr.Error)
 		}
 		return nil, fmt.Errorf("fetch %s: HTTP %d", u, resp.StatusCode)

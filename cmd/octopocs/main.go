@@ -13,9 +13,10 @@
 //	octopocs -pair 16 -static       static pre-analysis: verify, fold, prune
 //	octopocs scan -source 7       discover row 7's clones, verify candidates
 //	octopocs scan -all-sources    batch-scan every corpus CVE (see scan.go)
+//	octopocs -all -store-dir ./store   persist phase artifacts; warm reruns reuse them
 //	octopocs -pair 8 -journal j.jsonl  save the verdict provenance journal
 //	octopocs explain j.jsonl      render a journal as a narrative (explain.go)
-//	octopocs explain job-3 -addr http://host:8344  fetch and render a job
+//	octopocs explain -addr http://host:8344 job-3  fetch and render a job
 package main
 
 import (
@@ -69,6 +70,8 @@ func run(args []string) error {
 		withTrace   = fs.Bool("trace", false, "dump each job's phase/sub-step span tree as JSON after its report")
 		journalOut  = fs.String("journal", "", "write the verdict provenance journal(s) as JSONL to this file; render with `octopocs explain`")
 		journalVerb = fs.Bool("journal-verbose", false, "with -journal: also record per-state frontier and per-call solver events")
+		storeDir    = fs.String("store-dir", "", "persistent artifact store directory; repeat runs reuse phase artifacts (implies -workers 1 when unset)")
+		storeBudget = fs.Int64("store-budget", 0, "persistent store disk budget in MiB across all classes (0 = default)")
 		logLevel    = fs.String("log-level", "warn", "log level: debug, info, warn, error")
 		logFormat   = fs.String("log-format", "text", "log format: text or json")
 		faultSched  = fs.String("fault-schedule", "", "deterministic fault-injection schedule, e.g. 'seed=42;solver.sat:nth=2|5' (chaos testing; off by default)")
@@ -114,7 +117,25 @@ func run(args []string) error {
 			jopts.Verbosity = journal.VerbVerbose
 		}
 	}
-	reports, traces, journals, err := verifyAll(specs, cfg, *workers, *symexWork, logger, *withTrace, jopts)
+	var stores *service.Stores
+	if *storeDir != "" {
+		stores, err = service.OpenStores(service.StoreOptions{
+			Dir:        *storeDir,
+			DiskBudget: *storeBudget << 20,
+			Faults:     faults,
+			Logger:     logger,
+		})
+		if err != nil {
+			return err
+		}
+		defer stores.Close()
+		if *workers == 0 {
+			// The store hangs off the service layer; route even sequential
+			// runs through a one-worker pool so artifacts persist.
+			*workers = 1
+		}
+	}
+	reports, traces, journals, err := verifyAll(specs, cfg, *workers, *symexWork, stores, logger, *withTrace, jopts)
 	if err != nil {
 		return err
 	}
@@ -193,7 +214,7 @@ func symexBudget(flagVal int) int {
 // each run when jopts is non-nil (nil entries otherwise). With workers > 0
 // the pairs run concurrently through a service worker pool (sharing phase
 // artifacts via its cache); otherwise a single pipeline runs them in turn.
-func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers, symexWorkers int, logger *slog.Logger, withTrace bool, jopts *journal.Options) ([]*core.Report, []*telemetry.Trace, [][]journal.Event, error) {
+func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers, symexWorkers int, stores *service.Stores, logger *slog.Logger, withTrace bool, jopts *journal.Options) ([]*core.Report, []*telemetry.Trace, [][]journal.Event, error) {
 	reports := make([]*core.Report, len(specs))
 	traces := make([]*telemetry.Trace, len(specs))
 	journals := make([][]journal.Event, len(specs))
@@ -212,6 +233,7 @@ func verifyAll(specs []*corpus.PairSpec, cfg core.Config, workers, symexWorkers 
 			Logger:        logger,
 			TraceCapacity: traceCap,
 			SymexWorkers:  symexWorkers,
+			Stores:        stores,
 		}
 		if jopts != nil {
 			svcCfg.JournalCapacity = jopts.Capacity

@@ -12,11 +12,18 @@
 //	octoserved [-addr :8344] [-workers N] [-symex-workers N] [-queue N]
 //	           [-cache N] [-timeout D] [-traces N] [-drain D] [-static]
 //	           [-journal N] [-journal-verbose]
+//	           [-store-dir DIR] [-store-budget MIB]
 //	           [-log-level info] [-log-format text] [-debug-addr ADDR]
+//
+// With -store-dir the phase artifacts (P1 crash primitives, P2/static
+// preparation, finished-job journals, clone fingerprints) persist to a
+// tiered on-disk store and survive restarts: a warm instance serves repeat
+// verifications without recomputing. When the disk tier refuses writes,
+// submissions answer 429 with a Retry-After header; see OPERATIONS.md.
 //
 // Every job records a verdict provenance journal served at GET
 // /v1/jobs/{id}/events (JSON pages via ?after=, live following via
-// ?stream=1 or Accept: text/event-stream); `octopocs explain job-N -addr`
+// ?stream=1 or Accept: text/event-stream); `octopocs explain -addr ... job-N`
 // renders it as a narrative.
 //
 // The server drains in-flight verifications on SIGINT/SIGTERM before
@@ -63,6 +70,8 @@ func run(args []string, logOut *os.File) error {
 	traces := fs.Int("traces", 0, "retained finished job traces (0 = default, negative disables)")
 	static := fs.Bool("static", false, "enable the static pre-analysis for all jobs (per-job \"static\" field overrides)")
 	journalCap := fs.Int("journal", 0, "events retained per job provenance journal (0 = default, negative disables journaling)")
+	storeDir := fs.String("store-dir", "", "persistent artifact store directory; empty runs memory-only")
+	storeBudget := fs.Int64("store-budget", 0, "persistent store disk budget in MiB across all classes (0 = default)")
 	journalVerbose := fs.Bool("journal-verbose", false, "retain per-state frontier and per-call solver events in job journals")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "log format: text or json")
@@ -78,6 +87,24 @@ func run(args []string, logOut *os.File) error {
 	faultSchedule, err := faultinject.ParseSchedule(*faultSched)
 	if err != nil {
 		return fmt.Errorf("-fault-schedule: %w", err)
+	}
+	// One injector shared by the pipeline and the stores, so a schedule's
+	// nth= counters fire once across the whole process.
+	faults := faultinject.New(faultSchedule)
+
+	var stores *service.Stores
+	if *storeDir != "" {
+		stores, err = service.OpenStores(service.StoreOptions{
+			Dir:        *storeDir,
+			DiskBudget: *storeBudget << 20,
+			Faults:     faults,
+			Logger:     logger,
+		})
+		if err != nil {
+			return err
+		}
+		// The service only borrows the stores; close them after it drains.
+		defer stores.Close()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -101,7 +128,8 @@ func run(args []string, logOut *os.File) error {
 		SymexWorkers:    *symexWorkers,
 		JournalCapacity: *journalCap,
 		JournalVerbose:  *journalVerbose,
-		Pipeline:        core.Config{StaticPrune: *static, Faults: faultinject.New(faultSchedule)},
+		Stores:          stores,
+		Pipeline:        core.Config{StaticPrune: *static, Faults: faults},
 		Logger:          logger,
 	}, *drain, logger)
 }

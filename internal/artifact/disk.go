@@ -1,0 +1,257 @@
+package artifact
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// On-disk entry layout (all integers big-endian):
+//
+//	magic    [4]byte  "OCAS"
+//	version  uint32   store format version (also stamped in the key)
+//	keyLen   uint32
+//	key      [keyLen]byte   the versioned key
+//	payLen   uint64
+//	payload  [payLen]byte   codec output
+//	sum      [32]byte       SHA-256 over everything above
+//
+// A torn or truncated file fails either the structural bounds checks or the
+// checksum; both paths delete the file and report the entry gone.
+var entryMagic = [4]byte{'O', 'C', 'A', 'S'}
+
+const (
+	entryExt    = ".art"
+	tmpExt      = ".tmp"
+	entryHeader = 4 + 4 + 4 // magic + version + keyLen
+	entrySum    = sha256.Size
+)
+
+// entryOverhead is the non-payload byte cost of persisting vkey.
+func entryOverhead(vkey string) int64 {
+	return int64(entryHeader + len(vkey) + 8 + entrySum)
+}
+
+// encodeEntry builds the full file image for one entry.
+func encodeEntry(version int, vkey string, payload []byte) []byte {
+	var buf bytes.Buffer
+	buf.Grow(int(entryOverhead(vkey)) + len(payload))
+	buf.Write(entryMagic[:])
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(version))
+	buf.Write(u32[:])
+	binary.BigEndian.PutUint32(u32[:], uint32(len(vkey)))
+	buf.Write(u32[:])
+	buf.WriteString(vkey)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], uint64(len(payload)))
+	buf.Write(u64[:])
+	buf.Write(payload)
+	sum := sha256.Sum256(buf.Bytes())
+	buf.Write(sum[:])
+	return buf.Bytes()
+}
+
+// parseEntry validates the structure and checksum of a file image and
+// returns its version, key, and payload.
+func parseEntry(data []byte) (version int, vkey string, payload []byte, err error) {
+	if len(data) < entryHeader+8+entrySum {
+		return 0, "", nil, fmt.Errorf("artifact: entry truncated (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:4], entryMagic[:]) {
+		return 0, "", nil, fmt.Errorf("artifact: bad magic")
+	}
+	body, sum := data[:len(data)-entrySum], data[len(data)-entrySum:]
+	if got := sha256.Sum256(body); !bytes.Equal(got[:], sum) {
+		return 0, "", nil, fmt.Errorf("artifact: checksum mismatch")
+	}
+	version = int(binary.BigEndian.Uint32(data[4:8]))
+	keyLen := int(binary.BigEndian.Uint32(data[8:12]))
+	rest := body[entryHeader:]
+	if keyLen < 0 || keyLen+8 > len(rest) {
+		return 0, "", nil, fmt.Errorf("artifact: key length %d out of bounds", keyLen)
+	}
+	vkey = string(rest[:keyLen])
+	rest = rest[keyLen:]
+	payLen := binary.BigEndian.Uint64(rest[:8])
+	if payLen != uint64(len(rest)-8) {
+		return 0, "", nil, fmt.Errorf("artifact: payload length %d does not match body", payLen)
+	}
+	return version, vkey, rest[8:], nil
+}
+
+// writeEntry persists one entry crash-safely: full image to a temp file,
+// fsync, rename into place, fsync the directory. When torn is set (fault
+// injection) the image is cut mid-payload before writing, modeling a crash
+// that made the rename durable but not the data pages; the resulting file
+// fails its checksum on every future read. Returns the on-disk size.
+func writeEntry(path string, version int, vkey string, payload []byte, torn bool) (int64, error) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	img := encodeEntry(version, vkey, payload)
+	if torn {
+		img = img[:len(img)-entrySum-len(payload)/2-1]
+	}
+	tmp := path + tmpExt
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	syncDir(dir)
+	return int64(len(img)), nil
+}
+
+// readEntry loads and validates the entry at path, requiring the stored
+// version and key to match what the index expects.
+func readEntry(path string, wantVersion int, wantKey string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	version, vkey, payload, err := parseEntry(data)
+	if err != nil {
+		return nil, err
+	}
+	if version != wantVersion {
+		return nil, fmt.Errorf("artifact: entry version %d, want %d", version, wantVersion)
+	}
+	if vkey != wantKey {
+		return nil, fmt.Errorf("artifact: entry key mismatch")
+	}
+	return payload, nil
+}
+
+// scannedEntry pairs a validated entry with its file mtime for LRU seeding.
+type scannedEntry struct {
+	entry *diskEntry
+	mtime time.Time
+}
+
+// scan is the startup integrity pass: it creates the store directory, walks
+// every file a previous process left behind, deletes leftover temp files
+// and every entry that is corrupt, stale-versioned, of an unknown class, or
+// duplicated, and seeds the LRU from file mtimes so recency survives
+// restarts.
+func (s *Store) scan() error {
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return fmt.Errorf("artifact: open %s: %w", s.dir, err)
+	}
+	var found []scannedEntry
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		switch {
+		case strings.HasSuffix(path, tmpExt):
+			s.log.Warn("artifact: removing leftover temp file", "path", path)
+			removeFile(path)
+			return nil
+		case !strings.HasSuffix(path, entryExt):
+			return nil
+		}
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			s.log.Warn("artifact: scan cannot read entry", "path", path, "err", rerr)
+			removeFile(path)
+			s.ctr.CorruptDropped++
+			return nil
+		}
+		version, vkey, _, perr := parseEntry(data)
+		switch {
+		case perr != nil:
+			s.log.Warn("artifact: scan dropping corrupt entry", "path", path, "err", perr)
+			removeFile(path)
+			s.ctr.CorruptDropped++
+		case version != s.version:
+			removeFile(path)
+			s.ctr.StaleDropped++
+		case s.codecFor(callerKey(vkey)) == nil:
+			removeFile(path)
+			s.ctr.StaleDropped++
+		default:
+			found = append(found, scannedEntry{
+				entry: &diskEntry{vkey: vkey, path: path, size: int64(len(data))},
+				mtime: info.ModTime(),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("artifact: scan %s: %w", s.dir, err)
+	}
+	// Oldest first, so the newest entry ends up at the LRU front.
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime.Before(found[j].mtime) })
+	for _, se := range found {
+		if s.disk[se.entry.vkey] != nil {
+			removeFile(se.entry.path)
+			s.ctr.StaleDropped++
+			continue
+		}
+		se.entry.elem = s.lru.PushFront(se.entry)
+		s.disk[se.entry.vkey] = se.entry
+		s.bytes += se.entry.size
+	}
+	s.evictLocked(nil)
+	return nil
+}
+
+// callerKey strips the "v<N>|" version stamp from a versioned key.
+func callerKey(vkey string) string {
+	if _, rest, ok := strings.Cut(vkey, "|"); ok {
+		return rest
+	}
+	return vkey
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss;
+// best-effort because some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}
+
+// touchFile refreshes a file's mtime so LRU recency survives restarts;
+// best-effort.
+func touchFile(path string) {
+	now := time.Now()
+	os.Chtimes(path, now, now)
+}
+
+// removeFile deletes best-effort; a leftover file is re-dropped by the next
+// integrity scan.
+func removeFile(path string) {
+	os.Remove(path)
+}

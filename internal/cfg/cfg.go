@@ -119,6 +119,36 @@ func (g *Graph) ObserveCall(site isa.Loc, callee string) {
 	s.Targets = append(s.Targets, callee)
 }
 
+// ObservedEdge is one dynamically discovered indirect-call edge in the
+// graph's externalized form, used by the persistent artifact store to
+// rebuild a refined graph after a restart.
+type ObservedEdge struct {
+	Site   isa.Loc `json:"site"`
+	Callee string  `json:"callee"`
+}
+
+// ObservedEdges lists every dynamically observed indirect-call edge in a
+// deterministic order: program function order, call-site order within the
+// function, and target order as observed. Replaying the list through
+// ObserveCall on a freshly built graph of the same program reproduces the
+// refined graph exactly (Targets slices included, element for element).
+func (g *Graph) ObservedEdges() []ObservedEdge {
+	var out []ObservedEdge
+	for _, f := range g.Prog.Funcs {
+		for _, s := range g.sites[f.Name] {
+			if !s.Indirect {
+				continue
+			}
+			for _, t := range s.Targets {
+				if g.observed[s.Loc.String()][t] {
+					out = append(out, ObservedEdge{Site: s.Loc, Callee: t})
+				}
+			}
+		}
+	}
+	return out
+}
+
 // RefineDynamic is the concrete-trace flavor of dynamic CFG refinement,
 // complementing the symbolic discovery in package symex (which the pipeline
 // uses, so that a seed's incidental coverage cannot bless reachability the

@@ -45,6 +45,12 @@ type Config struct {
 	// Metrics, when non-nil, receives retrieval counters, flushed once per
 	// Add/Scan call.
 	Metrics *Metrics
+	// Cache, when non-nil, stores program fingerprints under their
+	// content-addressed ci: keys (see FingerprintKey), so repeated index
+	// builds and scans over the same programs — including across process
+	// restarts, through the persistent artifact store — skip the
+	// fingerprinting pass.
+	Cache Cache
 }
 
 func (c Config) k() int {
@@ -225,7 +231,7 @@ func (ix *Index) AddAll(ts []Target) error {
 	}
 	fps := make([]*progFP, len(ts))
 	ix.parallel(len(ts), func(i int) {
-		fps[i] = fingerprintProgram(ts[i].Prog, ix.cfg.k())
+		fps[i] = ix.fingerprint(ts[i].Prog)
 	})
 	indexed := 0
 	for i, t := range ts {

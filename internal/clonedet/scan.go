@@ -77,7 +77,7 @@ func (ix *Index) Scan(src Source) ([]Candidate, error) {
 	if len(src.Vuln) == 0 {
 		return nil, errors.New("clonedet: source has no vulnerable functions")
 	}
-	sfp := fingerprintProgram(src.Prog, ix.cfg.k())
+	sfp := ix.fingerprint(src.Prog)
 	vuln := append([]string(nil), src.Vuln...)
 	sort.Strings(vuln)
 	for _, fn := range vuln {

@@ -46,6 +46,13 @@ type P2Artifact struct {
 	Graph *cfg.Graph
 	// Dist holds the distances to Ep; nil when ep is unreachable.
 	Dist *cfg.Distances
+	// Ep is the target entry point the artifact was prepared for, and
+	// Pruned records whether Graph was built over the statically pruned
+	// CFG view. Both are already encoded in the cache key; they are
+	// carried on the artifact so the disk codec can rebuild the graph
+	// without access to the key's preimage.
+	Ep     string
+	Pruned bool
 }
 
 // SetCaches installs artifact caches for the P1 (S-side) and P2-prep

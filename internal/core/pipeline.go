@@ -472,7 +472,7 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mi
 			return nil, false, err
 		}
 	}
-	art := &P2Artifact{Graph: graph}
+	art := &P2Artifact{Graph: graph, Ep: ep, Pruned: sa != nil}
 	if graph.Reachable(ep) {
 		sp := tr.Start("distance_map", parent)
 		art.Dist = graph.DistancesTo(ep)

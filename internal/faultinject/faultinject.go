@@ -80,6 +80,20 @@ const (
 	// ServiceHandlerPanic panics inside the HTTP handler chain; the
 	// recovery middleware answers 500.
 	ServiceHandlerPanic Point = "service.handler_panic"
+
+	// ArtifactDiskFull fails one artifact-store disk write as if the volume
+	// were out of space; the store drops the write (the hot tier still
+	// serves the value) and reports saturation to admission control.
+	ArtifactDiskFull Point = "artifact.disk_full"
+	// ArtifactTornWrite truncates one artifact-store disk write mid-payload
+	// but lets the rename complete, modelling a crash after rename but
+	// before the data reached stable storage; the startup integrity scan
+	// detects and drops the partial entry.
+	ArtifactTornWrite Point = "artifact.torn_write"
+	// ArtifactChecksum makes one artifact-store disk read behave as a
+	// checksum mismatch: the entry is dropped and the read degrades to a
+	// miss.
+	ArtifactChecksum Point = "artifact.checksum"
 )
 
 // Points lists every known injection point in a stable order.
@@ -89,6 +103,7 @@ func Points() []Point {
 		SymexWorkerPanic, SymexFrontierStall, SymexCancel,
 		CoreCacheGet, CoreCachePut, CoreStatic,
 		ServiceQueueFull, ServiceJobDeadline, ServiceHandlerPanic,
+		ArtifactDiskFull, ArtifactTornWrite, ArtifactChecksum,
 	}
 }
 
@@ -115,7 +130,8 @@ func (p Point) Class() Class {
 	switch p {
 	case SolverSat, SolverTimeout, SymexWorkerPanic:
 		return ClassTransient
-	case SolverCache, CoreCacheGet, CoreCachePut, CoreStatic:
+	case SolverCache, CoreCacheGet, CoreCachePut, CoreStatic,
+		ArtifactDiskFull, ArtifactTornWrite, ArtifactChecksum:
 		return ClassDegraded
 	case SymexCancel, ServiceQueueFull, ServiceJobDeadline, ServiceHandlerPanic:
 		return ClassFatal

@@ -1,0 +1,236 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+)
+
+// maxBatchJobs bounds one batch submission; larger workloads should use the
+// clone-scan front end or split across batches.
+const maxBatchJobs = 256
+
+// BatchRequest is the POST /v1/batches body: many job submissions in one
+// call, admitted atomically (all enqueued or none).
+type BatchRequest struct {
+	// Name labels the batch; defaults to its ID.
+	Name string `json:"name,omitempty"`
+	// Jobs are the submissions, each exactly a POST /v1/jobs body.
+	Jobs []SubmitRequest `json:"jobs"`
+}
+
+// BatchItem maps one requested submission to the job that runs it. Requests
+// that are content-identical to an earlier item of the same batch share that
+// item's job (Deduped is set): the pair would hit the same artifacts anyway,
+// so running it twice would only burn a queue slot.
+type BatchItem struct {
+	// Index is the position in the request's jobs array.
+	Index int `json:"index"`
+	// JobID drives this item.
+	JobID string `json:"job_id"`
+	// Deduped marks items served by a job created for an earlier item.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// Batch is one batch submission: the jobs it enqueued plus the dedup map.
+// All methods are safe for concurrent use.
+type Batch struct {
+	id        string
+	name      string
+	submitted time.Time
+	items     []BatchItem
+	jobs      []*Job // unique jobs, in creation order
+}
+
+// ID returns the batch identifier assigned at submission.
+func (b *Batch) ID() string { return b.id }
+
+// BatchStatus is the JSON-facing snapshot of a batch.
+type BatchStatus struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	Submitted time.Time `json:"submitted"`
+	// State is "running" until every job is terminal, then "done".
+	State string `json:"state"`
+	// Total counts requested items; Unique counts distinct jobs after
+	// deduplication; Done/Failed/Cancelled classify terminal jobs.
+	Total     int `json:"total"`
+	Unique    int `json:"unique"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+	// Items maps request indices to jobs.
+	Items []BatchItem `json:"items"`
+}
+
+// Snapshot renders the batch for status endpoints.
+func (b *Batch) Snapshot() BatchStatus {
+	st := BatchStatus{
+		ID:        b.id,
+		Name:      b.name,
+		Submitted: b.submitted,
+		Total:     len(b.items),
+		Unique:    len(b.jobs),
+		Items:     append([]BatchItem(nil), b.items...),
+	}
+	terminal := 0
+	for _, j := range b.jobs {
+		switch j.State() {
+		case JobDone:
+			st.Done++
+			terminal++
+		case JobFailed:
+			st.Failed++
+			terminal++
+		case JobCancelled:
+			st.Cancelled++
+			terminal++
+		}
+	}
+	if terminal == len(b.jobs) {
+		st.State = "done"
+	} else {
+		st.State = "running"
+	}
+	return st
+}
+
+// pairFingerprint content-addresses a verification task for intra-batch
+// deduplication: every input that influences the report participates.
+func pairFingerprint(pair *core.Pair) string {
+	h := sha256.New()
+	io.WriteString(h, asm.Format(pair.S))
+	io.WriteString(h, "|t:")
+	io.WriteString(h, asm.Format(pair.T))
+	h.Write(pair.PoC)
+	libs := make([]string, 0, len(pair.Lib))
+	for fn := range pair.Lib {
+		libs = append(libs, fn)
+	}
+	sort.Strings(libs)
+	for _, fn := range libs {
+		fmt.Fprintf(h, "|lib:%s", fn)
+	}
+	fmt.Fprintf(h, "|ctx:%v|insize:%d|steps:%d", pair.CtxArgs, pair.InputSize, pair.MaxSteps)
+	if pair.StaticPrune != nil {
+		fmt.Fprintf(h, "|static:%v", *pair.StaticPrune)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SubmitBatch enqueues many verifications atomically: either every unique
+// pair fits the queue's free capacity and all are admitted, or nothing is
+// enqueued and the whole batch is rejected (ErrQueueFull, ErrSaturated, or
+// ErrShutdown) — a half-admitted batch would make the client re-submit the
+// remainder and defeat deduplication. Content-identical pairs share one job.
+func (s *Service) SubmitBatch(name string, pairs []*core.Pair) (*Batch, error) {
+	if len(pairs) == 0 {
+		return nil, errors.New("service: empty batch")
+	}
+	if len(pairs) > maxBatchJobs {
+		return nil, fmt.Errorf("service: batch of %d jobs exceeds the %d-job limit", len(pairs), maxBatchJobs)
+	}
+	for i, p := range pairs {
+		if p == nil {
+			return nil, fmt.Errorf("service: batch job %d is nil", i)
+		}
+	}
+	// Fingerprint outside the lock: hashing program texts is the expensive
+	// part of admission and needs no service state.
+	byFP := make(map[string]int, len(pairs)) // fingerprint → unique index
+	uniquePairs := make([]*core.Pair, 0, len(pairs))
+	uniqueIdx := make([]int, len(pairs)) // request index → unique index
+	dedup := make([]bool, len(pairs))
+	for i, p := range pairs {
+		fp := pairFingerprint(p)
+		if u, seen := byFP[fp]; seen {
+			uniqueIdx[i] = u
+			dedup[i] = true
+			continue
+		}
+		byFP[fp] = len(uniquePairs)
+		uniqueIdx[i] = len(uniquePairs)
+		uniquePairs = append(uniquePairs, p)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.admitLocked(); err != nil {
+		return nil, err
+	}
+	// Capacity is reserved for the whole batch under the lock: every other
+	// enqueue path also holds s.mu, and workers only ever free slots, so
+	// the newJobLocked loop below cannot hit a full queue.
+	if free := cap(s.queue) - len(s.queue); len(uniquePairs) > free {
+		s.rejectLocked(len(uniquePairs))
+		return nil, fmt.Errorf("%w: batch needs %d slots, %d free", ErrQueueFull, len(uniquePairs), free)
+	}
+	jobs := make([]*Job, len(uniquePairs))
+	for u, p := range uniquePairs {
+		job, err := s.newJobLocked(p)
+		if err != nil {
+			// Unreachable by the capacity argument above; surface loudly
+			// rather than half-admitting.
+			for _, j := range jobs {
+				if j != nil {
+					j.Cancel()
+				}
+			}
+			return nil, err
+		}
+		jobs[u] = job
+	}
+	s.nextBatchID++
+	b := &Batch{
+		id:        fmt.Sprintf("batch-%d", s.nextBatchID),
+		name:      name,
+		submitted: time.Now(),
+		jobs:      jobs,
+	}
+	if b.name == "" {
+		b.name = b.id
+	}
+	for i := range pairs {
+		b.items = append(b.items, BatchItem{
+			Index:   i,
+			JobID:   jobs[uniqueIdx[i]].ID(),
+			Deduped: dedup[i],
+		})
+	}
+	s.batches[b.id] = b
+	s.batchOrder = append(s.batchOrder, b.id)
+	s.log.Info("batch submitted", "batch", b.id, "name", b.name,
+		"jobs", len(pairs), "unique", len(jobs))
+	return b, nil
+}
+
+// BatchByID returns a batch by ID.
+func (s *Service) BatchByID(id string) (*Batch, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.batches[id]
+	return b, ok
+}
+
+// Batches snapshots every known batch in submission order.
+func (s *Service) Batches() []BatchStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.batchOrder...)
+	batches := make([]*Batch, 0, len(ids))
+	for _, id := range ids {
+		batches = append(batches, s.batches[id])
+	}
+	s.mu.Unlock()
+	out := make([]BatchStatus, len(batches))
+	for i, b := range batches {
+		out[i] = b.Snapshot()
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"octopocs/internal/asm"
 	"octopocs/internal/core"
@@ -121,12 +122,20 @@ type ReportResponse struct {
 //	GET  /v1/jobs/{id}/events  provenance journal (?after=N pages; ?stream=1
 //	                           or Accept: text/event-stream follows live)
 //	POST /v1/jobs/{id}/cancel  cooperative cancellation
+//	POST /v1/batches           submit many jobs atomically, deduplicated
+//	GET  /v1/batches           list all batches
+//	GET  /v1/batches/{id}      batch status with per-item job mapping
 //	POST /v1/scan              batch clone scan (?wait=1 blocks until done)
 //	GET  /v1/scans             list all scans
 //	GET  /v1/scans/{id}        scan status with per-candidate verdicts
-//	GET  /v1/stats             queue/worker/latency/cache counters
+//	GET  /v1/stats             queue/worker/latency/cache/store counters
 //	GET  /metrics              Prometheus text exposition
 //	GET  /healthz              liveness (503 while draining)
+//
+// Backpressure contract: a full queue or a saturated artifact store answers
+// submissions (jobs and batches alike) with 429 and a Retry-After header
+// carrying the advised backoff in seconds; clients should wait at least
+// that long before resubmitting.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -156,6 +165,18 @@ func (s *Service) Handler() http.Handler {
 		j.Cancel()
 		writeJSON(w, http.StatusOK, j.Snapshot())
 	}))
+	mux.HandleFunc("POST /v1/batches", s.handleBatch)
+	mux.HandleFunc("GET /v1/batches", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Batches())
+	})
+	mux.HandleFunc("GET /v1/batches/{id}", func(w http.ResponseWriter, r *http.Request) {
+		b, ok := s.BatchByID(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown batch %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, b.Snapshot())
+	})
 	mux.HandleFunc("POST /v1/scan", s.handleScan)
 	mux.HandleFunc("GET /v1/scans", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Scans())
@@ -207,15 +228,8 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.Submit(pair)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		writeErr(w, http.StatusTooManyRequests, err)
-		return
-	case errors.Is(err, ErrShutdown):
-		writeErr(w, http.StatusServiceUnavailable, err)
-		return
-	case err != nil:
-		writeErr(w, http.StatusInternalServerError, err)
+	if err != nil {
+		s.writeSubmitErr(w, err)
 		return
 	}
 	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
@@ -229,6 +243,64 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Snapshot())
+}
+
+// writeSubmitErr maps a submission error onto the backpressure contract:
+// queue-full and store-saturation reject with 429 plus a Retry-After header
+// (whole seconds, rounded up) telling the client how long to back off;
+// shutdown answers 503.
+func (s *Service) writeSubmitErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrSaturated):
+		secs := int64(s.RetryAfter().Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrShutdown):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleBatch answers POST /v1/batches: every item is validated first (any
+// bad item fails the whole request with 400 before admission), then the
+// batch is admitted atomically — all unique jobs enqueued, or a single 429
+// with Retry-After.
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxSubmitBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("jobs must not be empty"))
+		return
+	}
+	if len(req.Jobs) > maxBatchJobs {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d jobs exceeds the %d-job limit", len(req.Jobs), maxBatchJobs))
+		return
+	}
+	pairs := make([]*core.Pair, len(req.Jobs))
+	for i := range req.Jobs {
+		pair, err := req.Jobs[i].BuildPair()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+		pairs[i] = pair
+	}
+	b, err := s.SubmitBatch(req.Name, pairs)
+	if err != nil {
+		s.writeSubmitErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, b.Snapshot())
 }
 
 // handleScan answers POST /v1/scan: retrieval runs synchronously (bad

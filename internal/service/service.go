@@ -38,6 +38,11 @@ var (
 	// ErrQueueFull rejects a submission when the bounded queue is at
 	// capacity; callers are expected to back off and retry.
 	ErrQueueFull = errors.New("service: job queue is full")
+	// ErrSaturated rejects a submission while the persistent artifact
+	// store's disk tier is refusing writes (disk full or failing); the HTTP
+	// layer maps it to 429 with Retry-After so clients shed load until the
+	// volume recovers.
+	ErrSaturated = errors.New("service: artifact store saturated")
 	// ErrShutdown rejects submissions after Shutdown has begun.
 	ErrShutdown = errors.New("service: shutting down")
 )
@@ -73,6 +78,13 @@ type Config struct {
 	// P1Store/P2Store override the default LRU backends; useful for
 	// plugging an external store. Ignored when CacheEntries < 0.
 	P1Store, P2Store Store
+	// Stores plugs the persistent tiered artifact stores (see OpenStores)
+	// behind the P1, P2/static, journal, and clone-fingerprint caches.
+	// Explicit P1Store/P2Store/JournalStore overrides still win per class.
+	// The caller owns the bundle: open it before New, close it after
+	// Shutdown. While any store's disk tier is saturated, submissions are
+	// rejected with ErrSaturated.
+	Stores *Stores
 	// Registry receives service and engine metrics; New creates a private
 	// one when nil, so /metrics and latency quantiles always work.
 	Registry *telemetry.Registry
@@ -110,16 +122,19 @@ type Service struct {
 	traces *telemetry.TraceRing
 	met    *serviceMetrics
 
-	mu         sync.Mutex
-	jobs       map[string]*Job
-	order      []string
-	nextID     uint64
-	scans      map[string]*Scan
-	scanOrder  []string
-	nextScanID uint64
-	closed     bool
-	running    int
-	ctr        counters
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	order       []string
+	nextID      uint64
+	scans       map[string]*Scan
+	scanOrder   []string
+	nextScanID  uint64
+	batches     map[string]*Batch
+	batchOrder  []string
+	nextBatchID uint64
+	closed      bool
+	running     int
+	ctr         counters
 }
 
 // counters aggregates lifecycle and latency accounting; guarded by
@@ -164,12 +179,13 @@ func New(cfg Config) *Service {
 		cfg.Logger = telemetry.DiscardLogger()
 	}
 	s := &Service{
-		cfg:   cfg,
-		reg:   cfg.Registry,
-		log:   cfg.Logger,
-		queue: make(chan *Job, cfg.QueueDepth),
-		jobs:  make(map[string]*Job),
-		scans: make(map[string]*Scan),
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		log:     cfg.Logger,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		jobs:    make(map[string]*Job),
+		scans:   make(map[string]*Scan),
+		batches: make(map[string]*Batch),
 	}
 	if cfg.TraceCapacity >= 0 {
 		s.traces = telemetry.NewTraceRing(cfg.TraceCapacity)
@@ -180,6 +196,14 @@ func New(cfg Config) *Service {
 			entries = DefaultCacheEntries
 		}
 		s.p1c, s.p2c = cfg.P1Store, cfg.P2Store
+		// Persistent stores slot in under any class without an explicit
+		// override; the plain LRU remains the fallback.
+		if s.p1c == nil && cfg.Stores != nil {
+			s.p1c = cfg.Stores.P1
+		}
+		if s.p2c == nil && cfg.Stores != nil {
+			s.p2c = cfg.Stores.P2
+		}
 		if s.p1c == nil {
 			s.p1c = NewLRU(entries)
 		}
@@ -189,6 +213,9 @@ func New(cfg Config) *Service {
 	}
 	if cfg.JournalCapacity >= 0 {
 		s.jrc = cfg.JournalStore
+		if s.jrc == nil && cfg.Stores != nil {
+			s.jrc = cfg.Stores.Journal
+		}
 		if s.jrc == nil && cfg.CacheEntries >= 0 {
 			entries := cfg.CacheEntries
 			if entries == 0 {
@@ -254,26 +281,63 @@ func (s *Service) Trace(id string) (*telemetry.Trace, bool) {
 func (s *Service) Pipeline() *core.Pipeline { return s.pl }
 
 // Submit enqueues a verification. It never blocks: when the queue is at
-// capacity the job is rejected with ErrQueueFull so that callers (and the
-// HTTP layer's 429) can apply backpressure instead of piling up goroutines.
+// capacity the job is rejected with ErrQueueFull, and while the artifact
+// store's disk tier is saturated it is rejected with ErrSaturated, so that
+// callers (and the HTTP layer's 429 + Retry-After) can apply backpressure
+// instead of piling up goroutines.
 func (s *Service) Submit(pair *core.Pair) (*Job, error) {
 	if pair == nil {
 		return nil, errors.New("service: nil pair")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.admitLocked(); err != nil {
+		return nil, err
+	}
+	return s.newJobLocked(pair)
+}
+
+// admitLocked runs the admission-control checks every submission path
+// (single or batch) must pass: shutdown, injected capacity bursts, and
+// artifact-store saturation. It accounts the rejection itself.
+func (s *Service) admitLocked() error {
 	if s.closed {
-		s.ctr.rejected++
-		s.met.rejected.Inc()
-		return nil, ErrShutdown
+		s.rejectLocked(1)
+		return ErrShutdown
 	}
 	// Injected capacity burst: reject exactly as a full queue would, so
 	// clients exercise their backoff path under a deterministic schedule.
 	if s.faults().Fire(faultinject.ServiceQueueFull) {
-		s.ctr.rejected++
-		s.met.rejected.Inc()
-		return nil, ErrQueueFull
+		s.rejectLocked(1)
+		return ErrQueueFull
 	}
+	if s.cfg.Stores.Saturated() {
+		s.rejectLocked(1)
+		return ErrSaturated
+	}
+	return nil
+}
+
+// rejectLocked accounts n rejected submissions.
+func (s *Service) rejectLocked(n int) {
+	s.ctr.rejected += uint64(n)
+	s.met.rejected.Add(uint64(n))
+}
+
+// RetryAfter is the backoff the service advises rejected clients to take
+// before resubmitting: the saturation hold while the artifact store is
+// refusing writes, else a one-second queue-drain interval. Served as the
+// Retry-After header on 429 responses.
+func (s *Service) RetryAfter() time.Duration {
+	if s.cfg.Stores.Saturated() {
+		return s.cfg.Stores.SaturationHold()
+	}
+	return time.Second
+}
+
+// newJobLocked creates, registers, and enqueues one job. Callers hold s.mu
+// and have already passed admission control.
+func (s *Service) newJobLocked(pair *core.Pair) (*Job, error) {
 	ctx := context.Background()
 	var cancel context.CancelFunc
 	if s.cfg.JobTimeout > 0 {
@@ -303,8 +367,7 @@ func (s *Service) Submit(pair *core.Pair) (*Job, error) {
 	select {
 	case s.queue <- job:
 	default:
-		s.ctr.rejected++
-		s.met.rejected.Inc()
+		s.rejectLocked(1)
 		s.nextID-- // the rejected job never existed
 		cancel()
 		return nil, ErrQueueFull

@@ -1,6 +1,10 @@
 package service
 
-import "time"
+import (
+	"time"
+
+	"octopocs/internal/artifact"
+)
 
 // PhaseLatency summarizes completed-job latency for one pipeline phase.
 // The quantiles are estimated from the phase's fixed-bucket histogram
@@ -32,11 +36,19 @@ type Stats struct {
 	PhaseLatency map[string]PhaseLatency `json:"phase_latency"`
 
 	// P1Cache/P2Cache hold hit/miss counters when the backend supports
-	// accounting (the built-in LRU does); nil otherwise. JournalCache is
-	// the same for the persisted-journal artifact store.
+	// accounting (the built-in LRU and the persistent artifact store do);
+	// nil otherwise. JournalCache is the same for the persisted-journal
+	// artifact store.
 	P1Cache      *CacheCounters `json:"p1_cache,omitempty"`
 	P2Cache      *CacheCounters `json:"p2_cache,omitempty"`
 	JournalCache *CacheCounters `json:"journal_cache,omitempty"`
+
+	// Stores holds the persistent artifact stores' full accounting keyed by
+	// class (p1, p2, jr, ci); absent when the service runs memory-only.
+	// StoreSaturated mirrors the admission-control signal: while true,
+	// submissions answer 429.
+	Stores         map[string]artifact.Counters `json:"stores,omitempty"`
+	StoreSaturated bool                         `json:"store_saturated,omitempty"`
 }
 
 // Stats snapshots the service counters, queue occupancy, and cache
@@ -79,16 +91,28 @@ func (s *Service) Stats() Stats {
 	st.P1Cache = cacheCounters(s.p1c)
 	st.P2Cache = cacheCounters(s.p2c)
 	st.JournalCache = cacheCounters(s.jrc)
+	st.Stores = s.cfg.Stores.Counters()
+	st.StoreSaturated = s.cfg.Stores.Saturated()
 	s.mu.Unlock()
 	return st
 }
 
-// cacheCounters extracts accounting from stores that expose it.
+// cacheCounters extracts accounting from stores that expose it, folding the
+// tiered artifact-store counters into the flat hit/miss view (the full
+// per-tier breakdown is in Stats.Stores).
 func cacheCounters(st Store) *CacheCounters {
-	type counted interface{ Counters() CacheCounters }
-	if c, ok := st.(counted); ok {
+	switch c := st.(type) {
+	case interface{ Counters() CacheCounters }:
 		cc := c.Counters()
 		return &cc
+	case interface{ Counters() artifact.Counters }:
+		ac := c.Counters()
+		return &CacheCounters{
+			Hits:      ac.Hits(),
+			Misses:    ac.Misses,
+			Evictions: ac.Evictions + ac.HotEvictions,
+			Entries:   st.Len(),
+		}
 	}
 	return nil
 }

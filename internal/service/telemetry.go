@@ -1,6 +1,7 @@
 package service
 
 import (
+	"octopocs/internal/artifact"
 	"octopocs/internal/clonedet"
 	"octopocs/internal/core"
 	"octopocs/internal/telemetry"
@@ -97,10 +98,64 @@ func newServiceMetrics(s *Service, reg *telemetry.Registry) *serviceMetrics {
 				return 0
 			})
 	}
+	if s.cfg.Stores != nil {
+		registerStoreMetrics(reg, s.cfg.Stores)
+	}
 
 	m.engines = core.NewMetrics(reg)
 	m.clonedet = clonedet.NewMetrics(reg)
 	return m
+}
+
+// registerStoreMetrics exposes the persistent artifact stores' accounting
+// as scrape-time collectors, one series per class. The disk-bytes gauge,
+// corruption counter, write-error counter, and saturation flag are the
+// alert-worthy signals (see OPERATIONS.md); hits and misses feed the same
+// warm-restart dashboards as the cache counters.
+func registerStoreMetrics(reg *telemetry.Registry, stores *Stores) {
+	stores.each(func(class string, st *artifact.Store) {
+		labels := telemetry.Labels{"class": class}
+		counter := func(name, help string, read func(artifact.Counters) uint64) {
+			reg.CounterFunc(name, help, labels, func() float64 {
+				return float64(read(st.Counters()))
+			})
+		}
+		counter("octopocs_store_hits_total",
+			"Artifact store hits across both tiers.",
+			func(c artifact.Counters) uint64 { return c.Hits() })
+		counter("octopocs_store_disk_hits_total",
+			"Artifact store hits served from the disk tier (decode paid).",
+			func(c artifact.Counters) uint64 { return c.DiskHits })
+		counter("octopocs_store_misses_total",
+			"Artifact store misses.",
+			func(c artifact.Counters) uint64 { return c.Misses })
+		counter("octopocs_store_writes_total",
+			"Artifact store successful disk persists.",
+			func(c artifact.Counters) uint64 { return c.Writes })
+		counter("octopocs_store_write_errors_total",
+			"Artifact store failed disk persists (each opens a saturation window).",
+			func(c artifact.Counters) uint64 { return c.WriteErrors })
+		counter("octopocs_store_evictions_total",
+			"Artifact store disk entries evicted by the byte budget.",
+			func(c artifact.Counters) uint64 { return c.Evictions })
+		counter("octopocs_store_corrupt_dropped_total",
+			"Artifact store entries dropped for failing header or checksum validation.",
+			func(c artifact.Counters) uint64 { return c.CorruptDropped })
+		reg.GaugeFunc("octopocs_store_disk_bytes",
+			"Artifact store disk tier occupancy in bytes.", labels,
+			func() float64 { return float64(st.Counters().DiskBytes) })
+		reg.GaugeFunc("octopocs_store_disk_entries",
+			"Artifact store disk tier entry count.", labels,
+			func() float64 { return float64(st.Counters().DiskEntries) })
+		reg.GaugeFunc("octopocs_store_saturated",
+			"1 while this store's disk tier is refusing writes.", labels,
+			func() float64 {
+				if st.Saturated() {
+					return 1
+				}
+				return 0
+			})
+	})
 }
 
 // observeFinish records terminal-state accounting for one job. Called
