@@ -5,14 +5,17 @@
 //
 //	mirrun -run prog.mir -input poc.bin     assemble and execute
 //	mirrun -run prog.mir -trace             print the call trace
+//	mirrun -run prog.mir -ranges            dump abstract value ranges as JSON
 //	mirrun -dump 8 -side t                  disassemble a corpus binary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"octopocs/internal/absint"
 	"octopocs/internal/asm"
 	"octopocs/internal/corpus"
 	"octopocs/internal/isa"
@@ -32,6 +35,7 @@ func run(args []string) error {
 		runPath  = fs.String("run", "", "assemble and execute this .mir file")
 		input    = fs.String("input", "", "input file fed to the program")
 		trace    = fs.Bool("trace", false, "print call/return trace during execution")
+		ranges   = fs.Bool("ranges", false, "with -run: print the abstract-interpretation value ranges as JSON instead of executing")
 		maxSteps = fs.Int64("max-steps", 0, "instruction budget (0 = default)")
 		dumpIdx  = fs.Int("dump", 0, "disassemble a corpus pair's binary (Table II row)")
 		side     = fs.String("side", "s", "which binary to dump: s or t")
@@ -61,6 +65,9 @@ func run(args []string) error {
 		prog, err := asm.Parse(string(src))
 		if err != nil {
 			return err
+		}
+		if *ranges {
+			return dumpRanges(prog)
 		}
 		var data []byte
 		if *input != "" {
@@ -99,4 +106,55 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("pass -run or -dump")
 	}
+}
+
+// rangesDump is the JSON shape of -ranges: the analysis summary plus, per
+// function and reachable block, the rendered abstract value of every
+// register that is neither ⊤ nor the constant 0 — ⊤ carries no information
+// and 0 is the state of every untouched register, so both would drown the
+// interesting rows.
+type rangesDump struct {
+	Summary absint.Summary          `json:"summary"`
+	Funcs   map[string][]blockRange `json:"funcs"`
+}
+
+type blockRange struct {
+	Block       int               `json:"block"`
+	Unreachable bool              `json:"unreachable,omitempty"`
+	ProvedTaken *int              `json:"proved_taken,omitempty"`
+	Regs        map[string]string `json:"regs,omitempty"`
+}
+
+func dumpRanges(prog *isa.Program) error {
+	res := absint.Analyze(prog)
+	dump := rangesDump{Summary: res.Summary, Funcs: make(map[string][]blockRange, len(res.Funcs))}
+	for name, fr := range res.Funcs {
+		blocks := make([]blockRange, len(fr.Entry))
+		for b := range fr.Entry {
+			br := blockRange{Block: b}
+			if fr.Entry[b] == nil {
+				br.Unreachable = true
+			} else {
+				regs := make(map[string]string)
+				for r, v := range fr.Entry[b] {
+					if c, isConst := v.IsConst(); v.IsTop() || (isConst && c == 0) {
+						continue
+					}
+					regs[fmt.Sprintf("r%d", r)] = v.String()
+				}
+				if len(regs) > 0 {
+					br.Regs = regs
+				}
+				if fr.Branch[b] >= 0 {
+					taken := fr.Branch[b]
+					br.ProvedTaken = &taken
+				}
+			}
+			blocks[b] = br
+		}
+		dump.Funcs[name] = blocks
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
 }

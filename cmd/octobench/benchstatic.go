@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,37 +11,49 @@ import (
 	"octopocs/internal/corpus"
 )
 
-// StaticBenchRow is one (pair, static mode) measurement of
+// StaticBenchRow is one (pair, static mode, absint mode) measurement of
 // BENCH_static.json: the full-pipeline verification cost with the pre-P2
-// static analysis off or on.
+// static analysis and the abstract-interpretation layer off or on.
 type StaticBenchRow struct {
 	Pair    string `json:"pair"`
 	Idx     int    `json:"idx"`
 	Static  bool   `json:"static"`
+	Absint  bool   `json:"absint"`
 	Verdict string `json:"verdict"`
 	Type    string `json:"type"`
 	Reason  string `json:"reason,omitempty"`
 	PoC     bool   `json:"poc_generated"`
 	// Symbolic-execution effort (P2+P3): the axis static pruning is
 	// supposed to shrink.
-	SymexSteps int64   `json:"symex_steps"`
-	SymexStats int     `json:"symex_states"`
-	SatChecks  int64   `json:"sat_checks"`
-	WallMs     float64 `json:"wall_ms"`
+	SymexSteps int64 `json:"symex_steps"`
+	SymexStats int   `json:"symex_states"`
+	SatChecks  int64 `json:"sat_checks"`
+	// SatDischargedStatic counts branch decisions the absint oracle answered
+	// without a solver call; zero on absint=false rows.
+	SatDischargedStatic int64   `json:"sat_discharged_static"`
+	WallMs              float64 `json:"wall_ms"`
 	// Static-analysis outcome; zero-valued on static=false rows.
 	FoldedBranches int     `json:"static_folded_branches,omitempty"`
 	DeadBlocks     int     `json:"static_dead_blocks,omitempty"`
 	ShortCircuit   bool    `json:"short_circuit,omitempty"`
 	StaticMs       float64 `json:"static_ms,omitempty"`
+	// Absint outcome; zero-valued on absint=false rows.
+	AbsintProved int     `json:"absint_proved_branches,omitempty"`
+	AbsintMs     float64 `json:"absint_ms,omitempty"`
 }
 
-// staticBenchTotals aggregates both modes for the headline comparison.
+// staticBenchTotals aggregates the modes for the headline comparison. The
+// "on" totals are the static=true absint=false rows (the pre-existing
+// comparison); the "absint" totals are the static=true absint=true rows.
 type staticBenchTotals struct {
-	SymexStepsOff int64 `json:"symex_steps_off"`
-	SymexStepsOn  int64 `json:"symex_steps_on"`
-	SatChecksOff  int64 `json:"sat_checks_off"`
-	SatChecksOn   int64 `json:"sat_checks_on"`
-	ShortCircuits int   `json:"short_circuits"`
+	SymexStepsOff    int64 `json:"symex_steps_off"`
+	SymexStepsOn     int64 `json:"symex_steps_on"`
+	SymexStepsAbsint int64 `json:"symex_steps_absint"`
+	SatChecksOff     int64 `json:"sat_checks_off"`
+	SatChecksOn      int64 `json:"sat_checks_on"`
+	SatChecksAbsint  int64 `json:"sat_checks_absint"`
+	SatDischarged    int64 `json:"sat_discharged_static"`
+	ShortCircuits    int   `json:"short_circuits"`
 }
 
 // staticBenchFile is the BENCH_static.json document.
@@ -53,47 +66,63 @@ type staticBenchFile struct {
 }
 
 // benchStatic verifies every corpus pair — the 15 Table II rows plus the
-// static-prune set — once with the static pre-analysis off and once with it
-// on, and writes the per-pair effort comparison to path. Verdicts and poc'
-// bytes are identical by construction (pruning only removes provably dead
-// work); the rows record how much symbolic-execution effort the pre-phase
-// saves, dominated by the pairs whose verdict short-circuits to
-// statically-unreachable without any symbolic execution at all.
+// static-prune set — under every combination of the static pre-analysis and
+// the abstract-interpretation layer, and writes the per-pair effort
+// comparison to path. Verdicts and poc' bytes must be identical across all
+// modes (both layers only remove provably dead or provably decided work);
+// the run FAILS on any divergence. The rows record how much
+// symbolic-execution effort each layer saves, dominated by the pairs whose
+// verdict short-circuits to statically-unreachable without any symbolic
+// execution at all.
 func benchStatic(path string) error {
 	out := staticBenchFile{
 		Host: currentHost(),
-		Note: "each pair is verified twice by a fresh pipeline: static=false is the " +
-			"symex-only baseline, static=true adds the pre-P2 verifier/fold/prune pass. " +
-			"Verdicts and poc' bytes match between modes; symex_steps and sat_checks show " +
-			"the saved work. wall_ms is a single uncached run (indicative, not a steady state).",
+		Note: "each pair is verified four times by fresh pipelines: static=false absint=false " +
+			"is the symex-only baseline, static=true adds the pre-P2 verifier/fold/prune pass, " +
+			"and absint=true adds interval/congruence value ranges (branch oracle for symex; " +
+			"stronger pruning when combined with static). Verdicts and poc' bytes are asserted " +
+			"byte-identical across all modes; symex_steps, sat_checks and sat_discharged_static " +
+			"show the saved work. wall_ms is a single uncached run (indicative, not a steady state).",
 	}
 	specs := append(corpus.All(), corpus.StaticSet()...)
 	out.Pairs = len(specs)
+	modes := []struct{ static, absint bool }{
+		{false, false}, {true, false}, {false, true}, {true, true},
+	}
 	for _, spec := range specs {
-		for _, static := range []bool{false, true} {
-			pl := core.New(core.Config{StaticPrune: static})
+		var baseVerdict, baseType string
+		var basePoC []byte
+		for _, mode := range modes {
+			pl := core.New(core.Config{StaticPrune: mode.static, Absint: mode.absint})
 			start := time.Now()
 			rep, err := pl.Verify(spec.Pair)
 			wall := time.Since(start)
 			if err != nil {
-				return fmt.Errorf("pair %d static=%v: %w", spec.Idx, static, err)
+				return fmt.Errorf("pair %d static=%v absint=%v: %w", spec.Idx, mode.static, mode.absint, err)
+			}
+			if !mode.static && !mode.absint {
+				baseVerdict, baseType, basePoC = rep.Verdict.String(), rep.Type.String(), rep.PoCPrime
+			} else if rep.Verdict.String() != baseVerdict || rep.Type.String() != baseType ||
+				!bytes.Equal(rep.PoCPrime, basePoC) {
+				return fmt.Errorf("pair %d static=%v absint=%v: verdict/poc' diverged from baseline (%s/%s vs %s/%s)",
+					spec.Idx, mode.static, mode.absint, rep.Verdict, rep.Type, baseVerdict, baseType)
 			}
 			row := StaticBenchRow{
-				Pair:       spec.Pair.Name,
-				Idx:        spec.Idx,
-				Static:     static,
-				Verdict:    rep.Verdict.String(),
-				Type:       rep.Type.String(),
-				Reason:     string(rep.Reason),
-				PoC:        rep.PoCGenerated(),
-				SymexSteps: rep.Stats.Steps,
-				SymexStats: rep.Stats.States,
-				SatChecks:  rep.Stats.SatChecks,
-				WallMs:     float64(wall.Microseconds()) / 1e3,
+				Pair:                spec.Pair.Name,
+				Idx:                 spec.Idx,
+				Static:              mode.static,
+				Absint:              mode.absint,
+				Verdict:             rep.Verdict.String(),
+				Type:                rep.Type.String(),
+				Reason:              string(rep.Reason),
+				PoC:                 rep.PoCGenerated(),
+				SymexSteps:          rep.Stats.Steps,
+				SymexStats:          rep.Stats.States,
+				SatChecks:           rep.Stats.SatChecks,
+				SatDischargedStatic: rep.Stats.SatDischargedStatic,
+				WallMs:              float64(wall.Microseconds()) / 1e3,
 			}
-			if static {
-				out.Totals.SymexStepsOn += rep.Stats.Steps
-				out.Totals.SatChecksOn += rep.Stats.SatChecks
+			if mode.static {
 				if rep.Static != nil {
 					row.FoldedBranches = rep.Static.FoldedBranches
 					row.DeadBlocks = rep.Static.DeadBlocks
@@ -103,20 +132,36 @@ func benchStatic(path string) error {
 					row.ShortCircuit = true
 					out.Totals.ShortCircuits++
 				}
-			} else {
+			}
+			if mode.absint {
+				if rep.Absint != nil {
+					row.AbsintProved = rep.Absint.ProvedBranches
+				}
+				row.AbsintMs = float64(rep.Timings.Absint.Microseconds()) / 1e3
+				out.Totals.SatDischarged += rep.Stats.SatDischargedStatic
+			}
+			switch {
+			case !mode.static && !mode.absint:
 				out.Totals.SymexStepsOff += rep.Stats.Steps
 				out.Totals.SatChecksOff += rep.Stats.SatChecks
+			case mode.static && !mode.absint:
+				out.Totals.SymexStepsOn += rep.Stats.Steps
+				out.Totals.SatChecksOn += rep.Stats.SatChecks
+			case mode.static && mode.absint:
+				out.Totals.SymexStepsAbsint += rep.Stats.Steps
+				out.Totals.SatChecksAbsint += rep.Stats.SatChecks
 			}
 			out.Benchmarks = append(out.Benchmarks, row)
-			fmt.Printf("[%2d] %-32s static=%-5v %-15s %8d steps %6d sat %8.2f ms%s\n",
-				spec.Idx, spec.Pair.Name, static, row.Verdict,
-				row.SymexSteps, row.SatChecks, row.WallMs,
+			fmt.Printf("[%2d] %-32s static=%-5v absint=%-5v %-15s %8d steps %6d sat %4d disch %8.2f ms%s\n",
+				spec.Idx, spec.Pair.Name, mode.static, mode.absint, row.Verdict,
+				row.SymexSteps, row.SatChecks, row.SatDischargedStatic, row.WallMs,
 				map[bool]string{true: "  (short-circuit)", false: ""}[row.ShortCircuit])
 		}
 	}
-	fmt.Printf("totals: symex steps %d -> %d, sat checks %d -> %d, %d short-circuit(s)\n",
-		out.Totals.SymexStepsOff, out.Totals.SymexStepsOn,
-		out.Totals.SatChecksOff, out.Totals.SatChecksOn, out.Totals.ShortCircuits)
+	fmt.Printf("totals: symex steps %d -> %d -> %d, sat checks %d -> %d -> %d, %d discharged, %d short-circuit(s)\n",
+		out.Totals.SymexStepsOff, out.Totals.SymexStepsOn, out.Totals.SymexStepsAbsint,
+		out.Totals.SatChecksOff, out.Totals.SatChecksOn, out.Totals.SatChecksAbsint,
+		out.Totals.SatDischarged, out.Totals.ShortCircuits)
 
 	buf, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

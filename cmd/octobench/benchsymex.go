@@ -6,6 +6,7 @@ import (
 	"os"
 	"testing"
 
+	"octopocs/internal/absint"
 	"octopocs/internal/cfg"
 	"octopocs/internal/corpus"
 	"octopocs/internal/solver"
@@ -15,12 +16,16 @@ import (
 // symexWorkerCounts is the scaling ladder measured per workload.
 var symexWorkerCounts = []int{1, 2, 4, 8}
 
-// SymexBenchRow is one (workload, workers, cache) measurement of
+// SymexBenchRow is one (workload, workers, cache, absint) measurement of
 // BENCH_symex.json.
 type SymexBenchRow struct {
-	Spec       string  `json:"spec"`
-	Workers    int     `json:"workers"`
-	SatCache   bool    `json:"sat_cache"`
+	Spec     string `json:"spec"`
+	Workers  int    `json:"workers"`
+	SatCache bool   `json:"sat_cache"`
+	// Absint marks rows run with the abstract-interpretation branch oracle:
+	// branches the value-range analysis proves one-sided are decided without
+	// a solver call (sat_discharged_static counts them).
+	Absint     bool    `json:"absint"`
 	Iterations int     `json:"iterations"`
 	NsPerOp    int64   `json:"ns_per_op"`
 	MsPerOp    float64 `json:"ms_per_op"`
@@ -33,10 +38,13 @@ type SymexBenchRow struct {
 	// configuration delivers over the sequential cold baseline.
 	SpeedupVsCold float64 `json:"speedup_vs_cold_1_worker"`
 	// Exploration counters from the last run of the benchmark loop.
-	States       int    `json:"states"`
-	SatChecks    int64  `json:"sat_checks"`
-	Steals       uint64 `json:"steals"`
-	FrontierPeak int    `json:"frontier_peak"`
+	States    int   `json:"states"`
+	SatChecks int64 `json:"sat_checks"`
+	// SatDischargedStatic counts branch decisions the absint oracle answered
+	// without a solver call; zero on absint=false rows.
+	SatDischargedStatic int64  `json:"sat_discharged_static"`
+	Steals              uint64 `json:"steals"`
+	FrontierPeak        int    `json:"frontier_peak"`
 	// Cache counters accumulated across the whole row (warm-up included);
 	// zero-valued when SatCache is false.
 	CacheHits   uint64 `json:"sat_cache_hits"`
@@ -61,8 +69,11 @@ type symexSpecMeta struct {
 // benchSymexRun performs one full directed exploration of spec and returns
 // the result. The search space is exhaustive by construction (the target
 // gate is unsatisfiable), so wall time measures how fast the frontier
-// retires all 2^depth leaves.
-func benchSymexRun(spec *corpus.SymexBenchSpec, workers int, cache *solver.Cache) (*symex.Result, error) {
+// retires all 2^depth leaves. oracle, when non-nil, is the absint branch
+// oracle; it is deliberately passed as Oracle only — never as a CFG pruner —
+// because pruning the proven-dead gate arm would remove the workload's only
+// path to the target and turn the run into ErrNoDistances.
+func benchSymexRun(spec *corpus.SymexBenchSpec, workers int, cache *solver.Cache, oracle symex.StaticOracle) (*symex.Result, error) {
 	g := cfg.Build(spec.Prog)
 	ex := symex.New(spec.Prog, symex.Config{
 		Target:        spec.Target,
@@ -74,6 +85,7 @@ func benchSymexRun(spec *corpus.SymexBenchSpec, workers int, cache *solver.Cache
 		SatBudget:   1 << 27,
 		Workers:     workers,
 		SolverCache: cache,
+		Oracle:      oracle,
 	})
 	return ex.Run(func(symex.EpEntry, *symex.State) (symex.Decision, error) {
 		return symex.Stop, nil
@@ -103,24 +115,43 @@ func benchSymex(path string) error {
 		out.Specs = append(out.Specs, symexSpecMeta{Name: s.Name, InputSize: s.InputSize, Leaves: s.Leaves})
 	}
 
+	// The mode ladder per workload: the cache-less baseline, the memoized
+	// SAT cache, and the absint branch oracle. The oracle mode must drop the
+	// baseline's SAT-check count by at least 25% on these exhaustive
+	// workloads (the unsatisfiable target gate is refuted once per leaf
+	// without it); the run fails otherwise.
+	modes := []struct{ cache, absint bool }{
+		{false, false},
+		{true, false},
+		{false, true},
+	}
 	for _, spec := range specs {
 		var coldBase float64
-		for _, withCache := range []bool{false, true} {
+		baseSat := map[int]int64{} // workers -> cache-less, oracle-less sat checks
+		var oracle symex.StaticOracle
+		for _, mode := range modes {
 			var base float64
 			for _, workers := range symexWorkerCounts {
-				spec, workers, withCache := spec, workers, withCache
+				spec, workers, mode := spec, workers, mode
 				var cache *solver.Cache
-				if withCache {
+				if mode.cache {
 					cache = solver.NewCache(0)
-					if _, err := benchSymexRun(spec, workers, cache); err != nil {
+					if _, err := benchSymexRun(spec, workers, cache, nil); err != nil {
 						return fmt.Errorf("%s warm-up: %w", spec.Name, err)
 					}
+				}
+				if mode.absint && oracle == nil {
+					oracle = absint.Analyze(spec.Prog)
+				}
+				var runOracle symex.StaticOracle
+				if mode.absint {
+					runOracle = oracle
 				}
 				var last *symex.Result
 				var runErr error
 				r := testing.Benchmark(func(b *testing.B) {
 					for i := 0; i < b.N; i++ {
-						res, err := benchSymexRun(spec, workers, cache)
+						res, err := benchSymexRun(spec, workers, cache, runOracle)
 						if err != nil {
 							runErr = err
 							b.Fatal(err)
@@ -129,12 +160,14 @@ func benchSymex(path string) error {
 					}
 				})
 				if runErr != nil {
-					return fmt.Errorf("%s workers=%d cache=%v: %w", spec.Name, workers, withCache, runErr)
+					return fmt.Errorf("%s workers=%d cache=%v absint=%v: %w",
+						spec.Name, workers, mode.cache, mode.absint, runErr)
 				}
 				row := SymexBenchRow{
 					Spec:       spec.Name,
 					Workers:    workers,
-					SatCache:   withCache,
+					SatCache:   mode.cache,
+					Absint:     mode.absint,
 					Iterations: r.N,
 					NsPerOp:    r.NsPerOp(),
 					MsPerOp:    float64(r.NsPerOp()) / 1e6,
@@ -142,6 +175,7 @@ func benchSymex(path string) error {
 				if last != nil {
 					row.States = last.Stats.States
 					row.SatChecks = last.Stats.SatChecks
+					row.SatDischargedStatic = last.Stats.SatDischargedStatic
 					row.Steals = last.Stats.Steals
 					row.FrontierPeak = last.Stats.FrontierPeak
 				}
@@ -149,9 +183,18 @@ func benchSymex(path string) error {
 					st := cache.Stats()
 					row.CacheHits, row.CacheMisses = st.Hits, st.Misses
 				}
+				if !mode.cache && !mode.absint {
+					baseSat[workers] = row.SatChecks
+				}
+				if mode.absint {
+					if b, ok := baseSat[workers]; ok && row.SatChecks > b*3/4 {
+						return fmt.Errorf("%s workers=%d: absint dropped sat checks only %d -> %d (< 25%%)",
+							spec.Name, workers, b, row.SatChecks)
+					}
+				}
 				if workers == 1 {
 					base = float64(r.NsPerOp())
-					if !withCache {
+					if !mode.cache && !mode.absint {
 						coldBase = base
 					}
 				}
@@ -162,8 +205,9 @@ func benchSymex(path string) error {
 					row.SpeedupVsCold = coldBase / float64(r.NsPerOp())
 				}
 				out.Benchmarks = append(out.Benchmarks, row)
-				fmt.Printf("%-12s workers=%d cache=%-5v %8.2f ms/op  scaling %.2fx  vs-cold %.2fx  sat_checks %d  steals %d\n",
-					spec.Name, workers, withCache, row.MsPerOp, row.SpeedupVs1, row.SpeedupVsCold, row.SatChecks, row.Steals)
+				fmt.Printf("%-12s workers=%d cache=%-5v absint=%-5v %8.2f ms/op  scaling %.2fx  vs-cold %.2fx  sat_checks %d  discharged %d  steals %d\n",
+					spec.Name, workers, mode.cache, mode.absint, row.MsPerOp, row.SpeedupVs1,
+					row.SpeedupVsCold, row.SatChecks, row.SatDischargedStatic, row.Steals)
 			}
 		}
 	}

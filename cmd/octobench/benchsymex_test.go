@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"octopocs/internal/absint"
 	"octopocs/internal/corpus"
 	"octopocs/internal/solver"
 )
@@ -16,7 +17,7 @@ func TestBenchSymexWorkloadsExhaustive(t *testing.T) {
 		spec := spec
 		t.Run(spec.Name, func(t *testing.T) {
 			cache := solver.NewCache(0)
-			res, err := benchSymexRun(spec, 4, cache)
+			res, err := benchSymexRun(spec, 4, cache, nil)
 			if err != nil {
 				t.Fatalf("run: %v", err)
 			}
@@ -30,11 +31,29 @@ func TestBenchSymexWorkloadsExhaustive(t *testing.T) {
 			// Re-exploring the identical program must be answered from the
 			// memoized verdict cache.
 			before := cache.Stats()
-			if _, err := benchSymexRun(spec, 4, cache); err != nil {
+			if _, err := benchSymexRun(spec, 4, cache, nil); err != nil {
 				t.Fatalf("re-run: %v", err)
 			}
 			if after := cache.Stats(); after.Hits <= before.Hits {
 				t.Errorf("cache hits did not grow on re-exploration: %+v -> %+v", before, after)
+			}
+			// The absint oracle proves the unsatisfiable target gate (a byte
+			// masked to one bit can never exceed 1), discharging its per-leaf
+			// refutation; the search stays exhaustive and unreached, with
+			// strictly fewer solver calls.
+			ores, err := benchSymexRun(spec, 4, nil, absint.Analyze(spec.Prog))
+			if err != nil {
+				t.Fatalf("oracle run: %v", err)
+			}
+			if ores.Reached() {
+				t.Fatalf("oracle run reached the unsatisfiable target")
+			}
+			if ores.Stats.SatDischargedStatic == 0 {
+				t.Errorf("oracle run discharged no branches")
+			}
+			if ores.Stats.SatChecks > res.Stats.SatChecks*3/4 {
+				t.Errorf("oracle run sat checks %d, want <= 75%% of baseline %d",
+					ores.Stats.SatChecks, res.Stats.SatChecks)
 			}
 		})
 	}

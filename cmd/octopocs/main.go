@@ -62,6 +62,7 @@ func run(args []string) error {
 		contextFree = fs.Bool("context-free", false, "disable context-aware taint analysis")
 		staticCFG   = fs.Bool("static-cfg", false, "disable dynamic CFG discovery")
 		static      = fs.Bool("static", false, "enable the static pre-analysis (MIR verifier, constant folding, dead-block pruning, statically-unreachable short-circuit)")
+		absintOn    = fs.Bool("absint", false, "enable abstract-interpretation value ranges: branch oracle for symbolic execution, plus stronger pruning with -static")
 		verbose     = fs.Bool("v", false, "print crash primitives and crash details")
 		workers     = fs.Int("workers", 0, "with -all: verify pairs concurrently with this many service workers (0 = sequential)")
 		symexWork   = fs.Int("symex-workers", 0, "frontier explorer goroutines per symbolic execution (0 = GOMAXPROCS, negative = legacy sequential engine)")
@@ -93,11 +94,11 @@ func run(args []string) error {
 	}
 	if *prioritize {
 		return runPrioritize(core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG,
-			StaticPrune: *static, SymexWorkers: symexBudget(*symexWork), Faults: faults})
+			StaticPrune: *static, Absint: *absintOn, SymexWorkers: symexBudget(*symexWork), Faults: faults})
 	}
 
 	cfg := core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG,
-		StaticPrune: *static, SymexWorkers: symexBudget(*symexWork), Faults: faults}
+		StaticPrune: *static, Absint: *absintOn, SymexWorkers: symexBudget(*symexWork), Faults: faults}
 
 	var specs []*corpus.PairSpec
 	if *all {

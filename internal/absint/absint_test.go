@@ -1,0 +1,274 @@
+package absint
+
+import (
+	"testing"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/isa"
+)
+
+func TestValNormAndContains(t *testing.T) {
+	cases := []struct {
+		v    Val
+		in   []uint64
+		out  []uint64
+		desc string
+	}{
+		{Const(7), []uint64{7}, []uint64{6, 8, 0}, "constant"},
+		{Range(3, 9), []uint64{3, 5, 9}, []uint64{2, 10}, "interval"},
+		{norm(0, 10, 2, 0), []uint64{0, 2, 10}, []uint64{1, 3, 11}, "even"},
+		{norm(1, 10, 2, 1), []uint64{1, 3, 9}, []uint64{0, 2, 10}, "odd"},
+		{Top(), []uint64{0, 1, ^uint64(0)}, nil, "top"},
+	}
+	for _, c := range cases {
+		for _, x := range c.in {
+			if !c.v.Contains(x) {
+				t.Errorf("%s: %v should contain %d", c.desc, c.v, x)
+			}
+		}
+		for _, x := range c.out {
+			if c.v.Contains(x) {
+				t.Errorf("%s: %v should not contain %d", c.desc, c.v, x)
+			}
+		}
+	}
+	// norm tightens endpoints onto the congruence class.
+	v := norm(1, 11, 4, 2)
+	if v.Lo != 2 || v.Hi != 10 {
+		t.Errorf("norm(1,11,4,2) = %v, want endpoints 2,10", v)
+	}
+	// An empty reduced product widens to ⊤.
+	if v := norm(3, 4, 8, 1); !v.IsTop() {
+		t.Errorf("empty product = %v, want T", v)
+	}
+	// A singleton collapses to a constant.
+	if c, ok := norm(5, 6, 3, 2).IsConst(); !ok || c != 5 {
+		t.Errorf("norm(5,6,3,2) did not collapse to const 5")
+	}
+}
+
+func TestJoinAndWiden(t *testing.T) {
+	// Join of two constants yields their congruence class.
+	j := Join(Const(3), Const(7))
+	if j.Lo != 3 || j.Hi != 7 || j.M != 4 || j.R != 3 {
+		t.Errorf("Join(3,7) = %v, want [3,7] mod 4 = 3", j)
+	}
+	// Join with itself is identity.
+	if v := norm(0, 100, 4, 2); Join(v, v) != v {
+		t.Errorf("Join(v,v) != v for %v", v)
+	}
+	// Join bounds both operands.
+	a, b := Range(5, 10), Range(20, 30)
+	j = Join(a, b)
+	for _, x := range []uint64{5, 10, 20, 30} {
+		if !j.Contains(x) {
+			t.Errorf("Join misses %d: %v", x, j)
+		}
+	}
+	// Widen jumps a moving upper bound to max but keeps congruence.
+	w := Widen(Join(Const(0), Const(2)), Join(Const(0), Const(4)))
+	if w.Lo != 0 || w.Hi != ^uint64(0)-1 || w.M != 2 || w.R != 0 {
+		t.Errorf("Widen even chain = %v, want [0,max-1] mod 2 = 0", w)
+	}
+	if !w.Contains(1 << 40) {
+		t.Errorf("widened even misses 2^40")
+	}
+	if w.Contains(3) {
+		t.Errorf("widened even contains odd 3")
+	}
+}
+
+func TestBinTransferSoundnessCases(t *testing.T) {
+	even := norm(0, 100, 2, 0)
+	// even & 1 == 0 — the motivating proof.
+	if c, ok := Bin(isa.And, even, Const(1)).IsConst(); !ok || c != 0 {
+		t.Errorf("even&1 = %v, want const 0", Bin(isa.And, even, Const(1)))
+	}
+	// even % 2 == 0.
+	if c, ok := Bin(isa.Mod, even, Const(2)).IsConst(); !ok || c != 0 {
+		t.Errorf("even%%2 not proved 0")
+	}
+	// x / 0 and x % 0 trap everywhere: ⊤ is the sound result.
+	if !Bin(isa.Div, even, Const(0)).IsTop() {
+		t.Errorf("div by zero should be T")
+	}
+	// Wrapping add keeps a pow2 congruence but drops others.
+	big := norm(0, ^uint64(0), 3, 0)
+	sum := Bin(isa.Add, big, big)
+	if sum.M > 1 {
+		t.Errorf("mod-3 congruence survived a possible wrap: %v", sum)
+	}
+	evenTop := norm(0, ^uint64(0), 2, 0)
+	sum = Bin(isa.Add, evenTop, evenTop)
+	if sum.M != 2 || sum.R != 0 {
+		t.Errorf("pow2 congruence lost across wrap: %v", sum)
+	}
+	// Shl knows its low zero bits even on overflow.
+	v := Bin(isa.Shl, Top(), Const(3))
+	if v.M != 8 || v.R != 0 {
+		t.Errorf("x<<3 = %v, want ≡ 0 mod 8", v)
+	}
+	// Shift semantics match the VM: >= 64 zeroes.
+	if c, ok := Bin(isa.Shl, Range(1, 5), Const(64)).IsConst(); !ok || c != 0 {
+		t.Errorf("x<<64 != 0")
+	}
+}
+
+func TestCmpTransferDecisions(t *testing.T) {
+	lo, hi := Range(0, 9), Range(10, 20)
+	if c, _ := Cmp(isa.Lt, lo, hi).IsConst(); c != 1 {
+		t.Errorf("[0,9] < [10,20] not proved")
+	}
+	if c, _ := Cmp(isa.Ge, lo, hi).IsConst(); c != 0 {
+		t.Errorf("[0,9] >= [10,20] not refuted")
+	}
+	if c, _ := Cmp(isa.Eq, lo, hi).IsConst(); c != 0 {
+		t.Errorf("disjoint Eq not refuted")
+	}
+	// Congruence-based disequality: even vs odd over overlapping intervals.
+	even := norm(0, 100, 2, 0)
+	odd := norm(1, 99, 2, 1)
+	if c, _ := Cmp(isa.Eq, even, odd).IsConst(); c != 0 {
+		t.Errorf("even == odd not refuted")
+	}
+	if c, _ := Cmp(isa.Ne, even, odd).IsConst(); c != 1 {
+		t.Errorf("even != odd not proved")
+	}
+	// Signed comparisons refuse to decide across the sign boundary.
+	span := Range(0, ^uint64(0))
+	if v := Cmp(isa.SLt, span, Const(5)); v.M == 0 {
+		t.Errorf("SLt decided across sign boundary: %v", v)
+	}
+	// But decide within a band: negative < nonnegative.
+	neg := Range(^uint64(0)-5, ^uint64(0)) // [-6, -1] signed
+	pos := Range(0, 100)
+	if c, _ := Cmp(isa.SLt, neg, pos).IsConst(); c != 1 {
+		t.Errorf("negative band < positive band not proved")
+	}
+}
+
+// TestAnalyzeEvenStrideLoop pins the flagship precision case: after an
+// even-stride loop the analysis proves i&1 == 0 and folds the branch that
+// guards the dead region.
+func TestAnalyzeEvenStrideLoop(t *testing.T) {
+	b := asm.NewBuilder("evenstride")
+	b.Entry("main")
+	f := b.Function("main", 0)
+	n := f.Const(100)
+	i := f.VarI(0)
+	f.While(func() isa.Reg { return f.Cmp(isa.Lt, i, n) }, func() {
+		f.Assign(i, f.AddI(i, 2))
+	})
+	odd := f.AndI(i, 1)
+	cond := f.NeI(odd, 0) // provably false
+	f.If(cond, func() {
+		f.Trap(0x99) // dead
+	})
+	f.RetI(0)
+	prog := b.MustBuild()
+
+	res := Analyze(prog)
+	fr := res.Funcs["main"]
+	if fr == nil {
+		t.Fatal("main not analyzed")
+	}
+	proved := 0
+	deadTrap := false
+	for bi, blk := range prog.Func("main").Blocks {
+		if fr.Branch[bi] >= 0 {
+			proved++
+		}
+		for _, in := range blk.Insts {
+			if in.Op == isa.OpTrap && in.Imm == 0x99 && fr.Entry[bi] == nil {
+				deadTrap = true
+			}
+		}
+	}
+	if proved == 0 {
+		t.Errorf("no branch proved; summary %v", res.Summary)
+	}
+	if !deadTrap {
+		t.Errorf("trap block not proved unreachable; summary %v", res.Summary)
+	}
+	if res.Summary.ProvedBranches == 0 || res.Summary.Unreachable == 0 {
+		t.Errorf("summary did not count the proofs: %v", res.Summary)
+	}
+}
+
+// TestAnalyzeParamsAreTop pins the entry-state contract: parameter
+// registers are unconstrained, everything else starts at constant zero.
+func TestAnalyzeParamsAreTop(t *testing.T) {
+	b := asm.NewBuilder("params")
+	b.Entry("main")
+	g := b.Function("g", 2)
+	g.Ret(g.Add(g.Param(0), g.Param(1)))
+	m := b.Function("main", 0)
+	m.Call("g", m.Const(1), m.Const(2))
+	m.RetI(0)
+	prog := b.MustBuild()
+
+	res := Analyze(prog)
+	st := res.BlockEntry("g", 0)
+	if st == nil {
+		t.Fatal("g entry state missing")
+	}
+	if !st[0].IsTop() || !st[1].IsTop() {
+		t.Errorf("params not T: %v %v", st[0], st[1])
+	}
+	if c, ok := st[2].IsConst(); !ok || c != 0 {
+		t.Errorf("non-param register not const 0: %v", st[2])
+	}
+}
+
+// TestAnalyzeUnknownOpWidens pins the robustness rule: an instruction the
+// transfer function does not recognize widens to ⊤ instead of halting.
+func TestAnalyzeUnknownOpWidens(t *testing.T) {
+	st := new(RegState)
+	for i := range st {
+		st[i] = Const(42)
+	}
+	transfer(st, &isa.Inst{Op: isa.Op(250)})
+	for i := range st {
+		if !st[i].IsTop() {
+			t.Fatalf("register %d not widened after unknown opcode: %v", i, st[i])
+		}
+	}
+}
+
+// TestBranchProvedOracle pins the oracle accessor contract used by symex.
+func TestBranchProvedOracle(t *testing.T) {
+	b := asm.NewBuilder("oracle")
+	b.Entry("main")
+	f := b.Function("main", 0)
+	x := f.Const(4)
+	f.If(f.GtI(f.AndI(x, 1), 0), func() { f.Trap(1) })
+	f.RetI(0)
+	prog := b.MustBuild()
+
+	res := Analyze(prog)
+	fn := prog.Func("main")
+	found := false
+	for bi := range fn.Blocks {
+		term := fn.Blocks[bi].Terminator()
+		if term.Op != isa.OpBr {
+			continue
+		}
+		taken, ok := res.BranchProved("main", bi)
+		if !ok {
+			t.Fatalf("constant-guarded branch at block %d not proved", bi)
+		}
+		if taken != term.ElseIdx {
+			t.Fatalf("proved direction %d, want else %d", taken, term.ElseIdx)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no conditional branch in program")
+	}
+	if _, ok := res.BranchProved("nosuch", 0); ok {
+		t.Error("unknown function reported a proof")
+	}
+	if _, ok := res.BranchProved("main", 99); ok {
+		t.Error("out-of-range block reported a proof")
+	}
+}

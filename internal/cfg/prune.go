@@ -7,7 +7,9 @@ import "octopocs/internal/isa"
 // the dependency arrow pointing P2-ward). Both methods must be sound
 // over-approximations of the concrete semantics: DeadBlock may return true
 // only for blocks no execution enters, and BranchTaken may fold a branch
-// only when its condition is the same constant on every execution.
+// only when every execution reaching it takes the same direction — whether
+// because the condition is a propagated constant or because a value-range
+// proof (interval/congruence abstract interpretation) decides it.
 //
 // Concurrency: implementations must be safe for unsynchronized concurrent
 // reads; the graph build and every symex worker share one Pruner.

@@ -53,6 +53,10 @@ type P2Artifact struct {
 	// without access to the key's preimage.
 	Ep     string
 	Pruned bool
+	// Absint records whether the pruned view was strengthened with
+	// abstract-interpretation value ranges. Only meaningful when Pruned is
+	// set; like Ep and Pruned it is carried for the disk codec.
+	Absint bool
 }
 
 // SetCaches installs artifact caches for the P1 (S-side) and P2-prep
@@ -62,6 +66,13 @@ type P2Artifact struct {
 func (p *Pipeline) SetCaches(p1, p2 Cache) {
 	p.p1Cache = p1
 	p.p2Cache = p2
+}
+
+// SetAbsintCache installs the artifact cache for abstract-interpretation
+// value ranges. Nil disables the class. Kept separate from SetCaches so
+// existing call sites need no change.
+func (p *Pipeline) SetAbsintCache(c Cache) {
+	p.aiCache = c
 }
 
 // cacheGet reads an artifact through the fault injector: an injected
@@ -114,12 +125,13 @@ func (p *Pipeline) p1Key(pair *Pair) string {
 // p2Key derives the content address of the T-side preparation artifact:
 // the T program, the target ep, every knob the dynamic CFG discovery pass
 // reads (symbolic input size, step budget, solver budget, and whether
-// discovery is disabled outright), and whether the graph was built over the
-// statically pruned CFG view.
-func (p *Pipeline) p2Key(pair *Pair, ep string, pruned bool) string {
+// discovery is disabled outright), whether the graph was built over the
+// statically pruned CFG view, and whether that view was strengthened with
+// abstract-interpretation value ranges.
+func (p *Pipeline) p2Key(pair *Pair, ep string, pruned, absint bool) string {
 	h := sha256.New()
 	io.WriteString(h, asm.Format(pair.T))
-	fmt.Fprintf(h, "|ep:%s|static:%v|insize:%d|steps:%d|sat:%d|prune:%v",
-		ep, p.cfg.StaticCFGOnly, p.discoverInputSize(pair), p.maxSteps(pair), p.cfg.SatBudget, pruned)
+	fmt.Fprintf(h, "|ep:%s|static:%v|insize:%d|steps:%d|sat:%d|prune:%v|absint:%v",
+		ep, p.cfg.StaticCFGOnly, p.discoverInputSize(pair), p.maxSteps(pair), p.cfg.SatBudget, pruned, absint)
 	return "p2:" + hex.EncodeToString(h.Sum(nil))
 }

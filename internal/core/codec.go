@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"octopocs/internal/absint"
 	"octopocs/internal/asm"
 	"octopocs/internal/cfg"
 	"octopocs/internal/mirstatic"
@@ -69,6 +70,7 @@ type p2Wire struct {
 	T        string             `json:"t"`
 	Ep       string             `json:"ep"`
 	Pruned   bool               `json:"pruned"`
+	Absint   bool               `json:"absint,omitempty"`
 	Observed []cfg.ObservedEdge `json:"observed,omitempty"`
 	HasDist  bool               `json:"has_dist"`
 }
@@ -86,6 +88,7 @@ func (P2Codec) Encode(v any) ([]byte, error) {
 		T:        asm.Format(art.Graph.Prog),
 		Ep:       art.Ep,
 		Pruned:   art.Pruned,
+		Absint:   art.Absint,
 		Observed: art.Graph.ObservedEdges(),
 		HasDist:  art.Dist != nil,
 	})
@@ -103,7 +106,7 @@ func (P2Codec) Decode(data []byte) (any, error) {
 	}
 	var pruner cfg.Pruner
 	if w.Pruned {
-		sa, aerr := mirstatic.Analyze(prog)
+		sa, aerr := mirstatic.AnalyzeOpts(prog, mirstatic.Options{Absint: w.Absint})
 		if aerr != nil {
 			return nil, fmt.Errorf("core: p2 codec: reanalyze T: %w", aerr)
 		}
@@ -113,7 +116,7 @@ func (P2Codec) Decode(data []byte) (any, error) {
 	for _, e := range w.Observed {
 		graph.ObserveCall(e.Site, e.Callee)
 	}
-	art := &P2Artifact{Graph: graph, Ep: w.Ep, Pruned: w.Pruned}
+	art := &P2Artifact{Graph: graph, Ep: w.Ep, Pruned: w.Pruned, Absint: w.Absint}
 	if w.HasDist {
 		art.Dist = graph.DistancesTo(w.Ep)
 	}
@@ -127,7 +130,8 @@ type StaticCodec struct{}
 
 // staticWire is the on-disk form of a static pre-analysis.
 type staticWire struct {
-	T string `json:"t"`
+	T      string `json:"t"`
+	Absint bool   `json:"absint,omitempty"`
 }
 
 // Encode marshals a *mirstatic.Analysis.
@@ -136,7 +140,7 @@ func (StaticCodec) Encode(v any) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: static codec: unexpected value type %T", v)
 	}
-	return json.Marshal(staticWire{T: asm.Format(sa.Prog)})
+	return json.Marshal(staticWire{T: asm.Format(sa.Prog), Absint: sa.Ranges != nil})
 }
 
 // Decode re-derives a *mirstatic.Analysis from the stored program text.
@@ -149,9 +153,41 @@ func (StaticCodec) Decode(data []byte) (any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: static codec: parse T: %w", err)
 	}
-	sa, err := mirstatic.Analyze(prog)
+	sa, err := mirstatic.AnalyzeOpts(prog, mirstatic.Options{Absint: w.Absint})
 	if err != nil {
 		return nil, fmt.Errorf("core: static codec: reanalyze T: %w", err)
 	}
 	return sa, nil
+}
+
+// AbsintCodec encodes *absint.Result values for the disk tier. The analysis
+// is a pure deterministic function of the program, so the wire form is just
+// the assembled text; Decode re-runs the fixpoint.
+type AbsintCodec struct{}
+
+// absintWire is the on-disk form of an abstract interpretation.
+type absintWire struct {
+	T string `json:"t"`
+}
+
+// Encode marshals an *absint.Result.
+func (AbsintCodec) Encode(v any) ([]byte, error) {
+	ai, ok := v.(*absint.Result)
+	if !ok {
+		return nil, fmt.Errorf("core: absint codec: unexpected value type %T", v)
+	}
+	return json.Marshal(absintWire{T: asm.Format(ai.Prog)})
+}
+
+// Decode re-derives an *absint.Result from the stored program text.
+func (AbsintCodec) Decode(data []byte) (any, error) {
+	var w absintWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("core: absint codec: %w", err)
+	}
+	prog, err := asm.Parse(w.T)
+	if err != nil {
+		return nil, fmt.Errorf("core: absint codec: parse T: %w", err)
+	}
+	return absint.Analyze(prog), nil
 }

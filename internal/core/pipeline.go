@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"octopocs/internal/absint"
 	"octopocs/internal/cfg"
 	"octopocs/internal/expr"
 	"octopocs/internal/faultinject"
@@ -45,6 +46,16 @@ type Config struct {
 	// the poc' bytes: a statically dead direction is semantically
 	// infeasible, so the only thing skipped is its SAT refutation.
 	StaticPrune bool
+	// Absint enables the abstract-interpretation value-range layer: a
+	// whole-program interval∧congruence analysis of T whose branch proofs
+	// are consulted by the symbolic executor before the solver ever sees a
+	// feasibility query (a proved branch is discharged with zero SAT
+	// checks), and — when StaticPrune is also on — strengthen the static
+	// pre-analysis beyond constant propagation (parity guards after
+	// even-stride loops, width-bounded loads). Like StaticPrune, the layer
+	// never changes a verdict or the poc' bytes: the oracle's proofs hold on
+	// every concrete execution, so only the SAT checks differ.
+	Absint bool
 	// PadByte fills unconstrained poc' bytes.
 	PadByte byte
 	// SymexWorkers selects the P2/P3 exploration engine: 0 (default) keeps
@@ -84,6 +95,7 @@ type Pipeline struct {
 	cfg     Config
 	p1Cache Cache
 	p2Cache Cache
+	aiCache Cache
 	// satCache memoizes satisfiability verdicts across all phases and all
 	// concurrent verifications sharing this pipeline; nil when disabled.
 	satCache *solver.Cache
@@ -208,6 +220,23 @@ func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recor
 		return rep, nil
 	}
 
+	// Abstract interpretation (cache-aware): the interval∧congruence value
+	// ranges of T. A pure function of the program with no failure modes —
+	// unknown opcodes widen to ⊤ — so there is no degraded path to manage.
+	var ai *absint.Result
+	if p.cfg.Absint {
+		t0 = time.Now()
+		asp := tr.Start("absint", root)
+		var aiCached bool
+		ai, aiCached = p.phaseAbsint(ctx, pair)
+		asp.SetAttr("cached", aiCached)
+		asp.SetAttr("proved_branches", ai.Summary.ProvedBranches)
+		asp.End()
+		rep.Timings.Absint = time.Since(t0)
+		rep.Timings.AbsintCached = aiCached
+		rep.Absint = &ai.Summary
+	}
+
 	// Static pre-analysis (cache-aware): verify T, fold constants, prune
 	// dead blocks, and — when even the may-call-anything over-approximation
 	// of indirect calls cannot reach ep — short-circuit to the sound
@@ -217,7 +246,7 @@ func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recor
 		t0 = time.Now()
 		ssp := tr.Start("static", root)
 		var staticCached bool
-		sa, staticCached, err = p.phaseStatic(ctx, pair)
+		sa, staticCached, err = p.phaseStatic(ctx, pair, ai)
 		ssp.SetAttr("cached", staticCached)
 		if sa != nil {
 			ssp.SetAttr("dead_blocks", sa.Summary.DeadBlocks)
@@ -275,7 +304,7 @@ func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recor
 	var p2Cached bool
 	err = p.retryTransient(ctx, "p2_prep", func() error {
 		var rerr error
-		prep, p2Cached, rerr = p.phase2Prep(ctx, pair, ep, sa, sp)
+		prep, p2Cached, rerr = p.phase2Prep(ctx, pair, ep, sa, ai, sp)
 		return rerr
 	})
 	sp.SetAttr("cached", p2Cached)
@@ -307,7 +336,7 @@ func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recor
 	var reason Reason
 	err = p.retryTransient(ctx, "reform", func() error {
 		var rerr error
-		pocPrime, stats, reason, rerr = p.reform(ctx, pair, ep, prep.Dist, p1.Bunches, prunerOf(sa), sp)
+		pocPrime, stats, reason, rerr = p.reform(ctx, pair, ep, prep.Dist, p1.Bunches, prunerOf(sa), oracleOf(ai), sp)
 		return rerr
 	})
 	sp.End()
@@ -428,10 +457,10 @@ func (p *Pipeline) phase1(ctx context.Context, pair *Pair, parent *telemetry.Spa
 // boolean result reports a cache hit. When a static analysis is supplied the
 // graph omits provably dead blocks and folded-away branch edges, so the
 // distance maps never route through unreachable code.
-func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mirstatic.Analysis, parent *telemetry.Span) (*P2Artifact, bool, error) {
+func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mirstatic.Analysis, ai *absint.Result, parent *telemetry.Span) (*P2Artifact, bool, error) {
 	var key string
 	if p.p2Cache != nil {
-		key = p.p2Key(pair, ep, sa != nil)
+		key = p.p2Key(pair, ep, sa != nil, sa != nil && sa.Ranges != nil)
 		v, hit := p.cacheGet(p.p2Cache, key)
 		journal.FromContext(ctx).Emit(journal.EvCacheProbe,
 			journal.Attrs{"phase": "p2_prep", "key": key, "hit": hit})
@@ -453,6 +482,7 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mi
 			Metrics:     p.cfg.Metrics.symexSink(),
 			SolverCache: p.satCache,
 			Prune:       prunerOf(sa),
+			Oracle:      oracleOf(ai),
 			Faults:      p.cfg.Faults,
 		})
 		for _, e := range edges {
@@ -472,7 +502,7 @@ func (p *Pipeline) phase2Prep(ctx context.Context, pair *Pair, ep string, sa *mi
 			return nil, false, err
 		}
 	}
-	art := &P2Artifact{Graph: graph, Ep: ep, Pruned: sa != nil}
+	art := &P2Artifact{Graph: graph, Ep: ep, Pruned: sa != nil, Absint: sa != nil && sa.Ranges != nil}
 	if graph.Reachable(ep) {
 		sp := tr.Start("distance_map", parent)
 		art.Dist = graph.DistancesTo(ep)
@@ -562,13 +592,14 @@ func journalSymexDone(rec *journal.Recorder, res *symex.Result) {
 	}
 	rec.Emit(journal.EvSymexDone, attrs)
 	rec.Emit(journal.EvSymexStats, journal.Attrs{
-		"steps":      res.Stats.Steps,
-		"sat_checks": res.Stats.SatChecks,
-		"states":     res.Stats.States,
-		"backtracks": res.Stats.Backtracks,
-		"pruned":     res.Stats.PrunedBranches,
-		"workers":    res.Stats.Workers,
-		"steals":     res.Stats.Steals,
+		"steps":          res.Stats.Steps,
+		"sat_checks":     res.Stats.SatChecks,
+		"states":         res.Stats.States,
+		"backtracks":     res.Stats.Backtracks,
+		"pruned":         res.Stats.PrunedBranches,
+		"sat_discharged": res.Stats.SatDischargedStatic,
+		"workers":        res.Stats.Workers,
+		"steals":         res.Stats.Steals,
 	})
 }
 
@@ -618,7 +649,7 @@ func (p *Pipeline) extractPrimitives(ctx context.Context, pair *Pair, ep string)
 // fault-altered verdict), and for real worker panics (which must fail the
 // job explicitly, never degrade into a verdict); all other analysis
 // failures degrade into Reason codes.
-func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes, prune cfg.Pruner, parent *telemetry.Span) ([]byte, symex.Stats, Reason, error) {
+func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes, prune cfg.Pruner, oracle symex.StaticOracle, parent *telemetry.Span) ([]byte, symex.Stats, Reason, error) {
 	inputSize := p.symInputSize(pair)
 	tr := telemetry.TraceFrom(ctx)
 	rec := journal.FromContext(ctx)
@@ -635,6 +666,7 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 		Workers:     p.cfg.SymexWorkers,
 		SolverCache: p.satCache,
 		Prune:       prune,
+		Oracle:      oracle,
 		Faults:      p.cfg.Faults,
 		Journal:     rec,
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"octopocs/internal/absint"
 	"octopocs/internal/mirstatic"
 	"octopocs/internal/symex"
 	"octopocs/internal/vm"
@@ -121,6 +122,10 @@ type Report struct {
 	// was disabled for this pair.
 	Static *mirstatic.Summary
 
+	// Absint summarizes the abstract-interpretation value-range analysis of
+	// T (branches proved, blocks unreachable); nil when absint was disabled.
+	Absint *absint.Summary
+
 	// Timings records per-phase wall clock and cache reuse. Unlike every
 	// other Report field it is not a pure function of the pair, so
 	// report-equality comparisons should zero it first.
@@ -135,6 +140,9 @@ type PhaseTimings struct {
 	// Static covers the pre-P2 static analysis of T (verifier, constant
 	// folding, dominators, reachability); zero when disabled.
 	Static time.Duration
+	// Absint covers the abstract-interpretation value-range analysis of T;
+	// zero when disabled.
+	Absint time.Duration
 	// P2Prep covers CFG construction, dynamic edge discovery, and
 	// backward path finding (T-side preparation).
 	P2Prep time.Duration
@@ -144,11 +152,12 @@ type PhaseTimings struct {
 	// P4 covers concrete re-verification, minimization, and Type
 	// classification.
 	P4 time.Duration
-	// P1Cached/P2Cached/StaticCached report whether the corresponding
-	// artifact came from a cache instead of being recomputed.
+	// P1Cached/P2Cached/StaticCached/AbsintCached report whether the
+	// corresponding artifact came from a cache instead of being recomputed.
 	P1Cached     bool
 	P2Cached     bool
 	StaticCached bool
+	AbsintCached bool
 }
 
 // PoCGenerated reports whether a reformed PoC was produced (the poc' column

@@ -8,11 +8,13 @@ import (
 	"io"
 	"time"
 
+	"octopocs/internal/absint"
 	"octopocs/internal/asm"
 	"octopocs/internal/cfg"
 	"octopocs/internal/faultinject"
 	"octopocs/internal/journal"
 	"octopocs/internal/mirstatic"
+	"octopocs/internal/symex"
 )
 
 // staticEnabled resolves whether the static pre-analysis runs for a pair:
@@ -25,12 +27,47 @@ func (p *Pipeline) staticEnabled(pair *Pair) bool {
 }
 
 // staticKey derives the content address of the static pre-analysis artifact.
-// The analysis is a pure function of the T program, so only its assembled
-// text participates.
-func staticKey(pair *Pair) string {
+// The analysis is a pure function of the T program and of whether the
+// abstract-interpretation strengthening ran, so both participate.
+func staticKey(pair *Pair, absint bool) string {
 	h := sha256.New()
 	io.WriteString(h, asm.Format(pair.T))
+	fmt.Fprintf(h, "|absint:%v", absint)
 	return "ps:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// absintKey derives the content address of the abstract-interpretation
+// artifact: a pure function of the T program text.
+func absintKey(pair *Pair) string {
+	h := sha256.New()
+	io.WriteString(h, asm.Format(pair.T))
+	return "ai:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// phaseAbsint produces (or retrieves) the interval∧congruence value ranges
+// of T. The boolean result reports a cache hit. The analysis is total —
+// malformed opcodes widen to ⊤ instead of failing — so there is no error
+// path.
+func (p *Pipeline) phaseAbsint(ctx context.Context, pair *Pair) (*absint.Result, bool) {
+	var key string
+	if p.aiCache != nil {
+		key = absintKey(pair)
+		v, hit := p.cacheGet(p.aiCache, key)
+		journal.FromContext(ctx).Emit(journal.EvCacheProbe,
+			journal.Attrs{"phase": "absint", "key": key, "hit": hit})
+		if hit {
+			if ai, ok := v.(*absint.Result); ok {
+				return ai, true
+			}
+		}
+	}
+	start := time.Now()
+	ai := absint.Analyze(pair.T)
+	p.cfg.Metrics.absintObserve(&ai.Summary, time.Since(start))
+	if p.aiCache != nil {
+		p.cachePut(p.aiCache, key, ai)
+	}
+	return ai, false
 }
 
 // phaseStatic produces (or retrieves) the static pre-analysis of T: the MIR
@@ -38,10 +75,10 @@ func staticKey(pair *Pair) string {
 // and the may-call-anything reachability closure. The boolean result reports
 // a cache hit. A verifier rejection is a hard error — a malformed T cannot
 // be verified soundly by any later phase either.
-func (p *Pipeline) phaseStatic(ctx context.Context, pair *Pair) (*mirstatic.Analysis, bool, error) {
+func (p *Pipeline) phaseStatic(ctx context.Context, pair *Pair, ai *absint.Result) (*mirstatic.Analysis, bool, error) {
 	var key string
 	if p.p2Cache != nil {
-		key = staticKey(pair)
+		key = staticKey(pair, ai != nil)
 		v, hit := p.cacheGet(p.p2Cache, key)
 		journal.FromContext(ctx).Emit(journal.EvCacheProbe,
 			journal.Attrs{"phase": "static", "key": key, "hit": hit})
@@ -55,7 +92,7 @@ func (p *Pipeline) phaseStatic(ctx context.Context, pair *Pair) (*mirstatic.Anal
 		return nil, false, fmt.Errorf("pair %s: static pre-analysis of T: %w", pair.Name, err)
 	}
 	start := time.Now()
-	sa, err := mirstatic.Analyze(pair.T)
+	sa, err := mirstatic.AnalyzeOpts(pair.T, mirstatic.Options{Absint: ai != nil, Ranges: ai})
 	if err != nil {
 		return nil, false, fmt.Errorf("pair %s: static pre-analysis of T: %w", pair.Name, err)
 	}
@@ -73,4 +110,13 @@ func prunerOf(sa *mirstatic.Analysis) cfg.Pruner {
 		return nil
 	}
 	return sa
+}
+
+// oracleOf adapts optional value ranges to the symex.StaticOracle interface
+// without producing a non-nil interface around a nil pointer.
+func oracleOf(ai *absint.Result) symex.StaticOracle {
+	if ai == nil {
+		return nil
+	}
+	return ai
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"octopocs/internal/absint"
 	"octopocs/internal/mirstatic"
 	"octopocs/internal/solver"
 	"octopocs/internal/symex"
@@ -28,6 +29,12 @@ type Metrics struct {
 	StaticDeadRegions   *telemetry.Counter
 	StaticShortCircuits *telemetry.Counter
 	StaticLatency       *telemetry.Histogram
+
+	// Abstract-interpretation counters (interval∧congruence value ranges).
+	AbsintAnalyses       *telemetry.Counter
+	AbsintProvedBranches *telemetry.Counter
+	AbsintUnreachable    *telemetry.Counter
+	AbsintLatency        *telemetry.Histogram
 
 	// Fault-injection counters (populated by the chaos harness; always zero
 	// in production, where no injector is attached).
@@ -62,6 +69,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Sat checks answered from the memoized verdict cache.", nil),
 		CacheMisses: reg.Counter("octopocs_solver_sat_cache_misses_total",
 			"Cache-backed Sat checks that had to solve.", nil),
+		StaticDischarged: reg.Counter("octopocs_solver_static_discharged_total",
+			"Feasibility queries answered by the absint branch oracle without a solver call.", nil),
 	}
 	return &Metrics{
 		VM: &vm.Metrics{
@@ -116,6 +125,15 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		StaticLatency: reg.Histogram("octopocs_static_latency_seconds",
 			"Wall-clock seconds of one static pre-analysis.", nil,
 			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
+		AbsintAnalyses: reg.Counter("octopocs_absint_analyses_total",
+			"Abstract-interpretation analyses computed (cache hits excluded).", nil),
+		AbsintProvedBranches: reg.Counter("octopocs_absint_proved_branches_total",
+			"Conditional branches proven one-sided by value-range analysis.", nil),
+		AbsintUnreachable: reg.Counter("octopocs_absint_unreachable_blocks_total",
+			"Basic blocks proven unreachable by value-range analysis.", nil),
+		AbsintLatency: reg.Histogram("octopocs_absint_latency_seconds",
+			"Wall-clock seconds of one abstract-interpretation analysis.", nil,
+			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
 		FaultsInjected: reg.Counter("octopocs_faults_injected_total",
 			"Faults fired by the injection schedule.", nil),
 		FaultsRecovered: reg.Counter("octopocs_faults_recovered_total",
@@ -160,6 +178,17 @@ func (m *Metrics) staticObserve(s *mirstatic.Summary, d time.Duration) {
 	m.StaticDeadBlocks.Add(uint64(s.DeadBlocks))
 	m.StaticDeadRegions.Add(uint64(s.DeadRegions))
 	m.StaticLatency.ObserveDuration(d)
+}
+
+// absintObserve flushes one freshly computed abstract interpretation.
+func (m *Metrics) absintObserve(s *absint.Summary, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.AbsintAnalyses.Inc()
+	m.AbsintProvedBranches.Add(uint64(s.ProvedBranches))
+	m.AbsintUnreachable.Add(uint64(s.Unreachable))
+	m.AbsintLatency.ObserveDuration(d)
 }
 
 // staticShortCircuit counts one statically-unreachable verdict emitted

@@ -42,49 +42,76 @@ func TestStaticPoCsCrashS(t *testing.T) {
 	}
 }
 
-// TestStaticPruneEquivalence is the pruning soundness check: every corpus
-// pair — the 15 Table II rows plus the static set — must produce the same
-// verdict, type, and byte-identical poc' with static pruning on and off.
-// Only the Reason may sharpen (a pair proven unreachable statically reports
+// TestStaticPruneEquivalence is the static-layer soundness check: every
+// corpus pair — the 15 Table II rows plus the static set — must produce the
+// same verdict, type, and byte-identical poc' under every combination of
+// static pruning and abstract-interpretation value ranges. Only the Reason
+// may sharpen (a pair proven unreachable statically reports
 // statically-unreachable instead of the symex-derived reason) and the
 // effort statistics may shrink.
 func TestStaticPruneEquivalence(t *testing.T) {
-	off := core.New(core.Config{})
-	on := core.New(core.Config{StaticPrune: true})
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"off", core.Config{}},
+		{"prune", core.Config{StaticPrune: true}},
+		{"absint", core.Config{Absint: true}},
+		{"prune+absint", core.Config{StaticPrune: true, Absint: true}},
+	}
+	pipelines := make([]*core.Pipeline, len(configs))
+	for i, c := range configs {
+		pipelines[i] = core.New(c.cfg)
+	}
 	specs := append(corpus.All(), corpus.StaticSet()...)
 	shortCircuits := 0
 	for _, s := range specs {
 		s := s
 		t.Run(s.Label(), func(t *testing.T) {
-			repOff, err := off.Verify(s.Pair)
+			repOff, err := pipelines[0].Verify(s.Pair)
 			if err != nil {
-				t.Fatalf("Verify (prune off): %v", err)
+				t.Fatalf("Verify (%s): %v", configs[0].name, err)
 			}
-			repOn, err := on.Verify(s.Pair)
-			if err != nil {
-				t.Fatalf("Verify (prune on): %v", err)
-			}
-			t.Logf("off: %v", repOff)
-			t.Logf("on:  %v", repOn)
-			if repOn.Verdict != repOff.Verdict {
-				t.Errorf("verdict: on=%v off=%v", repOn.Verdict, repOff.Verdict)
-			}
-			if repOn.Type != repOff.Type {
-				t.Errorf("type: on=%v off=%v", repOn.Type, repOff.Type)
-			}
-			if !bytes.Equal(repOn.PoCPrime, repOff.PoCPrime) {
-				t.Errorf("poc' differs: on=%x off=%x", repOn.PoCPrime, repOff.PoCPrime)
-			}
+			t.Logf("%s: %v", configs[0].name, repOff)
 			if repOff.Static != nil {
-				t.Errorf("prune-off report carries a static summary: %v", repOff.Static)
+				t.Errorf("off report carries a static summary: %v", repOff.Static)
 			}
-			if repOn.Static == nil {
-				t.Errorf("prune-on report is missing the static summary")
+			if repOff.Absint != nil {
+				t.Errorf("off report carries an absint summary: %v", repOff.Absint)
 			}
-			if repOn.Reason == core.ReasonStaticUnreachable {
-				shortCircuits++
-				if repOn.Stats.Steps != 0 || repOn.Stats.States != 0 {
-					t.Errorf("short-circuited verdict still ran symex: %+v", repOn.Stats)
+			for i := 1; i < len(configs); i++ {
+				name, cfg := configs[i].name, configs[i].cfg
+				rep, err := pipelines[i].Verify(s.Pair)
+				if err != nil {
+					t.Fatalf("Verify (%s): %v", name, err)
+				}
+				t.Logf("%s: %v", name, rep)
+				if rep.Verdict != repOff.Verdict {
+					t.Errorf("%s: verdict %v, off %v", name, rep.Verdict, repOff.Verdict)
+				}
+				if rep.Type != repOff.Type {
+					t.Errorf("%s: type %v, off %v", name, rep.Type, repOff.Type)
+				}
+				if !bytes.Equal(rep.PoCPrime, repOff.PoCPrime) {
+					t.Errorf("%s: poc' differs: %x vs %x", name, rep.PoCPrime, repOff.PoCPrime)
+				}
+				if cfg.StaticPrune && rep.Static == nil {
+					t.Errorf("%s: report is missing the static summary", name)
+				}
+				if !cfg.StaticPrune && rep.Static != nil {
+					t.Errorf("%s: report carries a static summary: %v", name, rep.Static)
+				}
+				if cfg.Absint && rep.Absint == nil {
+					t.Errorf("%s: report is missing the absint summary", name)
+				}
+				if !cfg.Absint && rep.Absint != nil {
+					t.Errorf("%s: report carries an absint summary: %v", name, rep.Absint)
+				}
+				if rep.Reason == core.ReasonStaticUnreachable {
+					shortCircuits++
+					if rep.Stats.Steps != 0 || rep.Stats.States != 0 {
+						t.Errorf("%s: short-circuited verdict still ran symex: %+v", name, rep.Stats)
+					}
 				}
 			}
 		})

@@ -50,6 +50,9 @@ const (
 	EvSymexPrune Type = "symex.prune"
 	// EvSymexCommit records a worker committing a reached/terminal state.
 	EvSymexCommit Type = "symex.commit"
+	// EvSymexAbsint records a branch discharged by the abstract-
+	// interpretation oracle before the solver saw it.
+	EvSymexAbsint Type = "symex.absint_discharged"
 	// EvSymexDone records the committed outcome: kind, path, why.
 	EvSymexDone Type = "symex.done"
 	// EvSymexStats carries the schedule-dependent exploration counters.
@@ -109,6 +112,7 @@ var registry = map[Type]Spec{
 	EvSymexFork:          {Det: false, Verb: VerbVerbose, Phase: "symex", Doc: "frontier emission"},
 	EvSymexPrune:         {Det: false, Verb: VerbVerbose, Phase: "symex", Doc: "frontier node discarded"},
 	EvSymexCommit:        {Det: false, Verb: VerbVerbose, Phase: "symex", Doc: "worker committed a state"},
+	EvSymexAbsint:        {Det: false, Verb: VerbVerbose, Phase: "symex", Doc: "branch discharged by the absint oracle"},
 	EvSymexDone:          {Det: true, Verb: VerbSummary, Phase: "symex", Doc: "committed exploration outcome"},
 	EvSymexStats:         {Det: false, Verb: VerbSummary, Phase: "symex", Doc: "schedule-dependent exploration counters"},
 	EvSolverSatCache:     {Det: false, Verb: VerbVerbose, Phase: "solver", Doc: "SAT-memo lookup"},

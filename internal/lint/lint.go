@@ -4,10 +4,12 @@
 // internal package must map itself to the paper phases P1–P4 and state its
 // concurrency contract — CtxLoop guards the runtime packages against
 // goroutine loops that can neither be cancelled nor woken, PanicGuard
-// requires every launched goroutine to sit behind a recover boundary, and
+// requires every launched goroutine to sit behind a recover boundary,
 // JournalDoc keeps the provenance journal's event schema closed: every
-// emitted event type must be an Ev* constant with a registry entry. The
-// suite runs three ways: as the doccheck test, as `go vet
+// emitted event type must be an Ev* constant with a registry entry, and
+// OpClass requires every switch over an ISA opcode family in the
+// interpreter-shaped packages to be exhaustive or carry an explicit default
+// clause. The suite runs three ways: as the doccheck test, as `go vet
 // -vettool=octolint` in CI, and directly via RunDir in tests.
 //
 // Concurrency: analyses are read-only over parsed ASTs and keep no shared
@@ -66,7 +68,7 @@ type Analyzer struct {
 }
 
 // All is the suite: every analyzer octolint and the tests run.
-var All = []*Analyzer{PhaseDoc, CtxLoop, PanicGuard, JournalDoc}
+var All = []*Analyzer{PhaseDoc, CtxLoop, PanicGuard, JournalDoc, OpClass}
 
 // RunFiles runs the analyzers over an already-parsed package and returns
 // the findings sorted by position.

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestOpClassFlagsPartialSwitch checks the core finding: a switch over an
+// ISA family that misses constants and has no default clause is flagged,
+// naming the missing members.
+func TestOpClassFlagsPartialSwitch(t *testing.T) {
+	src := `package p
+import "octopocs/internal/isa"
+func f(op isa.BinOp) int {
+	switch op {
+	case isa.Add:
+		return 1
+	case isa.Sub:
+		return 2
+	}
+	return 0
+}
+`
+	diags := runFixture(t, "octopocs/internal/vm", src, []*Analyzer{OpClass})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	msg := diags[0].Message
+	if !strings.Contains(msg, "isa.BinOp") || !strings.Contains(msg, "Shl") {
+		t.Errorf("diagnostic does not name the family and missing members: %s", msg)
+	}
+}
+
+// TestOpClassAcceptsDefaultAndExhaustive checks the two compliant shapes:
+// an explicit default clause, and full coverage of the family.
+func TestOpClassAcceptsDefaultAndExhaustive(t *testing.T) {
+	withDefault := `package p
+import "octopocs/internal/isa"
+func f(op isa.CmpOp) int {
+	switch op {
+	case isa.Eq:
+		return 1
+	default:
+		return 0
+	}
+}
+`
+	exhaustive := `package p
+import "octopocs/internal/isa"
+func f(op isa.CmpOp) int {
+	switch op {
+	case isa.Eq, isa.Ne, isa.Lt, isa.Le:
+		return 1
+	case isa.Gt, isa.Ge, isa.SLt, isa.SLe:
+		return 2
+	}
+	return 0
+}
+`
+	for name, src := range map[string]string{"default": withDefault, "exhaustive": exhaustive} {
+		if diags := runFixture(t, "octopocs/internal/symex", src, []*Analyzer{OpClass}); len(diags) != 0 {
+			t.Errorf("%s: got diagnostics, want none: %v", name, diags)
+		}
+	}
+}
+
+// TestOpClassScope checks that non-ISA switches and out-of-scope packages
+// are left alone.
+func TestOpClassScope(t *testing.T) {
+	partial := `package p
+import "octopocs/internal/isa"
+func f(op isa.Op) int {
+	switch op {
+	case isa.OpJmp:
+		return 1
+	}
+	return 0
+}
+`
+	if diags := runFixture(t, "octopocs/internal/corpus", partial, []*Analyzer{OpClass}); len(diags) != 0 {
+		t.Errorf("out-of-scope package flagged: %v", diags)
+	}
+	nonISA := `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		return 1
+	}
+	return 0
+}
+`
+	if diags := runFixture(t, "octopocs/internal/vm", nonISA, []*Analyzer{OpClass}); len(diags) != 0 {
+		t.Errorf("non-ISA switch flagged: %v", diags)
+	}
+}
+
+// TestOpClassFamiliesMatchISA cross-checks the hardcoded family lists
+// against the real internal/isa declarations, so adding an opcode without
+// updating the analyzer fails here instead of silently weakening the lint.
+func TestOpClassFamiliesMatchISA(t *testing.T) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	isaDir := filepath.Join(filepath.Dir(filepath.Dir(self)), "isa")
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, isaDir, nil, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", isaDir, err)
+	}
+	declared := map[string]bool{}
+	for _, pkg := range pkgs {
+		if pkg.Name != "isa" {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for name := range f.Scope.Objects {
+				declared[name] = true
+			}
+		}
+	}
+	for fam, members := range opClassFamilies {
+		for _, name := range members {
+			if !declared[name] {
+				t.Errorf("%s member %s is not declared in internal/isa", fam, name)
+			}
+		}
+	}
+	// The reverse direction: every isa constant that looks like a family
+	// member (matches the naming scheme) must be in a list. Op*/Sys* prefixes
+	// identify those families; BinOp and CmpOp members have no prefix, so
+	// they are covered by the forward check plus the exhaustiveness of the
+	// iota blocks (a new member shifts no existing value).
+	for name := range declared {
+		if strings.HasPrefix(name, "Op") && name != "Op" && !strings.HasPrefix(name, "Opt") {
+			if opClassMember[name] != "isa.Op" {
+				t.Errorf("isa.%s looks like an Op constant but is not in the opclass family list", name)
+			}
+		}
+		if strings.HasPrefix(name, "Sys") && name != "Sys" {
+			if opClassMember[name] != "isa.Sys" {
+				t.Errorf("isa.%s looks like a Sys constant but is not in the opclass family list", name)
+			}
+		}
+	}
+}

@@ -109,6 +109,8 @@ func analyzeFunc(f *isa.Function) *FuncFacts {
 				flow(&regs, term.ThenIdx)
 				flow(&regs, term.ElseIdx)
 			}
+		default:
+			// Ret, Trap and exiting syscalls have no successors.
 		}
 	}
 
@@ -161,6 +163,8 @@ func applyTransfer(in *isa.Inst, regs *[isa.NumRegs]cval) {
 		if in.Sys != isa.SysExit {
 			regs[in.Dst] = varies
 		}
+	default:
+		// Store and control transfers write no register.
 	}
 }
 
@@ -205,8 +209,9 @@ func binFold(op isa.BinOp, a, b cval) cval {
 			return konst(0)
 		}
 		return konst(a.v >> b.v)
+	default:
+		return varies
 	}
-	return varies
 }
 
 // cmpFold mirrors vm.cmpOp on the constant lattice.

@@ -13,8 +13,10 @@ func staticSuccs(f *isa.Function, b int) []int {
 			return []int{term.ThenIdx}
 		}
 		return []int{term.ThenIdx, term.ElseIdx}
+	default:
+		// Ret, Trap and exiting syscalls have no successors.
+		return nil
 	}
-	return nil
 }
 
 // Dominators computes the immediate-dominator tree of f's unfolded static

@@ -18,6 +18,7 @@ package mirstatic
 import (
 	"fmt"
 
+	"octopocs/internal/absint"
 	"octopocs/internal/isa"
 )
 
@@ -57,6 +58,24 @@ type Summary struct {
 	DeadRegionBlocks int `json:"dead_region_blocks"`
 	ReachableFuncs   int `json:"reachable_funcs"`
 	Warnings         int `json:"warnings"`
+	// AbsintFolded counts branches the interval∧congruence layer decided
+	// that constant propagation alone could not; AbsintDead counts blocks it
+	// additionally proved unreachable. Both are zero when the layer is off.
+	AbsintFolded int `json:"absint_folded,omitempty"`
+	AbsintDead   int `json:"absint_dead,omitempty"`
+}
+
+// Options parameterizes AnalyzeOpts.
+type Options struct {
+	// Absint enables the abstract-interpretation strengthening layer: the
+	// interval∧congruence value ranges from internal/absint decide branches
+	// (and kill blocks) that the flat constant lattice cannot, e.g. the
+	// parity guard after an even-stride loop.
+	Absint bool
+	// Ranges optionally supplies a precomputed absint result (e.g. the
+	// pipeline's cached ai: artifact); when nil and Absint is set, the
+	// analysis is run here.
+	Ranges *absint.Result
 }
 
 // Analysis is the immutable result of Analyze. It implements the
@@ -72,13 +91,23 @@ type Analysis struct {
 	// the program entry through live blocks, with unresolved indirect-call
 	// slots widened to may-call-anything.
 	Reachable map[string]bool
-	Summary   Summary
+	// Ranges is the interval∧congruence analysis that strengthened this
+	// result; nil when Options.Absint was off.
+	Ranges  *absint.Result
+	Summary Summary
 }
 
-// Analyze verifies prog and computes the full static analysis. It returns
-// an error carrying the verifier diagnostics when the program is malformed;
-// warnings are collected on the Analysis instead.
+// Analyze verifies prog and computes the full static analysis with default
+// options (no abstract-interpretation strengthening). It returns an error
+// carrying the verifier diagnostics when the program is malformed; warnings
+// are collected on the Analysis instead.
 func Analyze(prog *isa.Program) (*Analysis, error) {
+	return AnalyzeOpts(prog, Options{})
+}
+
+// AnalyzeOpts verifies prog and computes the full static analysis under
+// explicit options.
+func AnalyzeOpts(prog *isa.Program, opts Options) (*Analysis, error) {
 	diags := Verify(prog)
 	var warns []Diagnostic
 	for _, d := range diags {
@@ -93,8 +122,17 @@ func Analyze(prog *isa.Program) (*Analysis, error) {
 		Warnings:  warns,
 		Reachable: make(map[string]bool),
 	}
+	if opts.Absint {
+		a.Ranges = opts.Ranges
+		if a.Ranges == nil {
+			a.Ranges = absint.Analyze(prog)
+		}
+	}
 	for _, f := range prog.Funcs {
 		ff := analyzeFunc(f)
+		if a.Ranges != nil {
+			a.strengthen(f, ff)
+		}
 		ff.Idom = Dominators(f)
 		ff.IPdom = PostDominators(f)
 		ff.Regions = deadRegions(f, ff)
@@ -121,6 +159,66 @@ func Analyze(prog *isa.Program) (*Analysis, error) {
 	a.Summary.ReachableFuncs = len(a.Reachable)
 	a.Summary.Warnings = len(warns)
 	return a, nil
+}
+
+// strengthen merges the interval∧congruence facts into one function's
+// constant-propagation facts: absint-proved branch directions fold branches
+// the flat lattice left open, absint-unreachable blocks die, and liveness is
+// recomputed over the surviving edges so newly folded branches kill their
+// dead arms transitively. Soundness: absint proofs hold on every concrete
+// execution (pinned by the differential fuzz target), so folding them is
+// exactly as safe as folding a compile-time constant condition.
+func (a *Analysis) strengthen(f *isa.Function, ff *FuncFacts) {
+	n := len(f.Blocks)
+	if n == 0 {
+		return
+	}
+	for b := 0; b < n; b++ {
+		if ff.Taken[b] >= 0 {
+			continue
+		}
+		if taken, ok := a.Ranges.BranchProved(f.Name, b); ok {
+			ff.Taken[b] = taken
+			a.Summary.AbsintFolded++
+		}
+	}
+	// Recompute liveness from the entry over folded edges, never entering a
+	// block absint proved unreachable. This is exactly the edge set the
+	// constant-propagation fixpoint explored, minus absint's extra kills.
+	live := make([]bool, n)
+	work := []int{0}
+	live[0] = true
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		visit := func(to int) {
+			if live[to] || a.Ranges.Unreachable(f.Name, to) {
+				return
+			}
+			live[to] = true
+			work = append(work, to)
+		}
+		term := f.Blocks[b].Terminator()
+		switch term.Op {
+		case isa.OpJmp:
+			visit(term.ThenIdx)
+		case isa.OpBr:
+			if ff.Taken[b] >= 0 {
+				visit(ff.Taken[b])
+			} else {
+				visit(term.ThenIdx)
+				visit(term.ElseIdx)
+			}
+		default:
+			// Ret, Trap and exiting syscalls have no successors.
+		}
+	}
+	for b := 0; b < n; b++ {
+		if ff.Live[b] && !live[b] {
+			a.Summary.AbsintDead++
+		}
+		ff.Live[b] = ff.Live[b] && live[b]
+	}
 }
 
 // DeadBlock reports whether block is statically unreachable within fn.
@@ -241,6 +339,8 @@ func (a *Analysis) computeReachable() {
 						}
 						add(name)
 					}
+				default:
+					// No other opcode transfers control to a function.
 				}
 			}
 		}
@@ -249,7 +349,11 @@ func (a *Analysis) computeReachable() {
 
 // String renders the summary in one line for -v output and traces.
 func (s Summary) String() string {
-	return fmt.Sprintf("funcs=%d blocks=%d live=%d dead=%d folded=%d regions=%d region-blocks=%d reach-funcs=%d warns=%d",
+	out := fmt.Sprintf("funcs=%d blocks=%d live=%d dead=%d folded=%d regions=%d region-blocks=%d reach-funcs=%d warns=%d",
 		s.Funcs, s.Blocks, s.LiveBlocks, s.DeadBlocks, s.FoldedBranches,
 		s.DeadRegions, s.DeadRegionBlocks, s.ReachableFuncs, s.Warnings)
+	if s.AbsintFolded > 0 || s.AbsintDead > 0 {
+		out += fmt.Sprintf(" absint-folded=%d absint-dead=%d", s.AbsintFolded, s.AbsintDead)
+	}
+	return out
 }

@@ -398,3 +398,77 @@ func TestSCCPBeatsStraightReachability(t *testing.T) {
 		t.Error("ep guarded by x != 7 with x == 7 on every live path; want unreachable")
 	}
 }
+
+// TestAbsintStrengthensFolding pins the abstract-interpretation layer: an
+// even-stride loop leaves the parity guard open under the flat constant
+// lattice, but the interval∧congruence ranges fold it, kill the guarded
+// call, and prove ep statically unreachable — with the extra proofs counted
+// separately in the summary.
+func TestAbsintStrengthensFolding(t *testing.T) {
+	b := asm.NewBuilder("evenstride")
+	ep := b.Function("ep", 0)
+	ep.RetI(0)
+	m := b.Function("main", 0)
+	n := m.Const(100)
+	i := m.VarI(0)
+	m.While(func() isa.Reg { return m.Cmp(isa.Lt, i, n) }, func() {
+		m.Assign(i, m.AddI(i, 2))
+	})
+	m.If(m.NeI(m.AndI(i, 1), 0), func() { // i is even: provably false
+		m.Call("ep")
+	})
+	m.Exit(0)
+	b.Entry("main")
+	prog := b.MustBuild()
+
+	plain, err := mirstatic.Analyze(prog)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if plain.EpUnreachable("ep") {
+		t.Fatal("constant propagation alone should not decide the parity guard")
+	}
+	if plain.Summary.AbsintFolded != 0 || plain.Summary.AbsintDead != 0 || plain.Ranges != nil {
+		t.Fatalf("absint-off analysis carries absint state: %v", plain.Summary)
+	}
+
+	a, err := mirstatic.AnalyzeOpts(prog, mirstatic.Options{Absint: true})
+	if err != nil {
+		t.Fatalf("AnalyzeOpts: %v", err)
+	}
+	if a.Ranges == nil {
+		t.Fatal("strengthened analysis did not retain the absint result")
+	}
+	if a.Summary.AbsintFolded == 0 {
+		t.Errorf("parity guard not counted as absint-folded: %v", a.Summary)
+	}
+	if a.Summary.AbsintDead == 0 {
+		t.Errorf("guarded call block not counted as absint-dead: %v", a.Summary)
+	}
+	if !a.EpUnreachable("ep") {
+		t.Error("ep guarded by a provably-false parity check; want unreachable")
+	}
+	folded := false
+	for blk := range prog.Func("main").Blocks {
+		if taken, ok := a.BranchTaken("main", blk); ok {
+			folded = true
+			if a.DeadBlock("main", taken) {
+				t.Errorf("folded branch at main:%d takes dead block %d", blk, taken)
+			}
+		}
+	}
+	if !folded {
+		t.Error("no folded branch reported in main")
+	}
+	if !strings.Contains(a.Summary.String(), "absint-folded=") {
+		t.Errorf("summary string omits absint counters: %s", a.Summary)
+	}
+	// A precomputed result may be supplied (the pipeline's cached artifact).
+	pre, err := mirstatic.AnalyzeOpts(prog, mirstatic.Options{Absint: true, Ranges: a.Ranges})
+	if err != nil {
+		t.Fatalf("AnalyzeOpts(precomputed): %v", err)
+	}
+	if pre.Summary != a.Summary {
+		t.Errorf("precomputed ranges diverge: %v vs %v", pre.Summary, a.Summary)
+	}
+}

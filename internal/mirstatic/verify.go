@@ -215,6 +215,8 @@ func verifyInst(prog *isa.Program, f *isa.Function, in *isa.Inst, loc isa.Loc, n
 		default:
 			errf("invalid access width %d", in.Size)
 		}
+	default:
+		// Other opcodes carry no operator or width field to validate.
 	}
 	return ds
 }
@@ -325,8 +327,10 @@ func instDst(in *isa.Inst) (isa.Reg, bool) {
 			return 0, false
 		}
 		return in.Dst, true
+	default:
+		// Store and control transfers write no register.
+		return 0, false
 	}
-	return 0, false
 }
 
 // instSrcs lists the registers an instruction reads.
@@ -339,6 +343,8 @@ func instSrcs(in *isa.Inst) []isa.Reg {
 		out = append(out, in.A, in.B)
 	case isa.OpCallInd:
 		out = append(out, in.A)
+	default:
+		// Const, Jmp, Call, Syscall and Trap read only Args (if anything).
 	}
 	out = append(out, in.Args...)
 	return out

@@ -114,6 +114,7 @@ type Service struct {
 	pl     *core.Pipeline
 	p1c    Store
 	p2c    Store
+	aic    Store
 	jrc    Store
 	queue  chan *Job
 	wg     sync.WaitGroup
@@ -210,6 +211,15 @@ func New(cfg Config) *Service {
 		if s.p2c == nil {
 			s.p2c = NewLRU(entries)
 		}
+		// The absint class only exists when the pipeline runs the analysis.
+		if cfg.Pipeline.Absint {
+			if cfg.Stores != nil {
+				s.aic = cfg.Stores.AI
+			}
+			if s.aic == nil {
+				s.aic = NewLRU(entries)
+			}
+		}
 	}
 	if cfg.JournalCapacity >= 0 {
 		s.jrc = cfg.JournalStore
@@ -246,6 +256,9 @@ func New(cfg Config) *Service {
 	s.pl = core.New(pcfg)
 	if s.p1c != nil || s.p2c != nil {
 		s.pl.SetCaches(s.p1c, s.p2c)
+	}
+	if s.aic != nil {
+		s.pl.SetAbsintCache(s.aic)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)

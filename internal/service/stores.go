@@ -15,19 +15,21 @@ import (
 
 // Per-class shares of the total disk budget. P2 artifacts dominate (program
 // text plus observed edges, two per target and prune mode), P1 artifacts
-// carry PoC-sized bunches, journals are bounded JSONL, and fingerprints are
-// small hash sets.
+// carry PoC-sized bunches, journals are bounded JSONL, fingerprints are
+// small hash sets, and absint value ranges are program-text-sized
+// rebuild-on-decode payloads.
 const (
-	storeShareP1      = 0.25
-	storeShareP2      = 0.40
-	storeShareJournal = 0.20
-	storeShareClone   = 0.15
+	storeShareP1      = 0.22
+	storeShareP2      = 0.38
+	storeShareJournal = 0.18
+	storeShareClone   = 0.14
+	storeShareAbsint  = 0.08
 )
 
 // StoreOptions parameterizes OpenStores.
 type StoreOptions struct {
 	// Dir is the root store directory; one subdirectory per artifact class
-	// (p1, p2, jr, ci) is created under it.
+	// (p1, p2, jr, ci, ai) is created under it.
 	Dir string
 	// HotEntries sizes each class's in-memory hot tier;
 	// artifact.DefaultHotEntries when 0.
@@ -52,8 +54,9 @@ type Stores struct {
 	// Dir is the root directory the stores live under.
 	Dir string
 	// P1 persists p1: artifacts; P2 persists p2: and ps: artifacts; Journal
-	// persists jr: JSONL journals; Clone persists ci: fingerprints.
-	P1, P2, Journal, Clone *artifact.Store
+	// persists jr: JSONL journals; Clone persists ci: fingerprints; AI
+	// persists ai: abstract-interpretation value ranges.
+	P1, P2, Journal, Clone, AI *artifact.Store
 }
 
 // OpenStores opens (or creates) the four per-class stores under opts.Dir,
@@ -89,9 +92,13 @@ func OpenStores(opts StoreOptions) (*Stores, error) {
 			if st.Journal, err = open("jr", storeShareJournal, map[string]artifact.Codec{
 				"jr": artifact.BytesCodec{},
 			}); err == nil {
-				st.Clone, err = open("ci", storeShareClone, map[string]artifact.Codec{
+				if st.Clone, err = open("ci", storeShareClone, map[string]artifact.Codec{
 					"ci": clonedet.FingerprintCodec{},
-				})
+				}); err == nil {
+					st.AI, err = open("ai", storeShareAbsint, map[string]artifact.Codec{
+						"ai": core.AbsintCodec{},
+					})
+				}
 			}
 		}
 	}
@@ -108,7 +115,7 @@ func (st *Stores) each(fn func(class string, s *artifact.Store)) {
 		name  string
 		store *artifact.Store
 	}{
-		{"p1", st.P1}, {"p2", st.P2}, {"jr", st.Journal}, {"ci", st.Clone},
+		{"p1", st.P1}, {"p2", st.P2}, {"jr", st.Journal}, {"ci", st.Clone}, {"ai", st.AI},
 	} {
 		if c.store != nil {
 			fn(c.name, c.store)
@@ -147,7 +154,7 @@ func (st *Stores) Counters() map[string]artifact.Counters {
 	if st == nil {
 		return nil
 	}
-	out := make(map[string]artifact.Counters, 4)
+	out := make(map[string]artifact.Counters, 5)
 	st.each(func(class string, s *artifact.Store) { out[class] = s.Counters() })
 	return out
 }

@@ -24,6 +24,20 @@ type Metrics struct {
 	CacheHits *telemetry.Counter
 	// CacheMisses counts cache-backed Sat calls that had to solve.
 	CacheMisses *telemetry.Counter
+	// StaticDischarged counts queries that never reached the solver because
+	// a static layer (the absint branch oracle) already knew the verdict.
+	// The solver cannot increment this itself — discharged queries are
+	// never issued — so the discharging layer calls ObserveDischarged.
+	StaticDischarged *telemetry.Counter
+}
+
+// ObserveDischarged records n queries answered statically instead of being
+// solved. Safe on a nil receiver.
+func (m *Metrics) ObserveDischarged(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.StaticDischarged.Add(uint64(n))
 }
 
 // observeCache classifies one cache-backed Sat lookup.

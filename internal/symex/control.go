@@ -5,6 +5,7 @@ import (
 
 	"octopocs/internal/expr"
 	"octopocs/internal/isa"
+	"octopocs/internal/journal"
 )
 
 // enterBlock moves the frame to a block, maintaining visit counts.
@@ -54,6 +55,23 @@ func (e *Executor) branch(st *State, fr *Frame, in *isa.Inst, directed bool) err
 		}
 	}
 
+	// An absint-proved branch is discharged without any solver call: the
+	// proven direction is feasible (an active state's path condition is
+	// invariantly satisfiable, and every concrete model of it takes the
+	// proven arm), the other direction is infeasible on every path. The
+	// branch constraint is still recorded, so the committed constraint set
+	// — and hence the reformed PoC bytes — are identical either way.
+	oracleTaken := -1
+	if e.cfg.Oracle != nil && in.ThenIdx != in.ElseIdx {
+		if t, ok := e.cfg.Oracle.BranchProved(fr.fn.Name, fr.block); ok {
+			oracleTaken = t
+			if e.cfg.Journal.Verbose() {
+				e.cfg.Journal.Emit(journal.EvSymexAbsint, journal.Attrs{
+					"fn": fr.fn.Name, "block": fr.block, "taken": t})
+			}
+		}
+	}
+
 	inLoop := fr.visits[fr.block] > 1
 	for i, o := range opts {
 		// θ bound: refuse to re-enter a block beyond the iteration cap.
@@ -67,9 +85,16 @@ func (e *Executor) branch(st *State, fr *Frame, in *isa.Inst, directed bool) err
 			e.stat.PrunedBranches++
 			continue
 		}
-		ok, err := e.feasible(st, o.constraint)
-		if err != nil {
-			return err
+		var ok bool
+		if oracleTaken >= 0 {
+			e.stat.SatDischargedStatic++
+			ok = o.block == oracleTaken
+		} else {
+			var err error
+			ok, err = e.feasible(st, o.constraint)
+			if err != nil {
+				return err
+			}
 		}
 		if ok {
 			// Record the untried direction (if any) for backtracking
@@ -78,6 +103,7 @@ func (e *Executor) branch(st *State, fr *Frame, in *isa.Inst, directed bool) err
 			// of the fork's second child.
 			if (directed || e.emit != nil) && i == 0 &&
 				!(prunedTaken >= 0 && opts[1].block != prunedTaken) &&
+				!(oracleTaken >= 0 && opts[1].block != oracleTaken) &&
 				fr.visits[opts[1].block] < e.cfg.Theta {
 				var d int64
 				if directed {

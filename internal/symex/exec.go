@@ -62,6 +62,15 @@ type Config struct {
 	// every path, the committed path, constraint set and result are
 	// identical with and without a pruner; only the work differs.
 	Prune cfg.Pruner
+	// Oracle, when non-nil, supplies abstract-interpretation branch proofs
+	// (interval∧congruence value ranges): a branch the oracle decides is
+	// resolved without consulting the solver at all. Soundness matches
+	// Prune: the proven direction is feasible on exactly the paths the
+	// solver would accept (an active state's path condition is invariantly
+	// satisfiable, and every concrete execution takes the proven arm), so
+	// the committed path, constraint set and result are byte-identical with
+	// the oracle on or off; only the SAT checks differ.
+	Oracle StaticOracle
 	// MaxBacktracks bounds directed-mode decision reversals.
 	MaxBacktracks int
 	// Workers selects the exploration engine. 0 (the default) runs the
@@ -131,6 +140,14 @@ const (
 // constraints to the state (phase P3 bunch placement) before deciding.
 type Visitor func(entry EpEntry, st *State) (Decision, error)
 
+// StaticOracle answers "which successor does every execution of fn take at
+// the conditional branch ending block?" — the contract implemented by
+// absint.Result. Implementations must be safe for unsynchronized concurrent
+// use: every frontier worker queries the same oracle.
+type StaticOracle interface {
+	BranchProved(fn string, block int) (taken int, ok bool)
+}
+
 // Stats captures resource usage for the Table IV comparison.
 type Stats struct {
 	Steps     int64
@@ -150,6 +167,10 @@ type Stats struct {
 	// PrunedBranches counts branch directions skipped because the static
 	// pre-analysis proved them dead (no SAT check, no backtrack slot).
 	PrunedBranches int64
+	// SatDischargedStatic counts solver calls avoided because the
+	// abstract-interpretation oracle proved the branch direction before the
+	// solver ever saw it (one per discharged feasibility query).
+	SatDischargedStatic int64
 	// PeakMemBytes is the peak estimated retained memory across live
 	// states (naive mode) or the final state footprint (directed mode).
 	PeakMemBytes int64

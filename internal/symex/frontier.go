@@ -528,6 +528,7 @@ func (f *frontier) finish(ws []*fWorker, workers int) (*Result, error) {
 		stat.SatChecks += w.ex.stat.SatChecks
 		stat.LoopStates += w.ex.stat.LoopStates
 		stat.PrunedBranches += w.ex.stat.PrunedBranches
+		stat.SatDischargedStatic += w.ex.stat.SatDischargedStatic
 		workerSteps[i] = w.steps
 	}
 

@@ -38,6 +38,9 @@ type Metrics struct {
 	// PrunedBranches counts branch directions skipped because the static
 	// pre-analysis (P2 pre-phase) proved them dead.
 	PrunedBranches *telemetry.Counter
+	// SatDischargedStatic counts solver calls avoided because the
+	// abstract-interpretation oracle decided the branch first.
+	SatDischargedStatic *telemetry.Counter
 	// Steals counts frontier nodes executed by a worker other than the one
 	// that emitted them (parallel engine only).
 	Steals *telemetry.Counter
@@ -69,6 +72,8 @@ func (m *Metrics) observe(st *Stats, finalKind StateKind) {
 	m.ProgramDeads.Add(uint64(st.ProgramDeads))
 	m.SatChecks.Add(uint64(st.SatChecks))
 	m.PrunedBranches.Add(uint64(st.PrunedBranches))
+	m.SatDischargedStatic.Add(uint64(st.SatDischargedStatic))
+	m.Solver.ObserveDischarged(st.SatDischargedStatic)
 	if finalKind == KindLoopDead {
 		m.ThetaExhausted.Inc()
 	}

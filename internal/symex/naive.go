@@ -58,6 +58,9 @@ type NaiveConfig struct {
 	// as in Config.Prune; the fork set is unchanged because a pruned
 	// direction is infeasible and would be dropped by its SAT check.
 	Prune cfg.Pruner
+	// Oracle, when non-nil, discharges absint-proved branches without a
+	// solver call exactly as in Config.Oracle; the fork set is unchanged.
+	Oracle StaticOracle
 	// Faults, when non-nil, injects scheduled faults exactly as in
 	// Config.Faults. Nil in production.
 	Faults *faultinject.Injector
@@ -106,6 +109,7 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 			Workers:     cfg.Workers,
 			SolverCache: cfg.SolverCache,
 			Prune:       cfg.Prune,
+			Oracle:      cfg.Oracle,
 			Faults:      cfg.Faults,
 		}, stopVisitor, frontierBudgets{mem: cfg.MemBudget, states: cfg.MaxStates}, nil)
 	}
@@ -118,6 +122,7 @@ func runNaive(prog *isa.Program, cfg NaiveConfig, onResolve func(isa.Loc, string
 		Stop:      cfg.Stop,
 		Metrics:   cfg.Metrics,
 		Prune:     cfg.Prune,
+		Oracle:    cfg.Oracle,
 		Faults:    cfg.Faults,
 	})
 	e.onResolve = onResolve
@@ -263,6 +268,12 @@ func (e *Executor) fork(st *State, fr *Frame, in *isa.Inst) ([]*State, error) {
 			prunedTaken = t
 		}
 	}
+	oracleTaken := -1
+	if e.cfg.Oracle != nil && in.ThenIdx != in.ElseIdx {
+		if t, ok := e.cfg.Oracle.BranchProved(fr.fn.Name, fr.block); ok {
+			oracleTaken = t
+		}
+	}
 	var out []*State
 	for _, o := range []option{
 		{in.ThenIdx, expr.Bool(cond)},
@@ -277,9 +288,18 @@ func (e *Executor) fork(st *State, fr *Frame, in *isa.Inst) ([]*State, error) {
 			e.stat.PrunedBranches++
 			continue
 		}
-		ok, err := e.feasible(st, o.constraint)
-		if err != nil {
-			return nil, err
+		var ok bool
+		if oracleTaken >= 0 {
+			// Absint-discharged: the proven arm is feasible, the other
+			// is not, with no solver call either way (see Config.Oracle).
+			e.stat.SatDischargedStatic++
+			ok = o.block == oracleTaken
+		} else {
+			var err error
+			ok, err = e.feasible(st, o.constraint)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if !ok {
 			continue

@@ -2,12 +2,15 @@ package symex_test
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
+	"octopocs/internal/absint"
 	"octopocs/internal/asm"
 	"octopocs/internal/cfg"
 	"octopocs/internal/expr"
 	"octopocs/internal/isa"
+	"octopocs/internal/journal"
 	"octopocs/internal/solver"
 	"octopocs/internal/symex"
 	"octopocs/internal/vm"
@@ -480,5 +483,122 @@ func TestDirectedHandlesBranchyProgram(t *testing.T) {
 	in := solveInput(t, res, 64)
 	if in[14] != 0x42 {
 		t.Errorf("in[14] = %#x, want 0x42", in[14])
+	}
+}
+
+// oracleProg gates ep behind a branch absint proves: the sum of a loaded
+// byte with itself is at most 510, so the bound check can never fail. The
+// condition is symbolic to the executor (it depends on input) and composite
+// enough that the expression simplifier cannot fold it, so without the
+// oracle it costs SAT checks.
+func oracleProg(t *testing.T) *isa.Program {
+	t.Helper()
+	b := asm.NewBuilder("oracle")
+	ep := b.Function("ep", 1)
+	ep.Ret(ep.Param(0))
+
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	buf := f.Sys(isa.SysAlloc, f.Const(16))
+	f.Sys(isa.SysRead, fd, buf, f.Const(4))
+	x := f.Load(1, buf, 0)
+	y := f.Add(x, x) // [0, 510] by the load width
+	f.IfElse(f.CmpI(isa.Lt, y, 1024),
+		func() {
+			f.IfElse(f.EqI(f.Load(1, buf, 1), 0x4D),
+				func() { f.Call("ep", fd) },
+				func() { f.Exit(2) })
+		},
+		func() { f.Exit(1) }) // absint-refuted arm
+	f.Exit(0)
+	b.Entry("main")
+	return b.MustBuild()
+}
+
+// TestOracleDischargesBranch pins the absint oracle contract end to end:
+// with the oracle on, the run reaches ep with an identical constraint set
+// and solved input, spends fewer SAT checks, and counts the discharges.
+func TestOracleDischargesBranch(t *testing.T) {
+	prog := oracleProg(t)
+	off := runDirected(t, prog, symex.Config{Target: "ep", InputSize: 16}, stopAtFirst)
+	on := runDirected(t, prog, symex.Config{
+		Target: "ep", InputSize: 16, Oracle: absint.Analyze(prog),
+	}, stopAtFirst)
+
+	if !off.Reached() || !on.Reached() {
+		t.Fatalf("reached: off=%v on=%v", off.Kind, on.Kind)
+	}
+	inOff := solveInput(t, off, 16)
+	inOn := solveInput(t, on, 16)
+	if string(inOff) != string(inOn) {
+		t.Errorf("solved inputs diverge: %x vs %x", inOff, inOn)
+	}
+	if len(on.Constraints) != len(off.Constraints) {
+		t.Errorf("constraint sets diverge: %d vs %d", len(on.Constraints), len(off.Constraints))
+	}
+	if on.Stats.SatDischargedStatic == 0 {
+		t.Error("oracle run discharged nothing")
+	}
+	if off.Stats.SatDischargedStatic != 0 {
+		t.Error("oracle-off run counted discharges")
+	}
+	if on.Stats.SatChecks >= off.Stats.SatChecks {
+		t.Errorf("oracle did not reduce SAT checks: on=%d off=%d",
+			on.Stats.SatChecks, off.Stats.SatChecks)
+	}
+}
+
+// TestOracleJournalsDischarges pins the provenance trail: a verbose
+// journal records one symex.absint_discharged event per discharge, and
+// the generic renderer shows it under the symex phase.
+func TestOracleJournalsDischarges(t *testing.T) {
+	prog := oracleProg(t)
+	jr := journal.New("test", journal.Options{Verbosity: journal.VerbVerbose})
+	res := runDirected(t, prog, symex.Config{
+		Target: "ep", InputSize: 16, Oracle: absint.Analyze(prog), Journal: jr,
+	}, stopAtFirst)
+	var discharged int64
+	for _, ev := range jr.Events() {
+		if ev.Type == journal.EvSymexAbsint {
+			discharged++
+		}
+	}
+	if discharged != res.Stats.SatDischargedStatic || discharged == 0 {
+		t.Fatalf("journal records %d discharges, stats say %d",
+			discharged, res.Stats.SatDischargedStatic)
+	}
+	out := journal.Render(jr.Events(), journal.RenderOptions{All: true})
+	if !strings.Contains(out, "symex.absint_discharged") {
+		t.Errorf("rendered journal does not show the discharge:\n%s", out)
+	}
+}
+
+// TestOracleNaiveAndFrontier pins the same contract on the naive fork loop
+// and the parallel frontier engine.
+func TestOracleNaiveAndFrontier(t *testing.T) {
+	prog := oracleProg(t)
+	oracle := absint.Analyze(prog)
+	for _, workers := range []int{0, 2} {
+		off, err := symex.RunNaive(prog, symex.NaiveConfig{Target: "ep", InputSize: 16, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d off: %v", workers, err)
+		}
+		on, err := symex.RunNaive(prog, symex.NaiveConfig{Target: "ep", InputSize: 16, Workers: workers, Oracle: oracle})
+		if err != nil {
+			t.Fatalf("workers=%d on: %v", workers, err)
+		}
+		if !off.Reached() || !on.Reached() {
+			t.Fatalf("workers=%d reached: off=%v on=%v", workers, off.Kind, on.Kind)
+		}
+		if string(solveInput(t, off, 16)) != string(solveInput(t, on, 16)) {
+			t.Errorf("workers=%d solved inputs diverge", workers)
+		}
+		if on.Stats.SatDischargedStatic == 0 {
+			t.Errorf("workers=%d: nothing discharged", workers)
+		}
+		if on.Stats.SatChecks >= off.Stats.SatChecks {
+			t.Errorf("workers=%d: SAT checks not reduced (on=%d off=%d)",
+				workers, on.Stats.SatChecks, off.Stats.SatChecks)
+		}
 	}
 }

@@ -40,6 +40,11 @@ type Hooks struct {
 	OnInst func(loc isa.Loc, frameID uint64, in *isa.Inst)
 	// OnBlock fires when control enters a basic block.
 	OnBlock func(fn string, block int)
+	// OnBlockRegs fires when control enters a basic block, exposing the
+	// frame's register file at the block boundary; differential checkers
+	// (the absint soundness fuzz target) compare it against static
+	// abstractions. The slice aliases live machine state.
+	OnBlockRegs func(fn string, block int, regs []uint64)
 	// OnLoad fires after a successful memory load.
 	OnLoad func(loc isa.Loc, frameID uint64, in *isa.Inst, addr uint64, val uint64)
 	// OnStore fires after a successful memory store.
@@ -192,6 +197,9 @@ func (m *Machine) pushFrame(fn *isa.Function, args []uint64, retDst isa.Reg) {
 	if m.hooks.OnBlock != nil {
 		m.hooks.OnBlock(fn.Name, 0)
 	}
+	if m.hooks.OnBlockRegs != nil {
+		m.hooks.OnBlockRegs(fn.Name, 0, fr.regs[:])
+	}
 }
 
 // Run executes the program to completion.
@@ -341,6 +349,9 @@ func (m *Machine) enterBlock(fr *frame, block int) {
 	fr.inst = 0
 	if m.hooks.OnBlock != nil {
 		m.hooks.OnBlock(fr.fn.Name, block)
+	}
+	if m.hooks.OnBlockRegs != nil {
+		m.hooks.OnBlockRegs(fr.fn.Name, block, fr.regs[:])
 	}
 }
 
