@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"octopocs/internal/core"
+	"octopocs/internal/corpus"
+	"octopocs/internal/vm"
+)
+
+// HybridBenchRow is one (pair, hybrid mode) measurement of
+// BENCH_hybrid.json: the verification outcome of a hybrid-set pair with
+// the directed-fuzzing fallback off (the symex baseline) or on.
+type HybridBenchRow struct {
+	Pair    string `json:"pair"`
+	Idx     int    `json:"idx"`
+	Hybrid  bool   `json:"hybrid"`
+	Verdict string `json:"verdict"`
+	Type    string `json:"type"`
+	Reason  string `json:"reason,omitempty"`
+	PoC     bool   `json:"poc_generated"`
+	// Rescued marks rows the fallback upgraded to triggered-by-fuzzing;
+	// Confirmed re-checks the reported poc' on an independent VM replay.
+	Rescued   bool `json:"rescued,omitempty"`
+	Confirmed bool `json:"replay_confirmed,omitempty"`
+	// ExecsToTrigger counts the campaign's concrete executions until the
+	// crash (both arms); zero on hybrid=false rows.
+	ExecsToTrigger int64 `json:"execs_to_trigger,omitempty"`
+	// MaskedArm reports whether the bunch-masked arm found the crash.
+	MaskedArm bool    `json:"masked_arm,omitempty"`
+	WallMs    float64 `json:"wall_ms"`
+	HybridMs  float64 `json:"hybrid_ms,omitempty"`
+}
+
+// hybridBenchTotals is the headline: how many symex-unresolvable pairs the
+// fallback rescued, and what it cost.
+type hybridBenchTotals struct {
+	// Unresolvable counts baseline rows ending loop-dead or
+	// budget-exhausted — the population the fallback targets.
+	Unresolvable int `json:"unresolvable_baseline"`
+	// Rescued counts pairs upgraded to triggered-by-fuzzing; the gate
+	// requires Rescued == Unresolvable.
+	Rescued int `json:"rescued"`
+	// Confirmed counts rescues whose poc' passed the independent replay;
+	// the gate requires Confirmed == Rescued.
+	Confirmed  int   `json:"replay_confirmed"`
+	TotalExecs int64 `json:"total_execs"`
+}
+
+// hybridBenchFile is the BENCH_hybrid.json document.
+type hybridBenchFile struct {
+	Host       hostMeta          `json:"host"`
+	Note       string            `json:"note"`
+	Pairs      int               `json:"pairs"`
+	Totals     hybridBenchTotals `json:"totals"`
+	Benchmarks []HybridBenchRow  `json:"benchmarks"`
+}
+
+// benchHybrid verifies every hybrid-set pair (Idx 18-21) with the
+// directed-fuzzing fallback off and on, and writes the rescue comparison
+// to path. The run FAILS unless every pair that is symex-unresolvable at
+// baseline (loop-dead or budget-exhausted) is rescued as
+// triggered-by-fuzzing with a poc' that an independent concrete replay
+// confirms crashes T inside ℓ — the hard gate CI enforces.
+func benchHybrid(path string) error {
+	out := hybridBenchFile{
+		Host: currentHost(),
+		Note: "each hybrid pair is verified twice by fresh pipelines: hybrid=false is the " +
+			"symex-only baseline (expected to end loop-dead or budget-exhausted), hybrid=true " +
+			"adds the directed-fuzzing fallback seeded with the partially-solved poc' and " +
+			"masked by the P1 bunch spans. Every baseline-unresolvable pair must be rescued " +
+			"as triggered-by-fuzzing, and every reported poc' is re-replayed on an " +
+			"independent VM before it counts. execs_to_trigger spans both campaign arms. " +
+			"wall_ms is a single uncached run (indicative, not a steady state).",
+	}
+	specs := corpus.HybridSet()
+	out.Pairs = len(specs)
+	for _, spec := range specs {
+		unresolvable := false
+		for _, hybridOn := range []bool{false, true} {
+			pl := core.New(core.Config{HybridFuzz: hybridOn})
+			start := time.Now()
+			rep, err := pl.Verify(spec.Pair)
+			wall := time.Since(start)
+			if err != nil {
+				return fmt.Errorf("pair %d hybrid=%v: %w", spec.Idx, hybridOn, err)
+			}
+			row := HybridBenchRow{
+				Pair:    spec.Pair.Name,
+				Idx:     spec.Idx,
+				Hybrid:  hybridOn,
+				Verdict: rep.Verdict.String(),
+				Type:    rep.Type.String(),
+				Reason:  string(rep.Reason),
+				PoC:     rep.PoCGenerated(),
+				WallMs:  float64(wall.Microseconds()) / 1e3,
+			}
+			if !hybridOn {
+				unresolvable = rep.Reason == core.ReasonLoopDead || rep.Reason == core.ReasonBudget
+				if unresolvable {
+					out.Totals.Unresolvable++
+				}
+				if rep.Verdict == core.VerdictTriggered || rep.Verdict == core.VerdictTriggeredByFuzzing {
+					return fmt.Errorf("pair %d: baseline unexpectedly triggered (%s)", spec.Idx, rep.Verdict)
+				}
+			} else {
+				row.HybridMs = float64(rep.Timings.Hybrid.Microseconds()) / 1e3
+				if rep.Hybrid != nil {
+					row.Rescued = rep.Hybrid.Rescued
+					row.ExecsToTrigger = rep.Hybrid.Execs
+					row.MaskedArm = rep.Hybrid.MaskedArm
+					out.Totals.TotalExecs += rep.Hybrid.Execs
+				}
+				if unresolvable {
+					// The hard gate: a symex-unresolvable pair must be
+					// rescued, and its poc' must replay-confirm.
+					if rep.Verdict != core.VerdictTriggeredByFuzzing || !row.Rescued {
+						return fmt.Errorf("pair %d: symex-unresolvable but not rescued (verdict %s, hybrid %+v)",
+							spec.Idx, rep.Verdict, rep.Hybrid)
+					}
+					out.Totals.Rescued++
+					replay := vm.New(spec.Pair.T, vm.Config{Input: rep.PoCPrime}).Run()
+					row.Confirmed = replay.Crashed() && replay.CrashedIn(spec.Pair.Lib)
+					if !row.Confirmed {
+						return fmt.Errorf("pair %d: rescued poc' failed the independent replay (%v)", spec.Idx, replay)
+					}
+					out.Totals.Confirmed++
+				}
+			}
+			out.Benchmarks = append(out.Benchmarks, row)
+			fmt.Printf("[%2d] %-24s hybrid=%-5v %-20s reason=%-28q execs=%7d %8.2f ms%s\n",
+				spec.Idx, spec.Pair.Name, hybridOn, row.Verdict, row.Reason,
+				row.ExecsToTrigger, row.WallMs,
+				map[bool]string{true: "  (rescued)", false: ""}[row.Rescued])
+		}
+	}
+	if out.Totals.Unresolvable == 0 {
+		return fmt.Errorf("no hybrid pair was symex-unresolvable at baseline; the set no longer exercises the fallback")
+	}
+	if out.Totals.Rescued != out.Totals.Unresolvable || out.Totals.Confirmed != out.Totals.Rescued {
+		return fmt.Errorf("rescue gate failed: %d unresolvable, %d rescued, %d confirmed",
+			out.Totals.Unresolvable, out.Totals.Rescued, out.Totals.Confirmed)
+	}
+	fmt.Printf("totals: %d/%d symex-unresolvable pairs rescued and replay-confirmed, %d campaign execs\n",
+		out.Totals.Rescued, out.Totals.Unresolvable, out.Totals.TotalExecs)
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("benchmark results written to %s\n", path)
+	return nil
+}
+
+// checkHybridBaselineIdentity verifies the fallback's do-no-harm property
+// from the CLI surface: every pre-existing corpus pair (Idx 1-17) must
+// produce a byte-identical verdict/type/reason/poc' with -hybrid on.
+// Called by the -bench-hybrid run after the rescue gate.
+func checkHybridBaselineIdentity() error {
+	plOff := core.New(core.Config{})
+	plOn := core.New(core.Config{HybridFuzz: true})
+	for _, spec := range append(corpus.All(), corpus.StaticSet()...) {
+		repOff, err := plOff.Verify(spec.Pair)
+		if err != nil {
+			return fmt.Errorf("pair %d (off): %w", spec.Idx, err)
+		}
+		repOn, err := plOn.Verify(spec.Pair)
+		if err != nil {
+			return fmt.Errorf("pair %d (on): %w", spec.Idx, err)
+		}
+		if repOn.Verdict != repOff.Verdict || repOn.Type != repOff.Type ||
+			repOn.Reason != repOff.Reason || !bytes.Equal(repOn.PoCPrime, repOff.PoCPrime) {
+			return fmt.Errorf("pair %d: -hybrid changed the outcome: %s vs %s", spec.Idx, repOn, repOff)
+		}
+		if repOn.Hybrid != nil {
+			return fmt.Errorf("pair %d: fallback ran on a non-eligible pair", spec.Idx)
+		}
+	}
+	fmt.Println("baseline identity: all 17 pre-existing pairs byte-identical with -hybrid on")
+	return nil
+}

@@ -50,6 +50,8 @@ func run(args []string) error {
 		journalOut = fs.String("bench-journal-out", "BENCH_journal.json", "with -bench-journal: output file")
 		doStore    = fs.Bool("bench-store", false, "run the persistent-store warm-restart benchmark (all pairs cold, then reopened warm; fails if the warm pass recomputes anything)")
 		storeOut   = fs.String("bench-store-out", "BENCH_store.json", "with -bench-store: output file")
+		doHybrid   = fs.Bool("bench-hybrid", false, "run the hybrid-fallback benchmark (hybrid set off vs on; fails unless every symex-unresolvable pair is rescued and replay-confirmed, and pairs 1-17 stay byte-identical)")
+		hybridOut  = fs.String("bench-hybrid-out", "BENCH_hybrid.json", "with -bench-hybrid: output file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,9 +77,15 @@ func run(args []string) error {
 	if *doStore {
 		return benchStore(*storeOut, *workers)
 	}
+	if *doHybrid {
+		if err := benchHybrid(*hybridOut); err != nil {
+			return err
+		}
+		return checkHybridBaselineIdentity()
+	}
 	if !*all && *table == 0 && !*doSurvey && !*doLatest && !*doSweeps {
 		fs.Usage()
-		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, -bench-static, -bench-faults, -bench-clonedet, -bench-journal, or -bench-store")
+		return fmt.Errorf("pass -all, -table N, -latest, -sweeps, -survey, -bench-telemetry, -bench-symex, -bench-static, -bench-faults, -bench-clonedet, -bench-journal, -bench-store, or -bench-hybrid")
 	}
 
 	want := func(n int) bool { return *all || *table == n }

@@ -57,12 +57,13 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("octopocs", flag.ContinueOnError)
 	var (
 		all         = fs.Bool("all", false, "verify every corpus pair")
-		pairIdx     = fs.Int("pair", 0, "verify one corpus row (1-15 Table II, 16-17 static set)")
+		pairIdx     = fs.Int("pair", 0, "verify one corpus row (1-15 Table II, 16-17 static set, 18-21 hybrid set)")
 		pocOut      = fs.String("poc", "", "write the reformed PoC to this file")
 		contextFree = fs.Bool("context-free", false, "disable context-aware taint analysis")
 		staticCFG   = fs.Bool("static-cfg", false, "disable dynamic CFG discovery")
 		static      = fs.Bool("static", false, "enable the static pre-analysis (MIR verifier, constant folding, dead-block pruning, statically-unreachable short-circuit)")
 		absintOn    = fs.Bool("absint", false, "enable abstract-interpretation value ranges: branch oracle for symbolic execution, plus stronger pruning with -static")
+		hybridOn    = fs.Bool("hybrid", false, "enable the directed-fuzzing fallback: rescue theta- and budget-exhausted symex outcomes with a replay-confirmed campaign crash (verdict triggered-by-fuzzing)")
 		verbose     = fs.Bool("v", false, "print crash primitives and crash details")
 		workers     = fs.Int("workers", 0, "with -all: verify pairs concurrently with this many service workers (0 = sequential)")
 		symexWork   = fs.Int("symex-workers", 0, "frontier explorer goroutines per symbolic execution (0 = GOMAXPROCS, negative = legacy sequential engine)")
@@ -94,11 +95,13 @@ func run(args []string) error {
 	}
 	if *prioritize {
 		return runPrioritize(core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG,
-			StaticPrune: *static, Absint: *absintOn, SymexWorkers: symexBudget(*symexWork), Faults: faults})
+			StaticPrune: *static, Absint: *absintOn, HybridFuzz: *hybridOn,
+			SymexWorkers: symexBudget(*symexWork), Faults: faults})
 	}
 
 	cfg := core.Config{ContextFree: *contextFree, StaticCFGOnly: *staticCFG,
-		StaticPrune: *static, Absint: *absintOn, SymexWorkers: symexBudget(*symexWork), Faults: faults}
+		StaticPrune: *static, Absint: *absintOn, HybridFuzz: *hybridOn,
+		SymexWorkers: symexBudget(*symexWork), Faults: faults}
 
 	var specs []*corpus.PairSpec
 	if *all {
@@ -106,7 +109,7 @@ func run(args []string) error {
 	} else {
 		spec := corpus.ByIdx(*pairIdx)
 		if spec == nil {
-			return fmt.Errorf("no corpus pair with index %d (valid: 1-17)", *pairIdx)
+			return fmt.Errorf("no corpus pair with index %d (valid: 1-21)", *pairIdx)
 		}
 		specs = []*corpus.PairSpec{spec}
 	}

@@ -70,6 +70,7 @@ func run(args []string, logOut *os.File) error {
 	traces := fs.Int("traces", 0, "retained finished job traces (0 = default, negative disables)")
 	static := fs.Bool("static", false, "enable the static pre-analysis for all jobs (per-job \"static\" field overrides)")
 	absintOn := fs.Bool("absint", false, "enable abstract-interpretation value ranges for all jobs: branch oracle for symbolic execution, plus stronger pruning with -static")
+	hybridOn := fs.Bool("hybrid", false, "enable the directed-fuzzing fallback for all jobs: rescue theta- and budget-exhausted symex outcomes with a replay-confirmed campaign crash")
 	journalCap := fs.Int("journal", 0, "events retained per job provenance journal (0 = default, negative disables journaling)")
 	storeDir := fs.String("store-dir", "", "persistent artifact store directory; empty runs memory-only")
 	storeBudget := fs.Int64("store-budget", 0, "persistent store disk budget in MiB across all classes (0 = default)")
@@ -130,7 +131,7 @@ func run(args []string, logOut *os.File) error {
 		JournalCapacity: *journalCap,
 		JournalVerbose:  *journalVerbose,
 		Stores:          stores,
-		Pipeline:        core.Config{StaticPrune: *static, Absint: *absintOn, Faults: faults},
+		Pipeline:        core.Config{StaticPrune: *static, Absint: *absintOn, HybridFuzz: *hybridOn, Faults: faults},
 		Logger:          logger,
 	}, *drain, logger)
 }

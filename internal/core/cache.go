@@ -75,6 +75,14 @@ func (p *Pipeline) SetAbsintCache(c Cache) {
 	p.aiCache = c
 }
 
+// SetHybridCache installs the artifact cache for hybrid-campaign outcomes
+// (the hy: class). Nil disables the class. Cached rescues are replayed on
+// the concrete VM before reuse, so a damaged artifact degrades to a
+// recompute, never to a wrong verdict.
+func (p *Pipeline) SetHybridCache(c Cache) {
+	p.hyCache = c
+}
+
 // cacheGet reads an artifact through the fault injector: an injected
 // cache-read failure degrades to a miss, so the phase recomputes the
 // artifact it would have loaded — slower, never different.

@@ -19,6 +19,7 @@ import (
 	"octopocs/internal/absint"
 	"octopocs/internal/asm"
 	"octopocs/internal/cfg"
+	"octopocs/internal/hybrid"
 	"octopocs/internal/mirstatic"
 	"octopocs/internal/vm"
 )
@@ -121,6 +122,34 @@ func (P2Codec) Decode(data []byte) (any, error) {
 		art.Dist = graph.DistancesTo(w.Ep)
 	}
 	return art, nil
+}
+
+// HybridCodec encodes *hybrid.Outcome values for the disk tier. The outcome
+// is plain data (rescue flag, poc' bytes, exec counts), so the wire form is
+// its direct JSON encoding. A decoded outcome claiming a rescue is not
+// trusted on its own: the pipeline replays its poc' on the concrete VM
+// before reuse and discards the artifact if the crash does not reproduce.
+type HybridCodec struct{}
+
+// Encode marshals a *hybrid.Outcome.
+func (HybridCodec) Encode(v any) ([]byte, error) {
+	o, ok := v.(*hybrid.Outcome)
+	if !ok {
+		return nil, fmt.Errorf("core: hybrid codec: unexpected value type %T", v)
+	}
+	return json.Marshal(o)
+}
+
+// Decode unmarshals a *hybrid.Outcome.
+func (HybridCodec) Decode(data []byte) (any, error) {
+	o := new(hybrid.Outcome)
+	if err := json.Unmarshal(data, o); err != nil {
+		return nil, fmt.Errorf("core: hybrid codec: %w", err)
+	}
+	if o.Rescued && len(o.PoCPrime) == 0 {
+		return nil, fmt.Errorf("core: hybrid codec: rescued outcome has no poc'")
+	}
+	return o, nil
 }
 
 // StaticCodec encodes *mirstatic.Analysis values for the disk tier. The

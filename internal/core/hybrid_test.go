@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"octopocs/internal/hybrid"
+)
+
+// TestHybridEligibleBoundary is the fallback's firing table over every
+// reason code: exactly the two resource-exhaustion outcomes (loop-dead
+// θ-exhaustion and analysis budget, which also covers the hung default
+// mapping) qualify; every sound not-triggerable argument and every
+// structural failure is excluded.
+func TestHybridEligibleBoundary(t *testing.T) {
+	cases := []struct {
+		reason Reason
+		want   bool
+	}{
+		{ReasonLoopDead, true},
+		{ReasonBudget, true},
+		{ReasonNone, false},
+		{ReasonEpMissing, false},
+		{ReasonEpNotCalled, false},
+		{ReasonProgramDead, false},
+		{ReasonParamMismatch, false},
+		{ReasonUnsat, false},
+		{ReasonCFGUnresolved, false},
+		{ReasonNoCrash, false},
+		{ReasonStaticUnreachable, false},
+	}
+	for _, c := range cases {
+		if got := hybridEligible(c.reason); got != c.want {
+			t.Errorf("hybridEligible(%q) = %v, want %v", c.reason, got, c.want)
+		}
+	}
+}
+
+// TestPartialSeedGating checks partialSeed stays nil unless the fallback is
+// on, the reason is eligible, and constraints exist — the partial solve
+// must never run (and never emit solver work) on a fallback-off pipeline.
+func TestPartialSeedGating(t *testing.T) {
+	off := New(Config{})
+	on := New(Config{HybridFuzz: true})
+	if got := off.partialSeed(nil, 16, ReasonLoopDead); got != nil {
+		t.Errorf("fallback-off partialSeed = %x, want nil", got)
+	}
+	if got := on.partialSeed(nil, 16, ReasonLoopDead); got != nil {
+		t.Errorf("no-constraints partialSeed = %x, want nil", got)
+	}
+	if got := on.partialSeed(nil, 16, ReasonUnsat); got != nil {
+		t.Errorf("ineligible-reason partialSeed = %x, want nil", got)
+	}
+}
+
+// TestVerifiedCountsFuzzingRescue pins that a triggered-by-fuzzing report
+// counts as verified (Table II verification column) and renders its own
+// distinct verdict string.
+func TestVerifiedCountsFuzzingRescue(t *testing.T) {
+	r := &Report{Verdict: VerdictTriggeredByFuzzing}
+	if !r.Verified() {
+		t.Error("triggered-by-fuzzing report does not count as verified")
+	}
+	if got := VerdictTriggeredByFuzzing.String(); got != "triggered-by-fuzzing" {
+		t.Errorf("verdict string = %q", got)
+	}
+}
+
+// TestHybridCodecRoundTrip checks the hy: disk codec reproduces outcomes
+// bit for bit and rejects structurally corrupted payloads.
+func TestHybridCodecRoundTrip(t *testing.T) {
+	o := &hybrid.Outcome{
+		Rescued:     true,
+		Confirmed:   true,
+		PoCPrime:    []byte{1, 2, 3},
+		CrashLoc:    "decode:0:7",
+		Execs:       1234,
+		MaskedArm:   true,
+		WinnerShard: 1,
+	}
+	data, err := (HybridCodec{}).Encode(o)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	v, err := (HybridCodec{}).Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	got, ok := v.(*hybrid.Outcome)
+	if !ok {
+		t.Fatalf("Decode returned %T", v)
+	}
+	if got.Rescued != o.Rescued || got.Execs != o.Execs || string(got.PoCPrime) != string(o.PoCPrime) ||
+		got.CrashLoc != o.CrashLoc || got.MaskedArm != o.MaskedArm || got.WinnerShard != o.WinnerShard {
+		t.Errorf("round trip diverged: %+v vs %+v", got, o)
+	}
+	if _, err := (HybridCodec{}).Encode("wrong"); err == nil {
+		t.Error("Encode accepted a non-outcome value")
+	}
+	if _, err := (HybridCodec{}).Decode([]byte(`{"rescued":true}`)); err == nil {
+		t.Error("Decode accepted a rescued outcome without a poc'")
+	}
+	if _, err := (HybridCodec{}).Decode([]byte("{garbage")); err == nil {
+		t.Error("Decode accepted malformed JSON")
+	}
+}

@@ -58,6 +58,22 @@ type Config struct {
 	Absint bool
 	// PadByte fills unconstrained poc' bytes.
 	PadByte byte
+	// HybridFuzz enables the directed-fuzzing fallback (internal/hybrid):
+	// when symbolic execution ends θ-exhausted (loop-dead) or out of solver
+	// budget — the two outcomes where the failure is a bound of the
+	// analysis, not a proof about T — a deterministic campaign seeded with
+	// the partially-solved poc' and the original PoC, masked by the P1
+	// bunch offsets and annealed toward ep with P2's distance maps, tries
+	// to produce the crash symex could not reach. A campaign crash is
+	// replayed on the concrete VM before it is reported, and only upgrades
+	// those two failure outcomes; sound verdicts are never revisited.
+	HybridFuzz bool
+	// HybridExecs bounds the fallback campaign's executions (0 means
+	// hybrid.DefaultMaxExecs).
+	HybridExecs int64
+	// HybridWorkers bounds the goroutines running campaign shards; purely
+	// a throughput knob (results are identical for any value).
+	HybridWorkers int
 	// SymexWorkers selects the P2/P3 exploration engine: 0 (default) keeps
 	// the sequential backtracking loop; >= 1 runs the parallel frontier
 	// engine with that many explorer goroutines. Any N >= 1 produces the
@@ -96,6 +112,7 @@ type Pipeline struct {
 	p1Cache Cache
 	p2Cache Cache
 	aiCache Cache
+	hyCache Cache
 	// satCache memoizes satisfiability verdicts across all phases and all
 	// concurrent verifications sharing this pipeline; nil when disabled.
 	satCache *solver.Cache
@@ -172,7 +189,7 @@ func (p *Pipeline) VerifyContext(ctx context.Context, pair *Pair) (*Report, erro
 	if rep.Reason != ReasonNone {
 		attrs["reason"] = string(rep.Reason)
 	}
-	if rep.Verdict == VerdictTriggered {
+	if rep.Verdict == VerdictTriggered || rep.Verdict == VerdictTriggeredByFuzzing {
 		attrs["poc_bytes"] = len(rep.PoCPrime)
 		attrs["guiding_same"] = rep.GuidingSame
 	}
@@ -331,12 +348,12 @@ func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recor
 	rec.Emit(journal.EvSymexStart, journal.Attrs{"ep": ep, "input_size": p.symInputSize(pair)})
 	t0 = time.Now()
 	sp = tr.Start("reform", root)
-	var pocPrime []byte
+	var pocPrime, partial []byte
 	var stats symex.Stats
 	var reason Reason
 	err = p.retryTransient(ctx, "reform", func() error {
 		var rerr error
-		pocPrime, stats, reason, rerr = p.reform(ctx, pair, ep, prep.Dist, p1.Bunches, prunerOf(sa), oracleOf(ai), sp)
+		pocPrime, partial, stats, reason, rerr = p.reform(ctx, pair, ep, prep.Dist, p1.Bunches, prunerOf(sa), oracleOf(ai), sp)
 		return rerr
 	})
 	sp.End()
@@ -346,6 +363,38 @@ func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recor
 	}
 	rep.Stats = stats
 	if reason != ReasonNone {
+		// Hybrid fallback: a θ-exhaustion or solver-budget outcome is a
+		// bound of the analysis, not a proof about T — exactly the two
+		// outcomes a directed fuzzing campaign may still resolve. Sound
+		// reasons (unsat, program-dead, param-mismatch, ep-not-called)
+		// never reach the campaign.
+		if p.cfg.HybridFuzz && hybridEligible(reason) {
+			t0 = time.Now()
+			hsp := tr.Start("hybrid", root)
+			hout, hyCached := p.phaseHybrid(ctx, pair, ep, prep.Dist, p1.Bunches, partial, reason)
+			hsp.SetAttr("cached", hyCached)
+			hsp.SetAttr("rescued", hout.Rescued)
+			hsp.End()
+			rep.Timings.Hybrid = time.Since(t0)
+			rep.Timings.HybridCached = hyCached
+			rep.Hybrid = hout
+			if hout.Rescued {
+				rep.PoCPrime = append([]byte(nil), hout.PoCPrime...)
+				crashed, p4err := p.phase4(ctx, pair, rep, VerdictTriggeredByFuzzing, root, rec)
+				if p4err != nil {
+					return nil, p4err
+				}
+				if crashed {
+					// Keep the symex failure reason as provenance: it
+					// records why the fallback had to run.
+					rep.Reason = reason
+					return rep, nil
+				}
+				// The replay-confirmed crash did not reproduce — a
+				// corrupted outcome; fall through to the symex verdict.
+				rep.PoCPrime = nil
+			}
+		}
 		switch reason {
 		case ReasonProgramDead, ReasonLoopDead, ReasonParamMismatch, ReasonUnsat, ReasonEpNotCalled:
 			rep.Verdict, rep.Type, rep.Reason = VerdictNotTriggerable, TypeIII, reason
@@ -357,25 +406,40 @@ func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recor
 	rep.PoCPrime = pocPrime
 
 	// P4: verify the propagated vulnerability with poc'.
-	t0 = time.Now()
+	crashed, err := p.phase4(ctx, pair, rep, VerdictTriggered, root, rec)
+	if err != nil {
+		return nil, err
+	}
+	if !crashed {
+		rep.Verdict, rep.Type, rep.Reason = VerdictFailure, TypeFailure, ReasonNoCrash
+	}
+	return rep, nil
+}
+
+// phase4 is the concrete verification tail shared by the reform path and
+// the hybrid fallback: replay rep.PoCPrime on T, and on a crash inside ℓ
+// set the given verdict, minimize, and classify Type-I/Type-II. It reports
+// whether the crash held; the caller owns the no-crash verdict.
+func (p *Pipeline) phase4(ctx context.Context, pair *Pair, rep *Report, verdict Verdict, root *telemetry.Span, rec *journal.Recorder) (bool, error) {
+	tr := telemetry.TraceFrom(ctx)
+	t0 := time.Now()
 	p4 := tr.Start("p4", root)
 	defer func() { rep.Timings.P4 = time.Since(t0) }()
 	defer p4.End()
-	tOut := p.runConcrete(ctx, pair.T, pocPrime, pair.MaxSteps)
+	tOut := p.runConcrete(ctx, pair.T, rep.PoCPrime, pair.MaxSteps)
 	if tOut.Status == vm.StatusStopped {
-		return nil, ctxErr(ctx)
+		return false, ctxErr(ctx)
 	}
 	rec.Emit(journal.EvP4Verify, journal.Attrs{
 		"crashed": tOut.Crashed(),
 		"in_lib":  tOut.Crashed() && tOut.CrashedIn(pair.Lib),
-		"bytes":   len(pocPrime),
+		"bytes":   len(rep.PoCPrime),
 	})
 	if !tOut.Crashed() || !tOut.CrashedIn(pair.Lib) {
-		rep.Verdict, rep.Type, rep.Reason = VerdictFailure, TypeFailure, ReasonNoCrash
-		return rep, nil
+		return false, nil
 	}
 	rep.TCrash = tOut.Crash
-	rep.Verdict = VerdictTriggered
+	rep.Verdict = verdict
 	// The paper observes that poc' "did not contain unnecessary bytes";
 	// trim trailing padding while the crash is preserved. Every candidate
 	// is re-verified concretely, so minimization cannot invalidate the
@@ -387,7 +451,7 @@ func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recor
 	msp.End()
 	rec.Emit(journal.EvP4Minimize, journal.Attrs{"from": before, "to": len(rep.PoCPrime)})
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return false, err
 	}
 
 	// Type classification: Type-I when the original poc already triggers
@@ -396,7 +460,7 @@ func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recor
 	defer csp.End()
 	origOut := p.runConcrete(ctx, pair.T, pair.PoC, pair.MaxSteps)
 	if origOut.Status == vm.StatusStopped {
-		return nil, ctxErr(ctx)
+		return false, ctxErr(ctx)
 	}
 	rep.GuidingSame = origOut.Crashed() && origOut.CrashedIn(pair.Lib)
 	if rep.GuidingSame {
@@ -405,7 +469,7 @@ func (p *Pipeline) verifyCtx(ctx context.Context, pair *Pair, rec *journal.Recor
 		rep.Type = TypeII
 	}
 	rec.Emit(journal.EvP4Classify, journal.Attrs{"guiding_same": rep.GuidingSame})
-	return rep, nil
+	return true, nil
 }
 
 // phase1 produces (or retrieves) the S-side artifact: preprocessing plus
@@ -649,7 +713,15 @@ func (p *Pipeline) extractPrimitives(ctx context.Context, pair *Pair, ep string)
 // fault-altered verdict), and for real worker panics (which must fail the
 // job explicitly, never degrade into a verdict); all other analysis
 // failures degrade into Reason codes.
-func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes, prune cfg.Pruner, oracle symex.StaticOracle, parent *telemetry.Span) ([]byte, symex.Stats, Reason, error) {
+//
+// The second byte slice is the partially-solved seed for the hybrid
+// fallback: when exploration ends hybrid-eligible (loop-dead or budget)
+// with path constraints in hand, the model of those constraints pins the
+// bytes symex did manage to derive (magic values, checksums, gate
+// preimages) so the fuzzing campaign starts past the gates it cannot
+// guess. It is nil whenever the fallback is off, the reason is not
+// eligible, or no constraints survived (the hard-error degrade path).
+func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.Distances, bunches []BunchBytes, prune cfg.Pruner, oracle symex.StaticOracle, parent *telemetry.Span) ([]byte, []byte, symex.Stats, Reason, error) {
 	inputSize := p.symInputSize(pair)
 	tr := telemetry.TraceFrom(ctx)
 	rec := journal.FromContext(ctx)
@@ -731,37 +803,37 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 	res, err := ex.Run(visitor)
 	if err != nil {
 		if errors.Is(err, symex.ErrStopped) {
-			return nil, symex.Stats{}, ReasonNone, ctxErr(ctx)
+			return nil, nil, symex.Stats{}, ReasonNone, ctxErr(ctx)
 		}
 		if errors.Is(err, errParamMismatch) {
-			return nil, symex.Stats{}, ReasonParamMismatch, nil
+			return nil, nil, symex.Stats{}, ReasonParamMismatch, nil
 		}
 		if faultinject.IsTransient(err) {
-			return nil, symex.Stats{}, ReasonNone, err
+			return nil, nil, symex.Stats{}, ReasonNone, err
 		}
 		var pe *faultinject.PanicError
 		if errors.As(err, &pe) {
 			// A real (non-injected) worker panic: a bug, not a budget
 			// exhaustion. Degrading it into a verdict would hide it.
-			return nil, symex.Stats{}, ReasonNone, err
+			return nil, nil, symex.Stats{}, ReasonNone, err
 		}
 		telemetry.Logger(ctx).Warn("reform degraded to budget verdict",
 			"pair", pair.Name, "err", err.Error())
-		return nil, symex.Stats{}, ReasonBudget, nil
+		return nil, nil, symex.Stats{}, ReasonBudget, nil
 	}
 	journalSymexDone(rec, res)
 	if !res.Reached() {
 		switch res.Kind {
 		case symex.KindInfeasible:
-			return nil, res.Stats, ReasonUnsat, nil
+			return nil, nil, res.Stats, ReasonUnsat, nil
 		case symex.KindProgramDead:
-			return nil, res.Stats, ReasonProgramDead, nil
+			return nil, nil, res.Stats, ReasonProgramDead, nil
 		case symex.KindLoopDead:
-			return nil, res.Stats, ReasonLoopDead, nil
+			return nil, p.partialSeed(res.Constraints, inputSize, ReasonLoopDead), res.Stats, ReasonLoopDead, nil
 		case symex.KindExited, symex.KindCrashed:
-			return nil, res.Stats, ReasonEpNotCalled, nil
+			return nil, nil, res.Stats, ReasonEpNotCalled, nil
 		default:
-			return nil, res.Stats, ReasonBudget, nil
+			return nil, p.partialSeed(res.Constraints, inputSize, ReasonBudget), res.Stats, ReasonBudget, nil
 		}
 	}
 
@@ -774,13 +846,13 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 	if err != nil {
 		if errors.Is(err, solver.ErrUnsat) {
 			rec.Emit(journal.EvSolverSolve, journal.Attrs{"constraints": len(res.Constraints), "status": "unsat"})
-			return nil, res.Stats, ReasonUnsat, nil
+			return nil, nil, res.Stats, ReasonUnsat, nil
 		}
 		if faultinject.IsTransient(err) {
-			return nil, res.Stats, ReasonNone, err
+			return nil, nil, res.Stats, ReasonNone, err
 		}
 		rec.Emit(journal.EvSolverSolve, journal.Attrs{"constraints": len(res.Constraints), "status": "budget"})
-		return nil, res.Stats, ReasonBudget, nil
+		return nil, p.partialSeed(res.Constraints, inputSize, ReasonBudget), res.Stats, ReasonBudget, nil
 	}
 	rec.Emit(journal.EvSolverSolve, journal.Attrs{"constraints": len(res.Constraints), "status": "sat"})
 	// The reformed PoC keeps its full symbolic length: trailing padding
@@ -788,5 +860,5 @@ func (p *Pipeline) reform(ctx context.Context, pair *Pair, ep string, dist *cfg.
 	// run stops there, so nothing constrains those bytes — but a
 	// truncated file would turn an overflowing read into a harmless
 	// short read).
-	return model.Fill(inputSize, p.cfg.PadByte), res.Stats, ReasonNone, nil
+	return model.Fill(inputSize, p.cfg.PadByte), nil, res.Stats, ReasonNone, nil
 }

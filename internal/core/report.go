@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"octopocs/internal/absint"
+	"octopocs/internal/hybrid"
 	"octopocs/internal/mirstatic"
 	"octopocs/internal/symex"
 	"octopocs/internal/vm"
@@ -23,6 +24,13 @@ const (
 	VerdictNotTriggerable
 	// VerdictFailure: no sound verdict (e.g. unresolvable CFG).
 	VerdictFailure
+	// VerdictTriggeredByFuzzing: symbolic execution gave up (θ-exhaustion
+	// or solver budget), but the directed-fuzzing fallback produced an
+	// input that crashes T inside ℓ, replay-confirmed on the concrete VM.
+	// Kept distinct from VerdictTriggered because the poc' was found, not
+	// derived — the crash witness is equally concrete, but no reform
+	// argument links it to the S-side primitives.
+	VerdictTriggeredByFuzzing
 )
 
 // String renders the verdict.
@@ -34,6 +42,8 @@ func (v Verdict) String() string {
 		return "not-triggerable"
 	case VerdictFailure:
 		return "failure"
+	case VerdictTriggeredByFuzzing:
+		return "triggered-by-fuzzing"
 	default:
 		return fmt.Sprintf("verdict(%d)", int(v))
 	}
@@ -126,6 +136,10 @@ type Report struct {
 	// T (branches proved, blocks unreachable); nil when absint was disabled.
 	Absint *absint.Summary
 
+	// Hybrid is the directed-fuzzing fallback outcome; nil unless the
+	// fallback ran (HybridFuzz on and symex ended θ- or budget-exhausted).
+	Hybrid *hybrid.Outcome
+
 	// Timings records per-phase wall clock and cache reuse. Unlike every
 	// other Report field it is not a pure function of the pair, so
 	// report-equality comparisons should zero it first.
@@ -152,12 +166,17 @@ type PhaseTimings struct {
 	// P4 covers concrete re-verification, minimization, and Type
 	// classification.
 	P4 time.Duration
-	// P1Cached/P2Cached/StaticCached/AbsintCached report whether the
-	// corresponding artifact came from a cache instead of being recomputed.
+	// Hybrid covers the directed-fuzzing fallback campaign (both arms plus
+	// the replay confirmation); zero when the fallback did not run.
+	Hybrid time.Duration
+	// P1Cached/P2Cached/StaticCached/AbsintCached/HybridCached report
+	// whether the corresponding artifact came from a cache instead of
+	// being recomputed.
 	P1Cached     bool
 	P2Cached     bool
 	StaticCached bool
 	AbsintCached bool
+	HybridCached bool
 }
 
 // PoCGenerated reports whether a reformed PoC was produced (the poc' column

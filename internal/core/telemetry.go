@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"octopocs/internal/absint"
+	"octopocs/internal/hybrid"
 	"octopocs/internal/mirstatic"
 	"octopocs/internal/solver"
 	"octopocs/internal/symex"
@@ -35,6 +36,13 @@ type Metrics struct {
 	AbsintProvedBranches *telemetry.Counter
 	AbsintUnreachable    *telemetry.Counter
 	AbsintLatency        *telemetry.Histogram
+
+	// Hybrid-fallback counters (the directed-fuzzing campaign).
+	HybridCampaigns *telemetry.Counter
+	HybridRescued   *telemetry.Counter
+	HybridRejected  *telemetry.Counter
+	HybridExecs     *telemetry.Counter
+	HybridLatency   *telemetry.Histogram
 
 	// Fault-injection counters (populated by the chaos harness; always zero
 	// in production, where no injector is attached).
@@ -134,6 +142,17 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		AbsintLatency: reg.Histogram("octopocs_absint_latency_seconds",
 			"Wall-clock seconds of one abstract-interpretation analysis.", nil,
 			[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}),
+		HybridCampaigns: reg.Counter("octopocs_hybrid_campaigns_total",
+			"Directed-fuzzing fallback campaigns run (cache hits excluded).", nil),
+		HybridRescued: reg.Counter("octopocs_hybrid_rescued_total",
+			"Campaigns whose replay-confirmed crash upgraded a symex failure.", nil),
+		HybridRejected: reg.Counter("octopocs_hybrid_rejected_total",
+			"Cached hybrid outcomes discarded because their poc' no longer reproduced.", nil),
+		HybridExecs: reg.Counter("octopocs_hybrid_execs_total",
+			"Concrete executions spent by fallback campaigns.", nil),
+		HybridLatency: reg.Histogram("octopocs_hybrid_latency_seconds",
+			"Wall-clock seconds of one fallback campaign.", nil,
+			[]float64{0.001, 0.01, 0.1, 1, 10, 60, 600}),
 		FaultsInjected: reg.Counter("octopocs_faults_injected_total",
 			"Faults fired by the injection schedule.", nil),
 		FaultsRecovered: reg.Counter("octopocs_faults_recovered_total",
@@ -189,6 +208,28 @@ func (m *Metrics) absintObserve(s *absint.Summary, d time.Duration) {
 	m.AbsintProvedBranches.Add(uint64(s.ProvedBranches))
 	m.AbsintUnreachable.Add(uint64(s.Unreachable))
 	m.AbsintLatency.ObserveDuration(d)
+}
+
+// hybridObserve flushes one freshly run fallback campaign.
+func (m *Metrics) hybridObserve(o *hybrid.Outcome, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.HybridCampaigns.Inc()
+	if o.Rescued {
+		m.HybridRescued.Inc()
+	}
+	m.HybridExecs.Add(uint64(o.Execs))
+	m.HybridLatency.ObserveDuration(d)
+}
+
+// hybridRejected counts one corrupted cached outcome discarded by the
+// replay gate.
+func (m *Metrics) hybridRejected() {
+	if m == nil {
+		return
+	}
+	m.HybridRejected.Inc()
 }
 
 // staticShortCircuit counts one statically-unreachable verdict emitted

@@ -45,6 +45,13 @@ type PairSpec struct {
 	ExpectType core.ResultType
 	// ExpectPoC reports whether the paper's poc' column is O for this row.
 	ExpectPoC bool
+	// ExpectReason is the symex failure reason expected with the hybrid
+	// fallback off; only set for the hybrid pairs (Idx 18-21), whose
+	// ExpectType/ExpectPoC describe that same fallback-off run.
+	ExpectReason core.Reason
+	// ExpectRescue reports whether the hybrid fallback is expected to
+	// upgrade this pair to triggered-by-fuzzing.
+	ExpectRescue bool
 	// Pair is the verification task itself.
 	Pair *core.Pair
 }
@@ -76,8 +83,8 @@ func All() []*PairSpec {
 	}
 }
 
-// ByIdx returns the pair with the given row number — a Table II row (1-15)
-// or a static-prune pair (16-17) — or nil.
+// ByIdx returns the pair with the given row number — a Table II row (1-15),
+// a static-prune pair (16-17), or a hybrid-fallback pair (18-21) — or nil.
 func ByIdx(idx int) *PairSpec {
 	for _, s := range All() {
 		if s != nil && s.Idx == idx {
@@ -85,6 +92,11 @@ func ByIdx(idx int) *PairSpec {
 		}
 	}
 	for _, s := range StaticSet() {
+		if s != nil && s.Idx == idx {
+			return s
+		}
+	}
+	for _, s := range HybridSet() {
 		if s != nil && s.Idx == idx {
 			return s
 		}

@@ -1,0 +1,307 @@
+package corpus
+
+// lib_hybrid.go defines the symex-hard/fuzz-easy pairs (Idx 18-21) that
+// exercise the directed-fuzzing fallback. Each pair shares the same
+// vulnerable ℓ — decode() reads a length byte and then that many bytes into
+// an 8-byte buffer — but guards it in T with structure that defeats
+// directed symbolic execution in a hybrid-eligible way:
+//
+//   - deeploop (18): a skip loop pinned to ≥200 iterations, far past
+//     θ = 120 — every exploration ends loop-dead.
+//   - cksum (19): a Horner-31 checksum gate whose T key differs from the
+//     S key, then a ≥190 skip loop. Loop-dead again, but the partial seed
+//     matters: the campaign cannot guess a 4-byte checksum preimage (1 in
+//     2^32 per random try), while the solver pins it from the path
+//     constraints symex did collect.
+//   - twomag (20): a byte-parity-mass gate that deterministically blows
+//     the solver's evaluation budget (backtracking over 4 symbolic bytes
+//     with only ≤2-unassigned propagation), then a high-bit flag the
+//     fuzzer flips in a handful of deterministic-stage mutations.
+//   - lprec (21): length-prefixed records with a symbolic per-record count
+//     read, pinned to ≥180 records — loop-dead with concretized reads.
+//
+// Every PoC crashes S inside decode; no PoC crashes T (the guards differ),
+// so a rescue is always a genuine reform — Type-II evidence found by
+// fuzzing where the solver-based reform could not finish.
+
+import (
+	"octopocs/internal/asm"
+	"octopocs/internal/core"
+	"octopocs/internal/isa"
+)
+
+// hyLib is the shared ℓ of the hybrid pairs.
+var hyLib = map[string]bool{"decode": true}
+
+// hyDecoder emits the shared vulnerable ℓ: read a length byte, then that
+// many bytes into an 8-byte buffer (heap overflow for length > 8).
+func hyDecoder(b *asm.Builder) {
+	g := b.Function("decode", 1)
+	fd := g.Param(0)
+	buf := g.Sys(isa.SysAlloc, g.Const(8))
+	lb := g.Sys(isa.SysAlloc, g.Const(1))
+	g.Sys(isa.SysRead, fd, lb, g.Const(1))
+	g.Sys(isa.SysRead, fd, buf, g.Load(1, lb, 0))
+	g.RetI(0)
+}
+
+// hySkipLoop emits the θ-defeating skip loop: exit(1) unless n ≥ minCount,
+// then n single-byte reads (exit(2) at EOF). Pinning n ≥ minCount > θ makes
+// every loop exit 1-symbol UNSAT within θ visits — the loop-dead outcome.
+func hySkipLoop(f *asm.Fn, fd isa.Reg, n isa.Reg, minCount int64, eofExit int64) {
+	f.If(f.Cmp(isa.Lt, n, f.Const(minCount)), func() { f.Exit(1) })
+	i := f.VarI(0)
+	buf := f.Sys(isa.SysAlloc, f.Const(1))
+	f.While(func() isa.Reg { return f.Cmp(isa.Lt, i, n) }, func() {
+		cnt := f.Sys(isa.SysRead, fd, buf, f.Const(1))
+		f.If(f.EqI(cnt, 0), func() { f.Exit(eofExit) })
+		f.Assign(i, f.AddI(i, 1))
+	})
+}
+
+// --- Idx 18: deep-loop ------------------------------------------------------
+
+// hyDeepLoop is a scanner that skips minCount content bytes before handing
+// the stream to decode.
+func hyDeepLoop(name string, minCount int64) *asm.Builder {
+	b := asm.NewBuilder(name)
+	hyDecoder(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "DLP1")
+	hySkipLoop(f, fd, readU8(f, fd), minCount, 2)
+	f.Call("decode", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// hybridDeeploop is Idx-18: the T clone raised the minimum skip count from
+// 2 to 200 — past θ, so directed execution ends loop-dead; the campaign
+// only has to raise one count byte.
+func hybridDeeploop() *PairSpec {
+	poc := []byte("DLP1")
+	poc = append(poc, 2, 0xEE, 0xEE, 32)
+	for i := 0; i < 32; i++ {
+		poc = append(poc, byte('a'+i%26))
+	}
+	return &PairSpec{
+		Idx:          18,
+		SName:        "dlscan",
+		SVersion:     "1.0",
+		TName:        "dlscan (deep clone)",
+		TVersion:     "N/A",
+		CVE:          "N/A (synthetic)",
+		CWE:          "CWE-119",
+		ExpectType:   core.TypeIII,
+		ExpectPoC:    false,
+		ExpectReason: core.ReasonLoopDead,
+		ExpectRescue: true,
+		Pair: hyPair("dlscan->dlscan-deep", 256, poc,
+			hyDeepLoop("dlscan-1.0", 2), hyDeepLoop("dlscan-deep", 200)),
+	}
+}
+
+// --- Idx 19: checksum gate --------------------------------------------------
+
+// hyHorner31 is the checksum both cksum binaries compute over their 4-byte
+// key: h = 31·h + key[i], truncated to one byte.
+func hyHorner31(key string) int64 {
+	h := int64(0)
+	for i := 0; i < len(key); i++ {
+		h = h*31 + int64(key[i])
+	}
+	return h & 0xFF
+}
+
+// hyCksum gates decode behind the Horner-31 checksum of a 4-byte key, and
+// (when minCount > 0) a deep skip loop after it.
+func hyCksum(name string, gate int64, minCount int64) *asm.Builder {
+	b := asm.NewBuilder(name)
+	hyDecoder(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "CKS1")
+	kb := f.Sys(isa.SysAlloc, f.Const(4))
+	f.Sys(isa.SysRead, fd, kb, f.Const(4))
+	h := f.VarI(0)
+	for i := 0; i < 4; i++ {
+		f.Assign(h, f.Add(f.MulI(h, 31), f.Load(1, kb, int64(i))))
+	}
+	f.If(f.NeI(f.AndI(h, 0xFF), gate), func() { f.Exit(1) })
+	if minCount > 0 {
+		hySkipLoop(f, fd, readU8(f, fd), minCount, 2)
+	}
+	f.Call("decode", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// hybridCksum is Idx-19: the T clone rotated the key ("KEYA" → "KEYB") and
+// added a ≥190 skip loop. Loop-dead for symex; for the campaign the gate is
+// the hard part — a fresh 4-byte preimage is unguessable in the exec
+// budget, so the rescue depends on the partially-solved seed carrying the
+// preimage the solver derived from the collected path constraints.
+func hybridCksum() *PairSpec {
+	poc := []byte("CKS1")
+	poc = append(poc, []byte("KEYA")...)
+	poc = append(poc, 32)
+	for i := 0; i < 32; i++ {
+		poc = append(poc, byte('a'+i%26))
+	}
+	return &PairSpec{
+		Idx:          19,
+		SName:        "cksum",
+		SVersion:     "1.0",
+		TName:        "cksum (rekeyed clone)",
+		TVersion:     "N/A",
+		CVE:          "N/A (synthetic)",
+		CWE:          "CWE-119",
+		ExpectType:   core.TypeIII,
+		ExpectPoC:    false,
+		ExpectReason: core.ReasonLoopDead,
+		ExpectRescue: true,
+		Pair: hyPair("cksum->cksum-rekeyed", 256, poc,
+			hyCksum("cksum-1.0", hyHorner31("KEYA"), 0),
+			hyCksum("cksum-rekeyed", hyHorner31("KEYB"), 190)),
+	}
+}
+
+// --- Idx 20: two-stage magic ------------------------------------------------
+
+// hyTwomag gates decode behind a byte-parity-mass check (the sum of the low
+// bits of width key bytes must reach thresh) and, in T, a high-bit flag.
+// The parity gate is built to exhaust the solver's evaluation budget: its
+// constraint tree mixes all width symbols, so the ≤2-unassigned propagation
+// never fires and the model search backtracks through the full byte space.
+func hyTwomag(name string, width int, thresh int64, flagStage bool) *asm.Builder {
+	b := asm.NewBuilder(name)
+	hyDecoder(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "TMG1")
+	kb := f.Sys(isa.SysAlloc, f.Const(int64(width)))
+	f.Sys(isa.SysRead, fd, kb, f.Const(int64(width)))
+	sum := f.VarI(0)
+	for i := 0; i < width; i++ {
+		f.Assign(sum, f.Add(sum, f.AndI(f.Load(1, kb, int64(i)), 1)))
+	}
+	f.If(f.Cmp(isa.Lt, sum, f.Const(thresh)), func() { f.Exit(1) })
+	if flagStage {
+		flag := readU8(f, fd)
+		f.If(f.EqI(f.AndI(flag, 0x80), 0), func() { f.Exit(3) })
+	}
+	f.Call("decode", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// hybridTwomag is Idx-20: the T clone tightened the parity threshold from 1
+// to all 4 key bytes and added a high-bit flag stage. The solver budget
+// blows on the parity gate (a budget verdict, not loop-dead), while the
+// PoC's all-odd key already passes it concretely — the campaign only needs
+// one deterministic bit flip on the flag byte. The S bunch span covers that
+// byte, so this pair is rescued by the free arm, not the masked arm.
+func hybridTwomag() *PairSpec {
+	const width = 4
+	poc := []byte("TMG1")
+	for i := 0; i < width; i++ {
+		poc = append(poc, 0xA1)
+	}
+	poc = append(poc, 32)
+	for i := 0; i < 32; i++ {
+		poc = append(poc, 0xA1)
+	}
+	return &PairSpec{
+		Idx:          20,
+		SName:        "twomag",
+		SVersion:     "1.0",
+		TName:        "twomag (flagged clone)",
+		TVersion:     "N/A",
+		CVE:          "N/A (synthetic)",
+		CWE:          "CWE-119",
+		ExpectType:   core.TypeFailure,
+		ExpectPoC:    false,
+		ExpectReason: core.ReasonBudget,
+		ExpectRescue: true,
+		Pair: hyPair("twomag->twomag-flagged", 128, poc,
+			hyTwomag("twomag-1.0", width, 1, false),
+			hyTwomag("twomag-flagged", width, 4, true)),
+	}
+}
+
+// --- Idx 21: length-prefixed records ----------------------------------------
+
+// hyLprec reads a record count and then that many length-prefixed records
+// (a symbolic per-record length read, which symex concretizes) before
+// handing the stream to decode.
+func hyLprec(name string, minRecords int64) *asm.Builder {
+	b := asm.NewBuilder(name)
+	hyDecoder(b)
+	f := b.Function("main", 0)
+	fd := f.Sys(isa.SysOpen)
+	expectMagic(f, fd, "LPR1")
+	r := readU8(f, fd)
+	f.If(f.Cmp(isa.Lt, r, f.Const(minRecords)), func() { f.Exit(1) })
+	i := f.VarI(0)
+	lb := f.Sys(isa.SysAlloc, f.Const(1))
+	scratch := f.Sys(isa.SysAlloc, f.Const(256))
+	f.While(func() isa.Reg { return f.Cmp(isa.Lt, i, r) }, func() {
+		cnt := f.Sys(isa.SysRead, fd, lb, f.Const(1))
+		f.If(f.EqI(cnt, 0), func() { f.Exit(2) })
+		f.Sys(isa.SysRead, fd, scratch, f.Load(1, lb, 0))
+		f.Assign(i, f.AddI(i, 1))
+	})
+	f.Call("decode", fd)
+	f.Exit(0)
+	b.Entry("main")
+	return b
+}
+
+// hybridLprec is Idx-21: the T clone raised the minimum record count from 1
+// to 180 — past θ through a loop with symbolic length reads.
+func hybridLprec() *PairSpec {
+	poc := []byte("LPR1")
+	poc = append(poc, 1, 0x00, 32)
+	for i := 0; i < 32; i++ {
+		poc = append(poc, byte('a'+i%26))
+	}
+	return &PairSpec{
+		Idx:          21,
+		SName:        "lprec",
+		SVersion:     "1.0",
+		TName:        "lprec (deep clone)",
+		TVersion:     "N/A",
+		CVE:          "N/A (synthetic)",
+		CWE:          "CWE-119",
+		ExpectType:   core.TypeIII,
+		ExpectPoC:    false,
+		ExpectReason: core.ReasonLoopDead,
+		ExpectRescue: true,
+		Pair: hyPair("lprec->lprec-deep", 288, poc,
+			hyLprec("lprec-1.0", 1), hyLprec("lprec-deep", 180)),
+	}
+}
+
+// hyPair assembles one hybrid core.Pair with a fixed symbolic input size
+// (the deep loops consume hundreds of input bytes, so len(poc)+slack is
+// too small).
+func hyPair(name string, inputSize int, poc []byte, sb, tb *asm.Builder) *core.Pair {
+	p := buildPair(name, sb, tb, poc, hyLib, nil)
+	p.InputSize = inputSize
+	return p
+}
+
+// HybridSet returns the symex-hard/fuzz-easy pairs (Idx 18-21). Like
+// StaticSet they are kept out of All() so the Table II row count stays 15;
+// ByIdx resolves them.
+func HybridSet() []*PairSpec {
+	return []*PairSpec{
+		hybridDeeploop(), // 18
+		hybridCksum(),    // 19
+		hybridTwomag(),   // 20
+		hybridLprec(),    // 21
+	}
+}

@@ -1,15 +1,12 @@
 package fuzz
 
-import "math/rand"
-
 // RunAFLFast runs a coverage-guided campaign with the AFLFast "fast" power
 // schedule: a seed's energy grows exponentially with how often it has been
 // picked and shrinks with how often its path has been exercised, steering
 // effort toward rarely-hit paths (Böhme et al., "Coverage-based Greybox
 // Fuzzing as Markov Chain").
 func RunAFLFast(t *Target, cfg Config) *Result {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	return campaign(t, cfg, rng, nil, aflfastEnergy)
+	return runShards(t, cfg, nil, aflfastEnergy)
 }
 
 // aflfastEnergy is the fast schedule: min(α · 2^s(i) / f(i), M).

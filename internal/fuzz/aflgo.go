@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	"sort"
 
 	"octopocs/internal/cfg"
 )
@@ -28,7 +28,18 @@ func RunAFLGo(t *Target, targetFn string, c Config) (*Result, error) {
 	if !graph.Reachable(targetFn) {
 		return nil, fmt.Errorf("%w (target %s)", ErrNoDistance, targetFn)
 	}
-	dists := graph.DistancesTo(targetFn)
+	return RunDirected(t, targetFn, graph.DistancesTo(targetFn), c), nil
+}
+
+// RunDirected runs the AFLGo-style annealing campaign with caller-provided
+// block distances — for callers that already own a distance map (the hybrid
+// fallback reuses P2's dynamically refined `cfg.DistancesTo` result rather
+// than recomputing from the static CFG). A nil dists degrades to the plain
+// AFLFast schedule.
+func RunDirected(t *Target, targetFn string, dists *cfg.Distances, c Config) *Result {
+	if dists == nil {
+		return runShards(t, c, nil, aflfastEnergy)
+	}
 
 	// blockDist returns the normalized distance of one executed block.
 	blockDist := func(k blockKey) (float64, bool) {
@@ -41,8 +52,22 @@ func RunAFLGo(t *Target, targetFn string, c Config) (*Result, error) {
 		return 0, false
 	}
 	seedDist := func(blocks map[blockKey]bool) float64 {
-		sum, n := 0.0, 0
+		// Sum in sorted key order: float addition is not associative, so
+		// ranging over the map directly would make the seed distance — and
+		// with it the whole campaign trajectory — depend on Go's randomized
+		// map iteration order.
+		keys := make([]blockKey, 0, len(blocks))
 		for k := range blocks {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].fn != keys[j].fn {
+				return keys[i].fn < keys[j].fn
+			}
+			return keys[i].b < keys[j].b
+		})
+		sum, n := 0.0, 0
+		for _, k := range keys {
 			if d, ok := blockDist(k); ok {
 				sum += d
 				n++
@@ -54,9 +79,7 @@ func RunAFLGo(t *Target, targetFn string, c Config) (*Result, error) {
 		return sum / float64(n)
 	}
 
-	rng := rand.New(rand.NewSource(c.Seed))
-	res := campaign(t, c, rng, seedDist, aflgoEnergy)
-	return res, nil
+	return runShards(t, c, seedDist, aflgoEnergy)
 }
 
 // aflgoEnergy anneals between exploration and distance-driven

@@ -1,0 +1,172 @@
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/isa"
+)
+
+// maskTarget is a program whose crash needs a two-byte edit: byte 0 must
+// become 0x80 (bit flip from 0) and byte 3 must exceed 8 (read length into
+// an 8-byte buffer).
+func maskTarget() *Target {
+	b := asm.NewBuilder("mask-target")
+	g := b.Function("sink", 1)
+	fd := g.Param(0)
+	buf := g.Sys(isa.SysAlloc, g.Const(8))
+	lb := g.Sys(isa.SysAlloc, g.Const(1))
+	g.Sys(isa.SysRead, fd, lb, g.Const(1))
+	g.Sys(isa.SysRead, fd, buf, g.Load(1, lb, 0))
+	g.RetI(0)
+
+	f := b.Function("main", 0)
+	fd2 := f.Sys(isa.SysOpen)
+	hb := f.Sys(isa.SysAlloc, f.Const(3))
+	f.Sys(isa.SysRead, fd2, hb, f.Const(3))
+	f.If(f.EqI(f.AndI(f.Load(1, hb, 0), 0x80), 0), func() { f.Exit(1) })
+	f.Call("sink", fd2)
+	f.Exit(0)
+	b.Entry("main")
+
+	return &Target{
+		Prog:     b.MustBuild(),
+		Lib:      map[string]bool{"sink": true},
+		MaxSteps: 10_000,
+	}
+}
+
+// resultKey renders the deterministic fields of a Result for comparison.
+func resultKey(r *Result) string {
+	return fmt.Sprintf("found=%v crash=%x execs=%d queue=%d loc=%v winner=%d",
+		r.Found, r.Crash, r.Execs, r.QueueLen, r.CrashLoc, r.WinnerShard)
+}
+
+// TestCampaignDeterministicAcrossWorkers is the campaign determinism
+// contract of the package doc, mirroring clonedet's
+// TestScanDeterministicAcrossWorkers: the same Config.Seed must yield
+// byte-identical campaign results (crash bytes, exec counts, queue sizes,
+// winning shard) for any worker count, and across repeated runs. The
+// schedule unit is the shard, so Workers is purely a throughput knob.
+func TestCampaignDeterministicAcrossWorkers(t *testing.T) {
+	target := maskTarget()
+	seeds := [][]byte{make([]byte, 24)}
+	var want string
+	for run := 0; run < 2; run++ {
+		for _, workers := range []int{0, 1, 4, 9} {
+			res := RunAFLFast(target, Config{
+				Seeds:       seeds,
+				MaxExecs:    40_000,
+				Seed:        7,
+				MaxInputLen: 24,
+				Shards:      4,
+				Workers:     workers,
+			})
+			got := resultKey(res)
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("run %d workers=%d: campaign result differs\n got %s\nwant %s",
+					run, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedFindsCrash pins that the sharded schedule still finds the
+// two-edit crash and reports the deterministic winning shard.
+func TestShardedFindsCrash(t *testing.T) {
+	res := RunAFLFast(maskTarget(), Config{
+		Seeds:       [][]byte{make([]byte, 24)},
+		MaxExecs:    200_000,
+		Seed:        7,
+		MaxInputLen: 24,
+		Shards:      4,
+		Workers:     4,
+	})
+	if !res.Found {
+		t.Fatalf("sharded campaign did not find the crash: %+v", res)
+	}
+	if res.WinnerShard < 0 || res.WinnerShard > 3 {
+		t.Fatalf("winner shard out of range: %d", res.WinnerShard)
+	}
+	if res.Crash[0]&0x80 == 0 {
+		t.Fatalf("crash input does not pass the flag gate: %x", res.Crash)
+	}
+}
+
+// TestSingleShardMatchesLegacy pins that Shards ≤ 1 is the legacy
+// single-campaign code path bit for bit: same RNG stream, same result.
+func TestSingleShardMatchesLegacy(t *testing.T) {
+	target := maskTarget()
+	cfg := Config{
+		Seeds:       [][]byte{make([]byte, 24)},
+		MaxExecs:    10_000,
+		Seed:        3,
+		MaxInputLen: 24,
+	}
+	legacy := campaign(target, cfg, rand.New(rand.NewSource(cfg.Seed)), nil, aflfastEnergy, nil)
+	for _, shards := range []int{0, 1} {
+		c := cfg
+		c.Shards = shards
+		got := RunAFLFast(target, c)
+		if got.Found != legacy.Found || got.Execs != legacy.Execs ||
+			got.QueueLen != legacy.QueueLen || !bytes.Equal(got.Crash, legacy.Crash) {
+			t.Fatalf("shards=%d diverges from the legacy campaign:\n got %s\nwant %s",
+				shards, resultKey(got), resultKey(legacy))
+		}
+	}
+}
+
+// TestFrozenMaskPreserved is the mutation-mask invariant: every candidate
+// the mutator emits keeps the frozen spans byte-identical to the seed, in
+// both the deterministic and havoc stages, and never changes length.
+func TestFrozenMaskPreserved(t *testing.T) {
+	seed := []byte("ABCDEFGHIJKLMNOPQRSTUVWX")
+	other := []byte("zyxwvutsrqponmlkjihgfedc")
+	frozen := []Span{{Start: 4, Len: 6}, {Start: 16, Len: 4}}
+	m := newMutator(rand.New(rand.NewSource(11)), 64, frozen)
+
+	check := func(stage string, cand []byte) {
+		t.Helper()
+		if len(cand) != len(seed) {
+			t.Fatalf("%s: masked mutation changed length: %d != %d", stage, len(cand), len(seed))
+		}
+		for _, s := range frozen {
+			for p := s.Start; p < s.Start+s.Len; p++ {
+				if cand[p] != seed[p] {
+					t.Fatalf("%s: frozen byte %d mutated: %q -> %q (cand %q)",
+						stage, p, seed[p], cand[p], cand)
+				}
+			}
+		}
+	}
+	for k := 0; k < len(seed)*4; k++ {
+		check("deterministic", m.deterministic(seed, k))
+	}
+	for i := 0; i < 2_000; i++ {
+		check("havoc", m.havoc(seed, other))
+	}
+}
+
+// TestNoMaskMatchesLegacyDeterministic pins that an empty mask leaves the
+// deterministic walk identical to the unmasked formulation (bit i of byte
+// i/8, then interesting-value sweeps), so pre-mask campaigns reproduce.
+func TestNoMaskMatchesLegacyDeterministic(t *testing.T) {
+	seed := []byte{0, 0, 0, 0}
+	m := newMutator(rand.New(rand.NewSource(1)), 16, nil)
+	for k := 0; k < len(seed)*16; k += 2 {
+		got := m.deterministic(seed, k)
+		bit := (k / 2) % (len(seed) * 8)
+		want := append([]byte(nil), seed...)
+		want[bit/8] ^= 1 << (bit % 8)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("k=%d: got %x want %x", k, got, want)
+		}
+	}
+}

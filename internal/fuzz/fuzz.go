@@ -5,13 +5,16 @@
 // and deterministic, seeded randomness. They are the alternatives the
 // paper measures P2's guiding-input generation against.
 //
-// Concurrency: a Fuzzer instance is confined to one goroutine (its RNG and
-// corpus are unsynchronized); run independent Fuzzer instances to fuzz
-// campaigns in parallel.
+// Concurrency: a single campaign shard is confined to one goroutine (its
+// RNG and corpus are unsynchronized); multi-shard campaigns run independent
+// shards on Config.Workers goroutines and merge results deterministically —
+// the same Config.Seed yields byte-identical results at any worker count.
 package fuzz
 
 import (
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"octopocs/internal/isa"
 	"octopocs/internal/vm"
@@ -31,6 +34,12 @@ type Target struct {
 	MaxSteps int64
 }
 
+// Span marks a half-open byte range [Start, Start+Len) of the input.
+type Span struct {
+	Start int
+	Len   int
+}
+
 // Config tunes a campaign.
 type Config struct {
 	// Seeds is the initial corpus (the original PoC, typically).
@@ -42,6 +51,19 @@ type Config struct {
 	Seed int64
 	// MaxInputLen bounds generated inputs.
 	MaxInputLen int
+	// Frozen lists input regions the mutator must preserve (the P1 bunch
+	// offsets: the propagated crash primitive). With a non-empty mask the
+	// mutator only applies length-preserving edits and restores frozen
+	// spans afterwards, so only reformable regions mutate.
+	Frozen []Span
+	// Shards splits MaxExecs across this many independent sub-campaigns
+	// with derived PRNG seeds. The schedule unit is the shard, not the
+	// goroutine, so results do not depend on Workers. 0 or 1 means one
+	// shard with the legacy single-campaign behavior.
+	Shards int
+	// Workers bounds the goroutines running shards (0 means 1). Purely a
+	// throughput knob: any value yields byte-identical results.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -64,10 +86,14 @@ type Result struct {
 	Crash []byte
 	// Execs is the number of executions performed.
 	Execs int64
-	// QueueLen is the final number of interesting seeds.
+	// QueueLen is the final number of interesting seeds (summed over all
+	// completed shards when no crash was found, the winning shard's queue
+	// otherwise).
 	QueueLen int
 	// CrashLoc is where the verifying crash fired.
 	CrashLoc isa.Loc
+	// WinnerShard is the index of the shard that found the crash, or -1.
+	WinnerShard int
 }
 
 // seedInfo is one queue entry with its schedule bookkeeping.
@@ -194,11 +220,14 @@ func blockID(fn string, b int) uint32 {
 	return (h ^ uint32(b)*2654435761) | 1
 }
 
-// campaign is the common fuzzing loop; the energy callback implements the
-// scheduler difference between AFLFast and AFLGo.
+// campaign is the common fuzzing loop for one shard; the energy callback
+// implements the scheduler difference between AFLFast and AFLGo. A non-nil
+// stop aborts the shard early (only used when a lower-indexed shard has
+// already won, so an aborted shard's result is never consumed).
 func campaign(t *Target, cfg Config, rng *rand.Rand,
 	seedDist func(blocks map[blockKey]bool) float64,
 	energy func(s *seedInfo, h *harness, progress float64) int,
+	stop func() bool,
 ) *Result {
 	cfg.defaults()
 	h := newHarness(t)
@@ -221,11 +250,14 @@ func campaign(t *Target, cfg Config, rng *rand.Rand,
 		admit(s, er)
 	}
 
-	mut := newMutator(rng, cfg.MaxInputLen)
+	mut := newMutator(rng, cfg.MaxInputLen, cfg.Frozen)
 	for h.execs < cfg.MaxExecs {
 		// Pick the next seed round-robin; energy decides how many
 		// mutants it spawns this cycle.
 		for qi := 0; qi < len(queue) && h.execs < cfg.MaxExecs; qi++ {
+			if stop != nil && stop() {
+				return &Result{Execs: h.execs, QueueLen: len(queue), WinnerShard: -1}
+			}
 			s := queue[qi]
 			progress := float64(h.execs) / float64(cfg.MaxExecs)
 			n := energy(s, h, progress)
@@ -248,5 +280,106 @@ func campaign(t *Target, cfg Config, rng *rand.Rand,
 			}
 		}
 	}
-	return &Result{Execs: h.execs, QueueLen: len(queue)}
+	return &Result{Execs: h.execs, QueueLen: len(queue), WinnerShard: -1}
+}
+
+// shardSeed derives shard i's PRNG seed from the campaign seed with a
+// splitmix64 finalizer, decorrelating the shard streams.
+func shardSeed(seed int64, shard int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(shard+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// runShards runs a campaign as Config.Shards independent sub-campaigns on
+// Config.Workers goroutines and merges the results deterministically.
+//
+// The winner is the lowest-indexed shard that found a crash, independent of
+// scheduling: shard i may abort early only once a shard with a smaller
+// index has found (so every shard at or below the winner runs its full
+// deterministic course), and Result.Execs sums exactly shards 0..winner.
+// With one shard this reduces to the legacy single-campaign behavior,
+// including using Config.Seed unmixed.
+func runShards(t *Target, c Config,
+	seedDist func(blocks map[blockKey]bool) float64,
+	energy func(s *seedInfo, h *harness, progress float64) int,
+) *Result {
+	c.defaults()
+	if c.Shards <= 1 {
+		res := campaign(t, c, rand.New(rand.NewSource(c.Seed)), seedDist, energy, nil)
+		if res.Found {
+			res.WinnerShard = 0
+		} else {
+			res.WinnerShard = -1
+		}
+		return res
+	}
+
+	shards := c.Shards
+	workers := c.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	base := c.MaxExecs / int64(shards)
+
+	results := make([]*Result, shards)
+	var next int64 = -1
+	minFound := int64(shards) // lowest shard index that found a crash
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&next, 1)
+				if i >= int64(shards) {
+					return
+				}
+				sc := c
+				sc.MaxExecs = base
+				if i == 0 {
+					sc.MaxExecs += c.MaxExecs % int64(shards)
+				}
+				stop := func() bool { return atomic.LoadInt64(&minFound) < i }
+				rng := rand.New(rand.NewSource(shardSeed(c.Seed, int(i))))
+				res := campaign(t, sc, rng, seedDist, energy, stop)
+				results[i] = res
+				if res.Found {
+					for {
+						cur := atomic.LoadInt64(&minFound)
+						if i >= cur || atomic.CompareAndSwapInt64(&minFound, cur, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if w := int(minFound); w < shards {
+		win := results[w]
+		out := &Result{
+			Found:       true,
+			Crash:       win.Crash,
+			CrashLoc:    win.CrashLoc,
+			QueueLen:    win.QueueLen,
+			Execs:       win.Execs,
+			WinnerShard: w,
+		}
+		for i := 0; i < w; i++ {
+			out.Execs += results[i].Execs
+		}
+		return out
+	}
+	out := &Result{WinnerShard: -1}
+	for _, r := range results {
+		out.Execs += r.Execs
+		out.QueueLen += r.QueueLen
+	}
+	return out
 }

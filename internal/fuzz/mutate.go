@@ -9,34 +9,78 @@ import (
 var interesting = []int64{-128, -1, 0, 1, 16, 32, 64, 100, 127, 128, 255, 256, 512, 1000, 1024, 4096, 32767, 65535}
 
 // mutator produces candidate inputs. Deterministic stages walk the seed
-// bytes systematically; havoc stacks random edits.
+// bytes systematically; havoc stacks random edits. A non-empty frozen mask
+// confines every edit to the unfrozen (reformable) byte positions.
 type mutator struct {
 	rng    *rand.Rand
 	maxLen int
+	frozen []Span
 }
 
-func newMutator(rng *rand.Rand, maxLen int) *mutator {
-	return &mutator{rng: rng, maxLen: maxLen}
+func newMutator(rng *rand.Rand, maxLen int, frozen []Span) *mutator {
+	return &mutator{rng: rng, maxLen: maxLen, frozen: frozen}
+}
+
+// isFrozen reports whether byte position p lies inside a frozen span.
+func (m *mutator) isFrozen(p int) bool {
+	for _, s := range m.frozen {
+		if p >= s.Start && p < s.Start+s.Len {
+			return true
+		}
+	}
+	return false
+}
+
+// allowed lists the mutable byte positions of an n-byte input: every
+// position when no mask is set, the unfrozen ones otherwise.
+func (m *mutator) allowed(n int) []int {
+	out := make([]int, 0, n)
+	for p := 0; p < n; p++ {
+		if !m.isFrozen(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// restoreFrozen copies the frozen spans of the seed back into the mutant.
+// Masked havoc only applies length-preserving edits, so positions line up.
+func (m *mutator) restoreFrozen(out, seed []byte) {
+	for _, s := range m.frozen {
+		for p := s.Start; p < s.Start+s.Len && p < len(out) && p < len(seed); p++ {
+			out[p] = seed[p]
+		}
+	}
 }
 
 // deterministic applies the k-th deterministic mutation of the seed:
 // even k walk single-bit flips, odd k walk byte replacements with
-// interesting values.
+// interesting values. Both walks range over the allowed positions only,
+// which is the identity mapping when no mask is set.
 func (m *mutator) deterministic(seed []byte, k int) []byte {
 	out := append([]byte(nil), seed...)
 	if len(out) == 0 {
 		return []byte{byte(k)}
 	}
+	pos := m.allowed(len(out))
+	if len(pos) == 0 {
+		return out
+	}
 	switch k % 2 {
 	case 0:
-		bit := (k / 2) % (len(out) * 8)
-		out[bit/8] ^= 1 << (bit % 8)
+		bit := (k / 2) % (len(pos) * 8)
+		out[pos[bit/8]] ^= 1 << (bit % 8)
 	default:
-		pos := (k / 2) % len(out)
-		out[pos] = byte(interesting[(k/2/len(out))%len(interesting)])
+		p := (k / 2) % len(pos)
+		out[pos[p]] = byte(interesting[(k/2/len(pos))%len(interesting)])
 	}
 	return out
 }
+
+// havocCases enumerates the edit kinds available to one havoc step; with a
+// frozen mask the length-changing edits (delete/insert/duplicate) are
+// excluded so frozen spans keep their offsets.
+var havocMaskCases = []int{0, 1, 2, 3, 4, 8}
 
 // havoc applies 1..32 stacked random edits; other donates splice content.
 func (m *mutator) havoc(seed, other []byte) []byte {
@@ -47,7 +91,11 @@ func (m *mutator) havoc(seed, other []byte) []byte {
 			out = append(out, byte(m.rng.Intn(256)))
 			continue
 		}
-		switch m.rng.Intn(9) {
+		c := m.rng.Intn(9)
+		if len(m.frozen) > 0 {
+			c = havocMaskCases[m.rng.Intn(len(havocMaskCases))]
+		}
+		switch c {
 		case 0: // bit flip
 			bit := m.rng.Intn(len(out) * 8)
 			out[bit/8] ^= 1 << (bit % 8)
@@ -102,6 +150,9 @@ func (m *mutator) havoc(seed, other []byte) []byte {
 		if len(out) > m.maxLen {
 			out = out[:m.maxLen]
 		}
+	}
+	if len(m.frozen) > 0 {
+		m.restoreFrozen(out, seed)
 	}
 	return out
 }

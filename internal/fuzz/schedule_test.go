@@ -85,7 +85,7 @@ func TestAFLGoEnergyAnnealing(t *testing.T) {
 func TestMutatorInvariants(t *testing.T) {
 	err := quick.Check(func(seedVal int64, base []byte) bool {
 		rng := rand.New(rand.NewSource(seedVal))
-		m := newMutator(rng, 64)
+		m := newMutator(rng, 64, nil)
 		if len(base) > 48 {
 			base = base[:48]
 		}
@@ -110,7 +110,7 @@ func TestMutatorInvariants(t *testing.T) {
 }
 
 func TestMutatorDeterministicWalksBits(t *testing.T) {
-	m := newMutator(rand.New(rand.NewSource(1)), 64)
+	m := newMutator(rand.New(rand.NewSource(1)), 64, nil)
 	seed := []byte{0x00, 0x00}
 	// Stage k=0 flips bit 0; k=2 flips bit 1.
 	if out := m.deterministic(seed, 0); out[0] != 0x01 {

@@ -1,0 +1,167 @@
+// Package hybrid implements the directed-fuzzing fallback that runs when
+// symbolic execution gives up: a θ-exhaustion (loop-dead) or solver-budget
+// outcome from P2 leaves the pair unresolved, and — following TransferFuzz's
+// observation that historical traces make good fuzzing guidance exactly
+// where symex is too weak — the fallback reuses everything the pipeline
+// already computed. The campaign is seeded with the partially-solved poc′
+// (the model of the failed exploration's path constraints) alongside the
+// original PoC, masks mutation with the P1 bunch offsets so the propagated
+// crash primitive is preserved in the structured arm, and anneals seed
+// energy with P2's `cfg.DistancesTo` maps toward the shared vulnerable code
+// ℓ. A campaign crash is never trusted on its own: the candidate input is
+// replayed on the concrete VM (the P4 verifier) and only a confirmed crash
+// inside ℓ upgrades the verdict, so fuzzing can rescue a failure but never
+// flip a sound verdict.
+//
+// The campaign runs two deterministic arms: a structure-preserving arm
+// with the bunch mask frozen, then — only if the first arm finds nothing —
+// a free arm without the mask, for targets whose propagated format moved
+// the crash primitive to different offsets.
+//
+// Concurrency: Run is safe to call concurrently with distinct Campaign
+// values; parallelism inside one campaign is delegated to internal/fuzz's
+// shard scheduler, whose results are byte-identical for any worker count.
+package hybrid
+
+import (
+	"octopocs/internal/cfg"
+	"octopocs/internal/fuzz"
+	"octopocs/internal/isa"
+	"octopocs/internal/vm"
+)
+
+// Default campaign knobs. The exec budget is split evenly between the
+// masked and free arms, and each arm across its shards.
+const (
+	DefaultMaxExecs = 120_000
+	DefaultShards   = 2
+)
+
+// Campaign describes one fallback campaign against the propagated target T.
+type Campaign struct {
+	// Prog is T, the binary whose crash would verify the propagation.
+	Prog *isa.Program
+	// Lib is ℓ; only a crash whose innermost frame is in Lib counts.
+	Lib map[string]bool
+	// TargetFn is the entry point into ℓ that P1 bound (the annealing
+	// target). Empty disables distance annealing even when Dist is set.
+	TargetFn string
+	// Dist is P2's distance map toward TargetFn; nil degrades the
+	// schedule to plain AFLFast coverage guidance.
+	Dist *cfg.Distances
+	// Seeds is the initial corpus: the partially-solved poc′ first (when
+	// the failed exploration produced constraints), then the original PoC.
+	Seeds [][]byte
+	// Frozen lists the P1 bunch spans (crash-primitive bytes at their PoC
+	// offsets); the masked arm never mutates them.
+	Frozen []fuzz.Span
+	// MaxExecs bounds the whole campaign (both arms). 0 means
+	// DefaultMaxExecs.
+	MaxExecs int64
+	// MaxSteps bounds each concrete execution.
+	MaxSteps int64
+	// MaxInputLen bounds generated inputs (the discovered input size).
+	MaxInputLen int
+	// Seed makes the campaign deterministic.
+	Seed int64
+	// Shards and Workers are forwarded to the fuzz scheduler per arm.
+	Shards  int
+	Workers int
+}
+
+// Outcome is one campaign's result — the artifact cached under the hy:
+// class and attached to the report.
+type Outcome struct {
+	// Rescued reports a replay-confirmed crash inside ℓ.
+	Rescued bool `json:"rescued"`
+	// Confirmed reports the concrete-VM replay verdict for PoCPrime. It
+	// can only be false on a corrupted (e.g. cache-damaged) outcome, in
+	// which case Rescued is forced false too.
+	Confirmed bool `json:"confirmed"`
+	// PoCPrime is the crashing input when Rescued.
+	PoCPrime []byte `json:"poc_prime,omitempty"`
+	// CrashLoc is where the confirmed crash fired (func:block:inst).
+	CrashLoc string `json:"crash_loc,omitempty"`
+	// Execs counts concrete executions spent across both arms.
+	Execs int64 `json:"execs"`
+	// MaskedArm reports whether the structure-preserving arm won.
+	MaskedArm bool `json:"masked_arm"`
+	// WinnerShard is the winning shard within the winning arm, or -1.
+	WinnerShard int `json:"winner_shard"`
+}
+
+// Confirm replays input on the concrete VM and reports whether it crashes
+// inside lib — the same predicate the campaign harness uses and the gate
+// every reported poc′ must pass again before a verdict upgrade.
+func Confirm(prog *isa.Program, lib map[string]bool, input []byte, maxSteps int64) (bool, isa.Loc) {
+	out := vm.New(prog, vm.Config{Input: input, MaxSteps: maxSteps}).Run()
+	if out.Crashed() && out.CrashedIn(lib) {
+		return true, out.Crash.Loc
+	}
+	return false, isa.Loc{}
+}
+
+// Revalidate re-runs the replay gate on a previously computed outcome (a
+// cache hit, typically). It returns false when the outcome claims a rescue
+// whose poc′ no longer crashes T inside ℓ — a corrupted artifact that must
+// be discarded rather than reported.
+func Revalidate(c *Campaign, o *Outcome) bool {
+	if o == nil {
+		return false
+	}
+	if !o.Rescued {
+		return true
+	}
+	ok, _ := Confirm(c.Prog, c.Lib, o.PoCPrime, c.MaxSteps)
+	return ok
+}
+
+// Run executes the fallback campaign: the masked arm first, the free arm
+// only if the masked arm found nothing, then the replay confirmation.
+func (c *Campaign) Run() *Outcome {
+	maxExecs := c.MaxExecs
+	if maxExecs <= 0 {
+		maxExecs = DefaultMaxExecs
+	}
+	shards := c.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	target := &fuzz.Target{Prog: c.Prog, Lib: c.Lib, MaxSteps: c.MaxSteps}
+	arm := func(frozen []fuzz.Span, budget int64, seedSalt int64) *fuzz.Result {
+		return fuzz.RunDirected(target, c.TargetFn, c.Dist, fuzz.Config{
+			Seeds:       c.Seeds,
+			MaxExecs:    budget,
+			Seed:        c.Seed + seedSalt,
+			MaxInputLen: c.MaxInputLen,
+			Frozen:      frozen,
+			Shards:      shards,
+			Workers:     c.Workers,
+		})
+	}
+
+	out := &Outcome{WinnerShard: -1}
+	res := arm(c.Frozen, maxExecs/2, 0)
+	out.Execs = res.Execs
+	masked := len(c.Frozen) > 0
+	if !res.Found {
+		res = arm(nil, maxExecs-maxExecs/2, 1)
+		out.Execs += res.Execs
+		masked = false
+	}
+	if !res.Found {
+		return out
+	}
+
+	ok, loc := Confirm(c.Prog, c.Lib, res.Crash, c.MaxSteps)
+	out.Confirmed = ok
+	if !ok {
+		return out
+	}
+	out.Rescued = true
+	out.PoCPrime = append([]byte(nil), res.Crash...)
+	out.CrashLoc = loc.String()
+	out.MaskedArm = masked
+	out.WinnerShard = res.WinnerShard
+	return out
+}

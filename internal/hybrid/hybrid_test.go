@@ -1,0 +1,193 @@
+package hybrid_test
+
+import (
+	"bytes"
+	"testing"
+
+	"octopocs/internal/asm"
+	"octopocs/internal/fuzz"
+	"octopocs/internal/hybrid"
+	"octopocs/internal/isa"
+	"octopocs/internal/vm"
+)
+
+// gateProg builds the replay-test target: main requires byte 0 to carry its
+// high bit, then sink reads a length byte and that many bytes into an
+// 8-byte buffer — crash iff input[0]&0x80 != 0 and input[1] > 8 (with
+// enough payload bytes to overflow).
+func gateProg() (*isa.Program, map[string]bool) {
+	b := asm.NewBuilder("gate")
+	g := b.Function("sink", 1)
+	fd := g.Param(0)
+	buf := g.Sys(isa.SysAlloc, g.Const(8))
+	lb := g.Sys(isa.SysAlloc, g.Const(1))
+	g.Sys(isa.SysRead, fd, lb, g.Const(1))
+	g.Sys(isa.SysRead, fd, buf, g.Load(1, lb, 0))
+	g.RetI(0)
+
+	f := b.Function("main", 0)
+	fd2 := f.Sys(isa.SysOpen)
+	hb := f.Sys(isa.SysAlloc, f.Const(1))
+	f.Sys(isa.SysRead, fd2, hb, f.Const(1))
+	f.If(f.EqI(f.AndI(f.Load(1, hb, 0), 0x80), 0), func() { f.Exit(1) })
+	f.Call("sink", fd2)
+	f.Exit(0)
+	b.Entry("main")
+	return b.MustBuild(), map[string]bool{"sink": true}
+}
+
+func gateCampaign() *hybrid.Campaign {
+	prog, lib := gateProg()
+	return &hybrid.Campaign{
+		Prog:        prog,
+		Lib:         lib,
+		TargetFn:    "sink",
+		Seeds:       [][]byte{make([]byte, 24)},
+		MaxExecs:    200_000,
+		MaxSteps:    10_000,
+		MaxInputLen: 24,
+		Seed:        7,
+		Shards:      2,
+		Workers:     2,
+	}
+}
+
+// TestCampaignRescueConfirmed runs a full campaign and checks the outcome
+// invariants: a rescue is always replay-confirmed, its poc' crashes the
+// target inside ℓ on an independent VM run, and the crash location names
+// an ℓ function.
+func TestCampaignRescueConfirmed(t *testing.T) {
+	c := gateCampaign()
+	out := c.Run()
+	if !out.Rescued || !out.Confirmed {
+		t.Fatalf("campaign did not rescue: %+v", out)
+	}
+	vmOut := vm.New(c.Prog, vm.Config{Input: out.PoCPrime, MaxSteps: c.MaxSteps}).Run()
+	if !vmOut.Crashed() || !vmOut.CrashedIn(c.Lib) {
+		t.Fatalf("poc' replay = %v, want crash inside ℓ", vmOut)
+	}
+	if out.CrashLoc != vmOut.Crash.Loc.String() {
+		t.Errorf("crash loc %q, replay says %q", out.CrashLoc, vmOut.Crash.Loc)
+	}
+	if out.PoCPrime[0]&0x80 == 0 {
+		t.Errorf("poc' does not pass the gate: %x", out.PoCPrime)
+	}
+}
+
+// TestCampaignDeterministic pins that the same campaign seed yields the
+// same outcome for any worker count.
+func TestCampaignDeterministic(t *testing.T) {
+	var want *hybrid.Outcome
+	for _, workers := range []int{0, 1, 4} {
+		c := gateCampaign()
+		c.Workers = workers
+		out := c.Run()
+		if want == nil {
+			want = out
+			continue
+		}
+		if out.Rescued != want.Rescued || out.Execs != want.Execs ||
+			out.WinnerShard != want.WinnerShard || !bytes.Equal(out.PoCPrime, want.PoCPrime) {
+			t.Fatalf("workers=%d diverges: %+v vs %+v", workers, out, want)
+		}
+	}
+}
+
+// TestMaskedArmWins checks arm selection: when the frozen mask keeps the
+// crash reachable, the masked arm wins and the frozen bytes survive in the
+// reported poc'.
+func TestMaskedArmWins(t *testing.T) {
+	c := gateCampaign()
+	// Freeze bytes 8..16 — irrelevant to the crash condition, so the
+	// masked arm can still find it.
+	seed := make([]byte, 24)
+	for i := 8; i < 16; i++ {
+		seed[i] = byte('A' + i)
+	}
+	c.Seeds = [][]byte{seed}
+	c.Frozen = []fuzz.Span{{Start: 8, Len: 8}}
+	out := c.Run()
+	if !out.Rescued {
+		t.Fatalf("masked campaign did not rescue: %+v", out)
+	}
+	if !out.MaskedArm {
+		t.Errorf("free arm won despite a reachable masked crash: %+v", out)
+	}
+	for i := 8; i < 16; i++ {
+		if out.PoCPrime[i] != seed[i] {
+			t.Errorf("frozen byte %d mutated: %x", i, out.PoCPrime)
+		}
+	}
+}
+
+// TestFreeArmFallback checks the second arm: when the frozen mask pins the
+// very byte the crash needs (the gate flag), the masked arm must fail and
+// the free arm rescue.
+func TestFreeArmFallback(t *testing.T) {
+	c := gateCampaign()
+	c.Frozen = []fuzz.Span{{Start: 0, Len: 2}} // freezes the gate and length bytes
+	out := c.Run()
+	if !out.Rescued {
+		t.Fatalf("campaign did not rescue: %+v", out)
+	}
+	if out.MaskedArm {
+		t.Errorf("masked arm claims a crash its mask forbids: %+v", out)
+	}
+}
+
+// TestRevalidateRejectsCorrupted is the cache-damage gate: an outcome whose
+// poc' does not reproduce the crash must be rejected, while intact rescues
+// and non-rescues pass.
+func TestRevalidateRejectsCorrupted(t *testing.T) {
+	c := gateCampaign()
+	out := c.Run()
+	if !out.Rescued {
+		t.Fatalf("campaign did not rescue: %+v", out)
+	}
+	if !hybrid.Revalidate(c, out) {
+		t.Error("intact rescue rejected")
+	}
+	corrupted := *out
+	corrupted.PoCPrime = make([]byte, len(out.PoCPrime)) // gate bit cleared
+	if hybrid.Revalidate(c, &corrupted) {
+		t.Error("corrupted rescue accepted")
+	}
+	if !hybrid.Revalidate(c, &hybrid.Outcome{}) {
+		t.Error("non-rescue outcome rejected (nothing to confirm)")
+	}
+	if hybrid.Revalidate(c, nil) {
+		t.Error("nil outcome accepted")
+	}
+}
+
+// FuzzHybridReplay fuzzes the replay gate with arbitrary claimed poc'
+// bytes: Revalidate must accept a claimed rescue exactly when the bytes
+// really crash T inside ℓ on the concrete VM — so a corrupted campaign
+// result (or damaged cache artifact) can never smuggle a non-crashing
+// input into a triggered-by-fuzzing report.
+func FuzzHybridReplay(f *testing.F) {
+	prog, lib := gateProg()
+	c := &hybrid.Campaign{Prog: prog, Lib: lib, MaxSteps: 10_000}
+	f.Add([]byte{})
+	f.Add(make([]byte, 24))
+	f.Add([]byte{0x80, 20, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22})
+	f.Add([]byte{0x7f, 20, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		claimed := &hybrid.Outcome{Rescued: true, PoCPrime: data}
+		accepted := hybrid.Revalidate(c, claimed)
+		out := vm.New(prog, vm.Config{Input: data, MaxSteps: 10_000}).Run()
+		crashes := out.Crashed() && out.CrashedIn(lib)
+		if accepted != crashes {
+			t.Fatalf("replay gate disagrees with the VM: accepted=%v, crashes=%v (input %x)",
+				accepted, crashes, data)
+		}
+		// Confirm must agree with Revalidate on the same bytes.
+		ok, loc := hybrid.Confirm(prog, lib, data, 10_000)
+		if ok != crashes {
+			t.Fatalf("Confirm disagrees with the VM: ok=%v, crashes=%v (input %x)", ok, crashes, data)
+		}
+		if ok && !lib[loc.Func] {
+			t.Fatalf("Confirm reported a crash outside ℓ: %v", loc)
+		}
+	})
+}

@@ -66,6 +66,14 @@ const (
 	// constraint set.
 	EvSolverSolve Type = "solver.solve"
 
+	// EvHybridStart opens a directed-fuzzing fallback campaign.
+	EvHybridStart Type = "hybrid.start"
+	// EvHybridDone records the campaign outcome: rescued, execs, arm.
+	EvHybridDone Type = "hybrid.done"
+	// EvHybridConfirm records the concrete-VM replay gate on a cached
+	// campaign outcome.
+	EvHybridConfirm Type = "hybrid.confirm"
+
 	// EvP4Verify records the concrete execution of poc' against T.
 	EvP4Verify Type = "p4.verify"
 	// EvP4Minimize records the poc' minimization outcome.
@@ -118,6 +126,9 @@ var registry = map[Type]Spec{
 	EvSolverSatCache:     {Det: false, Verb: VerbVerbose, Phase: "solver", Doc: "SAT-memo lookup"},
 	EvSolverComplement:   {Det: false, Verb: VerbVerbose, Phase: "solver", Doc: "complement-pair UNSAT short-circuit"},
 	EvSolverSolve:        {Det: true, Verb: VerbSummary, Phase: "solver", Doc: "final model solve"},
+	EvHybridStart:        {Det: true, Verb: VerbSummary, Phase: "hybrid", Doc: "fallback campaign started"},
+	EvHybridDone:         {Det: true, Verb: VerbSummary, Phase: "hybrid", Doc: "fallback campaign outcome"},
+	EvHybridConfirm:      {Det: true, Verb: VerbSummary, Phase: "hybrid", Doc: "replay gate on a cached campaign outcome"},
 	EvP4Verify:           {Det: true, Verb: VerbSummary, Phase: "p4", Doc: "concrete execution of poc'"},
 	EvP4Minimize:         {Det: true, Verb: VerbSummary, Phase: "p4", Doc: "poc' minimization"},
 	EvP4Classify:         {Det: true, Verb: VerbSummary, Phase: "p4", Doc: "Type-I/Type-II classification"},

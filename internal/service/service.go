@@ -115,6 +115,7 @@ type Service struct {
 	p1c    Store
 	p2c    Store
 	aic    Store
+	hyc    Store
 	jrc    Store
 	queue  chan *Job
 	wg     sync.WaitGroup
@@ -220,6 +221,15 @@ func New(cfg Config) *Service {
 				s.aic = NewLRU(entries)
 			}
 		}
+		// Likewise the hybrid class only exists when the fallback is on.
+		if cfg.Pipeline.HybridFuzz {
+			if cfg.Stores != nil {
+				s.hyc = cfg.Stores.HY
+			}
+			if s.hyc == nil {
+				s.hyc = NewLRU(entries)
+			}
+		}
 	}
 	if cfg.JournalCapacity >= 0 {
 		s.jrc = cfg.JournalStore
@@ -259,6 +269,9 @@ func New(cfg Config) *Service {
 	}
 	if s.aic != nil {
 		s.pl.SetAbsintCache(s.aic)
+	}
+	if s.hyc != nil {
+		s.pl.SetHybridCache(s.hyc)
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)

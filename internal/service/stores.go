@@ -16,20 +16,21 @@ import (
 // Per-class shares of the total disk budget. P2 artifacts dominate (program
 // text plus observed edges, two per target and prune mode), P1 artifacts
 // carry PoC-sized bunches, journals are bounded JSONL, fingerprints are
-// small hash sets, and absint value ranges are program-text-sized
-// rebuild-on-decode payloads.
+// small hash sets, absint value ranges are program-text-sized
+// rebuild-on-decode payloads, and hybrid outcomes are poc'-sized JSON.
 const (
-	storeShareP1      = 0.22
-	storeShareP2      = 0.38
+	storeShareP1      = 0.20
+	storeShareP2      = 0.36
 	storeShareJournal = 0.18
-	storeShareClone   = 0.14
+	storeShareClone   = 0.12
 	storeShareAbsint  = 0.08
+	storeShareHybrid  = 0.06
 )
 
 // StoreOptions parameterizes OpenStores.
 type StoreOptions struct {
 	// Dir is the root store directory; one subdirectory per artifact class
-	// (p1, p2, jr, ci, ai) is created under it.
+	// (p1, p2, jr, ci, ai, hy) is created under it.
 	Dir string
 	// HotEntries sizes each class's in-memory hot tier;
 	// artifact.DefaultHotEntries when 0.
@@ -55,8 +56,9 @@ type Stores struct {
 	Dir string
 	// P1 persists p1: artifacts; P2 persists p2: and ps: artifacts; Journal
 	// persists jr: JSONL journals; Clone persists ci: fingerprints; AI
-	// persists ai: abstract-interpretation value ranges.
-	P1, P2, Journal, Clone, AI *artifact.Store
+	// persists ai: abstract-interpretation value ranges; HY persists hy:
+	// hybrid-campaign outcomes.
+	P1, P2, Journal, Clone, AI, HY *artifact.Store
 }
 
 // OpenStores opens (or creates) the four per-class stores under opts.Dir,
@@ -95,9 +97,13 @@ func OpenStores(opts StoreOptions) (*Stores, error) {
 				if st.Clone, err = open("ci", storeShareClone, map[string]artifact.Codec{
 					"ci": clonedet.FingerprintCodec{},
 				}); err == nil {
-					st.AI, err = open("ai", storeShareAbsint, map[string]artifact.Codec{
+					if st.AI, err = open("ai", storeShareAbsint, map[string]artifact.Codec{
 						"ai": core.AbsintCodec{},
-					})
+					}); err == nil {
+						st.HY, err = open("hy", storeShareHybrid, map[string]artifact.Codec{
+							"hy": core.HybridCodec{},
+						})
+					}
 				}
 			}
 		}
@@ -115,7 +121,7 @@ func (st *Stores) each(fn func(class string, s *artifact.Store)) {
 		name  string
 		store *artifact.Store
 	}{
-		{"p1", st.P1}, {"p2", st.P2}, {"jr", st.Journal}, {"ci", st.Clone}, {"ai", st.AI},
+		{"p1", st.P1}, {"p2", st.P2}, {"jr", st.Journal}, {"ci", st.Clone}, {"ai", st.AI}, {"hy", st.HY},
 	} {
 		if c.store != nil {
 			fn(c.name, c.store)
@@ -154,7 +160,7 @@ func (st *Stores) Counters() map[string]artifact.Counters {
 	if st == nil {
 		return nil
 	}
-	out := make(map[string]artifact.Counters, 5)
+	out := make(map[string]artifact.Counters, 6)
 	st.each(func(class string, s *artifact.Store) { out[class] = s.Counters() })
 	return out
 }
